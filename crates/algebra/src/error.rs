@@ -1,0 +1,55 @@
+//! Error type for plan construction and execution.
+
+use pcqe_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while building or executing an algebra plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// An underlying storage error (unknown table/column, …).
+    Storage(StorageError),
+    /// A scalar expression was ill-typed for the values it met.
+    Type(String),
+    /// Union/difference inputs had incompatible schemas.
+    SchemaMismatch(String),
+    /// A lineage evaluation failed while scoring results.
+    Lineage(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgebraError::Type(m) => write!(f, "type error: {m}"),
+            AlgebraError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            AlgebraError::Lineage(m) => write!(f, "lineage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for AlgebraError {
+    fn from(e: StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert_and_chain() {
+        let e: AlgebraError = StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains('t'));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

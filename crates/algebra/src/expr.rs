@@ -1,0 +1,636 @@
+//! Scalar expressions over tuples.
+
+use crate::error::AlgebraError;
+use crate::Result;
+use pcqe_storage::{DataType, Schema, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Binary operators on scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always real division)
+    Div,
+    /// SQL `LIKE` pattern match (`%` = any run, `_` = any one character).
+    Like,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Like => "LIKE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators on scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// SQL `IS NULL` (never NULL itself: true/false).
+    IsNull,
+    /// SQL `IS NOT NULL`.
+    IsNotNull,
+}
+
+/// A scalar expression, with column references already resolved to indexes
+/// in the input schema (the SQL planner does the resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Value of the input column at the given index.
+    Column(usize),
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<ScalarExpr>,
+    },
+}
+
+impl ScalarExpr {
+    /// Column reference by index.
+    pub fn column(i: usize) -> ScalarExpr {
+        ScalarExpr::Column(i)
+    }
+
+    /// Literal value.
+    pub fn literal(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Literal(v.into())
+    }
+
+    /// Column reference resolved by (possibly qualified) name.
+    pub fn named(schema: &Schema, qualifier: Option<&str>, name: &str) -> Result<ScalarExpr> {
+        Ok(ScalarExpr::Column(schema.resolve(qualifier, name)?))
+    }
+
+    fn binary(self, op: BinaryOp, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Eq, rhs)
+    }
+
+    /// `self <> rhs`
+    pub fn ne(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Ne, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Le, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Ge, rhs)
+    }
+
+    /// `self AND rhs`
+    pub fn and(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::And, rhs)
+    }
+
+    /// `self OR rhs`
+    pub fn or(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Or, rhs)
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> ScalarExpr {
+        ScalarExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
+    }
+
+    /// `self + rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Add, rhs)
+    }
+
+    /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Sub, rhs)
+    }
+
+    /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Mul, rhs)
+    }
+
+    /// `self / rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: ScalarExpr) -> ScalarExpr {
+        self.binary(BinaryOp::Div, rhs)
+    }
+
+    /// All column indexes referenced anywhere in the expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        fn collect(e: &ScalarExpr, out: &mut Vec<usize>) {
+            match e {
+                ScalarExpr::Column(i) => {
+                    if !out.contains(i) {
+                        out.push(*i);
+                    }
+                }
+                ScalarExpr::Literal(_) => {}
+                ScalarExpr::Binary { left, right, .. } => {
+                    collect(left, out);
+                    collect(right, out);
+                }
+                ScalarExpr::Unary { expr, .. } => collect(expr, out),
+            }
+        }
+        let mut out = Vec::new();
+        collect(self, &mut out);
+        out
+    }
+
+    /// Shift every column index by `delta` (used when a predicate moves
+    /// from a joined schema onto the right input).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a shift would underflow.
+    pub fn shift_columns(&self, delta: isize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Column(i) => {
+                let shifted = *i as isize + delta;
+                debug_assert!(shifted >= 0, "column shift underflow");
+                ScalarExpr::Column(shifted.max(0) as usize)
+            }
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+                op: *op,
+                left: Box::new(left.shift_columns(delta)),
+                right: Box::new(right.shift_columns(delta)),
+            },
+            ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.shift_columns(delta)),
+            },
+        }
+    }
+
+    /// Infer the expression's output type against an input schema.
+    pub fn infer_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            ScalarExpr::Column(i) => schema
+                .columns()
+                .get(*i)
+                .map(|c| c.data_type)
+                .ok_or_else(|| AlgebraError::Type(format!("column index {i} out of range"))),
+            ScalarExpr::Literal(v) => Ok(v.data_type().unwrap_or(DataType::Text)),
+            ScalarExpr::Binary { op, left, right } => {
+                let lt = left.infer_type(schema)?;
+                let rt = right.infer_type(schema)?;
+                match op {
+                    BinaryOp::Eq
+                    | BinaryOp::Ne
+                    | BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+                    | BinaryOp::And
+                    | BinaryOp::Or => Ok(DataType::Bool),
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => {
+                        if lt == DataType::Int && rt == DataType::Int {
+                            Ok(DataType::Int)
+                        } else {
+                            Ok(DataType::Real)
+                        }
+                    }
+                    BinaryOp::Div => Ok(DataType::Real),
+                    BinaryOp::Like => Ok(DataType::Bool),
+                }
+            }
+            ScalarExpr::Unary { op, expr } => match op {
+                UnaryOp::Not | UnaryOp::IsNull | UnaryOp::IsNotNull => Ok(DataType::Bool),
+                UnaryOp::Neg => expr.infer_type(schema),
+            },
+        }
+    }
+
+    /// Evaluate the expression on a row of values.
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            ScalarExpr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| AlgebraError::Type(format!("column index {i} out of range"))),
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Binary { op, left, right } => {
+                // Logical connectives get SQL-ish short-circuit treatment.
+                match op {
+                    BinaryOp::And => {
+                        let l = left.eval(row)?;
+                        if l == Value::Bool(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let r = right.eval(row)?;
+                        return eval_logic(BinaryOp::And, &l, &r);
+                    }
+                    BinaryOp::Or => {
+                        let l = left.eval(row)?;
+                        if l == Value::Bool(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let r = right.eval(row)?;
+                        return eval_logic(BinaryOp::Or, &l, &r);
+                    }
+                    _ => {}
+                }
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                match op {
+                    BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le
+                    | BinaryOp::Gt | BinaryOp::Ge => eval_cmp(*op, &l, &r),
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                        eval_arith(*op, &l, &r)
+                    }
+                    BinaryOp::Like => eval_like(&l, &r),
+                    BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+                }
+            }
+            ScalarExpr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                match op {
+                    UnaryOp::Not => match v {
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        Value::Null => Ok(Value::Null),
+                        other => Err(AlgebraError::Type(format!("NOT applied to {other}"))),
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Real(r) => Ok(Value::Real(-r)),
+                        Value::Null => Ok(Value::Null),
+                        other => Err(AlgebraError::Type(format!("negation of {other}"))),
+                    },
+                    UnaryOp::IsNull => Ok(Value::Bool(v.is_null())),
+                    UnaryOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
+                }
+            }
+        }
+    }
+
+    /// Evaluate the expression as a predicate: `true` only when the result
+    /// is boolean true (NULL counts as false, SQL-style).
+    pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(AlgebraError::Type(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+}
+
+fn eval_logic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    let as_bool = |v: &Value| -> Result<Option<bool>> {
+        match v {
+            Value::Bool(b) => Ok(Some(*b)),
+            Value::Null => Ok(None),
+            other => Err(AlgebraError::Type(format!("logic applied to {other}"))),
+        }
+    };
+    let (a, b) = (as_bool(l)?, as_bool(r)?);
+    // Three-valued logic.
+    let out = match op {
+        BinaryOp::And => match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinaryOp::Or => match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!(),
+    };
+    Ok(out.map_or(Value::Null, Value::Bool))
+}
+
+fn eval_cmp(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    let Some(ord) = l.sql_cmp(r) else {
+        // NULL or incomparable types → NULL (filtered out by predicates).
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        return Err(AlgebraError::Type(format!("cannot compare {l} with {r}")));
+    };
+    let b = match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::Ne => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::Le => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::Ge => ord != Ordering::Less,
+        _ => unreachable!(),
+    };
+    Ok(Value::Bool(b))
+}
+
+/// SQL LIKE: `%` matches any run (including empty), `_` any one char.
+fn eval_like(l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    let (Some(text), Some(pattern)) = (l.as_text(), r.as_text()) else {
+        return Err(AlgebraError::Type(format!(
+            "LIKE needs text operands, got {l} and {r}"
+        )));
+    };
+    Ok(Value::Bool(like_match(
+        &text.chars().collect::<Vec<_>>(),
+        &pattern.chars().collect::<Vec<_>>(),
+    )))
+}
+
+fn like_match(text: &[char], pattern: &[char]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some(('%', rest)) => {
+            // Greedy with backtracking: try every split point.
+            (0..=text.len()).any(|i| like_match(&text[i..], rest))
+        }
+        Some(('_', rest)) => !text.is_empty() && like_match(&text[1..], rest),
+        Some((c, rest)) => {
+            text.first() == Some(c) && like_match(&text[1..], rest)
+        }
+    }
+}
+
+fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op != BinaryOp::Div {
+        if let (Value::Int(a), Value::Int(b)) = (l, r) {
+            let out = match op {
+                BinaryOp::Add => a.checked_add(*b),
+                BinaryOp::Sub => a.checked_sub(*b),
+                BinaryOp::Mul => a.checked_mul(*b),
+                _ => unreachable!(),
+            };
+            return out
+                .map(Value::Int)
+                .ok_or_else(|| AlgebraError::Type("integer overflow".into()));
+        }
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(AlgebraError::Type(format!(
+                "arithmetic on non-numeric values {l}, {r}"
+            )))
+        }
+    };
+    let out = match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return Err(AlgebraError::Type("division by zero".into()));
+            }
+            a / b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Real(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(10), Value::text("abc"), Value::Real(2.5), Value::Null]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let r = row();
+        assert_eq!(ScalarExpr::column(0).eval(&r).unwrap(), Value::Int(10));
+        assert_eq!(
+            ScalarExpr::literal(Value::Bool(true)).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(ScalarExpr::column(9).eval(&r).is_err());
+    }
+
+    #[test]
+    fn comparisons_coerce_numerics() {
+        let r = row();
+        let e = ScalarExpr::column(0).gt(ScalarExpr::literal(Value::Real(9.5)));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        let e = ScalarExpr::column(2).le(ScalarExpr::literal(Value::Int(2)));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_comparisons_yield_null_and_fail_predicates() {
+        let r = row();
+        let e = ScalarExpr::column(3).eq(ScalarExpr::literal(Value::Int(1)));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&r).unwrap());
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        let r = row();
+        let e = ScalarExpr::column(1).lt(ScalarExpr::literal(Value::Int(1)));
+        assert!(e.eval(&r).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let r = row();
+        let null_cmp = ScalarExpr::column(3).eq(ScalarExpr::literal(Value::Int(1)));
+        let truth = ScalarExpr::literal(Value::Bool(true));
+        let falsity = ScalarExpr::literal(Value::Bool(false));
+        // NULL OR TRUE = TRUE; NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+        assert_eq!(
+            null_cmp.clone().or(truth.clone()).eval(&r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            null_cmp.clone().and(falsity).eval(&r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(null_cmp.and(truth).eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        let r = row();
+        // RHS would error (NOT on an int), but LHS short-circuits.
+        let bad = ScalarExpr::column(0).not();
+        let e = ScalarExpr::literal(Value::Bool(false)).and(bad.clone());
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
+        let e = ScalarExpr::literal(Value::Bool(true)).or(bad);
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_typing() {
+        let r = row();
+        let int_sum = ScalarExpr::column(0).add(ScalarExpr::literal(Value::Int(5)));
+        assert_eq!(int_sum.eval(&r).unwrap(), Value::Int(15));
+        let mixed = ScalarExpr::column(0).mul(ScalarExpr::column(2));
+        assert_eq!(mixed.eval(&r).unwrap(), Value::Real(25.0));
+        let div = ScalarExpr::column(0).div(ScalarExpr::literal(Value::Int(4)));
+        assert_eq!(div.eval(&r).unwrap(), Value::Real(2.5));
+        let div0 = ScalarExpr::column(0).div(ScalarExpr::literal(Value::Int(0)));
+        assert!(div0.eval(&r).is_err());
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let r = vec![Value::Int(i64::MAX)];
+        let e = ScalarExpr::column(0).add(ScalarExpr::literal(Value::Int(1)));
+        assert!(e.eval(&r).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        let like = |text: &str, pattern: &str| {
+            ScalarExpr::literal(Value::text(text))
+                .binary(BinaryOp::Like, ScalarExpr::literal(Value::text(pattern)))
+                .eval(&[])
+                .unwrap()
+        };
+        assert_eq!(like("SkyCam", "Sky%"), Value::Bool(true));
+        assert_eq!(like("SkyCam", "%Cam"), Value::Bool(true));
+        assert_eq!(like("SkyCam", "S_yCam"), Value::Bool(true));
+        assert_eq!(like("SkyCam", "sky%"), Value::Bool(false), "case-sensitive");
+        assert_eq!(like("", "%"), Value::Bool(true));
+        assert_eq!(like("", "_"), Value::Bool(false));
+        assert_eq!(like("abc", "%b%"), Value::Bool(true));
+        assert_eq!(like("abc", "a%c%d"), Value::Bool(false));
+        // NULL propagates; non-text errors.
+        let null_like = ScalarExpr::literal(Value::Null)
+            .binary(BinaryOp::Like, ScalarExpr::literal(Value::text("%")));
+        assert_eq!(null_like.eval(&[]).unwrap(), Value::Null);
+        let bad = ScalarExpr::literal(Value::Int(1))
+            .binary(BinaryOp::Like, ScalarExpr::literal(Value::text("%")));
+        assert!(bad.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn is_null_operators() {
+        let r = vec![Value::Null, Value::Int(1)];
+        let isnull = |i: usize| ScalarExpr::Unary {
+            op: UnaryOp::IsNull,
+            expr: Box::new(ScalarExpr::column(i)),
+        };
+        let isnotnull = |i: usize| ScalarExpr::Unary {
+            op: UnaryOp::IsNotNull,
+            expr: Box::new(ScalarExpr::column(i)),
+        };
+        assert_eq!(isnull(0).eval(&r).unwrap(), Value::Bool(true));
+        assert_eq!(isnull(1).eval(&r).unwrap(), Value::Bool(false));
+        assert_eq!(isnotnull(0).eval(&r).unwrap(), Value::Bool(false));
+        assert_eq!(isnotnull(1).eval(&r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unary_ops() {
+        let r = row();
+        let neg = ScalarExpr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(ScalarExpr::column(0)),
+        };
+        assert_eq!(neg.eval(&r).unwrap(), Value::Int(-10));
+        let not = ScalarExpr::literal(Value::Bool(true)).not();
+        assert_eq!(not.eval(&r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn type_inference() {
+        use pcqe_storage::{Column, Schema};
+        let schema = Schema::new(vec![
+            Column::new("i", DataType::Int),
+            Column::new("r", DataType::Real),
+        ])
+        .unwrap();
+        let ii = ScalarExpr::column(0).add(ScalarExpr::column(0));
+        assert_eq!(ii.infer_type(&schema).unwrap(), DataType::Int);
+        let ir = ScalarExpr::column(0).add(ScalarExpr::column(1));
+        assert_eq!(ir.infer_type(&schema).unwrap(), DataType::Real);
+        let cmp = ScalarExpr::column(0).lt(ScalarExpr::column(1));
+        assert_eq!(cmp.infer_type(&schema).unwrap(), DataType::Bool);
+    }
+}

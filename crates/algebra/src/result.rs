@@ -1,0 +1,159 @@
+//! Result sets: derived tuples with lineage, and confidence scoring.
+
+use crate::error::AlgebraError;
+use crate::Result;
+use pcqe_lineage::{Evaluator, Lineage, ProbSource};
+use pcqe_storage::{Schema, Tuple};
+use std::fmt;
+
+/// One derived tuple: values plus the boolean lineage deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedTuple {
+    /// The tuple's values.
+    pub tuple: Tuple,
+    /// Lineage over base-tuple variables.
+    pub lineage: Lineage,
+}
+
+/// A derived tuple with its computed confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredTuple {
+    /// The tuple's values.
+    pub tuple: Tuple,
+    /// Lineage over base-tuple variables.
+    pub lineage: Lineage,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// The output of executing a plan: a schema and derived tuples.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    schema: Schema,
+    rows: Vec<DerivedTuple>,
+}
+
+impl ResultSet {
+    /// Construct a result set.
+    pub fn new(schema: Schema, rows: Vec<DerivedTuple>) -> Self {
+        ResultSet { schema, rows }
+    }
+
+    /// The result schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The derived rows.
+    pub fn rows(&self) -> &[DerivedTuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Consume the result set, yielding its rows.
+    pub fn into_rows(self) -> Vec<DerivedTuple> {
+        self.rows
+    }
+
+    /// Compute every row's confidence from base-tuple probabilities.
+    pub fn score<P: ProbSource>(
+        &self,
+        probs: &P,
+        evaluator: &Evaluator,
+    ) -> Result<Vec<ScoredTuple>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let confidence = evaluator
+                    .probability(&row.lineage, probs)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                Ok(ScoredTuple {
+                    tuple: row.tuple.clone(),
+                    lineage: row.lineage.clone(),
+                    confidence,
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Render the result set as a `header | header` text table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.display_name())
+            .collect();
+        writeln!(f, "{}", headers.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.tuple.values().iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcqe_storage::{Column, DataType, Value};
+    use std::collections::HashMap;
+    use pcqe_lineage::VarId;
+
+    fn simple() -> ResultSet {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        ResultSet::new(
+            schema,
+            vec![
+                DerivedTuple {
+                    tuple: Tuple::new(vec![Value::Int(1)]),
+                    lineage: Lineage::var(0),
+                },
+                DerivedTuple {
+                    tuple: Tuple::new(vec![Value::Int(2)]),
+                    lineage: Lineage::and(vec![Lineage::var(0), Lineage::var(1)]),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn scoring_computes_probabilities() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> =
+            [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let scored = rs.score(&probs, &Evaluator::default()).unwrap();
+        assert_eq!(scored.len(), 2);
+        assert!((scored[0].confidence - 0.5).abs() < 1e-12);
+        assert!((scored[1].confidence - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_fails_on_unknown_base_tuple() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5)].into_iter().collect();
+        assert!(matches!(
+            rs.score(&probs, &Evaluator::default()),
+            Err(AlgebraError::Lineage(_))
+        ));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let text = simple().to_string();
+        assert!(text.starts_with("x\n"));
+        assert!(text.contains('2'));
+    }
+}

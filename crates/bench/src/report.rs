@@ -1,0 +1,158 @@
+//! Text and JSON rendering of figure data.
+
+use crate::experiments::{Fig11aRow, Fig11beRow, Fig11cfRow};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Everything the `figures` binary produced, serialisable as one JSON
+/// document.
+#[derive(Debug, Default, Serialize)]
+pub struct FigureReport {
+    /// Figure 11(a) rows (no greedy bound), if run.
+    pub fig11a: Vec<Fig11aRow>,
+    /// Figure 11(d) rows (greedy bound), if run.
+    pub fig11d: Vec<Fig11aRow>,
+    /// Figure 11(b)/(e) rows, if run.
+    pub fig11be: Vec<Fig11beRow>,
+    /// Figure 11(c)/(f) rows, if run.
+    pub fig11cf: Vec<Fig11cfRow>,
+}
+
+/// Render Figure 11(a)/(d) as an aligned text table.
+pub fn render_fig11a(rows: &[Fig11aRow], title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "{:<8} {:>12} {:>14} {:>12}", "config", "seconds", "nodes", "cost");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>12.6} {:>14} {:>12.2}",
+            r.config, r.seconds, r.nodes, r.cost
+        );
+    }
+    if let (Some(naive), Some(all)) = (
+        rows.iter().find(|r| r.config == "Naive"),
+        rows.iter().find(|r| r.config == "All"),
+    ) {
+        if all.seconds > 0.0 {
+            let _ = writeln!(
+                s,
+                "speedup All vs Naive: {:.1}x (nodes {:.1}x)",
+                naive.seconds / all.seconds,
+                naive.nodes as f64 / all.nodes.max(1) as f64
+            );
+        }
+    }
+    s
+}
+
+/// Render Figure 11(b)+(e) as an aligned text table.
+pub fn render_fig11be(rows: &[Fig11beRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 11(b)+(e): one-phase vs two-phase greedy");
+    let _ = writeln!(
+        s,
+        "{:>8} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "size", "1ph sec", "2ph sec", "1ph cost", "2ph cost", "saved"
+    );
+    for r in rows {
+        let saved = if r.one_phase_cost > 0.0 {
+            100.0 * (1.0 - r.two_phase_cost / r.one_phase_cost)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "{:>8} {:>12.4} {:>12.4} {:>14.1} {:>14.1} {:>9.1}%",
+            r.data_size,
+            r.one_phase_seconds,
+            r.two_phase_seconds,
+            r.one_phase_cost,
+            r.two_phase_cost,
+            saved
+        );
+    }
+    s
+}
+
+/// Render Figure 11(c)+(f) as an aligned text table.
+pub fn render_fig11cf(rows: &[Fig11cfRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 11(c)+(f): scalability of the three algorithms");
+    let _ = writeln!(
+        s,
+        "{:>8} {:<20} {:>12} {:>14}",
+        "size", "algorithm", "seconds", "cost"
+    );
+    for r in rows {
+        match (r.seconds, r.cost) {
+            (Some(sec), Some(cost)) => {
+                let _ = writeln!(
+                    s,
+                    "{:>8} {:<20} {:>12.4} {:>14.1}",
+                    r.data_size, r.algorithm, sec, cost
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    s,
+                    "{:>8} {:<20} {:>12} {:>14}",
+                    r.data_size, r.algorithm, "-", "-"
+                );
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let rows = vec![
+            Fig11aRow {
+                config: "Naive".into(),
+                greedy_bound: false,
+                seconds: 1.0,
+                cost: 10.0,
+                nodes: 100,
+            },
+            Fig11aRow {
+                config: "All".into(),
+                greedy_bound: false,
+                seconds: 0.1,
+                cost: 10.0,
+                nodes: 10,
+            },
+        ];
+        let text = render_fig11a(&rows, "Figure 11(a)");
+        assert!(text.contains("speedup All vs Naive: 10.0x"));
+
+        let be = vec![Fig11beRow {
+            data_size: 1000,
+            one_phase_seconds: 0.5,
+            one_phase_cost: 100.0,
+            two_phase_seconds: 0.6,
+            two_phase_cost: 70.0,
+        }];
+        let text = render_fig11be(&be);
+        assert!(text.contains("30.0%"));
+
+        let cf = vec![Fig11cfRow {
+            data_size: 10,
+            algorithm: "Greedy".into(),
+            seconds: Some(0.01),
+            cost: Some(5.0),
+        }];
+        assert!(render_fig11cf(&cf).contains("Greedy"));
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let report = FigureReport::default();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("fig11cf"));
+    }
+}

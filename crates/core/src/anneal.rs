@@ -1,0 +1,272 @@
+//! A simulated-annealing baseline for the confidence-increment problem.
+//!
+//! The paper frames strategy finding as a nonlinear constrained
+//! optimisation and solves it with domain-specific algorithms; a generic
+//! stochastic-search baseline puts their performance in context (and is
+//! measured against them in the `ablations` bench). The annealer walks
+//! the grid of per-tuple step vectors, minimising
+//! `cost + penalty · max(0, required − satisfied)` with a geometric
+//! cooling schedule, and repairs its best state to feasibility with
+//! greedy steps if the quota is still unmet when the temperature floor is
+//! reached.
+//!
+//! Deterministic in [`AnnealOptions::seed`].
+
+use crate::error::CoreError;
+use crate::greedy::{self, GreedyOptions, GreedyStats};
+use crate::problem::ProblemInstance;
+use crate::solution::SolveOutcome;
+use crate::state::EvalState;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Options for the annealing baseline.
+#[derive(Debug, Clone)]
+pub struct AnnealOptions {
+    /// Proposal steps at each temperature.
+    pub moves_per_temperature: u32,
+    /// Initial temperature (in cost units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per level, in `(0, 1)`.
+    pub cooling: f64,
+    /// Temperature floor ending the walk.
+    pub min_temperature: f64,
+    /// Penalty per missing satisfied result (should dominate typical
+    /// per-step costs).
+    pub quota_penalty: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            moves_per_temperature: 400,
+            initial_temperature: 100.0,
+            cooling: 0.9,
+            min_temperature: 0.05,
+            quota_penalty: 1_000.0,
+            seed: 0xa11e,
+        }
+    }
+}
+
+/// Statistics from an annealing run.
+#[derive(Debug, Clone, Default)]
+pub struct AnnealStats {
+    /// Proposals evaluated.
+    pub moves: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// Whether the final state needed a greedy feasibility repair.
+    pub repaired: bool,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+fn energy(state: &EvalState<'_>, penalty: f64) -> f64 {
+    let missing = state
+        .problem()
+        .required
+        .saturating_sub(state.satisfied_count()) as f64;
+    state.total_cost() + penalty * missing
+}
+
+/// Solve with simulated annealing (a baseline, not one of the paper's
+/// algorithms). Always returns a *valid* solution: if the walk ends
+/// infeasible, a greedy phase-1 repair runs from the best state found.
+pub fn solve(
+    problem: &ProblemInstance,
+    options: &AnnealOptions,
+) -> Result<SolveOutcome<AnnealStats>> {
+    let start = Instant::now();
+    let mut state = EvalState::new(problem);
+    greedy::check_feasible(&mut state)?;
+    let mut stats = AnnealStats::default();
+    if problem.bases.is_empty() || state.meets_quota() {
+        stats.elapsed = start.elapsed();
+        return Ok(SolveOutcome {
+            solution: state.to_solution(),
+            stats,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut temperature = options.initial_temperature;
+    let mut current = energy(&state, options.quota_penalty);
+    // Track the best *feasible* step vector seen, if any.
+    let mut best_feasible: Option<(f64, Vec<u32>)> = None;
+    let k = problem.bases.len();
+
+    while temperature > options.min_temperature {
+        for _ in 0..options.moves_per_temperature {
+            stats.moves += 1;
+            let i = rng.random_range(0..k);
+            let up = rng.random::<f64>() < 0.6;
+            let moved = if up { state.step_up(i) } else { state.step_down(i) };
+            if !moved {
+                continue;
+            }
+            let proposed = energy(&state, options.quota_penalty);
+            let delta = proposed - current;
+            let accept = delta <= 0.0
+                || rng.random::<f64>() < (-delta / temperature).exp();
+            if accept {
+                current = proposed;
+                stats.accepted += 1;
+                if state.meets_quota()
+                    && best_feasible
+                        .as_ref()
+                        .is_none_or(|(c, _)| state.total_cost() < *c)
+                {
+                    let steps: Vec<u32> = (0..k).map(|b| state.steps_of(b)).collect();
+                    best_feasible = Some((state.total_cost(), steps));
+                }
+            } else {
+                // Undo.
+                if up {
+                    state.step_down(i);
+                } else {
+                    state.step_up(i);
+                }
+            }
+        }
+        temperature *= options.cooling;
+    }
+
+    // Restore the best feasible state, or repair greedily.
+    match best_feasible {
+        Some((_, steps)) => {
+            for (i, &s) in steps.iter().enumerate() {
+                state.set_steps(i, s);
+            }
+        }
+        None => {
+            stats.repaired = true;
+            let mut gstats = GreedyStats::default();
+            let mut last_gain = vec![f64::NAN; k];
+            let mut raised = Vec::new();
+            greedy::phase1(
+                &mut state,
+                &GreedyOptions::default(),
+                &mut gstats,
+                &mut last_gain,
+                &mut raised,
+            )?;
+        }
+    }
+    // Final trim: roll back anything the quota does not need.
+    let order: Vec<usize> = (0..k).filter(|&i| state.steps_of(i) > 0).collect();
+    greedy::roll_back(&mut state, &order);
+
+    stats.elapsed = start.elapsed();
+    let solution = state.to_solution();
+    if solution.satisfied.len() < problem.required {
+        return Err(CoreError::GaveUp(
+            "annealing repair failed to meet the quota".into(),
+        ));
+    }
+    Ok(SolveOutcome { solution, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{self, HeuristicOptions};
+    use crate::problem::ProblemBuilder;
+    use pcqe_cost::CostFn;
+    use pcqe_lineage::Lineage;
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemBuilder::new(0.5, 0.1);
+        let rates = [10.0, 40.0, 25.0, 60.0, 15.0, 35.0];
+        for (i, r) in rates.iter().enumerate() {
+            b.base(i as u64, 0.1, CostFn::linear(*r).unwrap());
+        }
+        for w in 0..4u64 {
+            b.result_from_lineage(&Lineage::or(vec![
+                Lineage::var(w),
+                Lineage::and(vec![Lineage::var(w + 1), Lineage::var(w + 2)]),
+            ]))
+            .unwrap();
+        }
+        b.require(3).build().unwrap()
+    }
+
+    #[test]
+    fn produces_valid_solutions() {
+        let p = instance();
+        let out = solve(&p, &AnnealOptions::default()).unwrap();
+        out.solution.validate(&p).unwrap();
+        assert!(out.stats.moves > 0);
+    }
+
+    #[test]
+    fn never_beats_the_exact_optimum() {
+        let p = instance();
+        let exact = heuristic::solve(&p, &HeuristicOptions::all()).unwrap();
+        for seed in [1u64, 2, 3] {
+            let out = solve(
+                &p,
+                &AnnealOptions {
+                    seed,
+                    ..AnnealOptions::default()
+                },
+            )
+            .unwrap();
+            out.solution.validate(&p).unwrap();
+            assert!(
+                out.solution.cost >= exact.solution.cost - 1e-9,
+                "seed {seed}: anneal {} below optimum {}",
+                out.solution.cost,
+                exact.solution.cost
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let p = instance();
+        let a = solve(&p, &AnnealOptions::default()).unwrap();
+        let b = solve(&p, &AnnealOptions::default()).unwrap();
+        assert_eq!(a.solution.levels, b.solution.levels);
+        assert_eq!(a.stats.moves, b.stats.moves);
+    }
+
+    #[test]
+    fn trivial_and_infeasible_cases() {
+        // Already satisfied → free.
+        let mut b = ProblemBuilder::new(0.1, 0.1);
+        b.base(0, 0.5, CostFn::linear(1.0).unwrap());
+        b.result_from_lineage(&Lineage::var(0)).unwrap();
+        let p = b.require(1).build().unwrap();
+        let out = solve(&p, &AnnealOptions::default()).unwrap();
+        assert_eq!(out.solution.cost, 0.0);
+        // Infeasible detected up front.
+        let mut b = ProblemBuilder::new(0.9, 0.1);
+        b.base_capped(0, 0.1, 0.3, CostFn::linear(1.0).unwrap());
+        b.result_from_lineage(&Lineage::var(0)).unwrap();
+        let p = b.require(1).build().unwrap();
+        assert!(matches!(
+            solve(&p, &AnnealOptions::default()),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn quick_schedule_still_repairs_to_feasibility() {
+        let p = instance();
+        let out = solve(
+            &p,
+            &AnnealOptions {
+                moves_per_temperature: 2,
+                initial_temperature: 0.2,
+                min_temperature: 0.1,
+                ..AnnealOptions::default()
+            },
+        )
+        .unwrap();
+        out.solution.validate(&p).unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! Advance-time estimation (the future-work sketch in Section 6).
+//!
+//! "Since actually improving data quality may take some time, the user can
+//! submit the query in advance … and statistics can be used to let the
+//! user know 'how much time' in advance he needs to issue the query."
+//!
+//! [`RuntimeEstimator`] collects `(problem size, solve seconds)` samples
+//! from past strategy-finding runs, fits a log–log least-squares line
+//! (solver runtimes are polynomial in the data size, so the log–log
+//! relationship is near-linear), and predicts the lead time for a future
+//! problem size, with a configurable safety factor.
+
+use std::time::Duration;
+
+/// A power-law runtime estimator fit from observed samples.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeEstimator {
+    /// `(ln size, ln seconds)` samples.
+    samples: Vec<(f64, f64)>,
+}
+
+/// A fitted power law `seconds ≈ a · size^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Multiplier `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+}
+
+impl RuntimeEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        RuntimeEstimator::default()
+    }
+
+    /// Record one observed run. Sizes below 1 and non-positive durations
+    /// are ignored (they carry no information on the log scale).
+    pub fn record(&mut self, size: usize, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        if size >= 1 && secs > 0.0 {
+            self.samples.push(((size as f64).ln(), secs.ln()));
+        }
+    }
+
+    /// Number of usable samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Least-squares fit of `ln t = ln a + b · ln n`. Needs ≥ 2 samples
+    /// with distinct sizes.
+    pub fn fit(&self) -> Option<PowerLawFit> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let sx: f64 = self.samples.iter().map(|s| s.0).sum();
+        let sy: f64 = self.samples.iter().map(|s| s.1).sum();
+        let sxx: f64 = self.samples.iter().map(|s| s.0 * s.0).sum();
+        let sxy: f64 = self.samples.iter().map(|s| s.0 * s.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None; // all sizes identical
+        }
+        let b = (n * sxy - sx * sy) / denom;
+        let ln_a = (sy - b * sx) / n;
+        Some(PowerLawFit { a: ln_a.exp(), b })
+    }
+
+    /// Predicted solve time for a future problem size.
+    pub fn predict(&self, size: usize) -> Option<Duration> {
+        let fit = self.fit()?;
+        let secs = fit.a * (size.max(1) as f64).powf(fit.b);
+        Some(Duration::from_secs_f64(secs.clamp(0.0, 1e9)))
+    }
+
+    /// How far in advance a user should issue a query of the given size:
+    /// the prediction inflated by `safety_factor` (e.g. `2.0` for 2×
+    /// headroom).
+    pub fn lead_time(&self, size: usize, safety_factor: f64) -> Option<Duration> {
+        let p = self.predict(size)?;
+        Some(Duration::from_secs_f64(
+            (p.as_secs_f64() * safety_factor.max(1.0)).clamp(0.0, 1e9),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> Duration {
+        Duration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn fits_exact_power_law() {
+        // t = 0.001 · n^2
+        let mut e = RuntimeEstimator::new();
+        for n in [10usize, 100, 1000] {
+            e.record(n, secs(0.001 * (n as f64).powi(2)));
+        }
+        let fit = e.fit().unwrap();
+        assert!((fit.b - 2.0).abs() < 1e-9, "exponent {}", fit.b);
+        assert!((fit.a - 0.001).abs() < 1e-9, "multiplier {}", fit.a);
+        // 0.001 · (10⁴)² = 10⁵ seconds.
+        let p = e.predict(10_000).unwrap();
+        assert!((p.as_secs_f64() - 1e5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fits_linear_runtimes() {
+        let mut e = RuntimeEstimator::new();
+        for n in [100usize, 1000, 10_000] {
+            e.record(n, secs(n as f64 * 1e-4));
+        }
+        let fit = e.fit().unwrap();
+        assert!((fit.b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_two_distinct_sizes() {
+        let mut e = RuntimeEstimator::new();
+        assert!(e.fit().is_none());
+        e.record(100, secs(1.0));
+        assert!(e.fit().is_none());
+        e.record(100, secs(1.1));
+        assert!(e.fit().is_none(), "identical sizes cannot fix a slope");
+        e.record(200, secs(2.0));
+        assert!(e.fit().is_some());
+    }
+
+    #[test]
+    fn ignores_degenerate_samples() {
+        let mut e = RuntimeEstimator::new();
+        e.record(0, secs(1.0));
+        e.record(10, secs(0.0));
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn lead_time_applies_safety_factor() {
+        let mut e = RuntimeEstimator::new();
+        e.record(10, secs(1.0));
+        e.record(100, secs(10.0));
+        let plain = e.predict(1000).unwrap().as_secs_f64();
+        let padded = e.lead_time(1000, 2.0).unwrap().as_secs_f64();
+        assert!((padded - 2.0 * plain).abs() < 1e-9);
+        // Factors below 1 are clamped up to 1 (never advise less time
+        // than predicted).
+        let clamped = e.lead_time(1000, 0.5).unwrap().as_secs_f64();
+        assert!((clamped - plain).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Exhaustive enumeration baseline.
+//!
+//! Enumerates *every* grid assignment (`O(d^k)`) and keeps the cheapest
+//! one meeting the quota. Useless beyond a handful of base tuples, but it
+//! is the ground truth the branch-and-bound search is validated against,
+//! and the honest "optimal" line for tiny evaluation points.
+
+use crate::error::CoreError;
+use crate::problem::ProblemInstance;
+use crate::solution::{Solution, SolveOutcome};
+use crate::Result;
+use std::time::{Duration, Instant};
+
+/// Statistics from an exhaustive run.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveStats {
+    /// Grid assignments evaluated.
+    pub assignments: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Options: a safety cap on the number of assignments.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOptions {
+    /// Refuse problems whose grid exceeds this many assignments.
+    pub max_assignments: u64,
+}
+
+impl Default for ExhaustiveOptions {
+    fn default() -> Self {
+        ExhaustiveOptions {
+            max_assignments: 50_000_000,
+        }
+    }
+}
+
+/// Enumerate the whole grid, returning the true optimum.
+pub fn solve(
+    problem: &ProblemInstance,
+    options: &ExhaustiveOptions,
+) -> Result<SolveOutcome<ExhaustiveStats>> {
+    let start = Instant::now();
+    let k = problem.bases.len();
+    let steps: Vec<u32> = (0..k).map(|i| problem.max_steps(i)).collect();
+    // Refuse combinatorially hopeless inputs up front.
+    let mut total: f64 = 1.0;
+    for &s in &steps {
+        total *= (s + 1) as f64;
+        if total > options.max_assignments as f64 {
+            return Err(CoreError::GaveUp(format!(
+                "grid exceeds the {}-assignment cap",
+                options.max_assignments
+            )));
+        }
+    }
+
+    let mut stats = ExhaustiveStats::default();
+    let mut assignment = vec![0u32; k];
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut probs: Vec<f64> = Vec::new();
+    loop {
+        stats.assignments += 1;
+        let levels: Vec<f64> = (0..k)
+            .map(|i| problem.level_at(i, assignment[i]))
+            .collect();
+        let mut satisfied = 0;
+        for r in &problem.results {
+            probs.clear();
+            probs.extend(r.bases.iter().map(|&b| levels[b]));
+            if r.conf.eval(&probs) > problem.beta {
+                satisfied += 1;
+            }
+        }
+        if satisfied >= problem.required {
+            let cost: f64 = (0..k).map(|i| problem.cost_at(i, assignment[i])).sum();
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, levels));
+            }
+        }
+        // Odometer.
+        let mut d = 0;
+        loop {
+            if d == k {
+                stats.elapsed = start.elapsed();
+                let Some((cost, levels)) = best else {
+                    return Err(CoreError::Infeasible {
+                        achievable: 0,
+                        required: problem.required,
+                    });
+                };
+                let satisfied: Vec<usize> = problem
+                    .results
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        let probs: Vec<f64> =
+                            r.bases.iter().map(|&b| levels[b]).collect();
+                        r.conf.eval(&probs) > problem.beta
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                return Ok(SolveOutcome {
+                    solution: Solution {
+                        levels,
+                        cost,
+                        satisfied,
+                    },
+                    stats,
+                });
+            }
+            if assignment[d] < steps[d] {
+                assignment[d] += 1;
+                break;
+            }
+            assignment[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{self, HeuristicOptions};
+    use crate::problem::ProblemBuilder;
+    use pcqe_cost::CostFn;
+    use pcqe_lineage::Lineage;
+
+    fn tiny() -> ProblemInstance {
+        let mut b = ProblemBuilder::new(0.5, 0.25);
+        b.base(0, 0.0, CostFn::linear(10.0).unwrap());
+        b.base(1, 0.0, CostFn::linear(3.0).unwrap());
+        b.base(2, 0.0, CostFn::linear(7.0).unwrap());
+        b.result_from_lineage(&Lineage::or(vec![Lineage::var(0), Lineage::var(1)]))
+            .unwrap();
+        b.result_from_lineage(&Lineage::and(vec![Lineage::var(1), Lineage::var(2)]))
+            .unwrap();
+        b.require(1).build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        let p = tiny();
+        let e = solve(&p, &ExhaustiveOptions::default()).unwrap();
+        e.solution.validate(&p).unwrap();
+        let h = heuristic::solve(&p, &HeuristicOptions::all()).unwrap();
+        assert!((e.solution.cost - h.solution.cost).abs() < 1e-9);
+        // Cheapest fix: raise t1 to 0.75 (> β via the OR), cost 3·0.75.
+        assert!((e.solution.cost - 2.25).abs() < 1e-9);
+        assert_eq!(e.stats.assignments, 125, "5^3 grid fully enumerated");
+    }
+
+    #[test]
+    fn grid_cap_is_enforced() {
+        let p = tiny();
+        assert!(matches!(
+            solve(&p, &ExhaustiveOptions { max_assignments: 10 }),
+            Err(CoreError::GaveUp(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_reports() {
+        let mut b = ProblemBuilder::new(0.9, 0.25);
+        b.base_capped(0, 0.0, 0.5, CostFn::linear(1.0).unwrap());
+        b.result_from_lineage(&Lineage::var(0)).unwrap();
+        let p = b.require(1).build().unwrap();
+        assert!(matches!(
+            solve(&p, &ExhaustiveOptions::default()),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+}

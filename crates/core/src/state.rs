@@ -1,0 +1,344 @@
+//! Incremental evaluation state shared by the solvers.
+
+use crate::problem::ProblemInstance;
+use crate::solution::Solution;
+
+/// Mutable solver state: per-base grid positions, per-result confidences,
+/// and the running satisfied-count and cost — all maintained incrementally
+/// so one base-level change only re-evaluates the results it touches.
+#[derive(Debug, Clone)]
+pub struct EvalState<'p> {
+    problem: &'p ProblemInstance,
+    /// Grid steps above the initial confidence, per base.
+    steps: Vec<u32>,
+    /// Cached confidence level per base.
+    levels: Vec<f64>,
+    /// Cached cost contribution per base.
+    costs: Vec<f64>,
+    /// Cached confidence per result.
+    confidences: Vec<f64>,
+    satisfied: usize,
+    total_cost: f64,
+    /// Scratch buffer for confidence-function arguments.
+    scratch: Vec<f64>,
+    /// Count of confidence-function evaluations (for statistics).
+    pub evals: u64,
+}
+
+impl<'p> EvalState<'p> {
+    /// Fresh state: every base at its initial confidence.
+    pub fn new(problem: &'p ProblemInstance) -> EvalState<'p> {
+        let levels: Vec<f64> = problem.bases.iter().map(|b| b.initial).collect();
+        let mut state = EvalState {
+            problem,
+            steps: vec![0; problem.bases.len()],
+            levels,
+            costs: vec![0.0; problem.bases.len()],
+            confidences: vec![0.0; problem.results.len()],
+            satisfied: 0,
+            total_cost: 0.0,
+            scratch: Vec::new(),
+            evals: 0,
+        };
+        for ri in 0..problem.results.len() {
+            let c = state.eval_result(ri);
+            state.confidences[ri] = c;
+            if c > problem.beta {
+                state.satisfied += 1;
+            }
+        }
+        state
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &'p ProblemInstance {
+        self.problem
+    }
+
+    /// Current confidence level of base `i`.
+    pub fn level(&self, i: usize) -> f64 {
+        self.levels[i]
+    }
+
+    /// Current grid steps of base `i`.
+    pub fn steps_of(&self, i: usize) -> u32 {
+        self.steps[i]
+    }
+
+    /// Current confidence of result `ri`.
+    pub fn confidence(&self, ri: usize) -> f64 {
+        self.confidences[ri]
+    }
+
+    /// Is result `ri` currently satisfied (confidence strictly above β)?
+    pub fn is_satisfied(&self, ri: usize) -> bool {
+        self.confidences[ri] > self.problem.beta
+    }
+
+    /// Number of satisfied results.
+    pub fn satisfied_count(&self) -> usize {
+        self.satisfied
+    }
+
+    /// Does the current state meet the problem's quota?
+    pub fn meets_quota(&self) -> bool {
+        self.satisfied >= self.problem.required
+    }
+
+    /// Total increment cost of the current state.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    fn eval_result(&mut self, ri: usize) -> f64 {
+        let r = &self.problem.results[ri];
+        self.scratch.clear();
+        self.scratch.extend(r.bases.iter().map(|&b| self.levels[b]));
+        self.evals += 1;
+        r.conf.eval(&self.scratch)
+    }
+
+    /// Set base `i` to `steps` grid steps, updating affected results,
+    /// satisfied count, and cost. Returns the change in satisfied count.
+    pub fn set_steps(&mut self, i: usize, steps: u32) -> i64 {
+        let steps = steps.min(self.problem.max_steps(i));
+        if steps == self.steps[i] {
+            return 0;
+        }
+        self.steps[i] = steps;
+        self.levels[i] = self.problem.level_at(i, steps);
+        let new_cost = self.problem.cost_at(i, steps);
+        self.total_cost += new_cost - self.costs[i];
+        self.costs[i] = new_cost;
+        let mut delta = 0i64;
+        let affected = self.problem.results_of_base(i).to_vec();
+        for ri in affected {
+            let was = self.confidences[ri] > self.problem.beta;
+            let c = self.eval_result(ri);
+            self.confidences[ri] = c;
+            let now = c > self.problem.beta;
+            match (was, now) {
+                (false, true) => {
+                    self.satisfied += 1;
+                    delta += 1;
+                }
+                (true, false) => {
+                    self.satisfied -= 1;
+                    delta -= 1;
+                }
+                _ => {}
+            }
+        }
+        delta
+    }
+
+    /// Raise base `i` by one δ step (no-op at max). Returns whether a step
+    /// was taken.
+    pub fn step_up(&mut self, i: usize) -> bool {
+        let s = self.steps[i];
+        if s >= self.problem.max_steps(i) {
+            return false;
+        }
+        self.set_steps(i, s + 1);
+        true
+    }
+
+    /// Lower base `i` by one δ step (no-op at initial). Returns whether a
+    /// step was taken.
+    pub fn step_down(&mut self, i: usize) -> bool {
+        let s = self.steps[i];
+        if s == 0 {
+            return false;
+        }
+        self.set_steps(i, s - 1);
+        true
+    }
+
+    /// Marginal cost of the next δ step on base `i` (∞ at max).
+    pub fn next_step_cost(&self, i: usize) -> f64 {
+        let s = self.steps[i];
+        if s >= self.problem.max_steps(i) {
+            return f64::INFINITY;
+        }
+        self.problem.cost_at(i, s + 1) - self.problem.cost_at(i, s)
+    }
+
+    /// Sum of confidence gains over `i`'s results if it took one δ step —
+    /// without committing the step. `useful_only` restricts the sum to
+    /// currently-unsatisfied results (the gain that actually moves the
+    /// quota).
+    pub fn probe_step_gain(&mut self, i: usize, useful_only: bool) -> f64 {
+        let s = self.steps[i];
+        if s >= self.problem.max_steps(i) {
+            return 0.0;
+        }
+        let old_level = self.levels[i];
+        self.levels[i] = self.problem.level_at(i, s + 1);
+        let mut gain = 0.0;
+        let beta = self.problem.beta;
+        for idx in 0..self.problem.results_of_base(i).len() {
+            let ri = self.problem.results_of_base(i)[idx];
+            if useful_only && self.confidences[ri] > beta {
+                continue;
+            }
+            let c = {
+                let r = &self.problem.results[ri];
+                self.scratch.clear();
+                self.scratch.extend(r.bases.iter().map(|&b| self.levels[b]));
+                self.evals += 1;
+                r.conf.eval(&self.scratch)
+            };
+            gain += (c - self.confidences[ri]).max(0.0);
+        }
+        self.levels[i] = old_level;
+        gain
+    }
+
+    /// Current confidences of the given results, in order.
+    pub fn confidences_snapshot(&self, results: &[usize]) -> Vec<f64> {
+        results.iter().map(|&ri| self.confidences[ri]).collect()
+    }
+
+    /// Snapshot the current state as a [`Solution`].
+    pub fn to_solution(&self) -> Solution {
+        let satisfied = (0..self.problem.results.len())
+            .filter(|&ri| self.confidences[ri] > self.problem.beta)
+            .collect();
+        Solution {
+            levels: self.levels.clone(),
+            cost: self.total_cost,
+            satisfied,
+        }
+    }
+
+    /// Count results that would be satisfied if every base in `rest` were
+    /// raised to its maximum while others keep their current level — the
+    /// optimistic bound used by heuristic H3.
+    pub fn optimistic_satisfied(&mut self, rest: &[usize]) -> usize {
+        let saved: Vec<(usize, f64)> = rest.iter().map(|&i| (i, self.levels[i])).collect();
+        for &i in rest {
+            self.levels[i] = self.problem.bases[i].max;
+        }
+        let mut count = 0;
+        for ri in 0..self.problem.results.len() {
+            if self.confidences[ri] > self.problem.beta {
+                count += 1;
+                continue;
+            }
+            let c = {
+                let r = &self.problem.results[ri];
+                self.scratch.clear();
+                self.scratch.extend(r.bases.iter().map(|&b| self.levels[b]));
+                self.evals += 1;
+                r.conf.eval(&self.scratch)
+            };
+            if c > self.problem.beta {
+                count += 1;
+            }
+        }
+        for (i, l) in saved {
+            self.levels[i] = l;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemBuilder;
+    use pcqe_cost::CostFn;
+    use pcqe_lineage::Lineage;
+
+    fn two_result_problem() -> ProblemInstance {
+        // r0 = t0 ∨ t1, r1 = t1 ∧ t2; β = 0.5, δ = 0.1.
+        let mut b = ProblemBuilder::new(0.5, 0.1);
+        b.base(0, 0.1, CostFn::linear(10.0).unwrap());
+        b.base(1, 0.1, CostFn::linear(20.0).unwrap());
+        b.base(2, 0.1, CostFn::linear(30.0).unwrap());
+        b.result_from_lineage(&Lineage::or(vec![Lineage::var(0), Lineage::var(1)]))
+            .unwrap();
+        b.result_from_lineage(&Lineage::and(vec![Lineage::var(1), Lineage::var(2)]))
+            .unwrap();
+        b.require(1).build().unwrap()
+    }
+
+    #[test]
+    fn initial_state_matches_direct_evaluation() {
+        let p = two_result_problem();
+        let s = EvalState::new(&p);
+        assert!((s.confidence(0) - (0.1 + 0.1 - 0.01)).abs() < 1e-12);
+        assert!((s.confidence(1) - 0.01).abs() < 1e-12);
+        assert_eq!(s.satisfied_count(), 0);
+        assert_eq!(s.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn steps_update_confidences_and_cost_incrementally() {
+        let p = two_result_problem();
+        let mut s = EvalState::new(&p);
+        s.set_steps(1, 5); // t1: 0.1 → 0.6
+        assert!((s.level(1) - 0.6).abs() < 1e-12);
+        assert!((s.total_cost() - 20.0 * 0.5).abs() < 1e-9);
+        // r0 = 0.1 + 0.6 - 0.06 = 0.64 > 0.5 → satisfied.
+        assert!(s.is_satisfied(0));
+        assert!(!s.is_satisfied(1));
+        assert_eq!(s.satisfied_count(), 1);
+        assert!(s.meets_quota());
+        // Lower back down and everything reverts.
+        s.set_steps(1, 0);
+        assert_eq!(s.satisfied_count(), 0);
+        assert!(s.total_cost().abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_up_down_respect_bounds() {
+        let p = two_result_problem();
+        let mut s = EvalState::new(&p);
+        assert!(!s.step_down(0));
+        for _ in 0..20 {
+            s.step_up(0);
+        }
+        assert!((s.level(0) - 1.0).abs() < 1e-12);
+        assert!(!s.step_up(0));
+        assert_eq!(s.next_step_cost(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn probe_gain_does_not_mutate() {
+        let p = two_result_problem();
+        let mut s = EvalState::new(&p);
+        let before = s.to_solution();
+        let gain = s.probe_step_gain(1, false);
+        // t1 appears in both results; one step raises r0 by (1-0.1)·0.1 and
+        // r1 by 0.1·0.1.
+        assert!((gain - (0.9 * 0.1 + 0.1 * 0.1)).abs() < 1e-9);
+        assert_eq!(s.to_solution(), before);
+        // Useful-only gain skips satisfied results.
+        s.set_steps(0, 9); // r0 satisfied via t0
+        let useful = s.probe_step_gain(1, true);
+        assert!((useful - 0.1 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimistic_satisfied_bounds_from_above() {
+        let p = two_result_problem();
+        let mut s = EvalState::new(&p);
+        // With every base at max, both results hit 1.0 > β.
+        assert_eq!(s.optimistic_satisfied(&[0, 1, 2]), 2);
+        // With only t0 at max, r1 stays at 0.01.
+        assert_eq!(s.optimistic_satisfied(&[0]), 1);
+        // Probe must not leave residue.
+        assert_eq!(s.satisfied_count(), 0);
+        assert!((s.level(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_solution_validates() {
+        let p = two_result_problem();
+        let mut s = EvalState::new(&p);
+        s.set_steps(0, 5);
+        let sol = s.to_solution();
+        sol.validate(&p).unwrap();
+    }
+}

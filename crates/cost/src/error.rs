@@ -1,0 +1,53 @@
+//! Error type for cost-model construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised when constructing or evaluating a cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// A model parameter was invalid (non-finite, non-positive, …).
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A piecewise model's breakpoints were not strictly increasing in `p`
+    /// or decreasing in `g(p)`.
+    NonMonotonic,
+    /// A confidence argument was outside `[0, 1]` or not finite.
+    InvalidConfidence(f64),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::InvalidParameter { name, value } => {
+                write!(f, "invalid cost parameter `{name}` = {value}")
+            }
+            CostError::NonMonotonic => {
+                f.write_str("piecewise cost model must be monotone non-decreasing")
+            }
+            CostError::InvalidConfidence(c) => {
+                write!(f, "confidence {c} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CostError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("rate"));
+        assert!(CostError::NonMonotonic.to_string().contains("monotone"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Engine configuration.
+
+use pcqe_core::dnc::DncOptions;
+use pcqe_core::greedy::GreedyOptions;
+use pcqe_core::heuristic::HeuristicOptions;
+use pcqe_cost::CostFn;
+use pcqe_lineage::Evaluator;
+
+/// Which strategy-finding algorithm the engine should use.
+#[derive(Debug, Clone, Default)]
+pub enum SolverChoice {
+    /// Pick automatically by problem size: exact branch-and-bound for tiny
+    /// problems, greedy for small ones, divide-and-conquer at scale —
+    /// mirroring the crossovers of Figure 11(c).
+    #[default]
+    Auto,
+    /// Always use the heuristic branch-and-bound.
+    Heuristic(HeuristicOptions),
+    /// Always use the two-phase greedy.
+    Greedy(GreedyOptions),
+    /// Always use divide-and-conquer.
+    Dnc(DncOptions),
+}
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Confidence-increment granularity δ (Table 4 default: 0.1).
+    pub delta: f64,
+    /// Confidence evaluator used to score query results.
+    pub evaluator: Evaluator,
+    /// Cost function assumed for base tuples without an explicit one.
+    pub default_cost: CostFn,
+    /// Strategy-finding algorithm.
+    pub solver: SolverChoice,
+    /// Shannon budget when compiling lineage into the strategy problem.
+    pub lineage_budget: usize,
+    /// Run the logical optimiser (predicate pushdown, product→join
+    /// conversion) on every query plan.
+    pub optimize_plans: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            delta: 0.1,
+            evaluator: Evaluator::default(),
+            default_cost: CostFn::linear(100.0).expect("constant is valid"),
+            solver: SolverChoice::Auto,
+            lineage_budget: 4096,
+            optimize_plans: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_4() {
+        let c = EngineConfig::default();
+        assert_eq!(c.delta, 0.1);
+        assert!(matches!(c.solver, SolverChoice::Auto));
+    }
+}

@@ -1,0 +1,915 @@
+//! The `Database` façade: storage + policies + query pipeline.
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::improve::{self, ProposeOutcome};
+use crate::response::{NoProposal, QueryResponse, ReleasedTuple};
+use crate::Result;
+use pcqe_algebra::execute;
+use pcqe_core::estimator::RuntimeEstimator;
+use pcqe_cost::CostFn;
+use pcqe_policy::{evaluate_results, ConfidencePolicy, PolicyStore, Purpose, Role};
+use pcqe_provenance::{Assigner, ProvenanceRecord};
+use pcqe_sql::parse_and_plan;
+use pcqe_storage::{Catalog, Schema, TupleId, Value};
+use std::collections::HashMap;
+
+/// A user: a name and the role under which policies are selected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct User {
+    /// Display name.
+    pub name: String,
+    /// RBAC role.
+    pub role: Role,
+}
+
+impl User {
+    /// Create a user with a role.
+    pub fn new(name: impl Into<String>, role: impl Into<Role>) -> User {
+        User {
+            name: name.into(),
+            role: role.into(),
+        }
+    }
+}
+
+/// The user's query input ⟨Q, pu, perc⟩ (Section 3.2).
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The SQL text `Q`.
+    pub sql: String,
+    /// The stated purpose `pu`.
+    pub purpose: Purpose,
+    /// The fraction of results the user expects to receive (`perc`, the
+    /// paper's θ). Defaults to 1.0.
+    pub min_fraction: f64,
+}
+
+impl QueryRequest {
+    /// A request expecting every result to be released.
+    pub fn new(sql: impl Into<String>, purpose: impl Into<Purpose>) -> QueryRequest {
+        QueryRequest {
+            sql: sql.into(),
+            purpose: purpose.into(),
+            min_fraction: 1.0,
+        }
+    }
+
+    /// Set the expected released fraction θ.
+    pub fn expecting(mut self, fraction: f64) -> QueryRequest {
+        self.min_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// The outcome of a DDL/DML statement executed via [`Database::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutcome {
+    /// A table was created.
+    TableCreated,
+    /// Rows were inserted, with their new tuple ids.
+    Inserted(Vec<TupleId>),
+}
+
+/// A PCQE database: confidence-carrying tables, confidence policies, cost
+/// functions, and the query/improve/apply loop of Figure 1.
+#[derive(Debug)]
+pub struct Database {
+    pub(crate) catalog: Catalog,
+    pub(crate) policies: PolicyStore,
+    pub(crate) costs: HashMap<TupleId, CostFn>,
+    config: EngineConfig,
+    estimator: RuntimeEstimator,
+    assigner: Assigner,
+    audit: Vec<crate::audit::AuditEntry>,
+    version: u64,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(config: EngineConfig) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            policies: PolicyStore::new(),
+            costs: HashMap::new(),
+            config,
+            estimator: RuntimeEstimator::new(),
+            assigner: Assigner::default(),
+            audit: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        self.catalog.create_table(name, schema)?;
+        Ok(())
+    }
+
+    /// Insert a row with an explicit confidence (Figure 1's confidence-
+    /// assignment component, when the caller already knows the value).
+    pub fn insert(
+        &mut self,
+        table: &str,
+        values: Vec<Value>,
+        confidence: f64,
+    ) -> Result<TupleId> {
+        let id = self.catalog.insert(table, values, confidence)?;
+        self.version += 1;
+        Ok(id)
+    }
+
+    /// Insert a row whose confidence is assessed from provenance records.
+    pub fn insert_assessed(
+        &mut self,
+        table: &str,
+        values: Vec<Value>,
+        provenance: &[ProvenanceRecord],
+    ) -> Result<TupleId> {
+        let confidence = self.assigner.assess(provenance)?;
+        self.insert(table, values, confidence)
+    }
+
+    /// Attach a cost function to a base tuple (tuples without one use
+    /// [`EngineConfig::default_cost`]).
+    pub fn set_cost(&mut self, id: TupleId, cost: CostFn) -> Result<()> {
+        if self.catalog.find_tuple(id).is_none() {
+            return Err(pcqe_storage::StorageError::UnknownTuple(id.0).into());
+        }
+        self.costs.insert(id, cost);
+        Ok(())
+    }
+
+    /// Add a confidence policy.
+    pub fn add_policy(&mut self, policy: ConfidencePolicy) {
+        self.policies.add(policy);
+    }
+
+    /// Declare that `senior` inherits policies from `junior`.
+    pub fn add_role_inheritance(&mut self, senior: &Role, junior: &Role) -> Result<()> {
+        self.policies.hierarchy_mut().add_inheritance(senior, junior)?;
+        Ok(())
+    }
+
+    /// Declare that queries for `specialised` fall under policies written
+    /// for `general` (purpose specialisation).
+    pub fn add_purpose_specialisation(
+        &mut self,
+        specialised: &Purpose,
+        general: &Purpose,
+    ) -> Result<()> {
+        self.policies
+            .purposes_mut()
+            .add_specialisation(specialised, general)?;
+        Ok(())
+    }
+
+    /// The underlying catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current confidence of a base tuple.
+    pub fn confidence(&self, id: TupleId) -> Option<f64> {
+        self.catalog.confidence(id)
+    }
+
+    /// The runtime estimator fed by past strategy-finding runs
+    /// (Section 6's advance-time statistics).
+    pub fn estimator(&self) -> &RuntimeEstimator {
+        &self.estimator
+    }
+
+    /// The append-only audit trail of policy decisions and applied
+    /// improvements.
+    pub fn audit_log(&self) -> &[crate::audit::AuditEntry] {
+        &self.audit
+    }
+
+    /// Execute a DDL/DML statement (`CREATE TABLE` or
+    /// `INSERT … [WITH CONFIDENCE c]`). Queries must go through
+    /// [`Database::query`] since they need a user and purpose; passing one
+    /// here returns an error.
+    pub fn execute(&mut self, sql: &str) -> Result<StatementOutcome> {
+        match pcqe_sql::parse_statement(sql)? {
+            pcqe_sql::Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|c| pcqe_storage::Column::new(c.name, c.data_type))
+                    .collect();
+                self.create_table(name, Schema::new(cols)?)?;
+                Ok(StatementOutcome::TableCreated)
+            }
+            pcqe_sql::Statement::Insert {
+                table,
+                rows,
+                confidence,
+            } => {
+                let confidence = confidence.unwrap_or(1.0);
+                let mut ids = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    let values = pcqe_sql::literal_row(row)?;
+                    ids.push(self.insert(&table, values, confidence)?);
+                }
+                Ok(StatementOutcome::Inserted(ids))
+            }
+            pcqe_sql::Statement::Query(_) => Err(EngineError::Sql(pcqe_sql::SqlError::Parse {
+                pos: 0,
+                message: "queries need a user and purpose; use Database::query".into(),
+            })),
+        }
+    }
+
+    /// Render the (optimised, when enabled) plan for a query — an
+    /// `EXPLAIN` facility for debugging and teaching.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(self.plan_sql(sql)?.to_string())
+    }
+
+    /// Parse and plan a SQL query, running the optimiser when enabled.
+    fn plan_sql(&self, sql: &str) -> Result<pcqe_algebra::Plan> {
+        let plan = parse_and_plan(sql, &self.catalog)?;
+        if self.config.optimize_plans {
+            Ok(pcqe_algebra::optimize(&plan, &self.catalog)?)
+        } else {
+            Ok(plan)
+        }
+    }
+
+    /// Run the full pipeline: evaluate, score, policy-check, and — when
+    /// fewer than `perc` of the results survive — find the cheapest
+    /// confidence-increment strategy and attach it as a proposal.
+    pub fn query(&mut self, user: &User, request: &QueryRequest) -> Result<QueryResponse> {
+        let plan = self.plan_sql(&request.sql)?;
+        let result_set = execute(&plan, &self.catalog)?;
+        let probs =
+            |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
+        let scored = result_set.score(&probs, &self.config.evaluator)?;
+
+        let policy = self
+            .policies
+            .select(&user.role, &request.purpose)?
+            .clone();
+        let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
+        let decision = evaluate_results(&policy, &confidences);
+
+        let released: Vec<ReleasedTuple> = decision
+            .released
+            .iter()
+            .map(|&i| ReleasedTuple {
+                tuple: scored[i].tuple.clone(),
+                lineage: scored[i].lineage.clone(),
+                confidence: scored[i].confidence,
+            })
+            .collect();
+        let n = scored.len();
+        let requested = (request.min_fraction * n as f64).ceil() as usize;
+
+        let mut response = QueryResponse {
+            schema: result_set.schema().clone(),
+            released,
+            withheld: decision.withheld.len(),
+            threshold: policy.threshold,
+            proposal: None,
+            no_proposal: None,
+        };
+
+        if response.released.len() >= requested {
+            response.no_proposal = Some(NoProposal::NotNeeded);
+            self.audit.push(crate::audit::AuditEntry::Query {
+                user: user.name.clone(),
+                role: user.role.name().to_owned(),
+                purpose: request.purpose.name().to_owned(),
+                threshold: response.threshold,
+                released: response.released.len(),
+                withheld: response.withheld,
+                proposed: false,
+            });
+            return Ok(response);
+        }
+
+        // Strategy finding (Figure 1, steps 5–6).
+        let withheld: Vec<&pcqe_algebra::ScoredTuple> =
+            decision.withheld.iter().map(|&i| &scored[i]).collect();
+        let needed = requested - response.released.len();
+        let ctx = improve::ProposeContext {
+            catalog: &self.catalog,
+            costs: &self.costs,
+            config: &self.config,
+            beta: policy.threshold,
+            needed,
+            already_released: response.released.len(),
+            requested,
+            version: self.version,
+        };
+        let (outcome, stats) = improve::propose(&ctx, &withheld)?;
+        if let Some(s) = stats {
+            self.estimator.record(s.problem_size, s.elapsed);
+        }
+        match outcome {
+            ProposeOutcome::Proposal(p) => response.proposal = Some(p),
+            ProposeOutcome::No(reason) => response.no_proposal = Some(reason),
+        }
+        self.audit.push(crate::audit::AuditEntry::Query {
+            user: user.name.clone(),
+            role: user.role.name().to_owned(),
+            purpose: request.purpose.name().to_owned(),
+            threshold: response.threshold,
+            released: response.released.len(),
+            withheld: response.withheld,
+            proposed: response.proposal.is_some(),
+        });
+        Ok(response)
+    }
+
+    /// Run several queries as one batch (the multiple-query extension at
+    /// the end of the paper's Section 4): each query is evaluated and
+    /// policy-checked individually, and a *single* combined improvement
+    /// strategy is computed over the union of their base tuples so that
+    /// every query's requested fraction is met at once — shared tuples
+    /// are paid for once.
+    pub fn query_batch(
+        &mut self,
+        user: &User,
+        requests: &[QueryRequest],
+    ) -> Result<crate::response::BatchResponse> {
+        use pcqe_core::greedy::GreedyOptions;
+        use pcqe_core::multi::{solve_greedy, MultiQueryProblem};
+
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut instances = Vec::new();
+        let mut non_monotone = false;
+        for request in requests {
+            // Evaluate without per-query proposals (done jointly below).
+            let plan = self.plan_sql(&request.sql)?;
+            let result_set = execute(&plan, &self.catalog)?;
+            let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
+            let scored = result_set.score(&probs, &self.config.evaluator)?;
+            let policy = self.policies.select(&user.role, &request.purpose)?.clone();
+            let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
+            let decision = evaluate_results(&policy, &confidences);
+            let released: Vec<ReleasedTuple> = decision
+                .released
+                .iter()
+                .map(|&i| ReleasedTuple {
+                    tuple: scored[i].tuple.clone(),
+                    lineage: scored[i].lineage.clone(),
+                    confidence: scored[i].confidence,
+                })
+                .collect();
+            let requested = (request.min_fraction * scored.len() as f64).ceil() as usize;
+            let shortfall = requested.saturating_sub(released.len());
+            if shortfall > 0 {
+                let withheld: Vec<&pcqe_algebra::ScoredTuple> =
+                    decision.withheld.iter().map(|&i| &scored[i]).collect();
+                match improve::build_instance(
+                    &self.catalog,
+                    &self.costs,
+                    &self.config,
+                    &withheld,
+                    policy.threshold,
+                    shortfall,
+                )? {
+                    Some(instance) => instances.push(instance),
+                    None => non_monotone = true,
+                }
+            }
+            responses.push(QueryResponse {
+                schema: result_set.schema().clone(),
+                released,
+                withheld: decision.withheld.len(),
+                threshold: policy.threshold,
+                proposal: None,
+                no_proposal: None,
+            });
+        }
+
+        let mut batch = crate::response::BatchResponse {
+            responses,
+            proposal: None,
+            no_proposal: None,
+        };
+        if non_monotone {
+            batch.no_proposal = Some(NoProposal::NonMonotone);
+            return Ok(batch);
+        }
+        if instances.is_empty() {
+            batch.no_proposal = Some(NoProposal::NotNeeded);
+            return Ok(batch);
+        }
+        let multi = MultiQueryProblem::merge(&instances)?;
+        match solve_greedy(&multi, &GreedyOptions::default()) {
+            Ok(out) => {
+                let mut increments: Vec<crate::response::ProposedIncrement> = out
+                    .solution
+                    .levels
+                    .iter()
+                    .zip(&multi.bases)
+                    .filter(|(l, b)| **l > b.initial + 1e-12)
+                    .map(|(l, b)| crate::response::ProposedIncrement {
+                        tuple_id: TupleId(b.id),
+                        from: b.initial,
+                        to: *l,
+                        cost: b.cost.cost(b.initial, *l),
+                    })
+                    .collect();
+                increments.sort_by_key(|i| i.tuple_id);
+                let requested: usize = instances.iter().map(|i| i.required).sum();
+                batch.proposal = Some(crate::response::ImprovementProposal {
+                    cost: out.solution.cost,
+                    increments,
+                    projected_released: batch
+                        .responses
+                        .iter()
+                        .map(|r| r.released.len())
+                        .sum::<usize>()
+                        + out.solution.satisfied.len(),
+                    requested,
+                    version: self.version,
+                });
+            }
+            Err(pcqe_core::CoreError::Infeasible {
+                achievable,
+                required,
+            }) => {
+                batch.no_proposal = Some(NoProposal::Infeasible {
+                    achievable,
+                    requested: required,
+                });
+            }
+            Err(pcqe_core::CoreError::GaveUp(m)) => {
+                batch.no_proposal = Some(NoProposal::SolverGaveUp(m));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(batch)
+    }
+
+    /// Preview a proposal without applying it: re-evaluate the query with
+    /// the proposal's confidences substituted in, returning what the user
+    /// *would* see after accepting. Nothing in the database changes —
+    /// this is the "report the cost and the data to the manager" step of
+    /// Section 3.1, with the outcome made inspectable.
+    pub fn what_if(
+        &self,
+        user: &User,
+        request: &QueryRequest,
+        proposal: &crate::response::ImprovementProposal,
+    ) -> Result<QueryResponse> {
+        let plan = self.plan_sql(&request.sql)?;
+        let result_set = execute(&plan, &self.catalog)?;
+        let overrides: HashMap<TupleId, f64> = proposal
+            .increments
+            .iter()
+            .map(|i| (i.tuple_id, i.to))
+            .collect();
+        let probs = |v: pcqe_lineage::VarId| {
+            let id = TupleId(v.0);
+            overrides
+                .get(&id)
+                .copied()
+                .or_else(|| self.catalog.confidence(id))
+        };
+        let scored = result_set.score(&probs, &self.config.evaluator)?;
+        let policy = self.policies.select(&user.role, &request.purpose)?;
+        let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
+        let decision = evaluate_results(policy, &confidences);
+        Ok(QueryResponse {
+            schema: result_set.schema().clone(),
+            released: decision
+                .released
+                .iter()
+                .map(|&i| ReleasedTuple {
+                    tuple: scored[i].tuple.clone(),
+                    lineage: scored[i].lineage.clone(),
+                    confidence: scored[i].confidence,
+                })
+                .collect(),
+            withheld: decision.withheld.len(),
+            threshold: policy.threshold,
+            proposal: None,
+            no_proposal: Some(NoProposal::NotNeeded),
+        })
+    }
+
+    /// Accept a proposal: apply its increments to the database (Figure 1,
+    /// steps 8–9, the data-quality improvement component). Rejects
+    /// proposals computed against an older database version.
+    pub fn apply(&mut self, proposal: &crate::response::ImprovementProposal) -> Result<()> {
+        if proposal.version != self.version {
+            return Err(EngineError::StaleProposal);
+        }
+        for inc in &proposal.increments {
+            self.catalog.raise_confidence(inc.tuple_id, inc.to)?;
+        }
+        self.version += 1;
+        self.audit.push(crate::audit::AuditEntry::Improvement {
+            tuples: proposal.increments.len(),
+            cost: proposal.cost,
+        });
+        Ok(())
+    }
+
+    /// Convenience: query, and if a proposal comes back, accept it and
+    /// re-run the query (the full loop of Figure 1).
+    pub fn query_with_improvement(
+        &mut self,
+        user: &User,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse> {
+        let first = self.query(user, request)?;
+        match &first.proposal {
+            Some(p) => {
+                let p = p.clone();
+                self.apply(&p)?;
+                self.query(user, request)
+            }
+            None => Ok(first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcqe_storage::{Column, DataType};
+
+    /// The paper's running example, end to end.
+    fn paper_db() -> Database {
+        let mut db = Database::new(EngineConfig::default());
+        db.create_table(
+            "Proposal",
+            Schema::new(vec![
+                Column::new("company", DataType::Text),
+                Column::new("proposal", DataType::Text),
+                Column::new("funding", DataType::Real),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            "CompanyInfo",
+            Schema::new(vec![
+                Column::new("company", DataType::Text),
+                Column::new("income", DataType::Real),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        // Tuple 02 (p=0.3, +0.1 costs 100) and tuple 03 (p=0.4, +0.1
+        // costs 10), as in Section 3.1.
+        let t02 = db
+            .insert(
+                "Proposal",
+                vec![
+                    Value::text("SkyCam"),
+                    Value::text("drone v1"),
+                    Value::Real(800_000.0),
+                ],
+                0.3,
+            )
+            .unwrap();
+        let t03 = db
+            .insert(
+                "Proposal",
+                vec![
+                    Value::text("SkyCam"),
+                    Value::text("drone v2"),
+                    Value::Real(900_000.0),
+                ],
+                0.4,
+            )
+            .unwrap();
+        let t13 = db
+            .insert(
+                "CompanyInfo",
+                vec![Value::text("SkyCam"), Value::Real(500_000.0)],
+                0.1,
+            )
+            .unwrap();
+        db.set_cost(t02, CostFn::linear(1000.0).unwrap()).unwrap();
+        db.set_cost(t03, CostFn::linear(100.0).unwrap()).unwrap();
+        // Make raising t13 expensive so the optimal fix is t03, as in the
+        // paper's narrative.
+        db.set_cost(t13, CostFn::linear(10_000.0).unwrap()).unwrap();
+        db.add_policy(ConfidencePolicy::new("Secretary", "analysis", 0.05).unwrap());
+        db.add_policy(ConfidencePolicy::new("Manager", "investment", 0.06).unwrap());
+        db
+    }
+
+    const QUERY: &str = "SELECT DISTINCT CompanyInfo.company, income \
+        FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company \
+        WHERE funding < 1000000.0";
+
+    #[test]
+    fn secretary_sees_the_result() {
+        let mut db = paper_db();
+        let resp = db
+            .query(
+                &User::new("sue", "Secretary"),
+                &QueryRequest::new(QUERY, "analysis"),
+            )
+            .unwrap();
+        assert_eq!(resp.released.len(), 1);
+        assert!((resp.released[0].confidence - 0.058).abs() < 1e-12);
+        assert!(matches!(resp.no_proposal, Some(NoProposal::NotNeeded)));
+    }
+
+    #[test]
+    fn manager_gets_a_proposal_choosing_the_cheap_tuple() {
+        let mut db = paper_db();
+        let resp = db
+            .query(
+                &User::new("mark", "Manager"),
+                &QueryRequest::new(QUERY, "investment"),
+            )
+            .unwrap();
+        assert!(resp.released.is_empty(), "0.058 < β = 0.06");
+        assert_eq!(resp.withheld, 1);
+        let proposal = resp.proposal.expect("a strategy exists");
+        // Optimal fix: raise t03 from 0.4 to 0.5, cost 10 (Section 3.1).
+        assert!((proposal.cost - 10.0).abs() < 1e-9, "cost {}", proposal.cost);
+        assert_eq!(proposal.increments.len(), 1);
+        let inc = &proposal.increments[0];
+        assert!((inc.from - 0.4).abs() < 1e-12);
+        assert!((inc.to - 0.5).abs() < 1e-12);
+        assert_eq!(proposal.projected_released, 1);
+    }
+
+    #[test]
+    fn applying_the_proposal_releases_the_result() {
+        let mut db = paper_db();
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let resp = db.query_with_improvement(&user, &request).unwrap();
+        assert_eq!(resp.released.len(), 1);
+        // p38 after the fix: (0.3 + 0.5 − 0.15) · 0.1 = 0.065.
+        assert!((resp.released[0].confidence - 0.065).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_proposals_are_rejected() {
+        let mut db = paper_db();
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let resp = db.query(&user, &request).unwrap();
+        let proposal = resp.proposal.unwrap();
+        // Any write invalidates the proposal.
+        db.insert(
+            "CompanyInfo",
+            vec![Value::text("Other"), Value::Real(1.0)],
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(db.apply(&proposal), Err(EngineError::StaleProposal));
+    }
+
+    #[test]
+    fn partial_fraction_requests_no_proposal_when_met() {
+        let mut db = paper_db();
+        // Add a second, certain result so half the results already pass.
+        db.insert(
+            "Proposal",
+            vec![
+                Value::text("SureThing"),
+                Value::text("app"),
+                Value::Real(100.0),
+            ],
+            0.9,
+        )
+        .unwrap();
+        db.insert(
+            "CompanyInfo",
+            vec![Value::text("SureThing"), Value::Real(5.0)],
+            0.9,
+        )
+        .unwrap();
+        let resp = db
+            .query(
+                &User::new("mark", "Manager"),
+                &QueryRequest::new(QUERY, "investment").expecting(0.5),
+            )
+            .unwrap();
+        assert_eq!(resp.released.len(), 1, "only the certain pair passes");
+        assert!(matches!(resp.no_proposal, Some(NoProposal::NotNeeded)));
+    }
+
+    #[test]
+    fn infeasible_improvement_reported() {
+        let mut db = Database::new(EngineConfig::default());
+        db.create_table(
+            "t",
+            Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+        )
+        .unwrap();
+        db.insert("t", vec![Value::Int(1)], 0.2).unwrap();
+        // β = 1.0 can never be strictly exceeded.
+        db.add_policy(ConfidencePolicy::new("r", "p", 1.0).unwrap());
+        let resp = db
+            .query(&User::new("u", "r"), &QueryRequest::new("SELECT x FROM t", "p"))
+            .unwrap();
+        assert!(resp.released.is_empty());
+        assert!(matches!(
+            resp.no_proposal,
+            Some(NoProposal::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn negated_lineage_is_not_improvable() {
+        let mut db = Database::new(EngineConfig::default());
+        db.create_table(
+            "a",
+            Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            "b",
+            Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+        )
+        .unwrap();
+        db.insert("a", vec![Value::Int(1)], 0.4).unwrap();
+        db.insert("b", vec![Value::Int(1)], 0.4).unwrap();
+        db.add_policy(ConfidencePolicy::new("r", "p", 0.5).unwrap());
+        let resp = db
+            .query(
+                &User::new("u", "r"),
+                &QueryRequest::new("SELECT x FROM a EXCEPT SELECT x FROM b", "p"),
+            )
+            .unwrap();
+        assert!(resp.released.is_empty());
+        assert!(matches!(resp.no_proposal, Some(NoProposal::NonMonotone)));
+    }
+
+    #[test]
+    fn missing_policy_is_an_error() {
+        let mut db = paper_db();
+        assert!(matches!(
+            db.query(
+                &User::new("x", "Intern"),
+                &QueryRequest::new(QUERY, "analysis")
+            ),
+            Err(EngineError::Policy(_))
+        ));
+    }
+
+    #[test]
+    fn estimator_collects_samples_from_proposals() {
+        let mut db = paper_db();
+        assert!(db.estimator().is_empty());
+        let _ = db
+            .query(
+                &User::new("mark", "Manager"),
+                &QueryRequest::new(QUERY, "investment"),
+            )
+            .unwrap();
+        assert_eq!(db.estimator().len(), 1);
+    }
+
+    #[test]
+    fn audit_log_records_queries_and_improvements() {
+        use crate::audit::AuditEntry;
+        let mut db = paper_db();
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let resp = db.query(&user, &request).unwrap();
+        db.apply(&resp.proposal.unwrap()).unwrap();
+        let _ = db.query(&user, &request).unwrap();
+        let log = db.audit_log();
+        assert_eq!(log.len(), 3);
+        assert!(matches!(
+            &log[0],
+            AuditEntry::Query { user, released: 0, withheld: 1, proposed: true, .. }
+                if user == "mark"
+        ));
+        assert!(matches!(
+            &log[1],
+            AuditEntry::Improvement { tuples: 1, cost } if (cost - 10.0).abs() < 1e-9
+        ));
+        assert!(matches!(
+            &log[2],
+            AuditEntry::Query { released: 1, proposed: false, .. }
+        ));
+    }
+
+    #[test]
+    fn what_if_previews_without_mutating() {
+        let mut db = paper_db();
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let resp = db.query(&user, &request).unwrap();
+        let proposal = resp.proposal.unwrap();
+        let preview = db.what_if(&user, &request, &proposal).unwrap();
+        assert_eq!(preview.released.len(), 1);
+        assert!((preview.released[0].confidence - 0.065).abs() < 1e-12);
+        // The real database is untouched: the manager still sees nothing.
+        let again = db.query(&user, &request).unwrap();
+        assert!(again.released.is_empty());
+        // And the original proposal is still applicable afterwards.
+        db.apply(&proposal).unwrap();
+    }
+
+    #[test]
+    fn batch_queries_share_one_strategy() {
+        // Two tables whose rows derive from... actually two queries over
+        // the same table: improving the shared base tuples once must
+        // satisfy both queries.
+        let mut db = Database::new(EngineConfig::default());
+        db.create_table(
+            "m",
+            Schema::new(vec![
+                Column::new("x", DataType::Int),
+                Column::new("grp", DataType::Text),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let shared = db
+            .insert("m", vec![Value::Int(1), Value::text("both")], 0.3)
+            .unwrap();
+        db.insert("m", vec![Value::Int(2), Value::text("a")], 0.3)
+            .unwrap();
+        db.insert("m", vec![Value::Int(3), Value::text("b")], 0.9)
+            .unwrap();
+        db.set_cost(shared, CostFn::linear(10.0).unwrap()).unwrap();
+        db.add_policy(ConfidencePolicy::new("r", "p", 0.5).unwrap());
+        let user = User::new("u", "r");
+        let q1 = QueryRequest::new("SELECT x FROM m WHERE grp = 'both' OR grp = 'a'", "p")
+            .expecting(0.5);
+        let q2 = QueryRequest::new("SELECT x FROM m WHERE grp = 'both' OR grp = 'b'", "p");
+        let batch = db.query_batch(&user, &[q1.clone(), q2.clone()]).unwrap();
+        assert_eq!(batch.responses.len(), 2);
+        let proposal = batch.proposal.clone().expect("a combined strategy exists");
+        // The shared cheap tuple is raised once and serves both queries.
+        assert!(proposal
+            .increments
+            .iter()
+            .any(|i| i.tuple_id == shared));
+        db.apply(&proposal).unwrap();
+        let r1 = db.query(&user, &q1).unwrap();
+        let r2 = db.query(&user, &q2).unwrap();
+        assert!(!r1.released.is_empty());
+        assert_eq!(r2.released.len(), 2);
+    }
+
+    #[test]
+    fn batch_with_nothing_to_do_reports_not_needed() {
+        let mut db = paper_db();
+        let user = User::new("sue", "Secretary");
+        let batch = db
+            .query_batch(&user, &[QueryRequest::new(QUERY, "analysis")])
+            .unwrap();
+        assert!(batch.proposal.is_none());
+        assert!(matches!(batch.no_proposal, Some(NoProposal::NotNeeded)));
+    }
+
+    #[test]
+    fn ddl_and_dml_statements() {
+        let mut db = Database::new(EngineConfig::default());
+        assert_eq!(
+            db.execute("CREATE TABLE t (x INT, label TEXT)").unwrap(),
+            StatementOutcome::TableCreated
+        );
+        let out = db
+            .execute("INSERT INTO t VALUES (1, 'a'), (2, 'b') WITH CONFIDENCE 0.7")
+            .unwrap();
+        let StatementOutcome::Inserted(ids) = out else {
+            panic!("expected inserted rows");
+        };
+        assert_eq!(ids.len(), 2);
+        assert_eq!(db.confidence(ids[0]), Some(0.7));
+        // Default confidence is 1.0.
+        let StatementOutcome::Inserted(ids) =
+            db.execute("INSERT INTO t VALUES (3, 'c')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(db.confidence(ids[0]), Some(1.0));
+        // Queries are rejected through execute.
+        assert!(db.execute("SELECT * FROM t").is_err());
+        // Type errors surface.
+        assert!(db.execute("INSERT INTO t VALUES ('wrong', 1)").is_err());
+    }
+
+    #[test]
+    fn provenance_backed_inserts() {
+        use pcqe_provenance::{CollectionMethod, ProvenanceRecord, Source};
+        let mut db = Database::new(EngineConfig::default());
+        db.create_table(
+            "t",
+            Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+        )
+        .unwrap();
+        let id = db
+            .insert_assessed(
+                "t",
+                vec![Value::Int(1)],
+                &[ProvenanceRecord::new(
+                    Source::new("registry", 0.9).unwrap(),
+                    CollectionMethod::Audited,
+                )],
+            )
+            .unwrap();
+        assert!((db.confidence(id).unwrap() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the engine.
+
+use std::fmt;
+
+/// Errors surfaced by the end-to-end PCQE pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Storage-layer failure.
+    Storage(pcqe_storage::StorageError),
+    /// SQL front-end failure.
+    Sql(pcqe_sql::SqlError),
+    /// Plan-execution failure.
+    Algebra(pcqe_algebra::AlgebraError),
+    /// Policy lookup failure.
+    Policy(pcqe_policy::PolicyError),
+    /// Strategy-finding failure.
+    Core(pcqe_core::CoreError),
+    /// Provenance assessment failure.
+    Provenance(pcqe_provenance::ProvenanceError),
+    /// Cost-model failure.
+    Cost(pcqe_cost::CostError),
+    /// A proposal was applied against a database that changed since it was
+    /// computed.
+    StaleProposal,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Sql(e) => write!(f, "sql: {e}"),
+            EngineError::Algebra(e) => write!(f, "algebra: {e}"),
+            EngineError::Policy(e) => write!(f, "policy: {e}"),
+            EngineError::Core(e) => write!(f, "strategy: {e}"),
+            EngineError::Provenance(e) => write!(f, "provenance: {e}"),
+            EngineError::Cost(e) => write!(f, "cost: {e}"),
+            EngineError::StaleProposal => {
+                f.write_str("proposal is stale: the database changed since it was computed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<pcqe_storage::StorageError> for EngineError {
+    fn from(e: pcqe_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<pcqe_sql::SqlError> for EngineError {
+    fn from(e: pcqe_sql::SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl From<pcqe_algebra::AlgebraError> for EngineError {
+    fn from(e: pcqe_algebra::AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+
+impl From<pcqe_policy::PolicyError> for EngineError {
+    fn from(e: pcqe_policy::PolicyError) -> Self {
+        EngineError::Policy(e)
+    }
+}
+
+impl From<pcqe_core::CoreError> for EngineError {
+    fn from(e: pcqe_core::CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<pcqe_provenance::ProvenanceError> for EngineError {
+    fn from(e: pcqe_provenance::ProvenanceError) -> Self {
+        EngineError::Provenance(e)
+    }
+}
+
+impl From<pcqe_cost::CostError> for EngineError {
+    fn from(e: pcqe_cost::CostError) -> Self {
+        EngineError::Cost(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = pcqe_storage::StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("storage"));
+        assert!(EngineError::StaleProposal.to_string().contains("stale"));
+    }
+}

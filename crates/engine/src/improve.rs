@@ -1,0 +1,201 @@
+//! Strategy finding on behalf of the engine: build the confidence-
+//! increment problem from withheld results, dispatch a solver, translate
+//! the solution into an [`ImprovementProposal`].
+
+use crate::config::{EngineConfig, SolverChoice};
+use crate::response::{ImprovementProposal, NoProposal, ProposedIncrement};
+use crate::Result;
+use pcqe_algebra::ScoredTuple;
+use pcqe_core::dnc::{self, DncOptions};
+use pcqe_core::greedy::{self, GreedyOptions};
+use pcqe_core::heuristic::{self, HeuristicOptions};
+use pcqe_core::problem::{ProblemBuilder, ProblemInstance};
+use pcqe_core::{CoreError, Solution};
+use pcqe_cost::CostFn;
+use pcqe_storage::{Catalog, TupleId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The outcome of a propose run: a proposal, or a reason there is none.
+pub(crate) enum ProposeOutcome {
+    /// A strategy was found.
+    Proposal(ImprovementProposal),
+    /// No strategy is possible/needed; see the reason.
+    No(NoProposal),
+}
+
+/// Statistics handed back for the runtime estimator.
+pub(crate) struct ProposeStats {
+    /// Problem size (distinct base tuples), the estimator's x-axis.
+    pub problem_size: usize,
+    /// Solve time.
+    pub elapsed: Duration,
+}
+
+/// Everything the strategy finder needs besides the withheld rows.
+pub(crate) struct ProposeContext<'a> {
+    /// The catalog supplying current confidences.
+    pub catalog: &'a Catalog,
+    /// Per-tuple cost functions.
+    pub costs: &'a HashMap<TupleId, CostFn>,
+    /// Engine configuration (δ, solver, default cost).
+    pub config: &'a EngineConfig,
+    /// The governing threshold β.
+    pub beta: f64,
+    /// Additional results that must pass.
+    pub needed: usize,
+    /// Results already released.
+    pub already_released: usize,
+    /// Total results the user asked for.
+    pub requested: usize,
+    /// Database version the proposal is valid against.
+    pub version: u64,
+}
+
+/// Compute an improvement proposal that pushes `ctx.needed` more of the
+/// withheld results above β.
+pub(crate) fn propose(
+    ctx: &ProposeContext<'_>,
+    withheld: &[&ScoredTuple],
+) -> Result<(ProposeOutcome, Option<ProposeStats>)> {
+    let ProposeContext {
+        catalog,
+        costs,
+        config,
+        beta,
+        needed,
+        already_released,
+        requested,
+        version,
+    } = *ctx;
+    // Results with negated lineage are not monotone in base confidences;
+    // raising a base tuple could *lower* them. They are excluded from the
+    // improvable pool.
+    let Some(problem) = build_instance(catalog, costs, config, withheld, beta, needed)? else {
+        return Ok((ProposeOutcome::No(NoProposal::NonMonotone), None));
+    };
+    let size = problem.bases.len();
+
+    let solved = dispatch(&problem, &config.solver);
+    match solved {
+        Ok((solution, elapsed)) => {
+            let mut increments: Vec<ProposedIncrement> = solution
+                .increments(&problem)
+                .into_iter()
+                .map(|inc| ProposedIncrement {
+                    tuple_id: TupleId(inc.id),
+                    from: inc.from,
+                    to: inc.to,
+                    cost: inc.cost,
+                })
+                .collect();
+            increments.sort_by_key(|i| i.tuple_id);
+            let proposal = ImprovementProposal {
+                cost: solution.cost,
+                increments,
+                projected_released: already_released + solution.satisfied.len(),
+                requested,
+                version,
+            };
+            Ok((
+                ProposeOutcome::Proposal(proposal),
+                Some(ProposeStats {
+                    problem_size: size,
+                    elapsed,
+                }),
+            ))
+        }
+        Err(CoreError::Infeasible { achievable, .. }) => Ok((
+            ProposeOutcome::No(NoProposal::Infeasible {
+                achievable: already_released + achievable,
+                requested,
+            }),
+            None,
+        )),
+        Err(CoreError::GaveUp(m)) => {
+            Ok((ProposeOutcome::No(NoProposal::SolverGaveUp(m)), None))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Build one query's confidence-increment instance from its withheld
+/// results; `None` when too few of them are improvable (negated lineage).
+pub(crate) fn build_instance(
+    catalog: &Catalog,
+    costs: &HashMap<TupleId, CostFn>,
+    config: &EngineConfig,
+    withheld: &[&ScoredTuple],
+    beta: f64,
+    needed: usize,
+) -> Result<Option<ProblemInstance>> {
+    let improvable: Vec<&&ScoredTuple> = withheld
+        .iter()
+        .filter(|s| !s.lineage.contains_not())
+        .collect();
+    if improvable.len() < needed {
+        return Ok(None);
+    }
+    let mut builder =
+        ProblemBuilder::new(beta, config.delta).lineage_budget(config.lineage_budget);
+    let mut seen = std::collections::HashSet::new();
+    for s in &improvable {
+        for v in s.lineage.vars() {
+            if seen.insert(v.0) {
+                let id = TupleId(v.0);
+                let initial = catalog.confidence(id).ok_or_else(|| {
+                    CoreError::InvalidProblem(format!("lineage references unknown tuple {id}"))
+                })?;
+                let cost = costs
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| config.default_cost.clone());
+                builder.base(v.0, initial, cost);
+            }
+        }
+    }
+    for s in &improvable {
+        builder.result_from_lineage(&s.lineage)?;
+    }
+    Ok(Some(builder.require(needed).build()?))
+}
+
+/// Run the configured solver; `Auto` picks by problem size, mirroring the
+/// crossovers measured in Figure 11(c).
+fn dispatch(
+    problem: &ProblemInstance,
+    choice: &SolverChoice,
+) -> std::result::Result<(Solution, Duration), CoreError> {
+    match choice {
+        SolverChoice::Heuristic(opts) => {
+            let out = heuristic::solve(problem, opts)?;
+            Ok((out.solution, out.stats.elapsed))
+        }
+        SolverChoice::Greedy(opts) => {
+            let out = greedy::solve(problem, opts)?;
+            Ok((out.solution, out.stats.elapsed))
+        }
+        SolverChoice::Dnc(opts) => {
+            let out = dnc::solve(problem, opts)?;
+            Ok((out.solution, out.stats.elapsed))
+        }
+        SolverChoice::Auto => {
+            if problem.bases.len() <= 12 {
+                // Tiny: exact search, seeded by greedy for a tight bound.
+                let seed = greedy::solve(problem, &GreedyOptions::default())?;
+                let opts = HeuristicOptions {
+                    node_limit: Some(2_000_000),
+                    ..HeuristicOptions::all().with_seed(seed.solution)
+                };
+                let out = heuristic::solve(problem, &opts)?;
+                Ok((out.solution, out.stats.elapsed))
+            } else if problem.results.len() > 64 {
+                let out = dnc::solve(problem, &DncOptions::default())?;
+                Ok((out.solution, out.stats.elapsed))
+            } else {
+                let out = greedy::solve(problem, &GreedyOptions::default())?;
+                Ok((out.solution, out.stats.elapsed))
+            }
+        }
+    }
+}

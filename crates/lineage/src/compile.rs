@@ -1,0 +1,222 @@
+//! Compiled lineage: a fixed arithmetic program for fast re-evaluation.
+//!
+//! The strategy-finding algorithms evaluate a result's confidence function
+//! `F(p₁ … p_k)` millions of times with changing probabilities. Rather than
+//! re-running Shannon expansion on every call, [`CompiledLineage`] performs
+//! the expansion once at compile time, producing an arithmetic expression
+//! whose structure depends only on the formula — evaluation is then a plain
+//! tree walk over floats.
+
+use crate::error::LineageError;
+use crate::expr::{Lineage, VarId};
+use crate::Result;
+use std::collections::HashMap;
+
+/// The compiled arithmetic form of a lineage formula.
+#[derive(Debug, Clone)]
+pub struct CompiledLineage {
+    vars: Vec<VarId>,
+    arith: Arith,
+}
+
+/// Arithmetic expression over probability slots.
+#[derive(Debug, Clone)]
+enum Arith {
+    /// A constant probability.
+    Const(f64),
+    /// The probability of the variable in slot `i`.
+    Slot(usize),
+    /// `1 - child` (negation).
+    Complement(Box<Arith>),
+    /// `Π children` (independent conjunction).
+    Product(Vec<Arith>),
+    /// `1 - Π (1 - child)` (independent disjunction).
+    DisjProduct(Vec<Arith>),
+    /// Shannon mix: `p_slot · hi + (1 - p_slot) · lo`.
+    Mix {
+        slot: usize,
+        hi: Box<Arith>,
+        lo: Box<Arith>,
+    },
+}
+
+impl CompiledLineage {
+    /// Compile a formula, spending at most `budget` Shannon expansions.
+    /// Non-read-once formulas are factored first (see
+    /// [`crate::factor::factor`]) to shrink the expansion tree.
+    pub fn compile(lineage: &Lineage, budget: usize) -> Result<CompiledLineage> {
+        let mut simplified = lineage.simplify();
+        if !simplified.is_read_once() {
+            simplified = crate::factor::factor(&simplified);
+        }
+        let vars = simplified.vars();
+        let slots: HashMap<VarId, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut remaining = budget;
+        let arith = compile_rec(&simplified, &slots, &mut remaining)?;
+        Ok(CompiledLineage { vars, arith })
+    }
+
+    /// The formula's variables in slot order; `probs[i]` in [`Self::eval`]
+    /// is the probability of `self.vars()[i]`.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Evaluate with probabilities given per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != self.vars().len()`.
+    pub fn eval(&self, probs: &[f64]) -> f64 {
+        assert_eq!(
+            probs.len(),
+            self.vars.len(),
+            "expected one probability per variable"
+        );
+        eval_rec(&self.arith, probs)
+    }
+
+    /// Evaluate with a probability lookup keyed by variable id.
+    pub fn eval_with<F: Fn(VarId) -> f64>(&self, lookup: F) -> f64 {
+        let probs: Vec<f64> = self.vars.iter().map(|&v| lookup(v)).collect();
+        eval_rec(&self.arith, &probs)
+    }
+}
+
+fn compile_rec(
+    l: &Lineage,
+    slots: &HashMap<VarId, usize>,
+    budget: &mut usize,
+) -> Result<Arith> {
+    match l {
+        Lineage::Const(b) => Ok(Arith::Const(if *b { 1.0 } else { 0.0 })),
+        Lineage::Var(v) => Ok(Arith::Slot(slots[v])),
+        Lineage::Not(e) => Ok(Arith::Complement(Box::new(compile_rec(e, slots, budget)?))),
+        Lineage::And(es) => {
+            if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
+                compile_shannon(l, pivot, slots, budget)
+            } else {
+                let children = es
+                    .iter()
+                    .map(|e| compile_rec(e, slots, budget))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Arith::Product(children))
+            }
+        }
+        Lineage::Or(es) => {
+            if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
+                compile_shannon(l, pivot, slots, budget)
+            } else {
+                let children = es
+                    .iter()
+                    .map(|e| compile_rec(e, slots, budget))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Arith::DisjProduct(children))
+            }
+        }
+    }
+}
+
+fn compile_shannon(
+    l: &Lineage,
+    pivot: VarId,
+    slots: &HashMap<VarId, usize>,
+    budget: &mut usize,
+) -> Result<Arith> {
+    if *budget == 0 {
+        return Err(LineageError::BudgetExceeded { budget: 0 });
+    }
+    *budget -= 1;
+    let hi = compile_rec(&l.condition(pivot, true), slots, budget)?;
+    let lo = compile_rec(&l.condition(pivot, false), slots, budget)?;
+    Ok(Arith::Mix {
+        slot: slots[&pivot],
+        hi: Box::new(hi),
+        lo: Box::new(lo),
+    })
+}
+
+fn eval_rec(a: &Arith, probs: &[f64]) -> f64 {
+    match a {
+        Arith::Const(c) => *c,
+        Arith::Slot(i) => probs[*i],
+        Arith::Complement(c) => 1.0 - eval_rec(c, probs),
+        Arith::Product(cs) => cs.iter().map(|c| eval_rec(c, probs)).product(),
+        Arith::DisjProduct(cs) => {
+            1.0 - cs
+                .iter()
+                .map(|c| 1.0 - eval_rec(c, probs))
+                .product::<f64>()
+        }
+        Arith::Mix { slot, hi, lo } => {
+            let p = probs[*slot];
+            p * eval_rec(hi, probs) + (1.0 - p) * eval_rec(lo, probs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::Evaluator;
+    use std::collections::HashMap;
+
+    #[test]
+    fn compiled_matches_interpreter_read_once() {
+        let l = Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+            Lineage::var(13),
+        ]);
+        let c = CompiledLineage::compile(&l, 64).unwrap();
+        assert_eq!(c.vars(), &[VarId(2), VarId(3), VarId(13)]);
+        let p = c.eval(&[0.3, 0.4, 0.1]);
+        assert!((p - 0.058).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_shared_vars() {
+        let l = Lineage::Or(vec![
+            Lineage::And(vec![Lineage::var(0), Lineage::var(1)]),
+            Lineage::And(vec![Lineage::var(0), Lineage::var(2)]),
+            Lineage::And(vec![Lineage::var(1), Lineage::var(2)]),
+        ]);
+        let c = CompiledLineage::compile(&l, 1024).unwrap();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.3), (VarId(1), 0.6), (VarId(2), 0.9)]
+            .into_iter()
+            .collect();
+        let exact = Evaluator::exact_only(1 << 16).probability(&l, &probs).unwrap();
+        let compiled = c.eval_with(|v| probs[&v]);
+        assert!((exact - compiled).abs() < 1e-12, "{exact} vs {compiled}");
+    }
+
+    #[test]
+    fn budget_exceeded_propagates() {
+        let mut children = Vec::new();
+        for i in 0..12u64 {
+            children.push(Lineage::And(vec![Lineage::var(i), Lineage::var(i + 1)]));
+        }
+        let l = Lineage::Or(children);
+        assert!(matches!(
+            CompiledLineage::compile(&l, 1),
+            Err(LineageError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_with_map_and_slices_agree() {
+        let l = Lineage::or(vec![Lineage::var(5), Lineage::var(9)]);
+        let c = CompiledLineage::compile(&l, 8).unwrap();
+        let by_slice = c.eval(&[0.2, 0.5]);
+        let by_map = c.eval_with(|v| if v.0 == 5 { 0.2 } else { 0.5 });
+        assert_eq!(by_slice, by_map);
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per variable")]
+    fn eval_checks_arity() {
+        let l = Lineage::var(1);
+        let c = CompiledLineage::compile(&l, 1).unwrap();
+        c.eval(&[]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The lineage formula representation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A lineage variable: the id of one base tuple.
+///
+/// In the engine this is the base tuple's global [`TupleId`]; the lineage
+/// crate stays independent of the storage layer by using its own newtype
+/// over the same `u64`.
+///
+/// [`TupleId`]: https://docs.rs/pcqe-storage
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u64);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A boolean lineage formula over base-tuple variables.
+///
+/// Lineage is produced by the relational operators: selections keep lineage,
+/// joins AND it, set-semantic projections and unions OR the lineage of
+/// merged duplicates, and difference introduces negation. The formula is
+/// kept in negation-unnormalised form; [`Lineage::simplify`] flattens
+/// nested connectives and folds constants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Lineage {
+    /// Constant truth value (`Const(true)` = certain).
+    Const(bool),
+    /// A single base tuple.
+    Var(VarId),
+    /// Negation.
+    Not(Box<Lineage>),
+    /// Conjunction of all children.
+    And(Vec<Lineage>),
+    /// Disjunction of all children.
+    Or(Vec<Lineage>),
+}
+
+impl Lineage {
+    /// A variable leaf from a raw id.
+    pub fn var(id: u64) -> Lineage {
+        Lineage::Var(VarId(id))
+    }
+
+    /// Certain truth (used for data with no uncertainty).
+    pub fn certain() -> Lineage {
+        Lineage::Const(true)
+    }
+
+    /// Conjunction; flattens trivial cases eagerly.
+    pub fn and(children: Vec<Lineage>) -> Lineage {
+        Lineage::And(children).simplify()
+    }
+
+    /// Disjunction; flattens trivial cases eagerly.
+    pub fn or(children: Vec<Lineage>) -> Lineage {
+        Lineage::Or(children).simplify()
+    }
+
+    /// Negation; folds double negation and constants eagerly.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(child: Lineage) -> Lineage {
+        Lineage::Not(Box::new(child)).simplify()
+    }
+
+    /// Number of occurrences of each variable.
+    pub fn var_counts(&self) -> BTreeMap<VarId, usize> {
+        let mut counts = BTreeMap::new();
+        self.collect_counts(&mut counts);
+        counts
+    }
+
+    fn collect_counts(&self, counts: &mut BTreeMap<VarId, usize>) {
+        match self {
+            Lineage::Const(_) => {}
+            Lineage::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+            Lineage::Not(e) => e.collect_counts(counts),
+            Lineage::And(es) | Lineage::Or(es) => {
+                for e in es {
+                    e.collect_counts(counts);
+                }
+            }
+        }
+    }
+
+    /// The distinct variables in the formula, in id order.
+    pub fn vars(&self) -> Vec<VarId> {
+        self.var_counts().into_keys().collect()
+    }
+
+    /// True if no variable occurs more than once (evaluation is then exact
+    /// under independence without any Shannon expansion).
+    pub fn is_read_once(&self) -> bool {
+        self.var_counts().values().all(|&c| c == 1)
+    }
+
+    /// True if the formula contains negation anywhere. Negation-free
+    /// lineage is monotone in every variable — the property the strategy-
+    /// finding algorithms rely on (raising a base confidence can only
+    /// raise a result's confidence).
+    pub fn contains_not(&self) -> bool {
+        match self {
+            Lineage::Const(_) | Lineage::Var(_) => false,
+            Lineage::Not(_) => true,
+            Lineage::And(es) | Lineage::Or(es) => es.iter().any(Lineage::contains_not),
+        }
+    }
+
+    /// Number of nodes in the formula tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Lineage::Const(_) | Lineage::Var(_) => 1,
+            Lineage::Not(e) => 1 + e.size(),
+            Lineage::And(es) | Lineage::Or(es) => {
+                1 + es.iter().map(Lineage::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Evaluate the formula under a boolean assignment.
+    pub fn eval<F: Fn(VarId) -> bool>(&self, assign: &F) -> bool {
+        match self {
+            Lineage::Const(b) => *b,
+            Lineage::Var(v) => assign(*v),
+            Lineage::Not(e) => !e.eval(assign),
+            Lineage::And(es) => es.iter().all(|e| e.eval(assign)),
+            Lineage::Or(es) => es.iter().any(|e| e.eval(assign)),
+        }
+    }
+
+    /// Substitute a truth value for one variable, then simplify.
+    pub fn condition(&self, var: VarId, value: bool) -> Lineage {
+        self.substitute(var, value).simplify()
+    }
+
+    fn substitute(&self, var: VarId, value: bool) -> Lineage {
+        match self {
+            Lineage::Const(b) => Lineage::Const(*b),
+            Lineage::Var(v) => {
+                if *v == var {
+                    Lineage::Const(value)
+                } else {
+                    Lineage::Var(*v)
+                }
+            }
+            Lineage::Not(e) => Lineage::Not(Box::new(e.substitute(var, value))),
+            Lineage::And(es) => {
+                Lineage::And(es.iter().map(|e| e.substitute(var, value)).collect())
+            }
+            Lineage::Or(es) => {
+                Lineage::Or(es.iter().map(|e| e.substitute(var, value)).collect())
+            }
+        }
+    }
+
+    /// Simplify the formula: flatten nested connectives, fold constants,
+    /// collapse double negation, deduplicate repeated children, and unwrap
+    /// single-child connectives. The result is logically equivalent.
+    pub fn simplify(&self) -> Lineage {
+        match self {
+            Lineage::Const(b) => Lineage::Const(*b),
+            Lineage::Var(v) => Lineage::Var(*v),
+            Lineage::Not(e) => match e.simplify() {
+                Lineage::Const(b) => Lineage::Const(!b),
+                Lineage::Not(inner) => *inner,
+                other => Lineage::Not(Box::new(other)),
+            },
+            Lineage::And(es) => {
+                let mut out: Vec<Lineage> = Vec::with_capacity(es.len());
+                for e in es {
+                    match e.simplify() {
+                        Lineage::Const(true) => {}
+                        Lineage::Const(false) => return Lineage::Const(false),
+                        Lineage::And(inner) => {
+                            for i in inner {
+                                if !out.contains(&i) {
+                                    out.push(i);
+                                }
+                            }
+                        }
+                        other => {
+                            if !out.contains(&other) {
+                                out.push(other);
+                            }
+                        }
+                    }
+                }
+                match out.len() {
+                    0 => Lineage::Const(true),
+                    1 => out.pop().expect("len checked"),
+                    _ => Lineage::And(out),
+                }
+            }
+            Lineage::Or(es) => {
+                let mut out: Vec<Lineage> = Vec::with_capacity(es.len());
+                for e in es {
+                    match e.simplify() {
+                        Lineage::Const(false) => {}
+                        Lineage::Const(true) => return Lineage::Const(true),
+                        Lineage::Or(inner) => {
+                            for i in inner {
+                                if !out.contains(&i) {
+                                    out.push(i);
+                                }
+                            }
+                        }
+                        other => {
+                            if !out.contains(&other) {
+                                out.push(other);
+                            }
+                        }
+                    }
+                }
+                match out.len() {
+                    0 => Lineage::Const(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => Lineage::Or(out),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lineage::Const(b) => write!(f, "{}", if *b { "⊤" } else { "⊥" }),
+            Lineage::Var(v) => write!(f, "{v}"),
+            Lineage::Not(e) => write!(f, "¬{e}"),
+            Lineage::And(es) => {
+                f.write_str("(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Lineage::Or(es) => {
+                f.write_str("(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∨ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_simplify_eagerly() {
+        assert_eq!(Lineage::and(vec![]), Lineage::Const(true));
+        assert_eq!(Lineage::or(vec![]), Lineage::Const(false));
+        assert_eq!(
+            Lineage::and(vec![Lineage::var(1), Lineage::Const(true)]),
+            Lineage::var(1)
+        );
+        assert_eq!(
+            Lineage::or(vec![Lineage::var(1), Lineage::Const(true)]),
+            Lineage::Const(true)
+        );
+        assert_eq!(Lineage::not(Lineage::not(Lineage::var(2))), Lineage::var(2));
+    }
+
+    #[test]
+    fn simplify_flattens_and_dedups() {
+        let l = Lineage::And(vec![
+            Lineage::And(vec![Lineage::var(1), Lineage::var(2)]),
+            Lineage::var(1),
+        ]);
+        assert_eq!(
+            l.simplify(),
+            Lineage::And(vec![Lineage::var(1), Lineage::var(2)])
+        );
+        let o = Lineage::Or(vec![
+            Lineage::Or(vec![Lineage::var(3), Lineage::var(3)]),
+            Lineage::Const(false),
+        ]);
+        assert_eq!(o.simplify(), Lineage::var(3));
+    }
+
+    #[test]
+    fn var_counts_and_read_once() {
+        let l = Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+            Lineage::var(13),
+        ]);
+        assert!(l.is_read_once());
+        assert_eq!(l.vars(), vec![VarId(2), VarId(3), VarId(13)]);
+
+        let shared = Lineage::Or(vec![
+            Lineage::And(vec![Lineage::var(1), Lineage::var(2)]),
+            Lineage::And(vec![Lineage::var(1), Lineage::var(3)]),
+        ]);
+        assert!(!shared.is_read_once());
+        assert_eq!(shared.var_counts()[&VarId(1)], 2);
+    }
+
+    #[test]
+    fn eval_matches_truth_table() {
+        let l = Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(0), Lineage::var(1)]),
+            Lineage::not(Lineage::var(2)),
+        ]);
+        let f = |bits: [bool; 3]| l.eval(&|v: VarId| bits[v.0 as usize]);
+        assert!(f([true, false, false]));
+        assert!(f([false, true, false]));
+        assert!(!f([false, false, false]));
+        assert!(!f([true, true, true]));
+    }
+
+    #[test]
+    fn conditioning_substitutes_and_simplifies() {
+        let l = Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+            Lineage::var(13),
+        ]);
+        assert_eq!(l.condition(VarId(13), false), Lineage::Const(false));
+        assert_eq!(
+            l.condition(VarId(2), true),
+            Lineage::var(13),
+            "t2 true makes the OR certain, leaving t13"
+        );
+    }
+
+    #[test]
+    fn contains_not_detects_negation() {
+        assert!(!Lineage::and(vec![Lineage::var(1), Lineage::var(2)]).contains_not());
+        let negated = Lineage::And(vec![
+            Lineage::var(1),
+            Lineage::Not(Box::new(Lineage::var(2))),
+        ]);
+        assert!(negated.contains_not());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let l = Lineage::And(vec![Lineage::var(1), Lineage::Not(Box::new(Lineage::var(2)))]);
+        assert_eq!(l.size(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let l = Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+            Lineage::var(13),
+        ]);
+        assert_eq!(l.to_string(), "((v2 ∨ v3) ∧ v13)");
+    }
+}

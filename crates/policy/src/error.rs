@@ -1,0 +1,52 @@
+//! Error type for policy definition and evaluation.
+
+use std::fmt;
+
+/// Errors raised by policy construction and lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// A threshold was outside `[0, 1]` or not finite.
+    InvalidThreshold(f64),
+    /// No policy (and no default) applies to a (role, purpose) pair.
+    NoApplicablePolicy {
+        /// The requesting role.
+        role: String,
+        /// The stated purpose.
+        purpose: String,
+    },
+    /// A role hierarchy edge would create a cycle.
+    HierarchyCycle(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::InvalidThreshold(b) => {
+                write!(f, "confidence threshold {b} outside [0, 1]")
+            }
+            PolicyError::NoApplicablePolicy { role, purpose } => {
+                write!(f, "no confidence policy applies to role `{role}` with purpose `{purpose}`")
+            }
+            PolicyError::HierarchyCycle(r) => {
+                write!(f, "adding role `{r}` would create a hierarchy cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PolicyError::NoApplicablePolicy {
+            role: "Manager".into(),
+            purpose: "investment".into(),
+        };
+        assert!(e.to_string().contains("Manager"));
+        assert!(e.to_string().contains("investment"));
+    }
+}

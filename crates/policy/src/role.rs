@@ -1,0 +1,331 @@
+//! Roles, purposes, and the RBAC-style role hierarchy.
+
+use crate::error::PolicyError;
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A role: "a job function or job title within the organization"
+/// (Section 3.2). Matched case-insensitively.
+#[derive(Debug, Clone, Eq)]
+pub struct Role(String);
+
+impl Role {
+    /// Create a role from its name.
+    pub fn new(name: impl Into<String>) -> Role {
+        Role(name.into())
+    }
+
+    /// The role's name as written.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    fn key(&self) -> String {
+        self.0.to_ascii_lowercase()
+    }
+}
+
+impl PartialEq for Role {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.eq_ignore_ascii_case(&other.0)
+    }
+}
+
+impl std::hash::Hash for Role {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Role {
+    fn from(s: &str) -> Role {
+        Role::new(s)
+    }
+}
+
+/// A data-usage purpose (`pu` in the paper): why the data is accessed.
+/// Matched case-insensitively.
+#[derive(Debug, Clone, Eq)]
+pub struct Purpose(String);
+
+impl Purpose {
+    /// Create a purpose from its name.
+    pub fn new(name: impl Into<String>) -> Purpose {
+        Purpose(name.into())
+    }
+
+    /// The purpose's name as written.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Purpose {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.eq_ignore_ascii_case(&other.0)
+    }
+}
+
+impl std::hash::Hash for Purpose {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_ascii_lowercase().hash(state);
+    }
+}
+
+impl fmt::Display for Purpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Purpose {
+    fn from(s: &str) -> Purpose {
+        Purpose::new(s)
+    }
+}
+
+/// An RBAC-style seniority hierarchy: `junior → senior` edges.
+///
+/// A policy written for a role also applies to any role that *inherits*
+/// it (i.e., any junior of the policy's role takes its own policies; a
+/// senior role inherits the policies of its juniors when it has none of
+/// its own). The store uses [`RoleHierarchy::distance`] to prefer the
+/// closest match.
+#[derive(Debug, Clone, Default)]
+pub struct RoleHierarchy {
+    /// Maps a role key to the keys of the roles it directly inherits from.
+    parents: HashMap<String, HashSet<String>>,
+}
+
+impl RoleHierarchy {
+    /// An empty hierarchy (every role stands alone).
+    pub fn new() -> Self {
+        RoleHierarchy::default()
+    }
+
+    /// Declare that `senior` inherits from `junior` (e.g. `Manager`
+    /// inherits from `Employee`). Rejects edges that would create a cycle.
+    pub fn add_inheritance(&mut self, senior: &Role, junior: &Role) -> Result<()> {
+        if senior == junior || self.inherits(junior, senior) {
+            return Err(PolicyError::HierarchyCycle(senior.name().to_owned()));
+        }
+        self.parents
+            .entry(senior.key())
+            .or_default()
+            .insert(junior.key());
+        Ok(())
+    }
+
+    /// Does `role` (transitively) inherit from `ancestor`?
+    pub fn inherits(&self, role: &Role, ancestor: &Role) -> bool {
+        self.distance_keys(&role.key(), &ancestor.key()).is_some()
+    }
+
+    /// Number of inheritance hops from `role` up to `ancestor` (0 when the
+    /// two are the same role), or `None` when unrelated.
+    pub fn distance(&self, role: &Role, ancestor: &Role) -> Option<usize> {
+        self.distance_keys(&role.key(), &ancestor.key())
+    }
+
+    /// Every direct inheritance edge as `(senior, junior)` key pairs,
+    /// sorted for deterministic output (used by persistence).
+    pub fn edges(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .parents
+            .iter()
+            .flat_map(|(senior, juniors)| {
+                juniors.iter().map(move |j| (senior.clone(), j.clone()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn distance_keys(&self, from: &str, to: &str) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        // BFS over parent edges.
+        let mut frontier: Vec<&str> = vec![from];
+        let mut seen: HashSet<&str> = frontier.iter().copied().collect();
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for node in frontier {
+                if let Some(ps) = self.parents.get(node) {
+                    for p in ps {
+                        if p == to {
+                            return Some(depth);
+                        }
+                        if seen.insert(p) {
+                            next.push(p.as_str());
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+/// A purpose specialisation tree: `specialised → general` edges.
+///
+/// Privacy-policy practice arranges purposes in trees ("investment"
+/// specialises "business-use"); a confidence policy written for a general
+/// purpose then also covers queries issued for its specialisations, unless
+/// a more specific policy exists. Mirrors [`RoleHierarchy`].
+#[derive(Debug, Clone, Default)]
+pub struct PurposeHierarchy {
+    /// Maps a purpose key to the keys of the purposes it specialises.
+    parents: HashMap<String, HashSet<String>>,
+}
+
+impl PurposeHierarchy {
+    /// An empty hierarchy (every purpose stands alone).
+    pub fn new() -> Self {
+        PurposeHierarchy::default()
+    }
+
+    /// Declare that `specialised` is a special case of `general`
+    /// (e.g. `investment` specialises `business-use`). Rejects cycles.
+    pub fn add_specialisation(
+        &mut self,
+        specialised: &Purpose,
+        general: &Purpose,
+    ) -> Result<()> {
+        if specialised == general || self.specialises(general, specialised) {
+            return Err(PolicyError::HierarchyCycle(specialised.name().to_owned()));
+        }
+        self.parents
+            .entry(specialised.name().to_ascii_lowercase())
+            .or_default()
+            .insert(general.name().to_ascii_lowercase());
+        Ok(())
+    }
+
+    /// Does `purpose` (transitively) specialise `general`?
+    pub fn specialises(&self, purpose: &Purpose, general: &Purpose) -> bool {
+        self.distance(purpose, general).is_some()
+    }
+
+    /// Hops from `purpose` up to `general` (0 when identical), `None` when
+    /// unrelated.
+    pub fn distance(&self, purpose: &Purpose, general: &Purpose) -> Option<usize> {
+        let from = purpose.name().to_ascii_lowercase();
+        let to = general.name().to_ascii_lowercase();
+        if from == to {
+            return Some(0);
+        }
+        let mut frontier = vec![from];
+        let mut seen: HashSet<String> = frontier.iter().cloned().collect();
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for node in frontier {
+                if let Some(ps) = self.parents.get(&node) {
+                    for p in ps {
+                        if *p == to {
+                            return Some(depth);
+                        }
+                        if seen.insert(p.clone()) {
+                            next.push(p.clone());
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    /// Every direct specialisation edge as `(specialised, general)` pairs,
+    /// sorted (used by persistence and debugging).
+    pub fn edges(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .parents
+            .iter()
+            .flat_map(|(s, gs)| gs.iter().map(move |g| (s.clone(), g.clone())))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_match_case_insensitively() {
+        assert_eq!(Role::new("Manager"), Role::new("manager"));
+        assert_eq!(Purpose::new("ANALYSIS"), Purpose::new("analysis"));
+    }
+
+    #[test]
+    fn hierarchy_distances() {
+        let mut h = RoleHierarchy::new();
+        h.add_inheritance(&"Manager".into(), &"Employee".into()).unwrap();
+        h.add_inheritance(&"Director".into(), &"Manager".into()).unwrap();
+        assert_eq!(h.distance(&"Manager".into(), &"Manager".into()), Some(0));
+        assert_eq!(h.distance(&"Manager".into(), &"Employee".into()), Some(1));
+        assert_eq!(h.distance(&"Director".into(), &"Employee".into()), Some(2));
+        assert_eq!(h.distance(&"Employee".into(), &"Manager".into()), None);
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut h = RoleHierarchy::new();
+        h.add_inheritance(&"B".into(), &"A".into()).unwrap();
+        assert!(matches!(
+            h.add_inheritance(&"A".into(), &"B".into()),
+            Err(PolicyError::HierarchyCycle(_))
+        ));
+        assert!(h.add_inheritance(&"A".into(), &"A".into()).is_err());
+    }
+
+    #[test]
+    fn purpose_specialisation_distances() {
+        let mut h = PurposeHierarchy::new();
+        h.add_specialisation(&"investment".into(), &"business-use".into())
+            .unwrap();
+        h.add_specialisation(&"due-diligence".into(), &"investment".into())
+            .unwrap();
+        assert_eq!(
+            h.distance(&"investment".into(), &"business-use".into()),
+            Some(1)
+        );
+        assert_eq!(
+            h.distance(&"due-diligence".into(), &"business-use".into()),
+            Some(2)
+        );
+        assert_eq!(
+            h.distance(&"business-use".into(), &"investment".into()),
+            None
+        );
+        assert!(h
+            .add_specialisation(&"business-use".into(), &"due-diligence".into())
+            .is_err());
+        assert_eq!(h.edges().len(), 2);
+    }
+
+    #[test]
+    fn diamond_inheritance_takes_shortest_path() {
+        let mut h = RoleHierarchy::new();
+        h.add_inheritance(&"Top".into(), &"L".into()).unwrap();
+        h.add_inheritance(&"Top".into(), &"R".into()).unwrap();
+        h.add_inheritance(&"L".into(), &"Base".into()).unwrap();
+        h.add_inheritance(&"R".into(), &"Mid".into()).unwrap();
+        h.add_inheritance(&"Mid".into(), &"Base".into()).unwrap();
+        assert_eq!(h.distance(&"Top".into(), &"Base".into()), Some(2));
+    }
+}

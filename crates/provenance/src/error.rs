@@ -1,0 +1,54 @@
+//! Error type for provenance-based assignment.
+
+use std::fmt;
+
+/// Errors raised while building provenance records or assessing them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProvenanceError {
+    /// A trust score was outside `[0, 1]` or not finite.
+    InvalidTrust {
+        /// Whose trust was rejected (source or agent name).
+        who: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// No provenance records were supplied.
+    NoRecords,
+}
+
+impl fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvenanceError::InvalidTrust { who, value } => {
+                write!(f, "trust {value} for `{who}` outside [0, 1]")
+            }
+            ProvenanceError::InvalidConfig { name, value } => {
+                write!(f, "invalid assigner parameter `{name}` = {value}")
+            }
+            ProvenanceError::NoRecords => f.write_str("no provenance records supplied"),
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProvenanceError::InvalidTrust {
+            who: "lab".into(),
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("lab"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the SQL front-end.
+
+use pcqe_algebra::AlgebraError;
+use std::fmt;
+
+/// Errors raised while lexing, parsing or planning SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer error at a byte offset.
+    Lex {
+        /// Byte offset in the input.
+        pos: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parser error at a byte offset.
+    Parse {
+        /// Byte offset in the input (of the offending token).
+        pos: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Planning error (name resolution, typing, schema mismatch).
+    Plan(AlgebraError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            SqlError::Parse { pos, message } => {
+                write!(f, "parse error at byte {pos}: {message}")
+            }
+            SqlError::Plan(e) => write!(f, "planning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for SqlError {
+    fn from(e: AlgebraError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = SqlError::Parse {
+            pos: 7,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(e.to_string().contains("FROM"));
+    }
+}

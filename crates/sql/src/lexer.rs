@@ -1,0 +1,344 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Real(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// A token plus the byte offset where it starts (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, pos: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, pos: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, pos: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, pos: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, pos: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, pos: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, pos: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Minus, pos: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Spanned { token: Token::Semicolon, pos: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, pos: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ne, pos: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "unexpected `!`".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Spanned { token: Token::Le, pos: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Spanned { token: Token::Ne, pos: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Spanned { token: Token::Lt, pos: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, pos: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Multi-byte UTF-8 is copied verbatim.
+                            let ch_len = utf8_len(b);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), pos: start });
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut is_real = false;
+                while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && end + 1 < bytes.len()
+                    && (bytes[end + 1] as char).is_ascii_digit()
+                {
+                    is_real = true;
+                    end += 1;
+                    while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+                    let mut j = end + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_real = true;
+                        end = j;
+                        while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                            end += 1;
+                        }
+                    }
+                }
+                let text = &input[i..end];
+                let token = if is_real {
+                    Token::Real(text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad real literal `{text}`"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                tokens.push(Spanned { token, pos: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let ch = bytes[end] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(input[i..end].to_owned()),
+                    pos: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_symbols() {
+        assert_eq!(
+            toks("SELECT * FROM t WHERE x >= 2;"),
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Star,
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("x".into()),
+                Token::Ge,
+                Token::Int(2),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_real_exponent() {
+        assert_eq!(
+            toks("1 2.5 3e2 4.5E-1"),
+            vec![
+                Token::Int(1),
+                Token::Real(2.5),
+                Token::Real(300.0),
+                Token::Real(0.45),
+            ]
+        );
+        // A trailing dot is not part of the number.
+        assert_eq!(toks("1."), vec![Token::Int(1), Token::Dot]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(
+            toks("'it''s' 'héllo'"),
+            vec![Token::Str("it's".into()), Token::Str("héllo".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = <> !="),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- the works\n x"),
+            vec![Token::Ident("SELECT".into()), Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match tokenize("SELECT @") {
+            Err(SqlError::Lex { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("!x").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! SQL-subset front-end for PCQE.
+//!
+//! The paper's users "input query information in the form ⟨Q, pu, perc⟩,
+//! where Q is a normal SQL query" (Section 3.2). This crate provides the
+//! `Q` part: a hand-written tokenizer, a recursive-descent parser for a
+//! practical subset of SQL, and a planner that lowers the AST onto the
+//! lineage-propagating algebra of `pcqe-algebra`.
+//!
+//! Supported grammar (joins may be chained; `,` is a cross product):
+//!
+//! ```text
+//! query   := select (UNION select | EXCEPT select)*
+//! select  := SELECT [DISTINCT|ALL] items FROM ref (JOIN ref ON expr | , ref)* [WHERE expr]
+//! items   := * | expr [AS name] (, expr [AS name])*
+//! ref     := table [[AS] alias]
+//! ```
+//!
+//! ```
+//! use pcqe_sql::parse_and_plan;
+//! use pcqe_storage::{Catalog, Column, DataType, Schema, Value};
+//! use pcqe_algebra::execute;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.create_table("t", Schema::new(vec![
+//!     Column::new("x", DataType::Int),
+//! ]).unwrap()).unwrap();
+//! catalog.insert("t", vec![Value::Int(3)], 0.9).unwrap();
+//!
+//! let plan = parse_and_plan("SELECT x FROM t WHERE x > 1", &catalog).unwrap();
+//! assert_eq!(execute(&plan, &catalog).unwrap().len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::Statement;
+pub use error::SqlError;
+pub use parser::{parse, parse_statement};
+pub use planner::{literal_row, plan_query};
+
+use pcqe_algebra::Plan;
+use pcqe_storage::Catalog;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Parse a SQL string and lower it to an executable plan in one call.
+pub fn parse_and_plan(sql: &str, catalog: &Catalog) -> Result<Plan> {
+    let query = parse(sql)?;
+    plan_query(&query, catalog)
+}

@@ -1,0 +1,265 @@
+//! Relation schemas: named, typed, optionally qualified columns.
+
+use crate::error::StorageError;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// A single column: a name, an optional table qualifier, and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Qualifier (usually the table name or alias), if any.
+    pub qualifier: Option<String>,
+    /// Column name (case-preserving, matched case-insensitively).
+    pub name: String,
+    /// Data type of values stored in the column.
+    pub data_type: DataType,
+}
+
+impl Column {
+    /// Create an unqualified column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            qualifier: None,
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Create a qualified column (`qualifier.name`).
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Render the column as `qualifier.name` or bare `name`.
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether this column matches a (possibly qualified) reference.
+    ///
+    /// Matching is case-insensitive. An unqualified reference matches any
+    /// qualifier; a qualified reference must match the column's qualifier.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|cq| cq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+/// An ordered list of columns describing one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Create a schema, rejecting duplicate `qualifier.name` pairs.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[..i] {
+                let same_name = a.name.eq_ignore_ascii_case(&b.name);
+                let same_qual = match (&a.qualifier, &b.qualifier) {
+                    (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+                    (None, None) => true,
+                    _ => false,
+                };
+                if same_name && same_qual {
+                    return Err(StorageError::DuplicateColumn(a.display_name()));
+                }
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a (possibly qualified) column reference to its index.
+    ///
+    /// Returns [`StorageError::UnknownColumn`] if nothing matches and
+    /// [`StorageError::AmbiguousColumn`] if more than one column matches.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(StorageError::AmbiguousColumn(name.to_owned()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| match qualifier {
+            Some(q) => StorageError::UnknownColumn(format!("{q}.{name}")),
+            None => StorageError::UnknownColumn(name.to_owned()),
+        })
+    }
+
+    /// Stamp every column with `qualifier` (used when scanning a table under
+    /// an alias), replacing any existing qualifier.
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    qualifier: Some(qualifier.to_owned()),
+                    name: c.name.clone(),
+                    data_type: c.data_type,
+                })
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas (used by joins/products). Duplicate qualified
+    /// names are allowed here; resolution will report ambiguity on use.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Build a sub-schema from a list of column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Result<Schema> {
+        let mut columns = Vec::with_capacity(indexes.len());
+        for &i in indexes {
+            let c = self
+                .columns
+                .get(i)
+                .ok_or(StorageError::ColumnIndexOutOfRange(i))?;
+            columns.push(c.clone());
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Validate that a row of values conforms to this schema.
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if !v.conforms_to(c.data_type) {
+                return Err(StorageError::TypeMismatch {
+                    column: c.display_name(),
+                    expected: c.data_type,
+                    got: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col() -> Schema {
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("income", DataType::Real),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Text),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn same_name_different_qualifier_allowed() {
+        let s = Schema::new(vec![
+            Column::qualified("t1", "id", DataType::Int),
+            Column::qualified("t2", "id", DataType::Int),
+        ])
+        .unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.resolve(Some("t2"), "id").unwrap(), 1);
+        assert!(matches!(
+            s.resolve(None, "id"),
+            Err(StorageError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let s = two_col();
+        assert_eq!(s.resolve(None, "COMPANY").unwrap(), 0);
+        assert!(matches!(
+            s.resolve(None, "missing"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn qualify_then_resolve() {
+        let s = two_col().with_qualifier("p");
+        assert_eq!(s.resolve(Some("p"), "income").unwrap(), 1);
+        assert!(s.resolve(Some("q"), "income").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = two_col().with_qualifier("a").join(&two_col().with_qualifier("b"));
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.resolve(Some("b"), "company").unwrap(), 2);
+    }
+
+    #[test]
+    fn project_picks_columns() {
+        let s = two_col();
+        let p = s.project(&[1]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.columns()[0].name, "income");
+        assert!(s.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = two_col();
+        assert!(s.check_row(&[Value::text("x"), Value::Real(1.0)]).is_ok());
+        // Int widens into a Real column.
+        assert!(s.check_row(&[Value::text("x"), Value::Int(1)]).is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::text("x")]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Int(1), Value::Real(1.0)]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+}

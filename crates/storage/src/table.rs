@@ -1,0 +1,267 @@
+//! Confidence-carrying tables.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A stored base tuple: id, values and its current confidence value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredTuple {
+    /// Globally unique id, assigned at insert time.
+    pub id: TupleId,
+    /// The tuple's values.
+    pub tuple: Tuple,
+    /// Confidence in `[0, 1]` (the paper's `p` value for a base tuple).
+    pub confidence: f64,
+}
+
+/// An in-memory table whose rows each carry a confidence value.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<StoredTuple>,
+    by_id: HashMap<TupleId, usize>,
+    /// Id allocator for standalone tables; `None` when the owning
+    /// [`crate::Catalog`] allocates ids.
+    ids: Option<IdSeq>,
+}
+
+#[derive(Debug, Clone)]
+struct IdSeq {
+    base: u64,
+    stride: u64,
+    next: u64,
+}
+
+/// Validate a confidence value: finite and within `[0, 1]`.
+pub(crate) fn check_confidence(c: f64) -> Result<()> {
+    if !c.is_finite() || !(0.0..=1.0).contains(&c) {
+        return Err(StorageError::InvalidConfidence(c));
+    }
+    Ok(())
+}
+
+impl Table {
+    /// Create an empty table. `ids` controls whether the table allocates its
+    /// own tuple ids (`Some`) or leaves allocation to a [`crate::Catalog`]
+    /// (`None`).
+    fn with_ids(name: String, schema: Schema, ids: Option<IdSeq>) -> Self {
+        Table {
+            name,
+            schema,
+            rows: Vec::new(),
+            by_id: HashMap::new(),
+            ids,
+        }
+    }
+
+    /// Create a catalog-managed table (ids supplied externally).
+    pub(crate) fn catalog_managed(name: String, schema: Schema) -> Self {
+        Table::with_ids(name, schema, None)
+    }
+
+    /// Create a standalone table (ids count up from zero). Prefer creating
+    /// tables through a [`crate::Catalog`] so ids stay globally unique.
+    pub fn standalone(name: impl Into<String>, schema: Schema) -> Self {
+        Table::with_ids(
+            name.into(),
+            schema,
+            Some(IdSeq {
+                base: 0,
+                stride: 1,
+                next: 0,
+            }),
+        )
+    }
+
+    /// Create a standalone table whose ids follow `base + i * stride`,
+    /// letting multiple standalone tables keep disjoint id spaces.
+    pub fn standalone_strided(name: impl Into<String>, schema: Schema, base: u64, stride: u64) -> Self {
+        Table::with_ids(
+            name.into(),
+            schema,
+            Some(IdSeq {
+                base,
+                stride: stride.max(1),
+                next: 0,
+            }),
+        )
+    }
+
+    /// Append a validated row, maintaining the id index.
+    pub(crate) fn push_row(&mut self, row: StoredTuple) {
+        debug_assert!(
+            !self.by_id.contains_key(&row.id),
+            "duplicate tuple id {}",
+            row.id
+        );
+        self.by_id.insert(row.id, self.rows.len());
+        self.rows.push(row);
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row with the given confidence, returning its new id.
+    ///
+    /// Only standalone tables may allocate their own ids; rows of
+    /// catalog-managed tables must be inserted through
+    /// [`crate::Catalog::insert`] so ids stay globally unique.
+    pub fn insert(&mut self, values: Vec<Value>, confidence: f64) -> Result<TupleId> {
+        self.schema.check_row(&values)?;
+        check_confidence(confidence)?;
+        let seq = self
+            .ids
+            .as_mut()
+            .ok_or_else(|| StorageError::CatalogManagedTable(self.name.clone()))?;
+        let id = TupleId(seq.base + seq.next * seq.stride);
+        seq.next += 1;
+        self.push_row(StoredTuple {
+            id,
+            tuple: Tuple::new(values),
+            confidence,
+        });
+        Ok(id)
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[StoredTuple] {
+        &self.rows
+    }
+
+    /// Look up a row by id.
+    pub fn row(&self, id: TupleId) -> Option<&StoredTuple> {
+        self.by_id.get(&id).map(|&i| &self.rows[i])
+    }
+
+    /// Current confidence of a tuple, if it exists.
+    pub fn confidence(&self, id: TupleId) -> Option<f64> {
+        self.row(id).map(|r| r.confidence)
+    }
+
+    /// Set a tuple's confidence (the "data quality improvement" action).
+    pub fn set_confidence(&mut self, id: TupleId, confidence: f64) -> Result<()> {
+        check_confidence(confidence)?;
+        let idx = *self
+            .by_id
+            .get(&id)
+            .ok_or(StorageError::UnknownTuple(id.0))?;
+        self.rows[idx].confidence = confidence;
+        Ok(())
+    }
+
+    /// Raise a tuple's confidence to `confidence` if that is higher than the
+    /// current value; never lowers it. Returns the resulting confidence.
+    pub fn raise_confidence(&mut self, id: TupleId, confidence: f64) -> Result<f64> {
+        check_confidence(confidence)?;
+        let idx = *self
+            .by_id
+            .get(&id)
+            .ok_or(StorageError::UnknownTuple(id.0))?;
+        let row = &mut self.rows[idx];
+        if confidence > row.confidence {
+            row.confidence = confidence;
+        }
+        Ok(row.confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("funding", DataType::Real),
+        ])
+        .unwrap();
+        Table::standalone("Proposal", schema)
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut t = table();
+        let a = t.insert(vec![Value::text("A"), Value::Real(1.0)], 0.5).unwrap();
+        let b = t.insert(vec![Value::text("B"), Value::Real(2.0)], 0.6).unwrap();
+        assert_eq!(a, TupleId(0));
+        assert_eq!(b, TupleId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(b).unwrap().tuple.get(0), Some(&Value::text("B")));
+    }
+
+    #[test]
+    fn insert_validates_schema_and_confidence() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1), Value::Real(1.0)], 0.5).is_err());
+        assert!(matches!(
+            t.insert(vec![Value::text("A"), Value::Real(1.0)], 1.5),
+            Err(StorageError::InvalidConfidence(_))
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::text("A"), Value::Real(1.0)], f64::NAN),
+            Err(StorageError::InvalidConfidence(_))
+        ));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn confidence_updates() {
+        let mut t = table();
+        let id = t.insert(vec![Value::text("A"), Value::Real(1.0)], 0.3).unwrap();
+        t.set_confidence(id, 0.4).unwrap();
+        assert_eq!(t.confidence(id), Some(0.4));
+        // raise_confidence never lowers
+        assert_eq!(t.raise_confidence(id, 0.2).unwrap(), 0.4);
+        assert_eq!(t.raise_confidence(id, 0.9).unwrap(), 0.9);
+        assert!(matches!(
+            t.set_confidence(TupleId(99), 0.5),
+            Err(StorageError::UnknownTuple(99))
+        ));
+    }
+
+    #[test]
+    fn strided_id_spaces_do_not_collide() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        let mut a = Table::standalone_strided("a", schema.clone(), 0, 2);
+        let mut b = Table::standalone_strided("b", schema, 1, 2);
+        let ia = a.insert(vec![Value::Int(1)], 0.1).unwrap();
+        let ib = b.insert(vec![Value::Int(1)], 0.1).unwrap();
+        assert_ne!(ia, ib);
+        let ia2 = a.insert(vec![Value::Int(2)], 0.1).unwrap();
+        assert_eq!(ia2, TupleId(2));
+    }
+
+    #[test]
+    fn catalog_managed_tables_reject_direct_insert() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        let mut t = Table::catalog_managed("c".into(), schema);
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)], 0.1),
+            Err(StorageError::CatalogManagedTable(_))
+        ));
+    }
+}

@@ -1,0 +1,149 @@
+//! Workload parameters (the Table 4 grid).
+
+/// Parameters of the synthetic workload generator. Defaults are the bold
+/// (default) values of the paper's Table 4.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Total number of distinct base tuples ("Data size", default 10K).
+    pub data_size: usize,
+    /// Base tuples associated with each result (default 5).
+    pub bases_per_result: usize,
+    /// Explicit number of result tuples; `None` derives it from
+    /// `data_size · usage_factor / bases_per_result`.
+    pub num_results: Option<usize>,
+    /// Average number of results each base tuple participates in.
+    pub usage_factor: f64,
+    /// Confidence-increment step δ (default 0.1).
+    pub delta: f64,
+    /// Fraction of results that must be satisfied, θ (default 50 %).
+    pub theta: f64,
+    /// Confidence threshold β (default 0.6).
+    pub beta: f64,
+    /// Centre of the initial confidence distribution ("around 0.1").
+    pub confidence_center: f64,
+    /// Half-width of the uniform confidence jitter.
+    pub confidence_jitter: f64,
+    /// Latent cluster size for the shared-base structure; `None` picks
+    /// `max(3 · bases_per_result, 16)`.
+    pub cluster_size: Option<usize>,
+    /// Probability that a base reference escapes its cluster.
+    pub cross_cluster_prob: f64,
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            data_size: 10_000,
+            bases_per_result: 5,
+            num_results: None,
+            usage_factor: 1.5,
+            delta: 0.1,
+            theta: 0.5,
+            beta: 0.6,
+            confidence_center: 0.1,
+            confidence_jitter: 0.05,
+            cluster_size: None,
+            cross_cluster_prob: 0.08,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// The paper's Figure 11(a)/(d) micro-workload: 10 base tuples, 5 per
+    /// result, at least 3 of 6 results required above β = 0.6.
+    pub fn fig11a() -> WorkloadParams {
+        WorkloadParams {
+            data_size: 10,
+            bases_per_result: 5,
+            num_results: Some(6),
+            cluster_size: Some(10),
+            cross_cluster_prob: 0.0,
+            ..WorkloadParams::default()
+        }
+    }
+
+    /// One point of the Figure 11(c)/(f) scalability sweep: bases per
+    /// result is 5 below 5K and `data_size / 1000` from 10K up (the
+    /// paper's rule).
+    pub fn scalability_point(data_size: usize) -> WorkloadParams {
+        let bases_per_result = if data_size < 5_000 {
+            5
+        } else {
+            (data_size / 1_000).max(5)
+        };
+        WorkloadParams {
+            data_size,
+            bases_per_result,
+            ..WorkloadParams::default()
+        }
+    }
+
+    /// Effective number of results.
+    pub fn results(&self) -> usize {
+        self.num_results.unwrap_or_else(|| {
+            ((self.data_size as f64 * self.usage_factor / self.bases_per_result as f64)
+                .round() as usize)
+                .max(1)
+        })
+    }
+
+    /// Effective cluster size.
+    pub fn cluster(&self) -> usize {
+        self.cluster_size
+            .unwrap_or_else(|| (3 * self.bases_per_result).max(16))
+            .max(self.bases_per_result)
+    }
+
+    /// Quota: `⌈θ · results⌉`.
+    pub fn required(&self) -> usize {
+        (self.theta * self.results() as f64).ceil() as usize
+    }
+
+    /// Derive a copy with a different seed (for repetition across trials).
+    pub fn with_seed(mut self, seed: u64) -> WorkloadParams {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_4() {
+        let p = WorkloadParams::default();
+        assert_eq!(p.data_size, 10_000);
+        assert_eq!(p.bases_per_result, 5);
+        assert_eq!(p.delta, 0.1);
+        assert_eq!(p.theta, 0.5);
+        assert_eq!(p.beta, 0.6);
+    }
+
+    #[test]
+    fn scalability_rule_for_bases_per_result() {
+        assert_eq!(WorkloadParams::scalability_point(10).bases_per_result, 5);
+        assert_eq!(WorkloadParams::scalability_point(1_000).bases_per_result, 5);
+        assert_eq!(
+            WorkloadParams::scalability_point(10_000).bases_per_result,
+            10
+        );
+        assert_eq!(
+            WorkloadParams::scalability_point(100_000).bases_per_result,
+            100
+        );
+    }
+
+    #[test]
+    fn derived_counts() {
+        let p = WorkloadParams::default();
+        assert_eq!(p.results(), 3000);
+        assert_eq!(p.required(), 1500);
+        let f = WorkloadParams::fig11a();
+        assert_eq!(f.results(), 6);
+        assert_eq!(f.required(), 3);
+    }
+}

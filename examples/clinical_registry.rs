@@ -1,0 +1,140 @@
+//! The paper's health-care motivation (Section 1, after Malin et al.):
+//! "cancer registry and administrative data are often readily available at
+//! reasonable costs; patient and physician survey data are more expensive,
+//! while medical record data are often the most expensive to collect and
+//! are typically quite accurate" — and the required confidence depends on
+//! the purpose: hypothesis generation tolerates noisy data, treatment
+//! evaluation does not.
+//!
+//! This example assigns tuple confidences from *provenance* (source trust,
+//! collection method, freshness, corroboration) rather than by hand, and
+//! shows the same query released for research but gated — with a costed
+//! improvement plan — for clinical evaluation.
+//!
+//! Run with `cargo run --example clinical_registry`.
+
+use pcqe::cost::CostFn;
+use pcqe::engine::{Database, EngineConfig, QueryRequest, User};
+use pcqe::policy::ConfidencePolicy;
+use pcqe::provenance::{Agent, CollectionMethod, ProvenanceRecord, Source};
+use pcqe::storage::{Column, DataType, Schema, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new(EngineConfig::default());
+    db.create_table(
+        "Outcomes",
+        Schema::new(vec![
+            Column::new("patient", DataType::Text),
+            Column::new("treatment", DataType::Text),
+            Column::new("response", DataType::Text),
+        ])?,
+    )?;
+
+    // Provenance sources of decreasing trust and cost.
+    let registry = Source::new("state-cancer-registry", 0.92)?;
+    let claims = Source::new("insurance-claims", 0.75)?;
+    let survey = Source::new("patient-survey", 0.55)?;
+    let etl = Agent::new("registry-etl", 0.98)?;
+
+    // Patient A: registry-backed, automated, fresh — high confidence.
+    let a = db.insert_assessed(
+        "Outcomes",
+        vec![
+            Value::text("A"),
+            Value::text("regimen-1"),
+            Value::text("remission"),
+        ],
+        &[ProvenanceRecord::new(registry.clone(), CollectionMethod::Automated).via(etl.clone())],
+    )?;
+
+    // Patient B: survey only — low confidence, cheap to improve (pull the
+    // chart).
+    let b = db.insert_assessed(
+        "Outcomes",
+        vec![
+            Value::text("B"),
+            Value::text("regimen-1"),
+            Value::text("remission"),
+        ],
+        &[ProvenanceRecord::new(survey.clone(), CollectionMethod::Survey).aged(400.0)],
+    )?;
+
+    // Patient C: survey corroborated by claims — middling confidence,
+    // expensive to improve further (full medical-record abstraction).
+    let c = db.insert_assessed(
+        "Outcomes",
+        vec![
+            Value::text("C"),
+            Value::text("regimen-1"),
+            Value::text("progression"),
+        ],
+        &[
+            ProvenanceRecord::new(survey, CollectionMethod::Survey),
+            ProvenanceRecord::new(claims, CollectionMethod::ThirdPartyFeed),
+        ],
+    )?;
+
+    println!("assessed confidences:");
+    for (label, id) in [("A (registry)", a), ("B (survey)", b), ("C (survey+claims)", c)] {
+        println!("  {label}: {:.3}", db.confidence(id).unwrap());
+    }
+
+    // Improvement costs mirror the paper's cost ladder: chart pulls are
+    // cheap, record abstraction is not.
+    db.set_cost(b, CostFn::linear(20.0)?)?;
+    db.set_cost(c, CostFn::exponential(40.0, 4.0)?)?;
+
+    // Purpose-dependent thresholds (the Malin et al. guideline).
+    db.add_policy(ConfidencePolicy::new(
+        "researcher",
+        "hypothesis-generation",
+        0.30,
+    )?);
+    db.add_policy(ConfidencePolicy::new(
+        "clinician",
+        "treatment-evaluation",
+        0.60,
+    )?);
+
+    let query = "SELECT patient, response FROM Outcomes WHERE treatment = 'regimen-1'";
+
+    // Research use: everything but the stale survey row flows through.
+    let researcher = User::new("rhea", "researcher");
+    let resp = db.query(&researcher, &QueryRequest::new(query, "hypothesis-generation"))?;
+    println!(
+        "\nresearcher (β=0.30): {} of 3 rows released",
+        resp.released.len()
+    );
+
+    // Clinical use: only the registry row clears β = 0.6; asking for 100 %
+    // of results triggers strategy finding.
+    let clinician = User::new("cleo", "clinician");
+    let request = QueryRequest::new(query, "treatment-evaluation");
+    let resp = db.query(&clinician, &request)?;
+    println!(
+        "clinician (β=0.60): {} released, {} withheld",
+        resp.released.len(),
+        resp.withheld
+    );
+    let proposal = resp.proposal.expect("the withheld rows are improvable");
+    println!(
+        "improvement plan costs {:.1} across {} tuples:",
+        proposal.cost,
+        proposal.increments.len()
+    );
+    for inc in &proposal.increments {
+        println!(
+            "  verify tuple {}: {:.3} -> {:.3} (cost {:.1})",
+            inc.tuple_id, inc.from, inc.to, inc.cost
+        );
+    }
+
+    db.apply(&proposal)?;
+    let resp = db.query(&clinician, &request)?;
+    println!(
+        "after verification the clinician sees {} of 3 rows",
+        resp.released.len()
+    );
+    assert_eq!(resp.released.len(), 3);
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! A confidence-gated analytics dashboard: GROUP BY aggregation over
+//! uncertain rows, where each aggregate row's confidence is the
+//! probability its group is non-empty, and a picky executive policy
+//! triggers a verification plan for the shakiest regions.
+//!
+//! Run with `cargo run --example sales_dashboard`.
+
+use pcqe::cost::CostFn;
+use pcqe::engine::{Database, EngineConfig, QueryRequest, User};
+use pcqe::policy::ConfidencePolicy;
+use pcqe::storage::{Column, DataType, Schema, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new(EngineConfig::default());
+    db.create_table(
+        "Sales",
+        Schema::new(vec![
+            Column::new("region", DataType::Text),
+            Column::new("rep", DataType::Text),
+            Column::new("amount", DataType::Real),
+        ])?,
+    )?;
+
+    // West: two CRM-verified deals. East: two self-reported deals the
+    // reps never confirmed. South: one old import.
+    let rows: [(&str, &str, f64, f64); 5] = [
+        ("west", "ana", 120_000.0, 0.95),
+        ("west", "bo", 80_000.0, 0.9),
+        ("east", "cy", 200_000.0, 0.35),
+        ("east", "dee", 50_000.0, 0.4),
+        ("south", "ed", 75_000.0, 0.45),
+    ];
+    let mut ids = Vec::new();
+    for (region, rep, amount, confidence) in rows {
+        ids.push(db.insert(
+            "Sales",
+            vec![Value::text(region), Value::text(rep), Value::Real(amount)],
+            confidence,
+        )?);
+    }
+    // Confirming a deal with the rep is cheap; re-auditing the old South
+    // import is not.
+    db.set_cost(ids[2], CostFn::linear(40.0)?)?;
+    db.set_cost(ids[3], CostFn::linear(60.0)?)?;
+    db.set_cost(ids[4], CostFn::exponential(30.0, 3.0)?)?;
+
+    db.add_policy(ConfidencePolicy::new("analyst", "weekly-report", 0.3)?);
+    db.add_policy(ConfidencePolicy::new("cfo", "board-deck", 0.55)?);
+
+    let dashboard = "SELECT region, COUNT(*) AS deals, SUM(amount) AS pipeline \
+                     FROM Sales GROUP BY region ORDER BY region";
+
+    // The analyst's weekly report shows every region.
+    let analyst = User::new("ana-lyst", "analyst");
+    let resp = db.query(&analyst, &QueryRequest::new(dashboard, "weekly-report"))?;
+    println!("analyst dashboard (β=0.3):");
+    for row in &resp.released {
+        println!("  {}  [confidence {:.2}]", row.tuple, row.confidence);
+    }
+
+    // The CFO's board deck drops the unverified regions — and gets the
+    // cheapest verification plan to win them back.
+    let cfo = User::new("c-f-o", "cfo");
+    let request = QueryRequest::new(dashboard, "board-deck");
+    let resp = db.query(&cfo, &request)?;
+    println!("\nCFO board deck (β=0.55): {} of 3 regions visible", resp.released.len());
+    let proposal = resp.proposal.expect("regions are verifiable");
+    println!("verification plan, cost {:.0}:", proposal.cost);
+    for inc in &proposal.increments {
+        println!(
+            "  confirm tuple {}: {:.2} -> {:.2} (cost {:.0})",
+            inc.tuple_id, inc.from, inc.to, inc.cost
+        );
+    }
+
+    // Preview before committing (what-if), then accept.
+    let preview = db.what_if(&cfo, &request, &proposal)?;
+    println!("\npreview after verification: {} regions visible", preview.released.len());
+    db.apply(&proposal)?;
+    let resp = db.query(&cfo, &request)?;
+    assert_eq!(resp.released.len(), 3);
+    println!("\nafter verification the CFO sees all regions:");
+    for row in &resp.released {
+        println!("  {}  [confidence {:.2}]", row.tuple, row.confidence);
+    }
+    Ok(())
+}

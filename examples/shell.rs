@@ -1,0 +1,196 @@
+//! An interactive PCQE shell: type SQL (DDL, DML with confidences, and
+//! policy-checked queries) against an in-memory database.
+//!
+//! Run with `cargo run --example shell`, or pipe a script:
+//!
+//! ```text
+//! cargo run --example shell <<'EOF'
+//! CREATE TABLE t (x INT, label TEXT);
+//! INSERT INTO t VALUES (1, 'low') WITH CONFIDENCE 0.3;
+//! INSERT INTO t VALUES (2, 'high') WITH CONFIDENCE 0.9;
+//! .policy analyst report 0.5
+//! .user alice analyst
+//! .purpose report
+//! SELECT x, label FROM t;
+//! .accept
+//! SELECT x, label FROM t;
+//! EOF
+//! ```
+//!
+//! Dot-commands: `.user <name> <role>`, `.purpose <p>`,
+//! `.policy <role> <purpose> <beta>`, `.cost <tuple-id> <rate>`,
+//! `.expecting <fraction>`, `.accept`, `.tables`, `.help`, `.quit`.
+
+use pcqe::cost::CostFn;
+use pcqe::engine::{
+    Database, EngineConfig, ImprovementProposal, QueryRequest, StatementOutcome, User,
+};
+use pcqe::policy::ConfidencePolicy;
+use pcqe::storage::TupleId;
+use std::io::{self, BufRead, Write};
+
+struct Shell {
+    db: Database,
+    user: User,
+    purpose: String,
+    expecting: f64,
+    pending: Option<ImprovementProposal>,
+}
+
+fn main() -> io::Result<()> {
+    let mut shell = Shell {
+        db: Database::new(EngineConfig::default()),
+        user: User::new("anon", "public"),
+        purpose: "browsing".into(),
+        expecting: 1.0,
+        pending: None,
+    };
+    // A permissive default policy so the shell works out of the box.
+    shell
+        .db
+        .add_policy(ConfidencePolicy::default_floor(0.0).expect("valid"));
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    print!("pcqe> ");
+    out.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            if trimmed.eq_ignore_ascii_case(".quit") || trimmed.eq_ignore_ascii_case(".exit") {
+                break;
+            }
+            if let Err(e) = shell.dispatch(trimmed) {
+                println!("error: {e}");
+            }
+        }
+        print!("pcqe> ");
+        out.flush()?;
+    }
+    println!();
+    Ok(())
+}
+
+impl Shell {
+    fn dispatch(&mut self, line: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(rest) = line.strip_prefix('.') {
+            self.dot_command(rest)
+        } else {
+            self.sql(line)
+        }
+    }
+
+    fn dot_command(&mut self, rest: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            ["help"] => {
+                println!(
+                    "SQL: CREATE TABLE t (col TYPE, ...); INSERT INTO t VALUES (...) \
+                     [WITH CONFIDENCE c]; SELECT ...\n\
+                     dot-commands: .user <name> <role> | .purpose <p> | \
+                     .policy <role> <purpose> <beta> | .cost <tuple-id> <rate> | \
+                     .expecting <fraction> | .accept | .tables | \
+                     .explain <query> | .save <dir> | .load <dir> | .quit"
+                );
+            }
+            ["user", name, role] => {
+                self.user = User::new(*name, *role);
+                println!("now querying as {name} ({role})");
+            }
+            ["purpose", p] => {
+                self.purpose = (*p).to_owned();
+                println!("purpose set to {p}");
+            }
+            ["policy", role, purpose, beta] => {
+                let beta: f64 = beta.parse()?;
+                self.db
+                    .add_policy(ConfidencePolicy::new(*role, *purpose, beta)?);
+                println!("policy ⟨{role}, {purpose}, {beta}⟩ added");
+            }
+            ["cost", id, rate] => {
+                let id = TupleId(id.trim_start_matches('t').parse()?);
+                let rate: f64 = rate.parse()?;
+                self.db.set_cost(id, CostFn::linear(rate)?)?;
+                println!("cost of {id} set to linear(rate={rate})");
+            }
+            ["expecting", fraction] => {
+                self.expecting = fraction.parse()?;
+                println!("expecting {}% of results", self.expecting * 100.0);
+            }
+            ["accept"] => match self.pending.take() {
+                Some(p) => {
+                    self.db.apply(&p)?;
+                    println!("applied {} increment(s), total cost {:.2}", p.increments.len(), p.cost);
+                }
+                None => println!("no pending proposal"),
+            },
+            ["tables"] => {
+                for name in self.db.catalog().table_names() {
+                    let t = self.db.catalog().table(name).expect("listed table");
+                    println!("{name} ({} rows)", t.len());
+                }
+            }
+            ["explain", rest @ ..] if !rest.is_empty() => {
+                print!("{}", self.db.explain(&rest.join(" "))?);
+            }
+            ["save", dir] => {
+                pcqe::engine::persist::save(&self.db, std::path::Path::new(dir))?;
+                println!("saved to {dir}");
+            }
+            ["load", dir] => {
+                self.db = pcqe::engine::persist::load(
+                    std::path::Path::new(dir),
+                    EngineConfig::default(),
+                )?;
+                self.pending = None;
+                println!("loaded from {dir}");
+            }
+            _ => println!("unknown command `.{rest}` (try .help)"),
+        }
+        Ok(())
+    }
+
+    fn sql(&mut self, line: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let upper = line.trim_start().to_ascii_uppercase();
+        if upper.starts_with("CREATE") || upper.starts_with("INSERT") {
+            match self.db.execute(line)? {
+                StatementOutcome::TableCreated => println!("table created"),
+                StatementOutcome::Inserted(ids) => {
+                    let rendered: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+                    println!("inserted {} row(s): {}", ids.len(), rendered.join(", "));
+                }
+            }
+            return Ok(());
+        }
+        let request = QueryRequest::new(line, self.purpose.as_str()).expecting(self.expecting);
+        let resp = self.db.query(&self.user, &request)?;
+        for row in &resp.released {
+            println!("{}  [confidence {:.3}]", row.tuple, row.confidence);
+        }
+        println!(
+            "{} row(s) released, {} withheld (β = {})",
+            resp.released.len(),
+            resp.withheld,
+            resp.threshold
+        );
+        match resp.proposal {
+            Some(p) => {
+                println!(
+                    "improvement available: cost {:.2} raises {} tuple(s) — type .accept",
+                    p.cost,
+                    p.increments.len()
+                );
+                for inc in &p.increments {
+                    println!(
+                        "  {}: {:.2} -> {:.2} (cost {:.2})",
+                        inc.tuple_id, inc.from, inc.to, inc.cost
+                    );
+                }
+                self.pending = Some(p);
+            }
+            None => self.pending = None,
+        }
+        Ok(())
+    }
+}

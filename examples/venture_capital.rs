@@ -1,0 +1,128 @@
+//! The paper's running example (Section 3.1), reproduced end to end:
+//! Tables 1–2, the Candidate query with p38 = 0.058 (Table 3), policies
+//! P1/P2, and the cheapest confidence increment (raise tuple 03, cost 10).
+//!
+//! Run with `cargo run --example venture_capital`.
+
+use pcqe::cost::CostFn;
+use pcqe::engine::{Database, EngineConfig, QueryRequest, User};
+use pcqe::policy::ConfidencePolicy;
+use pcqe::storage::{Column, DataType, Schema, Value};
+
+const QUERY: &str = "SELECT DISTINCT CompanyInfo.company, income \
+    FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company \
+    WHERE funding < 1000000.0";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new(EngineConfig::default());
+
+    // Table 1: Proposal(Company, Proposal, Funding) with confidences.
+    db.create_table(
+        "Proposal",
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("proposal", DataType::Text),
+            Column::new("funding", DataType::Real),
+        ])?,
+    )?;
+    // Table 2: CompanyInfo(Company, Income) with confidences.
+    db.create_table(
+        "CompanyInfo",
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("income", DataType::Real),
+        ])?,
+    )?;
+
+    // Tuple 01: filtered out by the funding predicate.
+    db.insert(
+        "Proposal",
+        vec![
+            Value::text("MegaWatt"),
+            Value::text("grid expansion"),
+            Value::Real(3_000_000.0),
+        ],
+        0.8,
+    )?;
+    // Tuples 02 (p02 = 0.3) and 03 (p03 = 0.4): two SkyCam proposals under
+    // one million — the projection merges them with OR lineage.
+    let t02 = db.insert(
+        "Proposal",
+        vec![
+            Value::text("SkyCam"),
+            Value::text("drone v1"),
+            Value::Real(800_000.0),
+        ],
+        0.3,
+    )?;
+    let t03 = db.insert(
+        "Proposal",
+        vec![
+            Value::text("SkyCam"),
+            Value::text("drone v2"),
+            Value::Real(900_000.0),
+        ],
+        0.4,
+    )?;
+    // Tuple 13 (p13 = 0.1): SkyCam's financials.
+    let t13 = db.insert(
+        "CompanyInfo",
+        vec![Value::text("SkyCam"), Value::Real(500_000.0)],
+        0.1,
+    )?;
+
+    // Section 3.1: "the costs of incrementing the confidence level by 0.1
+    // for each of the tuples 02 and 03 are 100 and 10".
+    db.set_cost(t02, CostFn::linear(1_000.0)?)?;
+    db.set_cost(t03, CostFn::linear(100.0)?)?;
+    // Improving the audited financials is prohibitively expensive.
+    db.set_cost(t13, CostFn::linear(10_000.0)?)?;
+
+    // Policies P1 and P2.
+    db.add_policy(ConfidencePolicy::new("Secretary", "analysis", 0.05)?);
+    db.add_policy(ConfidencePolicy::new("Manager", "investment", 0.06)?);
+
+    println!("Query: {QUERY}\n");
+
+    // The secretary's analysis passes P1 (0.058 > 0.05).
+    let secretary = User::new("sue", "Secretary");
+    let resp = db.query(&secretary, &QueryRequest::new(QUERY, "analysis"))?;
+    println!("Secretary (P1, β=0.05): {} row(s)", resp.released.len());
+    for r in &resp.released {
+        println!("  {}  confidence {:.3}  lineage {}", r.tuple, r.confidence, r.lineage);
+    }
+    assert_eq!(resp.released.len(), 1);
+    assert!((resp.released[0].confidence - 0.058).abs() < 1e-12);
+
+    // The manager's investment decision fails P2 (0.058 < 0.06) — the
+    // strategy finder proposes the cheapest fix.
+    let manager = User::new("mark", "Manager");
+    let resp = db.query(&manager, &QueryRequest::new(QUERY, "investment"))?;
+    println!("\nManager (P2, β=0.06): {} row(s), {} withheld", resp.released.len(), resp.withheld);
+    let proposal = resp.proposal.expect("an improvement strategy exists");
+    println!("Proposal (cost {:.0}):", proposal.cost);
+    for inc in &proposal.increments {
+        println!(
+            "  raise tuple {} from {:.1} to {:.1} (cost {:.0})",
+            inc.tuple_id, inc.from, inc.to, inc.cost
+        );
+    }
+    // Exactly the paper's conclusion: 0.4 → 0.5 on tuple 03 for cost 10,
+    // not 0.3 → 0.4 on tuple 02 for cost 100.
+    assert!((proposal.cost - 10.0).abs() < 1e-9);
+    assert_eq!(proposal.increments.len(), 1);
+    assert_eq!(proposal.increments[0].tuple_id, t03);
+
+    // Accept: the data-quality improvement runs and the manager now sees
+    // the candidate with p38 = 0.065 > 0.06.
+    db.apply(&proposal)?;
+    let resp = db.query(&manager, &QueryRequest::new(QUERY, "investment"))?;
+    println!("\nAfter improvement: {} row(s)", resp.released.len());
+    for r in &resp.released {
+        println!("  {}  confidence {:.3}", r.tuple, r.confidence);
+    }
+    assert_eq!(resp.released.len(), 1);
+    assert!((resp.released[0].confidence - 0.065).abs() < 1e-12);
+    println!("\nMatches Section 3.1: p25 = 0.65, p38 = 0.065 > 0.06.");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # PCQE — Policy-Compliant Query Evaluation
+//!
+//! A faithful, from-scratch reproduction of *"Query Processing Techniques
+//! for Compliance with Data Confidence Policies"* (Dai, Lin, Kantarcioglu,
+//! Bertino, Celikel, Thuraisingham; SDM 2009, co-located with VLDB).
+//!
+//! The facade crate re-exports every subsystem:
+//!
+//! * [`storage`] — confidence-carrying in-memory tables.
+//! * [`lineage`] — boolean lineage and confidence computation.
+//! * [`algebra`] — lineage-propagating relational algebra.
+//! * [`sql`] — SQL-subset front-end.
+//! * [`provenance`] — confidence assignment from provenance.
+//! * [`policy`] — confidence policies ⟨role, purpose, β⟩.
+//! * [`cost`] — per-tuple confidence-increment cost models.
+//! * [`core`] — the paper's strategy-finding algorithms (heuristic
+//!   branch-and-bound, two-phase greedy, divide-and-conquer).
+//! * [`engine`] — the end-to-end PCQE framework of the paper's Figure 1.
+//! * [`workload`] — the synthetic evaluation workloads of Section 5.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use pcqe_algebra as algebra;
+pub use pcqe_core as core;
+pub use pcqe_cost as cost;
+pub use pcqe_engine as engine;
+pub use pcqe_lineage as lineage;
+pub use pcqe_policy as policy;
+pub use pcqe_provenance as provenance;
+pub use pcqe_sql as sql;
+pub use pcqe_storage as storage;
+pub use pcqe_workload as workload;

@@ -1,0 +1,114 @@
+//! Property-based tests for the cost models and the policy store.
+
+use pcqe::cost::CostFn;
+use pcqe::policy::{ConfidencePolicy, PolicyStore, Purpose, Role};
+use proptest::prelude::*;
+
+/// A random cost function from every family with valid parameters.
+fn cost_fn_strategy() -> impl Strategy<Value = CostFn> {
+    prop_oneof![
+        (0.1f64..1000.0).prop_map(|r| CostFn::linear(r).expect("valid")),
+        (0.1f64..500.0, 1.0f64..4.0)
+            .prop_map(|(c, d)| CostFn::polynomial(c, d).expect("valid")),
+        (0.1f64..100.0, 0.5f64..6.0)
+            .prop_map(|(c, r)| CostFn::exponential(c, r).expect("valid")),
+        (0.1f64..500.0, 0.5f64..20.0)
+            .prop_map(|(c, s)| CostFn::logarithmic(c, s).expect("valid")),
+        proptest::collection::vec(0.01f64..10.0, 1..5).prop_map(|increments| {
+            // Build monotone breakpoints from positive increments.
+            let mut points = vec![(0.0, 0.0)];
+            let n = increments.len();
+            let mut g = 0.0;
+            for (i, inc) in increments.into_iter().enumerate() {
+                g += inc;
+                let p = (i + 1) as f64 / n as f64;
+                points.push((p, g));
+            }
+            CostFn::piecewise(points).expect("constructed monotone")
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn costs_are_nonnegative_and_monotone(
+        cost in cost_fn_strategy(),
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let c = cost.cost(lo, hi);
+        prop_assert!(c >= 0.0);
+        prop_assert_eq!(cost.cost(hi, lo), 0.0, "lowering is free");
+        // Widening the interval can only cost more.
+        let wider = cost.cost((lo - 0.1).max(0.0), (hi + 0.1).min(1.0));
+        prop_assert!(wider >= c - 1e-9);
+    }
+
+    #[test]
+    fn costs_are_additive_along_paths(
+        cost in cost_fn_strategy(),
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+        c in 0.0f64..=1.0,
+    ) {
+        let mut points = [a, b, c];
+        points.sort_by(f64::total_cmp);
+        let [x, y, z] = points;
+        let direct = cost.cost(x, z);
+        let stepped = cost.cost(x, y) + cost.cost(y, z);
+        prop_assert!((direct - stepped).abs() < 1e-6 * (1.0 + direct.abs()),
+            "direct {} vs stepped {}", direct, stepped);
+    }
+
+    #[test]
+    fn step_cost_is_consistent(cost in cost_fn_strategy(), from in 0.0f64..=1.0) {
+        let s = cost.step_cost(from, 0.1);
+        prop_assert!((s - cost.cost(from, (from + 0.1).min(1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selected_policy_is_always_applicable(
+        thresholds in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        role_pick in 0usize..3,
+        purpose_pick in 0usize..3,
+    ) {
+        let roles = ["analyst", "manager", "auditor"];
+        let purposes = ["report", "invest", "audit"];
+        let mut store = PolicyStore::new();
+        // A deterministic mix of exact and wildcard policies.
+        for (i, &beta) in thresholds.iter().enumerate() {
+            match i % 3 {
+                0 => store.add(
+                    ConfidencePolicy::new(roles[i % roles.len()], purposes[i % purposes.len()], beta)
+                        .expect("valid"),
+                ),
+                1 => store.add(ConfidencePolicy::for_role(roles[i % roles.len()], beta).expect("valid")),
+                _ => store.add(ConfidencePolicy::default_floor(beta).expect("valid")),
+            }
+        }
+        let role = Role::new(roles[role_pick]);
+        let purpose = Purpose::new(purposes[purpose_pick]);
+        match store.select(&role, &purpose) {
+            Ok(policy) => {
+                // The returned threshold must belong to some stored policy.
+                prop_assert!(store
+                    .policies()
+                    .iter()
+                    .any(|p| p.threshold == policy.threshold));
+            }
+            Err(_) => {
+                // Only possible when no wildcard floor exists.
+                prop_assert!(!thresholds.iter().enumerate().any(|(i, _)| i % 3 == 2));
+            }
+        }
+    }
+
+    #[test]
+    fn admits_is_exactly_strictly_greater(beta in 0.0f64..=1.0, conf in 0.0f64..=1.0) {
+        let p = ConfidencePolicy::default_floor(beta).expect("valid");
+        prop_assert_eq!(p.admits(conf), conf > beta);
+    }
+}

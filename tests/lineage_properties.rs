@@ -1,0 +1,173 @@
+//! Property-based tests over the lineage substrate: simplification is
+//! semantics-preserving, exact probability matches brute-force
+//! enumeration, the compiled form matches the interpreter, and Monte-Carlo
+//! estimation converges to the exact value.
+
+use pcqe::lineage::{CompiledLineage, Evaluator, Lineage, MonteCarlo, VarId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const MAX_VARS: u64 = 5;
+
+/// Random lineage formulas, negation included.
+fn lineage_strategy() -> impl Strategy<Value = Lineage> {
+    let leaf = prop_oneof![
+        (0..MAX_VARS).prop_map(Lineage::var),
+        any::<bool>().prop_map(Lineage::Const),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Lineage::Not(Box::new(e))),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Lineage::And),
+            proptest::collection::vec(inner, 1..4).prop_map(Lineage::Or),
+        ]
+    })
+}
+
+fn probs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, MAX_VARS as usize)
+}
+
+/// Brute-force probability by enumerating all assignments of the formula's
+/// variables.
+fn brute_force(l: &Lineage, probs: &[f64]) -> f64 {
+    let vars = l.vars();
+    let mut total = 0.0;
+    for bits in 0..(1u32 << vars.len()) {
+        let assign = |v: VarId| {
+            let slot = vars.iter().position(|&x| x == v).expect("collected var");
+            bits & (1 << slot) != 0
+        };
+        if l.eval(&assign) {
+            let mut w = 1.0;
+            for (slot, &v) in vars.iter().enumerate() {
+                let p = probs[v.0 as usize];
+                w *= if bits & (1 << slot) != 0 { p } else { 1.0 - p };
+            }
+            total += w;
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplify_preserves_semantics(l in lineage_strategy(), bits in 0u32..32) {
+        let s = l.simplify();
+        let assign = |v: VarId| bits & (1 << v.0) != 0;
+        prop_assert_eq!(l.eval(&assign), s.eval(&assign));
+    }
+
+    #[test]
+    fn simplify_is_idempotent(l in lineage_strategy()) {
+        let once = l.simplify();
+        let twice = once.simplify();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn exact_probability_matches_brute_force(l in lineage_strategy(), probs in probs_strategy()) {
+        let map: HashMap<VarId, f64> =
+            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
+        let exact = Evaluator::exact_only(1 << 16).probability(&l, &map).unwrap();
+        let brute = brute_force(&l, &probs);
+        prop_assert!((exact - brute).abs() < 1e-9, "exact {} vs brute {}", exact, brute);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&exact));
+    }
+
+    #[test]
+    fn compiled_matches_interpreter(l in lineage_strategy(), probs in probs_strategy()) {
+        let map: HashMap<VarId, f64> =
+            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
+        let exact = Evaluator::exact_only(1 << 16).probability(&l, &map).unwrap();
+        let compiled = CompiledLineage::compile(&l, 1 << 16).unwrap();
+        let fast = compiled.eval_with(|v| map[&v]);
+        prop_assert!((exact - fast).abs() < 1e-9, "exact {} vs compiled {}", exact, fast);
+    }
+
+    #[test]
+    fn factoring_preserves_semantics_and_never_grows(l in lineage_strategy(), bits in 0u32..32) {
+        let f = pcqe::lineage::factor(&l);
+        let assign = |v: VarId| bits & (1 << v.0) != 0;
+        prop_assert_eq!(l.eval(&assign), f.eval(&assign), "{} vs {}", l, f);
+        let before: usize = l.simplify().var_counts().values().sum();
+        let after: usize = f.var_counts().values().sum();
+        prop_assert!(after <= before, "{} occurrences grew to {} ({} → {})", before, after, l, f);
+    }
+
+    #[test]
+    fn conditioning_is_consistent_with_probability(
+        l in lineage_strategy(),
+        probs in probs_strategy(),
+        pivot in 0..MAX_VARS,
+    ) {
+        // P(F) = p·P(F|v=1) + (1−p)·P(F|v=0) for any pivot.
+        let map: HashMap<VarId, f64> =
+            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
+        let ev = Evaluator::exact_only(1 << 16);
+        let full = ev.probability(&l, &map).unwrap();
+        let hi = ev.probability(&l.condition(VarId(pivot), true), &map).unwrap();
+        let lo = ev.probability(&l.condition(VarId(pivot), false), &map).unwrap();
+        let p = probs[pivot as usize];
+        prop_assert!((full - (p * hi + (1.0 - p) * lo)).abs() < 1e-9);
+    }
+}
+
+/// Negation-free lineage strategy (for the monotonicity property).
+fn positive_lineage_strategy() -> impl Strategy<Value = Lineage> {
+    let leaf = (0..MAX_VARS).prop_map(Lineage::var);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Lineage::And),
+            proptest::collection::vec(inner, 1..4).prop_map(Lineage::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The solvers' pruning rules assume raising any base confidence can
+    /// only raise a negation-free result's confidence. Verify it.
+    #[test]
+    fn negation_free_lineage_is_monotone(
+        l in positive_lineage_strategy(),
+        probs in probs_strategy(),
+        bump_var in 0..MAX_VARS,
+        bump in 0.0f64..=1.0,
+    ) {
+        let ev = Evaluator::exact_only(1 << 16);
+        let base: HashMap<VarId, f64> =
+            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
+        let mut raised = base.clone();
+        let e = raised.get_mut(&VarId(bump_var)).expect("var present");
+        *e = (*e + bump).min(1.0);
+        let p0 = ev.probability(&l, &base).unwrap();
+        let p1 = ev.probability(&l, &raised).unwrap();
+        prop_assert!(p1 >= p0 - 1e-9, "raising v{bump_var} lowered {p0} to {p1} for {l}");
+    }
+}
+
+#[test]
+fn monte_carlo_converges_to_exact() {
+    // Not a proptest (sampling is slow); three representative formulas.
+    let formulas = [
+        Lineage::or(vec![
+            Lineage::and(vec![Lineage::var(0), Lineage::var(1)]),
+            Lineage::and(vec![Lineage::var(1), Lineage::var(2)]),
+        ]),
+        Lineage::not(Lineage::and(vec![Lineage::var(0), Lineage::var(3)])),
+        Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(0), Lineage::var(1)]),
+            Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+        ]),
+    ];
+    let map: HashMap<VarId, f64> = (0..MAX_VARS).map(|i| (VarId(i), 0.35)).collect();
+    for l in &formulas {
+        let exact = Evaluator::exact_only(1 << 16).probability(l, &map).unwrap();
+        let mc = MonteCarlo::new(300_000, 17).estimate(l, &map).unwrap();
+        assert!((exact - mc).abs() < 0.01, "exact {exact} vs mc {mc} for {l}");
+    }
+}

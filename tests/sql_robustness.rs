@@ -1,0 +1,106 @@
+//! Robustness tests for the SQL front-end: the parser must reject garbage
+//! with errors (never panic), and valid inputs must round-trip through the
+//! grammar's surface forms.
+
+use pcqe::sql::{parse, parse_statement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: the lexer/parser must return, not panic.
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(input in ".{0,80}") {
+        let _ = parse(&input);
+        let _ = parse_statement(&input);
+    }
+
+    /// Strings made of SQL-ish fragments: still no panics, and the error
+    /// position (when any) stays within the input.
+    #[test]
+    fn parser_never_panics_on_sql_shaped_strings(
+        fragments in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("DISTINCT"), Just("*"), Just("FROM"),
+                Just("WHERE"), Just("JOIN"), Just("ON"), Just("AND"),
+                Just("OR"), Just("NOT"), Just("UNION"), Just("EXCEPT"),
+                Just("("), Just(")"), Just(","), Just("="), Just("<"),
+                Just("t"), Just("x"), Just("1"), Just("2.5"), Just("'s'"),
+                Just("a.b"), Just("AS"), Just("+"), Just("-"), Just("/"),
+            ],
+            0..16,
+        )
+    ) {
+        let input = fragments.join(" ");
+        match parse(&input) {
+            Ok(_) => {}
+            Err(pcqe::sql::SqlError::Parse { pos, .. })
+            | Err(pcqe::sql::SqlError::Lex { pos, .. }) => {
+                prop_assert!(pos <= input.len());
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Every identifier-shaped table/column name parses in a simple query.
+    #[test]
+    fn identifier_names_parse(
+        table in "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
+        column in "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
+    ) {
+        let sql = format!("SELECT {column} FROM {table}");
+        match parse(&sql) {
+            Ok(_) => {}
+            Err(_) => {
+                // Only reserved words may be rejected.
+                let reserved = [
+                    "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "JOIN", "INNER",
+                    "ON", "AS", "AND", "OR", "NOT", "UNION", "EXCEPT", "TRUE",
+                    "FALSE", "NULL",
+                ];
+                let is_reserved = |s: &str| reserved.iter().any(|r| r.eq_ignore_ascii_case(s));
+                prop_assert!(is_reserved(&table) || is_reserved(&column),
+                    "non-reserved identifiers must parse: {}", sql);
+            }
+        }
+    }
+
+    /// Numeric literals survive the round trip through the lexer.
+    #[test]
+    fn numeric_literals_parse(n in proptest::num::i32::ANY, frac in 0u32..1000) {
+        let sql = format!("SELECT * FROM t WHERE x = {n} AND y = {n}.{frac:03}");
+        prop_assert!(parse(&sql).is_ok(), "{}", sql);
+    }
+
+    /// String literals with embedded quotes survive escaping.
+    #[test]
+    fn string_literals_parse(s in "[a-zA-Z '\u{e9}\u{4e16}]{0,20}") {
+        let escaped = s.replace('\'', "''");
+        let sql = format!("SELECT * FROM t WHERE x = '{escaped}'");
+        prop_assert!(parse(&sql).is_ok(), "{}", sql);
+    }
+}
+
+#[test]
+fn deeply_nested_parentheses_do_not_overflow() {
+    let nested = |depth: usize| {
+        let mut pred = String::new();
+        for _ in 0..depth {
+            pred.push('(');
+        }
+        pred.push_str("x = 1");
+        for _ in 0..depth {
+            pred.push(')');
+        }
+        format!("SELECT * FROM t WHERE {pred}")
+    };
+    // Sane depths parse fine.
+    assert!(parse(&nested(100)).is_ok());
+    // Absurd depths are rejected with an error, never a stack crash.
+    match parse(&nested(5_000)) {
+        Err(pcqe::sql::SqlError::Parse { message, .. }) => {
+            assert!(message.contains("nesting"), "{message}");
+        }
+        other => panic!("expected a depth error, got {other:?}"),
+    }
+}
