@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point. Everything runs OFFLINE: the
+# default workspace depends only on sibling path crates (enforced by
+# tests/hermetic_guard.rs and re-checked here), so a network-less runner
+# with an empty cargo registry builds and tests the whole repository.
+#
+# Usage: ./ci.sh [--no-clippy]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+NO_CLIPPY=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-clippy) NO_CLIPPY=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "formatting (cargo fmt --check)"
+cargo fmt --all --check
+
+if [ "$NO_CLIPPY" -eq 0 ]; then
+  step "lints (cargo clippy -D warnings)"
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
+
+step "non-path dependency guard"
+# Fast shell-level mirror of tests/hermetic_guard.rs: no dependency table
+# in the default workspace may name a crate without `path =` (workspace
+# pcqe-* entries resolve to path deps declared at the root).
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+  case "$manifest" in crates/bench/*) continue ;; esac
+  bad=$(awk '
+    /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) ; next }
+    in_deps && NF && $0 !~ /^#/ && $0 ~ /=/ {
+      if ($0 !~ /path *=/ && $0 !~ /^ *pcqe[-_]/) print "  " FILENAME ": " $0
+    }
+  ' "$manifest")
+  if [ -n "$bad" ]; then
+    echo "non-path dependencies found:" >&2
+    echo "$bad" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "all default-workspace dependencies are path dependencies"
+
+step "release build (offline)"
+cargo build --release --offline
+
+step "tests (offline)"
+cargo test -q --offline
+
+step "bench workspace builds (offline, detached)"
+( cd crates/bench && cargo build --offline && cargo test -q --offline )
+
+step "ci.sh: all stages passed"

@@ -1,11 +1,11 @@
 //! Plan execution with lineage propagation.
 
-
 use crate::expr::ScalarExpr;
 use crate::plan::{Plan, ProjItem};
 use crate::result::{DerivedTuple, ResultSet};
 use crate::Result;
 use pcqe_lineage::Lineage;
+use pcqe_par::Parallelism;
 use pcqe_storage::{Catalog, Tuple, Value};
 use std::collections::HashMap;
 
@@ -16,13 +16,26 @@ use std::collections::HashMap;
 /// split is what lets the strategy-finding algorithms re-score the same
 /// results under hypothetical confidence increments without re-running the
 /// query.
+///
+/// Runs sequentially; [`execute_with`] adds morsel parallelism.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<ResultSet> {
+    execute_with(plan, catalog, &Parallelism::sequential())
+}
+
+/// [`execute`] with a parallelism policy: large `Select`/`Project` inputs,
+/// join probe phases and cross products are split into morsels and
+/// evaluated on worker threads.
+///
+/// The output is byte-identical to [`execute`] for any policy — each
+/// operator's per-row work is pure, morsel outputs are reassembled in
+/// input order, and errors surface as the first failure in input order.
+pub fn execute_with(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<ResultSet> {
     let schema = plan.schema(catalog)?;
-    let rows = run(plan, catalog)?;
+    let rows = run(plan, catalog, par)?;
     Ok(ResultSet::new(schema, rows))
 }
 
-fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
+fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedTuple>> {
     match plan {
         Plan::Scan { table, .. } => {
             let t = catalog.table(table)?;
@@ -35,29 +48,37 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
                 .collect())
         }
         Plan::Select { input, predicate } => {
-            let rows = run(input, catalog)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if predicate.eval_predicate(row.tuple.values())? {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+            let rows = run(input, catalog, par)?;
+            // Morsel-parallel predicate evaluation; the filter itself is a
+            // cheap sequential pass over the boolean mask, so output order
+            // (and the first error reported) match the sequential loop.
+            let keep = pcqe_par::try_map(par, &rows, |row| {
+                predicate.eval_predicate(row.tuple.values())
+            })?;
+            Ok(rows
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(row, k)| k.then_some(row))
+                .collect())
         }
         Plan::Project {
             input,
             items,
             distinct,
         } => {
-            let rows = run(input, catalog)?;
-            let mut projected = Vec::with_capacity(rows.len());
-            for row in rows {
-                let values = eval_items(items, row.tuple.values())?;
-                projected.push(DerivedTuple {
+            let rows = run(input, catalog, par)?;
+            // Morsel-parallel expression evaluation, one output row per
+            // input row in input order.
+            let values =
+                pcqe_par::try_map(par, &rows, |row| eval_items(items, row.tuple.values()))?;
+            let projected: Vec<DerivedTuple> = rows
+                .into_iter()
+                .zip(values)
+                .map(|(row, values)| DerivedTuple {
                     tuple: Tuple::new(values),
                     lineage: row.lineage,
-                });
-            }
+                })
+                .collect();
             if *distinct {
                 Ok(or_merge(projected))
             } else {
@@ -69,8 +90,8 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
             right,
             predicate,
         } => {
-            let l = run(left, catalog)?;
-            let r = run(right, catalog)?;
+            let l = run(left, catalog, par)?;
+            let r = run(right, catalog, par)?;
             let left_schema = left.schema(catalog)?;
             let right_schema = right.schema(catalog)?;
             let left_arity = left_schema.arity();
@@ -89,22 +110,24 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
             };
             let (equi, residual) = split_equi_conjuncts(predicate, left_arity, hashable);
             if equi.is_empty() {
-                let mut out = Vec::new();
-                for lr in &l {
+                // Nested-loop fallback, morsel-parallel over left rows:
+                // each left row independently produces its ordered match
+                // list; flattening the per-row lists in input order is
+                // exactly the sequential nested loop's output.
+                let per_left = pcqe_par::try_map(par, &l, |lr| -> Result<Vec<DerivedTuple>> {
+                    let mut matches = Vec::new();
                     for rr in &r {
                         let combined = lr.tuple.concat(&rr.tuple);
                         if predicate.eval_predicate(combined.values())? {
-                            out.push(DerivedTuple {
+                            matches.push(DerivedTuple {
                                 tuple: combined,
-                                lineage: Lineage::and(vec![
-                                    lr.lineage.clone(),
-                                    rr.lineage.clone(),
-                                ]),
+                                lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
                             });
                         }
                     }
-                }
-                return Ok(out);
+                    Ok(matches)
+                })?;
+                return Ok(per_left.into_iter().flatten().collect());
             }
             // Build on the right side.
             let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
@@ -123,11 +146,12 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
                 }
                 table.entry(key).or_default().push(i);
             }
-            let mut out = Vec::new();
-            let mut key = Vec::with_capacity(equi.len());
-            for lr in &l {
-                key.clear();
-                let mut null_key = false;
+            // Probe phase, morsel-parallel over left rows: the hash table
+            // is read-only during probing, each left row's match list
+            // preserves build order, and flattening per-row lists in
+            // input order reproduces the sequential probe loop exactly.
+            let per_left = pcqe_par::try_map(par, &l, |lr| -> Result<Vec<DerivedTuple>> {
+                let mut key = Vec::with_capacity(equi.len());
                 for &(lc, _) in &equi {
                     let v = lr.tuple.get(lc).cloned().ok_or_else(|| {
                         crate::error::AlgebraError::Type(format!(
@@ -135,17 +159,14 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
                         ))
                     })?;
                     if v.is_null() {
-                        null_key = true;
-                        break;
+                        return Ok(Vec::new()); // NULL never equi-joins
                     }
                     key.push(v);
                 }
-                if null_key {
-                    continue;
-                }
                 let Some(matches) = table.get(&key) else {
-                    continue;
+                    return Ok(Vec::new());
                 };
+                let mut out = Vec::with_capacity(matches.len());
                 for &ri in matches {
                     let rr = &r[ri];
                     let combined = lr.tuple.concat(&rr.tuple);
@@ -156,44 +177,42 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
                     if keep {
                         out.push(DerivedTuple {
                             tuple: combined,
-                            lineage: Lineage::and(vec![
-                                lr.lineage.clone(),
-                                rr.lineage.clone(),
-                            ]),
+                            lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
                         });
                     }
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })?;
+            Ok(per_left.into_iter().flatten().collect())
         }
         Plan::Product { left, right } => {
-            let l = run(left, catalog)?;
-            let r = run(right, catalog)?;
-            let mut out = Vec::with_capacity(l.len() * r.len());
-            for lr in &l {
-                for rr in &r {
-                    out.push(DerivedTuple {
+            let l = run(left, catalog, par)?;
+            let r = run(right, catalog, par)?;
+            // Morsel-parallel over left rows; flattened in input order.
+            let per_left = pcqe_par::map(par, &l, |lr| {
+                r.iter()
+                    .map(|rr| DerivedTuple {
                         tuple: lr.tuple.concat(&rr.tuple),
                         lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
-                    });
-                }
-            }
-            Ok(out)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            Ok(per_left.into_iter().flatten().collect())
         }
         Plan::Union { left, right } => {
             // Schema compatibility is checked by Plan::schema.
             plan.schema(catalog)?;
-            let mut rows = run(left, catalog)?;
-            rows.extend(run(right, catalog)?);
+            let mut rows = run(left, catalog, par)?;
+            rows.extend(run(right, catalog, par)?);
             Ok(or_merge(rows))
         }
         Plan::Sort { input, keys } => {
-            let mut rows = run(input, catalog)?;
+            let mut rows = run(input, catalog, par)?;
             sort_rows(&mut rows, keys)?;
             Ok(rows)
         }
         Plan::Limit { input, count } => {
-            let mut rows = run(input, catalog)?;
+            let mut rows = run(input, catalog, par)?;
             rows.truncate(*count);
             Ok(rows)
         }
@@ -202,7 +221,7 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
             group_by,
             aggregates,
         } => {
-            let rows = run(input, catalog)?;
+            let rows = run(input, catalog, par)?;
             // Group rows by their key values, preserving first-seen order.
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
@@ -245,17 +264,16 @@ fn run(plan: &Plan, catalog: &Catalog) -> Result<Vec<DerivedTuple>> {
         }
         Plan::Difference { left, right } => {
             plan.schema(catalog)?;
-            let l = or_merge(run(left, catalog)?);
-            let r = or_merge(run(right, catalog)?);
+            let l = or_merge(run(left, catalog, par)?);
+            let r = or_merge(run(right, catalog, par)?);
             let right_by_value: HashMap<&Tuple, &Lineage> =
                 r.iter().map(|d| (&d.tuple, &d.lineage)).collect();
             let mut out = Vec::new();
             for row in &l {
                 let lineage = match right_by_value.get(&row.tuple) {
-                    Some(rl) => Lineage::and(vec![
-                        row.lineage.clone(),
-                        Lineage::not((*rl).clone()),
-                    ]),
+                    Some(rl) => {
+                        Lineage::and(vec![row.lineage.clone(), Lineage::not((*rl).clone())])
+                    }
                     None => row.lineage.clone(),
                 };
                 if lineage != Lineage::Const(false) {
@@ -390,9 +408,7 @@ fn eval_aggregate(
                 for v in &args {
                     total = total
                         .checked_add(v.as_i64().expect("all ints"))
-                        .ok_or_else(|| {
-                            crate::error::AlgebraError::Type("SUM overflow".into())
-                        })?;
+                        .ok_or_else(|| crate::error::AlgebraError::Type("SUM overflow".into()))?;
                 }
                 Value::Int(total)
             } else {
@@ -672,10 +688,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             one.lineage,
-            Lineage::and(vec![
-                Lineage::var(ia.0),
-                Lineage::not(Lineage::var(ib.0))
-            ])
+            Lineage::and(vec![Lineage::var(ia.0), Lineage::not(Lineage::var(ib.0))])
         );
         let two = rs
             .rows()
@@ -843,12 +856,18 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        c.insert("a", vec![Value::Int(1), Value::Int(10)], 0.5).unwrap();
-        c.insert("a", vec![Value::Int(2), Value::Int(20)], 0.5).unwrap();
-        c.insert("a", vec![Value::Null, Value::Int(30)], 0.5).unwrap();
-        c.insert("b", vec![Value::Int(1), Value::Int(100)], 0.5).unwrap();
-        c.insert("b", vec![Value::Int(1), Value::Int(101)], 0.5).unwrap();
-        c.insert("b", vec![Value::Null, Value::Int(102)], 0.5).unwrap();
+        c.insert("a", vec![Value::Int(1), Value::Int(10)], 0.5)
+            .unwrap();
+        c.insert("a", vec![Value::Int(2), Value::Int(20)], 0.5)
+            .unwrap();
+        c.insert("a", vec![Value::Null, Value::Int(30)], 0.5)
+            .unwrap();
+        c.insert("b", vec![Value::Int(1), Value::Int(100)], 0.5)
+            .unwrap();
+        c.insert("b", vec![Value::Int(1), Value::Int(101)], 0.5)
+            .unwrap();
+        c.insert("b", vec![Value::Null, Value::Int(102)], 0.5)
+            .unwrap();
         // Equi key + residual: a.k = b.k AND y < 101.
         let plan = Plan::scan("a").join(
             Plan::scan("b"),
@@ -906,6 +925,71 @@ mod tests {
         assert_eq!(all.len(), 3);
         let none = execute(&Plan::scan("Proposal").limit(0), &catalog).unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_sequential() {
+        // A wider catalog than the paper example so morsels actually split:
+        // join + select + project over a few hundred rows.
+        let mut c = Catalog::new();
+        c.create_table(
+            "a",
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("x", DataType::Int),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        c.create_table(
+            "b",
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("y", DataType::Int),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..300i64 {
+            c.insert("a", vec![Value::Int(i % 37), Value::Int(i)], 0.5)
+                .unwrap();
+            c.insert("b", vec![Value::Int(i % 23), Value::Int(i * 2)], 0.5)
+                .unwrap();
+        }
+        let join = Plan::scan("a").join(
+            Plan::scan("b"),
+            ScalarExpr::column(0).eq(ScalarExpr::column(2)),
+        );
+        let plan = join
+            .select(ScalarExpr::column(3).lt(ScalarExpr::literal(Value::Int(400))))
+            .project(vec![
+                ProjItem::new(ScalarExpr::column(0), "k"),
+                ProjItem::new(ScalarExpr::column(1), "x"),
+            ]);
+        let sequential = execute(&plan, &c).unwrap();
+        for workers in [1usize, 2, 8] {
+            let par = Parallelism {
+                worker_threads: Some(workers),
+                parallel_threshold: 1,
+            };
+            let parallel = execute_with(&plan, &c, &par).unwrap();
+            assert_eq!(parallel.rows(), sequential.rows(), "workers={workers}");
+        }
+        // The cross-product and nested-loop paths too.
+        let nl = Plan::scan("a").join(
+            Plan::scan("b"),
+            ScalarExpr::column(1).lt(ScalarExpr::column(3)),
+        );
+        let prod = Plan::scan("a").product(Plan::scan("b")).limit(5000);
+        for plan in [nl, prod] {
+            let sequential = execute(&plan, &c).unwrap();
+            let par = Parallelism {
+                worker_threads: Some(4),
+                parallel_threshold: 1,
+            };
+            let parallel = execute_with(&plan, &c, &par).unwrap();
+            assert_eq!(parallel.rows(), sequential.rows());
+        }
     }
 
     #[test]

@@ -313,8 +313,12 @@ impl ScalarExpr {
                 let l = left.eval(row)?;
                 let r = right.eval(row)?;
                 match op {
-                    BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le
-                    | BinaryOp::Gt | BinaryOp::Ge => eval_cmp(*op, &l, &r),
+                    BinaryOp::Eq
+                    | BinaryOp::Ne
+                    | BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge => eval_cmp(*op, &l, &r),
                     BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
                         eval_arith(*op, &l, &r)
                     }
@@ -426,9 +430,7 @@ fn like_match(text: &[char], pattern: &[char]) -> bool {
             (0..=text.len()).any(|i| like_match(&text[i..], rest))
         }
         Some(('_', rest)) => !text.is_empty() && like_match(&text[1..], rest),
-        Some((c, rest)) => {
-            text.first() == Some(c) && like_match(&text[1..], rest)
-        }
+        Some((c, rest)) => text.first() == Some(c) && like_match(&text[1..], rest),
     }
 }
 
@@ -477,7 +479,12 @@ mod tests {
     use super::*;
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(10), Value::text("abc"), Value::Real(2.5), Value::Null]
+        vec![
+            Value::Int(10),
+            Value::text("abc"),
+            Value::Real(2.5),
+            Value::Null,
+        ]
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod plan;
 pub mod result;
 
 pub use error::AlgebraError;
-pub use exec::execute;
+pub use exec::{execute, execute_with};
 pub use expr::{BinaryOp, ScalarExpr, UnaryOp};
 pub use optimize::optimize;
 pub use plan::{Plan, ProjItem};

@@ -327,16 +327,14 @@ mod tests {
     #[test]
     fn pushdown_through_union_and_difference() {
         let c = catalog();
-        let base = |t: &str| {
-            Plan::scan(t).project(vec![ProjItem::new(ScalarExpr::column(0), "a")])
-        };
+        let base = |t: &str| Plan::scan(t).project(vec![ProjItem::new(ScalarExpr::column(0), "a")]);
         for plan in [
-            base("l").union(base("r")).select(
-                ScalarExpr::column(0).gt(ScalarExpr::literal(Value::Int(0))),
-            ),
-            base("l").difference(base("r")).select(
-                ScalarExpr::column(0).gt(ScalarExpr::literal(Value::Int(0))),
-            ),
+            base("l")
+                .union(base("r"))
+                .select(ScalarExpr::column(0).gt(ScalarExpr::literal(Value::Int(0)))),
+            base("l")
+                .difference(base("r"))
+                .select(ScalarExpr::column(0).gt(ScalarExpr::literal(Value::Int(0)))),
         ] {
             let optimized = optimize(&plan, &c).unwrap();
             same_rows(

@@ -311,9 +311,7 @@ impl Plan {
                             DataType::Int => DataType::Int,
                             _ => DataType::Real,
                         },
-                        (AggFunc::Min | AggFunc::Max, Some(arg)) => {
-                            arg.infer_type(&in_schema)?
-                        }
+                        (AggFunc::Min | AggFunc::Max, Some(arg)) => arg.infer_type(&in_schema)?,
                         (f, None) => {
                             return Err(AlgebraError::Type(format!(
                                 "{} requires an argument",
@@ -362,7 +360,11 @@ impl fmt::Display for Plan {
                     writeln!(f, "{pad}Select")?;
                     indent(f, input, depth + 1)
                 }
-                Plan::Project { input, items, distinct } => {
+                Plan::Project {
+                    input,
+                    items,
+                    distinct,
+                } => {
                     let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
                     writeln!(
                         f,

@@ -84,6 +84,36 @@ impl ResultSet {
             })
             .collect()
     }
+
+    /// [`Self::score`] with the confidence computation fanned out across
+    /// worker threads via [`pcqe_lineage::score_batch`].
+    ///
+    /// Byte-identical to the sequential [`Self::score`] for any
+    /// [`Parallelism`](pcqe_par::Parallelism): row order is preserved and
+    /// each row's confidence depends only on its lineage, `probs`, and the
+    /// evaluator's (fixed) Monte-Carlo seed.
+    pub fn score_par<P: ProbSource + Sync>(
+        &self,
+        probs: &P,
+        evaluator: &Evaluator,
+        par: &pcqe_par::Parallelism,
+    ) -> Result<Vec<ScoredTuple>> {
+        let confidences = pcqe_par::try_map(par, &self.rows, |row| {
+            evaluator
+                .probability(&row.lineage, probs)
+                .map_err(|e| AlgebraError::Lineage(e.to_string()))
+        })?;
+        Ok(self
+            .rows
+            .iter()
+            .zip(confidences)
+            .map(|(row, confidence)| ScoredTuple {
+                tuple: row.tuple.clone(),
+                lineage: row.lineage.clone(),
+                confidence,
+            })
+            .collect())
+    }
 }
 
 impl fmt::Display for ResultSet {
@@ -97,8 +127,7 @@ impl fmt::Display for ResultSet {
             .collect();
         writeln!(f, "{}", headers.join(" | "))?;
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.tuple.values().iter().map(|v| v.to_string()).collect();
+            let cells: Vec<String> = row.tuple.values().iter().map(|v| v.to_string()).collect();
             writeln!(f, "{}", cells.join(" | "))?;
         }
         Ok(())
@@ -108,9 +137,9 @@ impl fmt::Display for ResultSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcqe_lineage::VarId;
     use pcqe_storage::{Column, DataType, Value};
     use std::collections::HashMap;
-    use pcqe_lineage::VarId;
 
     fn simple() -> ResultSet {
         let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
@@ -132,12 +161,26 @@ mod tests {
     #[test]
     fn scoring_computes_probabilities() {
         let rs = simple();
-        let probs: HashMap<VarId, f64> =
-            [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
         let scored = rs.score(&probs, &Evaluator::default()).unwrap();
         assert_eq!(scored.len(), 2);
         assert!((scored[0].confidence - 0.5).abs() < 1e-12);
         assert!((scored[1].confidence - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_scoring_matches_sequential() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let sequential = rs.score(&probs, &Evaluator::default()).unwrap();
+        for workers in [1usize, 2, 8] {
+            let par = pcqe_par::Parallelism {
+                worker_threads: Some(workers),
+                parallel_threshold: 1,
+            };
+            let parallel = rs.score_par(&probs, &Evaluator::default(), &par).unwrap();
+            assert_eq!(parallel, sequential, "workers={workers}");
+        }
     }
 
     #[test]

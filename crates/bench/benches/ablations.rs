@@ -2,135 +2,105 @@
 //! the D&C partition threshold γ, the per-group branch-and-bound cutoff τ,
 //! and the greedy gain definition (Useful vs Raw).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcqe_bench::timing::{bench, group};
+use pcqe_core::anneal::{self, AnnealOptions};
 use pcqe_core::dnc::{self, DncOptions};
 use pcqe_core::greedy::{self, GainMode, GreedyOptions};
-use pcqe_workload::{generate, WorkloadParams};
-use std::hint::black_box;
+use pcqe_core::multi::solve_greedy;
+use pcqe_workload::{generate, generate_batch, WorkloadParams};
 
-fn bench_gamma(c: &mut Criterion) {
-    let problem =
-        generate(&WorkloadParams::scalability_point(2_000).with_seed(42)).expect("valid");
-    let mut group = c.benchmark_group("ablation_gamma");
-    group.sample_size(10);
+fn bench_gamma() {
+    let problem = generate(&WorkloadParams::scalability_point(2_000).with_seed(42)).expect("valid");
+    group("ablation_gamma");
     for gamma in [0.0f64, 1.0, 2.0, 4.0] {
         let opts = DncOptions {
             gamma,
             ..DncOptions::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{gamma}")),
-            &opts,
-            |b, opts| {
-                b.iter(|| dnc::solve(black_box(&problem), opts).expect("feasible"));
-            },
-        );
+        bench(&format!("gamma/{gamma}"), 10, || {
+            dnc::solve(&problem, &opts).expect("feasible")
+        });
     }
-    group.finish();
 }
 
-fn bench_tau(c: &mut Criterion) {
-    let problem =
-        generate(&WorkloadParams::scalability_point(1_000).with_seed(42)).expect("valid");
-    let mut group = c.benchmark_group("ablation_tau");
-    group.sample_size(10);
+fn bench_tau() {
+    let problem = generate(&WorkloadParams::scalability_point(1_000).with_seed(42)).expect("valid");
+    group("ablation_tau");
     for tau in [0usize, 8, 12] {
         let opts = DncOptions {
             tau,
             bb_node_budget: 20_000,
             ..DncOptions::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(tau), &opts, |b, opts| {
-            b.iter(|| dnc::solve(black_box(&problem), opts).expect("feasible"));
+        bench(&format!("tau/{tau}"), 10, || {
+            dnc::solve(&problem, &opts).expect("feasible")
         });
     }
-    group.finish();
 }
 
-fn bench_gain_mode(c: &mut Criterion) {
-    let problem =
-        generate(&WorkloadParams::scalability_point(1_000).with_seed(42)).expect("valid");
-    let mut group = c.benchmark_group("ablation_gain_mode");
-    group.sample_size(10);
+fn bench_gain_mode() {
+    let problem = generate(&WorkloadParams::scalability_point(1_000).with_seed(42)).expect("valid");
+    group("ablation_gain_mode");
     for (label, gain) in [("useful", GainMode::Useful), ("raw", GainMode::Raw)] {
         let opts = GreedyOptions {
             gain,
             ..GreedyOptions::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| greedy::solve(black_box(&problem), opts).expect("feasible"));
+        bench(&format!("gain/{label}"), 10, || {
+            greedy::solve(&problem, &opts).expect("feasible")
         });
     }
-    group.finish();
 }
 
-fn bench_incremental_greedy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_incremental_greedy");
-    group.sample_size(10);
+fn bench_incremental_greedy() {
+    group("ablation_incremental_greedy");
     for size in [1_000usize, 5_000] {
         let problem =
             generate(&WorkloadParams::scalability_point(size).with_seed(42)).expect("valid");
-        group.bench_with_input(BenchmarkId::new("faithful", size), &problem, |b, p| {
-            b.iter(|| greedy::solve(black_box(p), &GreedyOptions::default()).expect("feasible"));
+        bench(&format!("faithful/{size}"), 10, || {
+            greedy::solve(&problem, &GreedyOptions::default()).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("lazy_heap", size), &problem, |b, p| {
-            b.iter(|| {
-                greedy::solve(black_box(p), &GreedyOptions::incremental()).expect("feasible")
-            });
+        bench(&format!("lazy_heap/{size}"), 10, || {
+            greedy::solve(&problem, &GreedyOptions::incremental()).expect("feasible")
         });
     }
-    group.finish();
 }
 
-fn bench_anneal_baseline(c: &mut Criterion) {
-    use pcqe_core::anneal::{self, AnnealOptions};
-    let problem =
-        generate(&WorkloadParams::scalability_point(500).with_seed(42)).expect("valid");
-    let mut group = c.benchmark_group("ablation_anneal_baseline");
-    group.sample_size(10);
-    group.bench_function("greedy", |b| {
-        b.iter(|| greedy::solve(black_box(&problem), &GreedyOptions::default()).expect("feasible"));
+fn bench_anneal_baseline() {
+    let problem = generate(&WorkloadParams::scalability_point(500).with_seed(42)).expect("valid");
+    group("ablation_anneal_baseline");
+    bench("greedy", 10, || {
+        greedy::solve(&problem, &GreedyOptions::default()).expect("feasible")
     });
-    group.bench_function("anneal", |b| {
-        let opts = AnnealOptions {
-            moves_per_temperature: 100,
-            ..AnnealOptions::default()
-        };
-        b.iter(|| anneal::solve(black_box(&problem), &opts).expect("feasible"));
+    let opts = AnnealOptions {
+        moves_per_temperature: 100,
+        ..AnnealOptions::default()
+    };
+    bench("anneal", 10, || {
+        anneal::solve(&problem, &opts).expect("feasible")
     });
-    group.finish();
 }
 
-fn bench_multi_query(c: &mut Criterion) {
-    use pcqe_core::multi::solve_greedy;
-    use pcqe_workload::generate_batch;
-    let mut group = c.benchmark_group("multi_query_batches");
-    group.sample_size(10);
+fn bench_multi_query() {
+    group("multi_query_batches");
     for n_queries in [1usize, 2, 4] {
-        let params = pcqe_workload::WorkloadParams {
+        let params = WorkloadParams {
             data_size: 400,
-            ..pcqe_workload::WorkloadParams::default()
+            ..WorkloadParams::default()
         }
         .with_seed(42);
         let multi = generate_batch(&params, n_queries).expect("valid batch");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_queries),
-            &multi,
-            |b, m| {
-                b.iter(|| solve_greedy(black_box(m), &GreedyOptions::default()).expect("feasible"));
-            },
-        );
+        bench(&format!("queries/{n_queries}"), 10, || {
+            solve_greedy(&multi, &GreedyOptions::default()).expect("feasible")
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gamma,
-    bench_tau,
-    bench_gain_mode,
-    bench_incremental_greedy,
-    bench_anneal_baseline,
-    bench_multi_query
-);
-criterion_main!(benches);
+fn main() {
+    bench_gamma();
+    bench_tau();
+    bench_gain_mode();
+    bench_incremental_greedy();
+    bench_anneal_baseline();
+    bench_multi_query();
+}

@@ -1,13 +1,12 @@
-//! Criterion bench for Figure 11(a)/(d): the heuristic branch-and-bound
+//! Timing sweep for Figure 11(a)/(d): the heuristic branch-and-bound
 //! under each pruning configuration, with and without the greedy seed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcqe_bench::timing::{bench, group};
 use pcqe_core::greedy::{self, GreedyOptions};
 use pcqe_core::heuristic::{self, HeuristicOptions};
 use pcqe_workload::{generate, WorkloadParams};
-use std::hint::black_box;
 
-fn bench_fig11a(c: &mut Criterion) {
+fn main() {
     let problem = generate(&WorkloadParams::fig11a().with_seed(42)).expect("valid workload");
     let greedy_seed = greedy::solve(&problem, &GreedyOptions::default())
         .expect("feasible")
@@ -22,26 +21,17 @@ fn bench_fig11a(c: &mut Criterion) {
         ("all", HeuristicOptions::all()),
     ];
 
-    let mut group = c.benchmark_group("fig11a_heuristics");
-    group.sample_size(10);
+    group("fig11a_heuristics");
     for (label, opts) in &configs {
-        group.bench_with_input(BenchmarkId::new("no_bound", label), opts, |b, opts| {
-            b.iter(|| heuristic::solve(black_box(&problem), opts).expect("feasible"));
+        bench(&format!("no_bound/{label}"), 10, || {
+            heuristic::solve(&problem, opts).expect("feasible")
         });
         let seeded = HeuristicOptions {
             seed: Some(greedy_seed.clone()),
             ..opts.clone()
         };
-        group.bench_with_input(
-            BenchmarkId::new("greedy_bound", label),
-            &seeded,
-            |b, opts| {
-                b.iter(|| heuristic::solve(black_box(&problem), opts).expect("feasible"));
-            },
-        );
+        bench(&format!("greedy_bound/{label}"), 10, || {
+            heuristic::solve(&problem, &seeded).expect("feasible")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig11a);
-criterion_main!(benches);

@@ -1,16 +1,14 @@
-//! Criterion bench for Figure 11(b)/(e): one-phase vs two-phase greedy.
+//! Timing sweep for Figure 11(b)/(e): one-phase vs two-phase greedy.
 //! The paper's finding: near-identical response time, ≥30 % cost saving
 //! from phase 2 (the cost side is reported by the `figures` binary; here
 //! we measure the time side).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcqe_bench::timing::{bench, group};
 use pcqe_core::greedy::{self, GreedyOptions};
 use pcqe_workload::{generate, WorkloadParams};
-use std::hint::black_box;
 
-fn bench_phases(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11b_greedy_phases");
-    group.sample_size(10);
+fn main() {
+    group("fig11b_greedy_phases");
     for size in [1_000usize, 3_000] {
         let problem = generate(
             &WorkloadParams {
@@ -20,15 +18,11 @@ fn bench_phases(c: &mut Criterion) {
             .with_seed(42),
         )
         .expect("valid workload");
-        group.bench_with_input(BenchmarkId::new("one_phase", size), &problem, |b, p| {
-            b.iter(|| greedy::solve(black_box(p), &GreedyOptions::one_phase()).expect("feasible"));
+        bench(&format!("one_phase/{size}"), 10, || {
+            greedy::solve(&problem, &GreedyOptions::one_phase()).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("two_phase", size), &problem, |b, p| {
-            b.iter(|| greedy::solve(black_box(p), &GreedyOptions::default()).expect("feasible"));
+        bench(&format!("two_phase/{size}"), 10, || {
+            greedy::solve(&problem, &GreedyOptions::default()).expect("feasible")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);

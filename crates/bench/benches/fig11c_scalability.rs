@@ -1,39 +1,35 @@
-//! Criterion bench for Figure 11(c)/(f): greedy vs divide-and-conquer as
+//! Timing sweep for Figure 11(c)/(f): greedy vs divide-and-conquer as
 //! the data size grows (the heuristic is exponential and benchmarked only
 //! at the 10-tuple point, as in the paper). The paper's finding: greedy
 //! wins while the dataset is small, D&C overtakes as it grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcqe_bench::timing::{bench, group};
 use pcqe_core::dnc::{self, DncOptions};
 use pcqe_core::greedy::{self, GreedyOptions};
 use pcqe_core::heuristic::{self, HeuristicOptions};
 use pcqe_workload::{generate, WorkloadParams};
-use std::hint::black_box;
 
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11c_scalability");
-    group.sample_size(10);
+fn main() {
+    group("fig11c_scalability");
 
     // The tiny point where all three run.
     let tiny = generate(&WorkloadParams::scalability_point(10).with_seed(42)).expect("valid");
-    group.bench_function("heuristic/10", |b| {
-        let seed = greedy::solve(&tiny, &GreedyOptions::default()).expect("feasible").solution;
-        let opts = HeuristicOptions::all().with_seed(seed);
-        b.iter(|| heuristic::solve(black_box(&tiny), &opts).expect("feasible"));
+    let seed = greedy::solve(&tiny, &GreedyOptions::default())
+        .expect("feasible")
+        .solution;
+    let opts = HeuristicOptions::all().with_seed(seed);
+    bench("heuristic/10", 10, || {
+        heuristic::solve(&tiny, &opts).expect("feasible")
     });
 
     for size in [10usize, 1_000, 5_000] {
         let problem =
             generate(&WorkloadParams::scalability_point(size).with_seed(42)).expect("valid");
-        group.bench_with_input(BenchmarkId::new("greedy", size), &problem, |b, p| {
-            b.iter(|| greedy::solve(black_box(p), &GreedyOptions::default()).expect("feasible"));
+        bench(&format!("greedy/{size}"), 10, || {
+            greedy::solve(&problem, &GreedyOptions::default()).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("dnc", size), &problem, |b, p| {
-            b.iter(|| dnc::solve(black_box(p), &DncOptions::default()).expect("feasible"));
+        bench(&format!("dnc/{size}"), 10, || {
+            dnc::solve(&problem, &DncOptions::default()).expect("feasible")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scalability);
-criterion_main!(benches);

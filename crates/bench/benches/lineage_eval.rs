@@ -3,10 +3,9 @@
 //! underpin every figure (each solver iteration evaluates F thousands of
 //! times) but are not a figure themselves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pcqe_bench::timing::{bench, group};
 use pcqe_lineage::{CompiledLineage, Evaluator, Lineage, MonteCarlo, VarId};
 use std::collections::HashMap;
-use std::hint::black_box;
 
 /// An OR of ten AND-pairs over twenty distinct variables (read-once).
 fn read_once_formula() -> Lineage {
@@ -28,40 +27,31 @@ fn probs_for(l: &Lineage) -> HashMap<VarId, f64> {
     l.vars().into_iter().map(|v| (v, 0.12)).collect()
 }
 
-fn bench_lineage(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lineage_eval");
+fn main() {
+    group("lineage_eval");
 
     let ro = read_once_formula();
     let ro_probs = probs_for(&ro);
-    group.bench_function("interpreted/read_once_20vars", |b| {
-        let ev = Evaluator::exact_only(1024);
-        b.iter(|| ev.probability(black_box(&ro), &ro_probs).expect("exact"));
+    let ev = Evaluator::exact_only(1024);
+    bench("interpreted/read_once_20vars", 30, || {
+        ev.probability(&ro, &ro_probs).expect("exact")
     });
     let compiled = CompiledLineage::compile(&ro, 1024).expect("compiles");
     let slots: Vec<f64> = compiled.vars().iter().map(|v| ro_probs[v]).collect();
-    group.bench_function("compiled/read_once_20vars", |b| {
-        b.iter(|| black_box(&compiled).eval(black_box(&slots)));
-    });
+    bench("compiled/read_once_20vars", 30, || compiled.eval(&slots));
 
     let sh = shared_formula();
     let sh_probs = probs_for(&sh);
-    group.bench_function("interpreted/shared_9vars", |b| {
-        let ev = Evaluator::exact_only(1 << 20);
-        b.iter(|| ev.probability(black_box(&sh), &sh_probs).expect("exact"));
+    let ev_sh = Evaluator::exact_only(1 << 20);
+    bench("interpreted/shared_9vars", 30, || {
+        ev_sh.probability(&sh, &sh_probs).expect("exact")
     });
     let compiled_sh = CompiledLineage::compile(&sh, 1 << 20).expect("compiles");
     let slots_sh: Vec<f64> = compiled_sh.vars().iter().map(|v| sh_probs[v]).collect();
-    group.bench_function("compiled/shared_9vars", |b| {
-        b.iter(|| black_box(&compiled_sh).eval(black_box(&slots_sh)));
-    });
+    bench("compiled/shared_9vars", 30, || compiled_sh.eval(&slots_sh));
 
-    group.bench_function("monte_carlo/shared_9vars_10k", |b| {
-        let mc = MonteCarlo::new(10_000, 7);
-        b.iter(|| mc.estimate(black_box(&sh), &sh_probs).expect("estimates"));
+    let mc = MonteCarlo::new(10_000, 7);
+    bench("monte_carlo/shared_9vars_10k", 30, || {
+        mc.estimate(&sh, &sh_probs).expect("estimates")
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_lineage);
-criterion_main!(benches);

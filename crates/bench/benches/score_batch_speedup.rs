@@ -1,0 +1,70 @@
+//! Batch-scoring speedup harness: score the same ≥10k-lineage workload
+//! with one worker thread and with four, assert the outputs are
+//! byte-identical (bit-for-bit f64 equality), and report the speedup.
+//!
+//! On a single-core host the parallel run shows no wall-clock win (the
+//! scheduler degrades to chunked sequential execution); the point of the
+//! harness is that the *answers* never depend on the thread count and
+//! that the speedup is measurable wherever cores exist.
+
+use pcqe_bench::timing::{bench, group};
+use pcqe_lineage::{score_batch, Evaluator, Lineage, Rng64, VarId};
+use pcqe_par::Parallelism;
+
+const BATCH: usize = 10_000;
+const VARS: u64 = 2_000;
+
+/// A random OR-of-AND formula over 2–5 distinct variables.
+fn random_formula(rng: &mut Rng64) -> Lineage {
+    let k = rng.range_usize(2, 6);
+    let mut vars: Vec<u64> = Vec::with_capacity(k);
+    while vars.len() < k {
+        let v = rng.below_u64(VARS);
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    let mut groups: Vec<Vec<Lineage>> = vec![vec![]];
+    for v in vars {
+        if rng.chance(0.4) && !groups.last().unwrap().is_empty() {
+            groups.push(Vec::new());
+        }
+        groups.last_mut().unwrap().push(Lineage::var(v));
+    }
+    Lineage::or(groups.into_iter().map(Lineage::and).collect())
+}
+
+fn main() {
+    let mut rng = Rng64::seed_from_u64(42);
+    let lineages: Vec<Lineage> = (0..BATCH).map(|_| random_formula(&mut rng)).collect();
+    let probs = |v: VarId| Some(0.05 + 0.9 * ((v.0 % 97) as f64 / 97.0));
+    let evaluator = Evaluator::default();
+
+    group("score_batch_speedup");
+    let seq = Parallelism::sequential();
+    let par4 = Parallelism::with_workers(4);
+
+    let baseline = score_batch(&evaluator, &lineages, &probs, &seq).expect("scores");
+    let parallel = score_batch(&evaluator, &lineages, &probs, &par4).expect("scores");
+    assert_eq!(baseline.len(), parallel.len());
+    for (i, (a, b)) in baseline.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "lineage {i}: sequential {a} != parallel {b}"
+        );
+    }
+    println!("outputs byte-identical across thread counts ({BATCH} lineages)");
+
+    let t1 = bench("score_batch/1_thread", 10, || {
+        score_batch(&evaluator, &lineages, &probs, &seq).expect("scores")
+    });
+    let t4 = bench("score_batch/4_threads", 10, || {
+        score_batch(&evaluator, &lineages, &probs, &par4).expect("scores")
+    });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "speedup (best): {:.2}x on a {cores}-core host",
+        t1.best / t4.best
+    );
+}

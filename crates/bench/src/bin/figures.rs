@@ -100,19 +100,11 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&report) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("failed to write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("failed to serialise report: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
         }
+        println!("wrote {path}");
     }
     ExitCode::SUCCESS
 }
@@ -120,7 +112,10 @@ fn main() -> ExitCode {
 fn print_table4() {
     println!("== Table 4: parameters and their settings (defaults in bold) ==");
     let d = WorkloadParams::default();
-    println!("data size:                10, 1K, 10K, ..., 100K   (default {})", d.data_size);
+    println!(
+        "data size:                10, 1K, 10K, ..., 100K   (default {})",
+        d.data_size
+    );
     println!(
         "base tuples per result:   5, 10, 25, 50, 100        (default {})",
         d.bases_per_result

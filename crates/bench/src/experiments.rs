@@ -5,12 +5,11 @@ use pcqe_core::greedy::{self, GreedyOptions};
 use pcqe_core::heuristic::{self, HeuristicOptions};
 use pcqe_core::problem::ProblemInstance;
 use pcqe_workload::{generate, WorkloadParams};
-use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// One bar of Figure 11(a)/(d): a pruning configuration, its response
 /// time, solution cost and node count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11aRow {
     /// Configuration label (Naive, H1…H4, All).
     pub config: String,
@@ -69,7 +68,7 @@ pub fn run_fig11a_on(problem: &ProblemInstance, greedy_bound: bool) -> Vec<Fig11
 
 /// One point of Figure 11(b)/(e): the one- and two-phase greedy variants
 /// at a given data size.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11beRow {
     /// Data size (number of base tuples).
     pub data_size: usize,
@@ -94,12 +93,10 @@ pub fn run_fig11be(sizes: &[usize], seed: u64) -> Vec<Fig11beRow> {
             }
             .with_seed(seed);
             let problem = generate(&params).expect("workload is valid");
-            let (one_secs, one) = timed(|| {
-                greedy::solve(&problem, &GreedyOptions::one_phase()).expect("feasible")
-            });
-            let (two_secs, two) = timed(|| {
-                greedy::solve(&problem, &GreedyOptions::default()).expect("feasible")
-            });
+            let (one_secs, one) =
+                timed(|| greedy::solve(&problem, &GreedyOptions::one_phase()).expect("feasible"));
+            let (two_secs, two) =
+                timed(|| greedy::solve(&problem, &GreedyOptions::default()).expect("feasible"));
             Fig11beRow {
                 data_size,
                 one_phase_seconds: one_secs,
@@ -112,7 +109,7 @@ pub fn run_fig11be(sizes: &[usize], seed: u64) -> Vec<Fig11beRow> {
 }
 
 /// One point of Figure 11(c)/(f): one algorithm at one data size.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11cfRow {
     /// Data size (number of base tuples).
     pub data_size: usize,
@@ -169,8 +166,7 @@ pub fn run_fig11cf(sizes: &[usize], heuristic_max: usize, seed: u64) -> Vec<Fig1
             cost: Some(g.solution.cost),
         });
 
-        let (d_secs, d) =
-            timed(|| dnc::solve(&problem, &DncOptions::default()).expect("feasible"));
+        let (d_secs, d) = timed(|| dnc::solve(&problem, &DncOptions::default()).expect("feasible"));
         rows.push(Fig11cfRow {
             data_size,
             algorithm: "Divide-and-Conquer".into(),

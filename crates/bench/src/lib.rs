@@ -3,8 +3,8 @@
 //!
 //! The [`experiments`] module exposes one runner per figure; the
 //! `figures` binary drives them and prints the same rows/series the paper
-//! reports, and the Criterion benches in `benches/` measure the same code
-//! paths at statistically robust sample counts.
+//! reports, and the std-only timing benches in `benches/` (see
+//! [`timing`]) measure the same code paths.
 //!
 //! Absolute numbers will not match a 2009 Core 2 Duo; the *shapes* are
 //! what this harness reproduces: which algorithm wins at which scale, the
@@ -13,7 +13,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
-pub use experiments::{
-    run_fig11a, run_fig11be, run_fig11cf, Fig11aRow, Fig11beRow, Fig11cfRow,
-};
+pub use experiments::{run_fig11a, run_fig11be, run_fig11cf, Fig11aRow, Fig11beRow, Fig11cfRow};

@@ -1,12 +1,15 @@
 //! Text and JSON rendering of figure data.
+//!
+//! JSON is emitted by a small hand-rolled writer (no serde: the crate
+//! builds offline with zero external dependencies). The document shape is
+//! stable: one key per figure, each an array of row objects.
 
 use crate::experiments::{Fig11aRow, Fig11beRow, Fig11cfRow};
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Everything the `figures` binary produced, serialisable as one JSON
 /// document.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct FigureReport {
     /// Figure 11(a) rows (no greedy bound), if run.
     pub fig11a: Vec<Fig11aRow>,
@@ -18,11 +21,139 @@ pub struct FigureReport {
     pub fig11cf: Vec<Fig11cfRow>,
 }
 
+/// Escape a string for inclusion in a JSON document.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a finite float (JSON has no NaN/Inf; those become `null`).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{x:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_opt_f64(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".to_owned(), json_f64)
+}
+
+impl Fig11aRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"config\":{},\"greedy_bound\":{},\"seconds\":{},\"cost\":{},\"nodes\":{}}}",
+            json_string(&self.config),
+            self.greedy_bound,
+            json_f64(self.seconds),
+            json_f64(self.cost),
+            self.nodes
+        )
+    }
+}
+
+impl Fig11beRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"data_size\":{},\"one_phase_seconds\":{},\"one_phase_cost\":{},\
+             \"two_phase_seconds\":{},\"two_phase_cost\":{}}}",
+            self.data_size,
+            json_f64(self.one_phase_seconds),
+            json_f64(self.one_phase_cost),
+            json_f64(self.two_phase_seconds),
+            json_f64(self.two_phase_cost)
+        )
+    }
+}
+
+impl Fig11cfRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"data_size\":{},\"algorithm\":{},\"seconds\":{},\"cost\":{}}}",
+            self.data_size,
+            json_string(&self.algorithm),
+            json_opt_f64(self.seconds),
+            json_opt_f64(self.cost)
+        )
+    }
+}
+
+fn json_array(rows: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n    ");
+        }
+        s.push_str(r);
+    }
+    s.push(']');
+    s
+}
+
+impl FigureReport {
+    /// Serialise the whole report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let section = |rows: &[String]| json_array(rows);
+        format!(
+            "{{\n  \"fig11a\": {},\n  \"fig11d\": {},\n  \"fig11be\": {},\n  \"fig11cf\": {}\n}}\n",
+            section(
+                &self
+                    .fig11a
+                    .iter()
+                    .map(Fig11aRow::to_json)
+                    .collect::<Vec<_>>()
+            ),
+            section(
+                &self
+                    .fig11d
+                    .iter()
+                    .map(Fig11aRow::to_json)
+                    .collect::<Vec<_>>()
+            ),
+            section(
+                &self
+                    .fig11be
+                    .iter()
+                    .map(Fig11beRow::to_json)
+                    .collect::<Vec<_>>()
+            ),
+            section(
+                &self
+                    .fig11cf
+                    .iter()
+                    .map(Fig11cfRow::to_json)
+                    .collect::<Vec<_>>()
+            ),
+        )
+    }
+}
+
 /// Render Figure 11(a)/(d) as an aligned text table.
 pub fn render_fig11a(rows: &[Fig11aRow], title: &str) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "{:<8} {:>12} {:>14} {:>12}", "config", "seconds", "nodes", "cost");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>12} {:>14} {:>12}",
+        "config", "seconds", "nodes", "cost"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -151,8 +282,25 @@ mod tests {
 
     #[test]
     fn report_serialises_to_json() {
-        let report = FigureReport::default();
-        let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("fig11cf"));
+        let mut report = FigureReport::default();
+        report.fig11cf.push(Fig11cfRow {
+            data_size: 10,
+            algorithm: "Gre\"edy".into(),
+            seconds: Some(0.25),
+            cost: None,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"fig11cf\""));
+        assert!(json.contains("\"Gre\\\"edy\""));
+        assert!(json.contains("\"seconds\":0.25"));
+        assert!(json.contains("\"cost\":null"));
+    }
+
+    #[test]
+    fn json_floats_round_trip_and_specials_are_null() {
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_string("a\nb\\\"c"), "\"a\\nb\\\\\\\"c\"");
     }
 }

@@ -1,0 +1,85 @@
+//! A minimal std-only timing harness (the crate's former Criterion
+//! dependency is gone so the whole repository builds offline).
+//!
+//! Each benchmark runs a warm-up iteration, then `samples` timed
+//! iterations, and reports best/median/mean wall-clock seconds. `best` is
+//! the least-noisy statistic on a shared machine and is what the sweep
+//! comparisons use; median and mean are printed for context.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label (`group/name`).
+    pub label: String,
+    /// Fastest observed iteration, in seconds.
+    pub best: f64,
+    /// Median iteration, in seconds.
+    pub median: f64,
+    /// Mean iteration, in seconds.
+    pub mean: f64,
+    /// Number of timed iterations.
+    pub samples: u32,
+}
+
+impl Sample {
+    /// Render as one aligned report row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<44} best {:>11.6}s  median {:>11.6}s  mean {:>11.6}s  (n={})",
+            self.label, self.best, self.median, self.mean, self.samples
+        )
+    }
+}
+
+/// Time `f` over `samples` iterations (plus one untimed warm-up) and
+/// print the summary row. The closure's result is passed through
+/// [`black_box`] so the optimiser cannot discard the work.
+pub fn bench<T>(label: &str, samples: u32, mut f: impl FnMut() -> T) -> Sample {
+    assert!(samples > 0, "need at least one sample");
+    black_box(f()); // warm-up: page in code and data
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let sample = Sample {
+        label: label.to_owned(),
+        best: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+    };
+    println!("{}", sample.row());
+    sample
+}
+
+/// Print a group heading, mirroring the old Criterion group names so the
+/// sweep output stays diffable against earlier runs.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_statistics() {
+        let s = bench("test/noop", 5, || 2 + 2);
+        assert_eq!(s.samples, 5);
+        assert!(s.best <= s.median && s.median >= 0.0);
+        assert!(s.mean >= s.best);
+        assert!(s.row().contains("test/noop"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        bench("test/zero", 0, || ());
+    }
+}

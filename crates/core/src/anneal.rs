@@ -18,8 +18,7 @@ use crate::problem::ProblemInstance;
 use crate::solution::SolveOutcome;
 use crate::state::EvalState;
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pcqe_lineage::rng::Rng64;
 use std::time::{Duration, Instant};
 
 /// Options for the annealing baseline.
@@ -92,7 +91,7 @@ pub fn solve(
             stats,
         });
     }
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Rng64::seed_from_u64(options.seed);
     let mut temperature = options.initial_temperature;
     let mut current = energy(&state, options.quota_penalty);
     // Track the best *feasible* step vector seen, if any.
@@ -102,16 +101,19 @@ pub fn solve(
     while temperature > options.min_temperature {
         for _ in 0..options.moves_per_temperature {
             stats.moves += 1;
-            let i = rng.random_range(0..k);
-            let up = rng.random::<f64>() < 0.6;
-            let moved = if up { state.step_up(i) } else { state.step_down(i) };
+            let i = rng.below_usize(k);
+            let up = rng.next_f64() < 0.6;
+            let moved = if up {
+                state.step_up(i)
+            } else {
+                state.step_down(i)
+            };
             if !moved {
                 continue;
             }
             let proposed = energy(&state, options.quota_penalty);
             let delta = proposed - current;
-            let accept = delta <= 0.0
-                || rng.random::<f64>() < (-delta / temperature).exp();
+            let accept = delta <= 0.0 || rng.next_f64() < (-delta / temperature).exp();
             if accept {
                 current = proposed;
                 stats.accepted += 1;

@@ -73,12 +73,9 @@ pub struct DncStats {
 }
 
 /// Solve with divide-and-conquer.
-pub fn solve(
-    problem: &ProblemInstance,
-    options: &DncOptions,
-) -> Result<SolveOutcome<DncStats>> {
+pub fn solve(problem: &ProblemInstance, options: &DncOptions) -> Result<SolveOutcome<DncStats>> {
     let start = Instant::now();
-    let mut state = EvalState::new(problem);
+    let mut state = EvalState::new_par(problem, &options.greedy.parallelism);
     greedy::check_feasible(&mut state)?;
     let mut stats = DncStats::default();
 
@@ -120,9 +117,8 @@ pub fn solve(
             g.solution
         };
         for (sub_idx, &global_idx) in base_map.iter().enumerate() {
-            let steps =
-                ((solution.levels[sub_idx] - sub.bases[sub_idx].initial) / sub.delta).round()
-                    as u32;
+            let steps = ((solution.levels[sub_idx] - sub.bases[sub_idx].initial) / sub.delta)
+                .round() as u32;
             combined_steps[global_idx] = combined_steps[global_idx].max(steps);
         }
     }
@@ -167,12 +163,12 @@ pub fn solve(
         state.set_steps(i, 0);
         let then = state.confidences_snapshot(&results);
         state.set_steps(i, steps);
-        let loss: f64 = now
-            .iter()
-            .zip(&then)
-            .map(|(a, b)| (a - b).max(0.0))
-            .sum();
-        let gain = if refund > 0.0 { loss / refund } else { f64::INFINITY };
+        let loss: f64 = now.iter().zip(&then).map(|(a, b)| (a - b).max(0.0)).sum();
+        let gain = if refund > 0.0 {
+            loss / refund
+        } else {
+            f64::INFINITY
+        };
         candidates.push((gain, i));
     }
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
@@ -187,10 +183,7 @@ pub fn solve(
             "combination failed to meet the quota (non-monotone confidence function?)".into(),
         ));
     }
-    Ok(SolveOutcome {
-        solution,
-        stats,
-    })
+    Ok(SolveOutcome { solution, stats })
 }
 
 /// Build the sub-problem for one group of result indexes. Returns the
@@ -250,9 +243,9 @@ fn sub_problem(problem: &ProblemInstance, group: &[usize]) -> (ProblemInstance, 
 mod tests {
     use super::*;
     use crate::heuristic;
+    use crate::problem::ProblemBuilder;
     use pcqe_cost::CostFn;
     use pcqe_lineage::Lineage;
-    use crate::problem::ProblemBuilder;
 
     fn linear(rate: f64) -> CostFn {
         CostFn::linear(rate).unwrap()

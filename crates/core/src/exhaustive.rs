@@ -61,9 +61,7 @@ pub fn solve(
     let mut probs: Vec<f64> = Vec::new();
     loop {
         stats.assignments += 1;
-        let levels: Vec<f64> = (0..k)
-            .map(|i| problem.level_at(i, assignment[i]))
-            .collect();
+        let levels: Vec<f64> = (0..k).map(|i| problem.level_at(i, assignment[i])).collect();
         let mut satisfied = 0;
         for r in &problem.results {
             probs.clear();
@@ -94,8 +92,7 @@ pub fn solve(
                     .iter()
                     .enumerate()
                     .filter(|(_, r)| {
-                        let probs: Vec<f64> =
-                            r.bases.iter().map(|&b| levels[b]).collect();
+                        let probs: Vec<f64> = r.bases.iter().map(|&b| levels[b]).collect();
                         r.conf.eval(&probs) > problem.beta
                     })
                     .map(|(i, _)| i)
@@ -155,7 +152,12 @@ mod tests {
     fn grid_cap_is_enforced() {
         let p = tiny();
         assert!(matches!(
-            solve(&p, &ExhaustiveOptions { max_assignments: 10 }),
+            solve(
+                &p,
+                &ExhaustiveOptions {
+                    max_assignments: 10
+                }
+            ),
             Err(CoreError::GaveUp(_))
         ));
     }

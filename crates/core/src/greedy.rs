@@ -41,6 +41,12 @@ pub struct GreedyOptions {
     /// index in both modes); an engineering extension beyond the paper,
     /// off by default so the figures reproduce the published complexity.
     pub incremental: bool,
+    /// Fan the per-iteration gain rescan (and the initial scoring of every
+    /// result) out across worker threads. Picks the same tuples at the
+    /// same costs bit-for-bit — the scan is read-only and the reduction
+    /// replays the sequential tie-breaking — so this only changes speed.
+    /// Defaults to sequential.
+    pub parallelism: pcqe_par::Parallelism,
 }
 
 impl Default for GreedyOptions {
@@ -50,6 +56,7 @@ impl Default for GreedyOptions {
             gain: GainMode::Useful,
             max_iterations: 50_000_000,
             incremental: false,
+            parallelism: pcqe_par::Parallelism::sequential(),
         }
     }
 }
@@ -86,13 +93,18 @@ pub struct GreedyStats {
     pub elapsed: Duration,
 }
 
+/// One parallel probe record per base tuple: `(step cost,
+/// touches-an-unsatisfied-result, gain numerator, F-evaluations)`.
+/// `None` marks a base already at its maximum confidence.
+type ProbeRecord = Option<(f64, bool, f64, u64)>;
+
 /// Solve with the two-phase greedy algorithm.
 pub fn solve(
     problem: &ProblemInstance,
     options: &GreedyOptions,
 ) -> Result<SolveOutcome<GreedyStats>> {
     let start = Instant::now();
-    let mut state = EvalState::new(problem);
+    let mut state = EvalState::new_par(problem, &options.parallelism);
     check_feasible(&mut state)?;
     let mut stats = GreedyStats::default();
 
@@ -133,6 +145,9 @@ pub(crate) fn phase1(
     }
     let problem = state.problem();
     let useful = options.gain == GainMode::Useful;
+    let k = problem.bases.len();
+    let base_ids: Vec<usize> = (0..k).collect();
+    let parallel_scan = options.parallelism.workers_for(k) > 1;
     while !state.meets_quota() {
         if stats.iterations >= options.max_iterations {
             return Err(CoreError::GaveUp(format!(
@@ -140,24 +155,62 @@ pub(crate) fn phase1(
                 options.max_iterations
             )));
         }
-        // Full rescan each iteration — the paper's O(k · l1) loop.
+        // Full rescan each iteration — the paper's O(k · l1) loop. With a
+        // parallel policy, the (read-only) probes are fanned out across
+        // workers first and the best-pick reduction replays the sequential
+        // loop's exact tie-breaking over the collected records, so both
+        // paths pick identical tuples at identical gain values.
         let mut best: Option<(f64, usize)> = None;
         let mut cheapest_fallback: Option<(f64, usize)> = None;
-        for i in 0..problem.bases.len() {
-            let step_cost = state.next_step_cost(i);
-            if !step_cost.is_finite() {
-                continue; // already at max
-            }
-            // A base whose every result is satisfied cannot add useful
-            // gain; in Useful mode skip it without evaluating F.
-            let touches_unsatisfied = problem
-                .results_of_base(i)
-                .iter()
-                .any(|&ri| !state.is_satisfied(ri));
-            if useful && !touches_unsatisfied {
-                continue;
-            }
-            let gain_num = state.probe_step_gain(i, useful);
+        let probed: Option<Vec<ProbeRecord>> = parallel_scan.then(|| {
+            let shared: &EvalState<'_> = state;
+            pcqe_par::map(&options.parallelism, &base_ids, |&i| {
+                let step_cost = shared.next_step_cost(i);
+                if !step_cost.is_finite() {
+                    return None; // already at max
+                }
+                let touches_unsatisfied = problem
+                    .results_of_base(i)
+                    .iter()
+                    .any(|&ri| !shared.is_satisfied(ri));
+                if useful && !touches_unsatisfied {
+                    return Some((step_cost, false, 0.0, 0));
+                }
+                let (gain_num, evals) = shared.probe_step_gain_readonly(i, useful);
+                Some((step_cost, touches_unsatisfied, gain_num, evals))
+            })
+        });
+        for i in 0..k {
+            let (step_cost, touches_unsatisfied, gain_num) = match &probed {
+                Some(records) => {
+                    let Some((step_cost, touches, gain_num, evals)) = records[i] else {
+                        continue; // already at max
+                    };
+                    state.evals += evals;
+                    if useful && !touches {
+                        continue;
+                    }
+                    (step_cost, touches, gain_num)
+                }
+                None => {
+                    let step_cost = state.next_step_cost(i);
+                    if !step_cost.is_finite() {
+                        continue; // already at max
+                    }
+                    // A base whose every result is satisfied cannot add
+                    // useful gain; in Useful mode skip it without
+                    // evaluating F.
+                    let touches_unsatisfied = problem
+                        .results_of_base(i)
+                        .iter()
+                        .any(|&ri| !state.is_satisfied(ri));
+                    if useful && !touches_unsatisfied {
+                        continue;
+                    }
+                    let gain_num = state.probe_step_gain(i, useful);
+                    (step_cost, touches_unsatisfied, gain_num)
+                }
+            };
             let gain = if step_cost > 0.0 {
                 gain_num / step_cost
             } else {
@@ -171,9 +224,7 @@ pub(crate) fn phase1(
             if gain > 0.0 && best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, i));
             }
-            if touches_unsatisfied
-                && cheapest_fallback.is_none_or(|(c, _)| step_cost < c)
-            {
+            if touches_unsatisfied && cheapest_fallback.is_none_or(|(c, _)| step_cost < c) {
                 cheapest_fallback = Some((step_cost, i));
             }
         }
@@ -412,7 +463,10 @@ mod tests {
         let p = b.require(1).build().unwrap();
         let out = solve(&p, &GreedyOptions::default()).unwrap();
         out.solution.validate(&p).unwrap();
-        assert!((out.solution.levels[2] - 0.2).abs() < 1e-12, "t13 raised one step");
+        assert!(
+            (out.solution.levels[2] - 0.2).abs() < 1e-12,
+            "t13 raised one step"
+        );
         assert!((out.solution.cost - 50.0).abs() < 1e-9);
         // The expensive tuple 02 is never touched.
         assert!((out.solution.levels[0] - 0.3).abs() < 1e-12);
@@ -556,6 +610,60 @@ mod tests {
         assert_eq!(faithful.solution.levels, incremental.solution.levels);
         assert_eq!(faithful.solution.cost, incremental.solution.cost);
         assert_eq!(faithful.stats.iterations, incremental.stats.iterations);
+    }
+
+    #[test]
+    fn parallel_gain_scan_matches_sequential_bitwise() {
+        // Enough overlap and tie opportunities that any divergence in
+        // tie-breaking or float arithmetic would change the answer.
+        let mut b = ProblemBuilder::new(0.55, 0.1);
+        for i in 0..24u64 {
+            b.base(
+                i,
+                0.05 + 0.004 * (i % 9) as f64,
+                linear(10.0 + 3.0 * (i % 5) as f64),
+            );
+        }
+        for w in 0..16u64 {
+            b.result_from_lineage(&Lineage::or(vec![
+                Lineage::var(w),
+                Lineage::and(vec![Lineage::var(w + 2), Lineage::var(w + 5)]),
+                Lineage::and(vec![Lineage::var(w + 1), Lineage::var(w + 7)]),
+            ]))
+            .unwrap();
+        }
+        let p = b.require(10).build().unwrap();
+        let sequential = solve(&p, &GreedyOptions::default()).unwrap();
+        for workers in [2usize, 8] {
+            let opts = GreedyOptions {
+                parallelism: pcqe_par::Parallelism {
+                    worker_threads: Some(workers),
+                    parallel_threshold: 1,
+                },
+                ..GreedyOptions::default()
+            };
+            let parallel = solve(&p, &opts).unwrap();
+            let seq_bits: Vec<u64> = sequential
+                .solution
+                .levels
+                .iter()
+                .map(|l| l.to_bits())
+                .collect();
+            let par_bits: Vec<u64> = parallel
+                .solution
+                .levels
+                .iter()
+                .map(|l| l.to_bits())
+                .collect();
+            assert_eq!(seq_bits, par_bits, "workers={workers}");
+            assert_eq!(
+                sequential.solution.cost.to_bits(),
+                parallel.solution.cost.to_bits()
+            );
+            assert_eq!(sequential.solution.satisfied, parallel.solution.satisfied);
+            assert_eq!(sequential.stats.iterations, parallel.stats.iterations);
+            assert_eq!(sequential.stats.evals, parallel.stats.evals);
+        }
     }
 
     #[test]

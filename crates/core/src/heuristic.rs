@@ -407,7 +407,9 @@ mod tests {
     #[test]
     fn greedy_seed_keeps_optimality_and_shrinks_search() {
         let p = harder_instance();
-        let seed = greedy::solve(&p, &GreedyOptions::default()).unwrap().solution;
+        let seed = greedy::solve(&p, &GreedyOptions::default())
+            .unwrap()
+            .solution;
         let unseeded = solve(&p, &HeuristicOptions::all()).unwrap();
         let seeded = solve(&p, &HeuristicOptions::all().with_seed(seed)).unwrap();
         assert!((seeded.solution.cost - unseeded.solution.cost).abs() < 1e-9);
@@ -452,7 +454,9 @@ mod tests {
             Err(e) => panic!("unexpected error {e}"),
         }
         // With a seed, the search still returns a valid answer.
-        let seed = greedy::solve(&p, &GreedyOptions::default()).unwrap().solution;
+        let seed = greedy::solve(&p, &GreedyOptions::default())
+            .unwrap()
+            .solution;
         let opts = HeuristicOptions {
             time_limit: Some(Duration::from_nanos(1)),
             ..HeuristicOptions::all().with_seed(seed)
@@ -464,7 +468,9 @@ mod tests {
     #[test]
     fn seed_survives_when_budget_is_tiny() {
         let p = harder_instance();
-        let seed = greedy::solve(&p, &GreedyOptions::default()).unwrap().solution;
+        let seed = greedy::solve(&p, &GreedyOptions::default())
+            .unwrap()
+            .solution;
         let opts = HeuristicOptions {
             node_limit: Some(1),
             ..HeuristicOptions::all().with_seed(seed.clone())

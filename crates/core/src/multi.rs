@@ -101,11 +101,7 @@ impl MultiQueryProblem {
     /// across queries — only usable for feasibility probing, since each
     /// query keeps its own threshold in the real solve.
     fn as_flat_instance(&self) -> Result<ProblemInstance> {
-        let beta_max = self
-            .queries
-            .iter()
-            .map(|q| q.beta)
-            .fold(0.0f64, f64::max);
+        let beta_max = self.queries.iter().map(|q| q.beta).fold(0.0f64, f64::max);
         let mut builder = crate::problem::ProblemBuilder::new(beta_max, self.delta);
         for b in &self.bases {
             builder.base_capped(b.id, b.initial, b.max, b.cost.clone());
@@ -128,7 +124,7 @@ pub fn solve_greedy(
 ) -> Result<SolveOutcome<GreedyStats>> {
     let start = Instant::now();
     let flat = multi.as_flat_instance()?;
-    let mut state = EvalState::new(&flat);
+    let mut state = EvalState::new_par(&flat, &options.parallelism);
     let mut stats = GreedyStats::default();
 
     // Feasibility: every query must be satisfiable at max confidence.
@@ -271,12 +267,7 @@ fn optimistic_for_query(
 
 /// Summed ΔF of one δ step on base `i` over unsatisfied results of
 /// unsatisfied queries.
-fn gain_for(
-    state: &mut EvalState<'_>,
-    multi: &MultiQueryProblem,
-    i: usize,
-    useful: bool,
-) -> f64 {
+fn gain_for(state: &mut EvalState<'_>, multi: &MultiQueryProblem, i: usize, useful: bool) -> f64 {
     let flat = state.problem();
     let s = state.steps_of(i);
     if s >= flat.max_steps(i) {
@@ -337,12 +328,7 @@ mod tests {
         let m = MultiQueryProblem::merge(&[q1, q2]).unwrap();
         let out = solve_greedy(&m, &GreedyOptions::default()).unwrap();
         // Query 2 needs both of its results above 0.6.
-        let q2_satisfied = out
-            .solution
-            .satisfied
-            .iter()
-            .filter(|&&ri| ri >= 2)
-            .count();
+        let q2_satisfied = out.solution.satisfied.iter().filter(|&&ri| ri >= 2).count();
         assert_eq!(q2_satisfied, 2);
         // Query 1 needs one above 0.5 — base 1 (shared) already serves q2.
         assert!(out.solution.satisfied.iter().any(|&ri| ri < 2));

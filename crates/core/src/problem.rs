@@ -189,13 +189,9 @@ impl ProblemBuilder {
             .map_err(|e| CoreError::Lineage(e.to_string()))?;
         let mut bases = Vec::with_capacity(compiled.vars().len());
         for v in compiled.vars() {
-            let idx = self
-                .id_to_index
-                .get(&v.0)
-                .copied()
-                .ok_or_else(|| {
-                    CoreError::InvalidProblem(format!("lineage references unknown base id {}", v.0))
-                })?;
+            let idx = self.id_to_index.get(&v.0).copied().ok_or_else(|| {
+                CoreError::InvalidProblem(format!("lineage references unknown base id {}", v.0))
+            })?;
             bases.push(idx);
         }
         self.results.push(ResultSpec {

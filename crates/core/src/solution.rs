@@ -72,8 +72,7 @@ impl Solution {
                 )));
             }
             let steps = (l - base.initial) / problem.delta;
-            let on_grid = (steps - steps.round()).abs() < 1e-6
-                || (l - base.max).abs() < 1e-9;
+            let on_grid = (steps - steps.round()).abs() < 1e-6 || (l - base.max).abs() < 1e-9;
             if !on_grid {
                 return Err(CoreError::InvalidProblem(format!(
                     "level {l} of base {i} is off the δ grid"
@@ -190,9 +189,6 @@ mod tests {
             cost: 4.0,
             satisfied: vec![],
         };
-        assert!(matches!(
-            s.validate(&p),
-            Err(CoreError::Infeasible { .. })
-        ));
+        assert!(matches!(s.validate(&p), Err(CoreError::Infeasible { .. })));
     }
 }

@@ -28,26 +28,32 @@ pub struct EvalState<'p> {
 impl<'p> EvalState<'p> {
     /// Fresh state: every base at its initial confidence.
     pub fn new(problem: &'p ProblemInstance) -> EvalState<'p> {
+        Self::new_par(problem, &pcqe_par::Parallelism::sequential())
+    }
+
+    /// [`Self::new`] with the initial scoring of every result fanned out
+    /// across worker threads. Byte-identical to the sequential
+    /// construction for any policy: each result's confidence is a pure
+    /// function of the (fixed) initial levels, and results are written
+    /// back in index order.
+    pub fn new_par(problem: &'p ProblemInstance, par: &pcqe_par::Parallelism) -> EvalState<'p> {
         let levels: Vec<f64> = problem.bases.iter().map(|b| b.initial).collect();
-        let mut state = EvalState {
+        let confidences = pcqe_par::map(par, &problem.results, |r| {
+            let args: Vec<f64> = r.bases.iter().map(|&b| levels[b]).collect();
+            r.conf.eval(&args)
+        });
+        let satisfied = confidences.iter().filter(|&&c| c > problem.beta).count();
+        EvalState {
             problem,
             steps: vec![0; problem.bases.len()],
             levels,
             costs: vec![0.0; problem.bases.len()],
-            confidences: vec![0.0; problem.results.len()],
-            satisfied: 0,
+            evals: problem.results.len() as u64,
+            confidences,
+            satisfied,
             total_cost: 0.0,
             scratch: Vec::new(),
-            evals: 0,
-        };
-        for ri in 0..problem.results.len() {
-            let c = state.eval_result(ri);
-            state.confidences[ri] = c;
-            if c > problem.beta {
-                state.satisfied += 1;
-            }
         }
-        state
     }
 
     /// The underlying problem.
@@ -194,6 +200,40 @@ impl<'p> EvalState<'p> {
         gain
     }
 
+    /// Read-only [`Self::probe_step_gain`]: the same gain (bit-for-bit —
+    /// the probed level is substituted into the argument vector exactly
+    /// where the mutating probe would have written it) without touching
+    /// `self`, so many bases can be probed concurrently from shared
+    /// references. Returns `(gain, evaluations)`; the caller is
+    /// responsible for adding the evaluation count to [`Self::evals`].
+    pub fn probe_step_gain_readonly(&self, i: usize, useful_only: bool) -> (f64, u64) {
+        let s = self.steps[i];
+        if s >= self.problem.max_steps(i) {
+            return (0.0, 0);
+        }
+        let stepped = self.problem.level_at(i, s + 1);
+        let beta = self.problem.beta;
+        let mut gain = 0.0;
+        let mut evals = 0u64;
+        let mut args: Vec<f64> = Vec::new();
+        for &ri in self.problem.results_of_base(i) {
+            if useful_only && self.confidences[ri] > beta {
+                continue;
+            }
+            let r = &self.problem.results[ri];
+            args.clear();
+            args.extend(
+                r.bases
+                    .iter()
+                    .map(|&b| if b == i { stepped } else { self.levels[b] }),
+            );
+            evals += 1;
+            let c = r.conf.eval(&args);
+            gain += (c - self.confidences[ri]).max(0.0);
+        }
+        (gain, evals)
+    }
+
     /// Current confidences of the given results, in order.
     pub fn confidences_snapshot(&self, results: &[usize]) -> Vec<f64> {
         results.iter().map(|&ri| self.confidences[ri]).collect()
@@ -318,6 +358,42 @@ mod tests {
         s.set_steps(0, 9); // r0 satisfied via t0
         let useful = s.probe_step_gain(1, true);
         assert!((useful - 0.1 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readonly_probe_matches_mutating_probe_bitwise() {
+        let p = two_result_problem();
+        let mut s = EvalState::new(&p);
+        s.set_steps(0, 3);
+        for i in 0..3 {
+            for useful in [false, true] {
+                let mutating = s.probe_step_gain(i, useful);
+                let (readonly, _) = s.probe_step_gain_readonly(i, useful);
+                assert_eq!(
+                    mutating.to_bits(),
+                    readonly.to_bits(),
+                    "base {i} useful {useful}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_construction_matches_sequential_bitwise() {
+        let p = two_result_problem();
+        let seq = EvalState::new(&p);
+        let par = EvalState::new_par(
+            &p,
+            &pcqe_par::Parallelism {
+                worker_threads: Some(8),
+                parallel_threshold: 1,
+            },
+        );
+        for ri in 0..p.results.len() {
+            assert_eq!(seq.confidence(ri).to_bits(), par.confidence(ri).to_bits());
+        }
+        assert_eq!(seq.satisfied_count(), par.satisfied_count());
+        assert_eq!(seq.evals, par.evals);
     }
 
     #[test]

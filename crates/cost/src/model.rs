@@ -130,7 +130,10 @@ impl CostFn {
             check_conf(p)?;
             require_finite("g", g)?;
             if g < 0.0 {
-                return Err(CostError::InvalidParameter { name: "g", value: g });
+                return Err(CostError::InvalidParameter {
+                    name: "g",
+                    value: g,
+                });
             }
         }
         Ok(CostFn::Piecewise { points })

@@ -38,6 +38,14 @@ pub struct EngineConfig {
     /// Run the logical optimiser (predicate pushdown, product→join
     /// conversion) on every query plan.
     pub optimize_plans: bool,
+    /// Worker threads for plan execution, result scoring and solver
+    /// rescans. `None` uses every available core; `Some(1)` reproduces
+    /// the sequential engine bit-for-bit (any setting produces identical
+    /// answers — threads only change speed).
+    pub worker_threads: Option<usize>,
+    /// Minimum batch size (rows to execute, lineages to score, bases to
+    /// rescan) before worker threads are spawned.
+    pub parallel_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -49,7 +57,26 @@ impl Default for EngineConfig {
             solver: SolverChoice::Auto,
             lineage_budget: 4096,
             optimize_plans: true,
+            worker_threads: None,
+            parallel_threshold: pcqe_par::DEFAULT_PARALLEL_THRESHOLD,
         }
+    }
+}
+
+impl EngineConfig {
+    /// The [`pcqe_par::Parallelism`] policy this configuration encodes.
+    pub fn parallelism(&self) -> pcqe_par::Parallelism {
+        pcqe_par::Parallelism {
+            worker_threads: self.worker_threads,
+            parallel_threshold: self.parallel_threshold,
+        }
+    }
+
+    /// This configuration restricted to one worker thread (the sequential
+    /// engine of the paper).
+    pub fn sequential(mut self) -> Self {
+        self.worker_threads = Some(1);
+        self
     }
 }
 

@@ -5,7 +5,7 @@ use crate::error::EngineError;
 use crate::improve::{self, ProposeOutcome};
 use crate::response::{NoProposal, QueryResponse, ReleasedTuple};
 use crate::Result;
-use pcqe_algebra::execute;
+use pcqe_algebra::execute_with;
 use pcqe_core::estimator::RuntimeEstimator;
 use pcqe_cost::CostFn;
 use pcqe_policy::{evaluate_results, ConfidencePolicy, PolicyStore, Purpose, Role};
@@ -108,12 +108,7 @@ impl Database {
 
     /// Insert a row with an explicit confidence (Figure 1's confidence-
     /// assignment component, when the caller already knows the value).
-    pub fn insert(
-        &mut self,
-        table: &str,
-        values: Vec<Value>,
-        confidence: f64,
-    ) -> Result<TupleId> {
+    pub fn insert(&mut self, table: &str, values: Vec<Value>, confidence: f64) -> Result<TupleId> {
         let id = self.catalog.insert(table, values, confidence)?;
         self.version += 1;
         Ok(id)
@@ -147,7 +142,9 @@ impl Database {
 
     /// Declare that `senior` inherits policies from `junior`.
     pub fn add_role_inheritance(&mut self, senior: &Role, junior: &Role) -> Result<()> {
-        self.policies.hierarchy_mut().add_inheritance(senior, junior)?;
+        self.policies
+            .hierarchy_mut()
+            .add_inheritance(senior, junior)?;
         Ok(())
     }
 
@@ -240,16 +237,13 @@ impl Database {
     /// fewer than `perc` of the results survive — find the cheapest
     /// confidence-increment strategy and attach it as a proposal.
     pub fn query(&mut self, user: &User, request: &QueryRequest) -> Result<QueryResponse> {
+        let par = self.config.parallelism();
         let plan = self.plan_sql(&request.sql)?;
-        let result_set = execute(&plan, &self.catalog)?;
-        let probs =
-            |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-        let scored = result_set.score(&probs, &self.config.evaluator)?;
+        let result_set = execute_with(&plan, &self.catalog, &par)?;
+        let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
+        let scored = result_set.score_par(&probs, &self.config.evaluator, &par)?;
 
-        let policy = self
-            .policies
-            .select(&user.role, &request.purpose)?
-            .clone();
+        let policy = self.policies.select(&user.role, &request.purpose)?.clone();
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
         let decision = evaluate_results(&policy, &confidences);
 
@@ -336,15 +330,16 @@ impl Database {
         use pcqe_core::greedy::GreedyOptions;
         use pcqe_core::multi::{solve_greedy, MultiQueryProblem};
 
+        let par = self.config.parallelism();
         let mut responses = Vec::with_capacity(requests.len());
         let mut instances = Vec::new();
         let mut non_monotone = false;
         for request in requests {
             // Evaluate without per-query proposals (done jointly below).
             let plan = self.plan_sql(&request.sql)?;
-            let result_set = execute(&plan, &self.catalog)?;
+            let result_set = execute_with(&plan, &self.catalog, &par)?;
             let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-            let scored = result_set.score(&probs, &self.config.evaluator)?;
+            let scored = result_set.score_par(&probs, &self.config.evaluator, &par)?;
             let policy = self.policies.select(&user.role, &request.purpose)?.clone();
             let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
             let decision = evaluate_results(&policy, &confidences);
@@ -398,7 +393,11 @@ impl Database {
             return Ok(batch);
         }
         let multi = MultiQueryProblem::merge(&instances)?;
-        match solve_greedy(&multi, &GreedyOptions::default()) {
+        let greedy_opts = GreedyOptions {
+            parallelism: self.config.parallelism(),
+            ..GreedyOptions::default()
+        };
+        match solve_greedy(&multi, &greedy_opts) {
             Ok(out) => {
                 let mut increments: Vec<crate::response::ProposedIncrement> = out
                     .solution
@@ -456,8 +455,9 @@ impl Database {
         request: &QueryRequest,
         proposal: &crate::response::ImprovementProposal,
     ) -> Result<QueryResponse> {
+        let par = self.config.parallelism();
         let plan = self.plan_sql(&request.sql)?;
-        let result_set = execute(&plan, &self.catalog)?;
+        let result_set = execute_with(&plan, &self.catalog, &par)?;
         let overrides: HashMap<TupleId, f64> = proposal
             .increments
             .iter()
@@ -470,7 +470,7 @@ impl Database {
                 .copied()
                 .or_else(|| self.catalog.confidence(id))
         };
-        let scored = result_set.score(&probs, &self.config.evaluator)?;
+        let scored = result_set.score_par(&probs, &self.config.evaluator, &par)?;
         let policy = self.policies.select(&user.role, &request.purpose)?;
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
         let decision = evaluate_results(policy, &confidences);
@@ -628,7 +628,11 @@ mod tests {
         assert_eq!(resp.withheld, 1);
         let proposal = resp.proposal.expect("a strategy exists");
         // Optimal fix: raise t03 from 0.4 to 0.5, cost 10 (Section 3.1).
-        assert!((proposal.cost - 10.0).abs() < 1e-9, "cost {}", proposal.cost);
+        assert!(
+            (proposal.cost - 10.0).abs() < 1e-9,
+            "cost {}",
+            proposal.cost
+        );
         assert_eq!(proposal.increments.len(), 1);
         let inc = &proposal.increments[0];
         assert!((inc.from - 0.4).abs() < 1e-12);
@@ -706,7 +710,10 @@ mod tests {
         // β = 1.0 can never be strictly exceeded.
         db.add_policy(ConfidencePolicy::new("r", "p", 1.0).unwrap());
         let resp = db
-            .query(&User::new("u", "r"), &QueryRequest::new("SELECT x FROM t", "p"))
+            .query(
+                &User::new("u", "r"),
+                &QueryRequest::new("SELECT x FROM t", "p"),
+            )
             .unwrap();
         assert!(resp.released.is_empty());
         assert!(matches!(
@@ -788,7 +795,11 @@ mod tests {
         ));
         assert!(matches!(
             &log[2],
-            AuditEntry::Query { released: 1, proposed: false, .. }
+            AuditEntry::Query {
+                released: 1,
+                proposed: false,
+                ..
+            }
         ));
     }
 
@@ -841,10 +852,7 @@ mod tests {
         assert_eq!(batch.responses.len(), 2);
         let proposal = batch.proposal.clone().expect("a combined strategy exists");
         // The shared cheap tuple is raised once and serves both queries.
-        assert!(proposal
-            .increments
-            .iter()
-            .any(|i| i.tuple_id == shared));
+        assert!(proposal.increments.iter().any(|i| i.tuple_id == shared));
         db.apply(&proposal).unwrap();
         let r1 = db.query(&user, &q1).unwrap();
         let r2 = db.query(&user, &q2).unwrap();
@@ -879,8 +887,7 @@ mod tests {
         assert_eq!(ids.len(), 2);
         assert_eq!(db.confidence(ids[0]), Some(0.7));
         // Default confidence is 1.0.
-        let StatementOutcome::Inserted(ids) =
-            db.execute("INSERT INTO t VALUES (3, 'c')").unwrap()
+        let StatementOutcome::Inserted(ids) = db.execute("INSERT INTO t VALUES (3, 'c')").unwrap()
         else {
             panic!()
         };

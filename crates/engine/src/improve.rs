@@ -76,7 +76,7 @@ pub(crate) fn propose(
     };
     let size = problem.bases.len();
 
-    let solved = dispatch(&problem, &config.solver);
+    let solved = dispatch(&problem, &config.solver, &config.parallelism());
     match solved {
         Ok((solution, elapsed)) => {
             let mut increments: Vec<ProposedIncrement> = solution
@@ -112,9 +112,7 @@ pub(crate) fn propose(
             }),
             None,
         )),
-        Err(CoreError::GaveUp(m)) => {
-            Ok((ProposeOutcome::No(NoProposal::SolverGaveUp(m)), None))
-        }
+        Err(CoreError::GaveUp(m)) => Ok((ProposeOutcome::No(NoProposal::SolverGaveUp(m)), None)),
         Err(e) => Err(e.into()),
     }
 }
@@ -136,8 +134,7 @@ pub(crate) fn build_instance(
     if improvable.len() < needed {
         return Ok(None);
     }
-    let mut builder =
-        ProblemBuilder::new(beta, config.delta).lineage_budget(config.lineage_budget);
+    let mut builder = ProblemBuilder::new(beta, config.delta).lineage_budget(config.lineage_budget);
     let mut seen = std::collections::HashSet::new();
     for s in &improvable {
         for v in s.lineage.vars() {
@@ -161,11 +158,18 @@ pub(crate) fn build_instance(
 }
 
 /// Run the configured solver; `Auto` picks by problem size, mirroring the
-/// crossovers measured in Figure 11(c).
+/// crossovers measured in Figure 11(c). The engine's parallelism policy is
+/// injected into solvers the user configured with defaults (explicit
+/// per-solver options are honoured as given).
 fn dispatch(
     problem: &ProblemInstance,
     choice: &SolverChoice,
+    par: &pcqe_par::Parallelism,
 ) -> std::result::Result<(Solution, Duration), CoreError> {
+    let greedy_opts = GreedyOptions {
+        parallelism: par.clone(),
+        ..GreedyOptions::default()
+    };
     match choice {
         SolverChoice::Heuristic(opts) => {
             let out = heuristic::solve(problem, opts)?;
@@ -182,7 +186,7 @@ fn dispatch(
         SolverChoice::Auto => {
             if problem.bases.len() <= 12 {
                 // Tiny: exact search, seeded by greedy for a tight bound.
-                let seed = greedy::solve(problem, &GreedyOptions::default())?;
+                let seed = greedy::solve(problem, &greedy_opts)?;
                 let opts = HeuristicOptions {
                     node_limit: Some(2_000_000),
                     ..HeuristicOptions::all().with_seed(seed.solution)
@@ -190,10 +194,14 @@ fn dispatch(
                 let out = heuristic::solve(problem, &opts)?;
                 Ok((out.solution, out.stats.elapsed))
             } else if problem.results.len() > 64 {
-                let out = dnc::solve(problem, &DncOptions::default())?;
+                let opts = DncOptions {
+                    greedy: greedy_opts,
+                    ..DncOptions::default()
+                };
+                let out = dnc::solve(problem, &opts)?;
                 Ok((out.solution, out.stats.elapsed))
             } else {
-                let out = greedy::solve(problem, &GreedyOptions::default())?;
+                let out = greedy::solve(problem, &greedy_opts)?;
                 Ok((out.solution, out.stats.elapsed))
             }
         }

@@ -45,8 +45,7 @@ pub use config::{EngineConfig, SolverChoice};
 pub use database::{Database, QueryRequest, StatementOutcome, User};
 pub use error::EngineError;
 pub use response::{
-    BatchResponse, ImprovementProposal, NoProposal, ProposedIncrement, QueryResponse,
-    ReleasedTuple,
+    BatchResponse, ImprovementProposal, NoProposal, ProposedIncrement, QueryResponse, ReleasedTuple,
 };
 
 /// Crate-wide result alias.

@@ -92,7 +92,11 @@ pub fn save(db: &Database, dir: &Path) -> Result<()> {
     let mut cost_ids: Vec<&TupleId> = db.costs.keys().collect();
     cost_ids.sort();
     for id in cost_ids {
-        manifest.push_str(&format!("cost\t{}\t{}\n", id.0, encode_cost(&db.costs[id])?));
+        manifest.push_str(&format!(
+            "cost\t{}\t{}\n",
+            id.0,
+            encode_cost(&db.costs[id])?
+        ));
     }
 
     let mut f = fs::File::create(dir.join("manifest.tsv"))
@@ -119,8 +123,7 @@ pub fn load(dir: &Path, config: EngineConfig) -> Result<Database> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        let bad =
-            |m: &str| persist_err(format!("manifest line {lineno}: {m} in `{line}`"));
+        let bad = |m: &str| persist_err(format!("manifest line {lineno}: {m} in `{line}`"));
         match (fields.as_slice(), &mut pending_columns) {
             (["table", name], slot @ None) => {
                 *slot = Some(((*name).to_owned(), Vec::new()));
@@ -182,8 +185,7 @@ fn encode_cost(cost: &CostFn) -> Result<String> {
         CostFn::Exponential { coeff, rate } => format!("exp\t{coeff}\t{rate}"),
         CostFn::Logarithmic { coeff, scale } => format!("log\t{coeff}\t{scale}"),
         CostFn::Piecewise { points } => {
-            let encoded: Vec<String> =
-                points.iter().map(|(p, g)| format!("{p}:{g}")).collect();
+            let encoded: Vec<String> = points.iter().map(|(p, g)| format!("{p}:{g}")).collect();
             format!("piecewise\t{}", encoded.join(";"))
         }
     })
@@ -196,9 +198,7 @@ fn decode_cost(fields: &[&str]) -> Option<CostFn> {
             CostFn::polynomial(coeff.parse().ok()?, degree.parse().ok()?).ok()
         }
         ["exp", coeff, rate] => CostFn::exponential(coeff.parse().ok()?, rate.parse().ok()?).ok(),
-        ["log", coeff, scale] => {
-            CostFn::logarithmic(coeff.parse().ok()?, scale.parse().ok()?).ok()
-        }
+        ["log", coeff, scale] => CostFn::logarithmic(coeff.parse().ok()?, scale.parse().ok()?).ok(),
         ["piecewise", encoded] => {
             let mut points = Vec::new();
             for part in encoded.split(';') {
@@ -218,10 +218,7 @@ mod tests {
     use pcqe_storage::Value;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "pcqe-persist-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("pcqe-persist-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -253,7 +250,12 @@ mod tests {
         let weak = db
             .insert(
                 "Deals",
-                vec![Value::text("bolt"), Value::Null, Value::Bool(false), Value::Null],
+                vec![
+                    Value::text("bolt"),
+                    Value::Null,
+                    Value::Bool(false),
+                    Value::Null,
+                ],
                 0.3,
             )
             .unwrap();
@@ -301,7 +303,12 @@ mod tests {
         let next = restored
             .insert(
                 "Deals",
-                vec![Value::text("new"), Value::Real(1.0), Value::Bool(true), Value::Int(1)],
+                vec![
+                    Value::text("new"),
+                    Value::Real(1.0),
+                    Value::Bool(true),
+                    Value::Int(1),
+                ],
                 0.5,
             )
             .unwrap();
@@ -337,7 +344,10 @@ mod tests {
             "pcqe-manifest\tv1\ntable\tt\ncolumn\tx\tINT\n",
         )
         .unwrap();
-        assert!(load(&dir, EngineConfig::default()).is_err(), "unterminated table");
+        assert!(
+            load(&dir, EngineConfig::default()).is_err(),
+            "unterminated table"
+        );
         fs::write(
             dir.join("manifest.tsv"),
             "pcqe-manifest\tv1\ncost\t0\tmystery\t1\n",

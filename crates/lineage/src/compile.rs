@@ -50,8 +50,7 @@ impl CompiledLineage {
             simplified = crate::factor::factor(&simplified);
         }
         let vars = simplified.vars();
-        let slots: HashMap<VarId, usize> =
-            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let slots: HashMap<VarId, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut remaining = budget;
         let arith = compile_rec(&simplified, &slots, &mut remaining)?;
         Ok(CompiledLineage { vars, arith })
@@ -84,11 +83,7 @@ impl CompiledLineage {
     }
 }
 
-fn compile_rec(
-    l: &Lineage,
-    slots: &HashMap<VarId, usize>,
-    budget: &mut usize,
-) -> Result<Arith> {
+fn compile_rec(l: &Lineage, slots: &HashMap<VarId, usize>, budget: &mut usize) -> Result<Arith> {
     match l {
         Lineage::Const(b) => Ok(Arith::Const(if *b { 1.0 } else { 0.0 })),
         Lineage::Var(v) => Ok(Arith::Slot(slots[v])),
@@ -144,10 +139,7 @@ fn eval_rec(a: &Arith, probs: &[f64]) -> f64 {
         Arith::Complement(c) => 1.0 - eval_rec(c, probs),
         Arith::Product(cs) => cs.iter().map(|c| eval_rec(c, probs)).product(),
         Arith::DisjProduct(cs) => {
-            1.0 - cs
-                .iter()
-                .map(|c| 1.0 - eval_rec(c, probs))
-                .product::<f64>()
+            1.0 - cs.iter().map(|c| 1.0 - eval_rec(c, probs)).product::<f64>()
         }
         Arith::Mix { slot, hi, lo } => {
             let p = probs[*slot];
@@ -185,7 +177,9 @@ mod tests {
         let probs: HashMap<VarId, f64> = [(VarId(0), 0.3), (VarId(1), 0.6), (VarId(2), 0.9)]
             .into_iter()
             .collect();
-        let exact = Evaluator::exact_only(1 << 16).probability(&l, &probs).unwrap();
+        let exact = Evaluator::exact_only(1 << 16)
+            .probability(&l, &probs)
+            .unwrap();
         let compiled = c.eval_with(|v| probs[&v]);
         assert!((exact - compiled).abs() < 1e-12, "{exact} vs {compiled}");
     }

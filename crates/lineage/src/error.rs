@@ -39,7 +39,9 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        assert!(LineageError::UnknownVar(VarId(7)).to_string().contains("v7"));
+        assert!(LineageError::UnknownVar(VarId(7))
+            .to_string()
+            .contains("v7"));
         assert!(LineageError::BudgetExceeded { budget: 10 }
             .to_string()
             .contains("10"));

@@ -115,9 +115,7 @@ impl Lineage {
         match self {
             Lineage::Const(_) | Lineage::Var(_) => 1,
             Lineage::Not(e) => 1 + e.size(),
-            Lineage::And(es) | Lineage::Or(es) => {
-                1 + es.iter().map(Lineage::size).sum::<usize>()
-            }
+            Lineage::And(es) | Lineage::Or(es) => 1 + es.iter().map(Lineage::size).sum::<usize>(),
         }
     }
 
@@ -148,12 +146,8 @@ impl Lineage {
                 }
             }
             Lineage::Not(e) => Lineage::Not(Box::new(e.substitute(var, value))),
-            Lineage::And(es) => {
-                Lineage::And(es.iter().map(|e| e.substitute(var, value)).collect())
-            }
-            Lineage::Or(es) => {
-                Lineage::Or(es.iter().map(|e| e.substitute(var, value)).collect())
-            }
+            Lineage::And(es) => Lineage::And(es.iter().map(|e| e.substitute(var, value)).collect()),
+            Lineage::Or(es) => Lineage::Or(es.iter().map(|e| e.substitute(var, value)).collect()),
         }
     }
 
@@ -347,7 +341,10 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let l = Lineage::And(vec![Lineage::var(1), Lineage::Not(Box::new(Lineage::var(2)))]);
+        let l = Lineage::And(vec![
+            Lineage::var(1),
+            Lineage::Not(Box::new(Lineage::var(2))),
+        ]);
         assert_eq!(l.size(), 4);
     }
 

@@ -46,10 +46,9 @@ fn factor_rec(l: &Lineage, depth: usize) -> Lineage {
                 children.iter().map(|c| factor_rec(c, depth + 1)).collect();
             factor_or(children, depth)
         }
-        Lineage::And(children) => Lineage::And(
-            children.iter().map(|c| factor_rec(c, depth + 1)).collect(),
-        )
-        .simplify(),
+        Lineage::And(children) => {
+            Lineage::And(children.iter().map(|c| factor_rec(c, depth + 1)).collect()).simplify()
+        }
         Lineage::Not(e) => Lineage::not(factor_rec(e, depth + 1)),
         other => other.clone(),
     }
@@ -89,10 +88,7 @@ fn factor_or(children: Vec<Lineage>, depth: usize) -> Lineage {
         }
     }
     // pivot ∧ (r₁ ∨ r₂ ∨ …)
-    let factored = Lineage::and(vec![
-        Lineage::Var(pivot),
-        factor_or(with, depth + 1),
-    ]);
+    let factored = Lineage::and(vec![Lineage::Var(pivot), factor_or(with, depth + 1)]);
     if without.is_empty() {
         factored
     } else {
@@ -150,7 +146,11 @@ mod tests {
                 let slot = vars.iter().position(|&x| x == v).unwrap();
                 bits & (1 << slot) != 0
             };
-            assert_eq!(a.eval(&assign), b.eval(&assign), "bits {bits:b}: {a} vs {b}");
+            assert_eq!(
+                a.eval(&assign),
+                b.eval(&assign),
+                "bits {bits:b}: {a} vs {b}"
+            );
         }
     }
 

@@ -28,18 +28,20 @@
 //! ```
 
 pub mod compile;
-pub mod factor;
 pub mod error;
 pub mod expr;
+pub mod factor;
 pub mod mc;
 pub mod prob;
+pub mod rng;
 
 pub use compile::CompiledLineage;
-pub use factor::factor;
 pub use error::LineageError;
 pub use expr::{Lineage, VarId};
+pub use factor::factor;
 pub use mc::MonteCarlo;
-pub use prob::{Evaluator, ProbSource};
+pub use prob::{score_batch, Evaluator, ProbSource};
+pub use rng::{Rng64, SplitMix64};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LineageError>;

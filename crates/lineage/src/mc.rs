@@ -3,9 +3,8 @@
 use crate::error::LineageError;
 use crate::expr::{Lineage, VarId};
 use crate::prob::ProbSource;
+use crate::rng::Rng64;
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded Monte-Carlo estimator.
 ///
@@ -35,12 +34,12 @@ impl MonteCarlo {
         if self.samples == 0 {
             return Err(LineageError::BudgetExceeded { budget: 0 });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let mut hits = 0usize;
         let mut assignment: Vec<bool> = vec![false; vars.len()];
         for _ in 0..self.samples {
             for (slot, &p) in marginals.iter().enumerate() {
-                assignment[slot] = rng.random::<f64>() < p;
+                assignment[slot] = rng.next_f64() < p;
             }
             let truth = lineage.eval(&|v: VarId| {
                 let slot = vars.binary_search(&v).expect("var collected above");
@@ -66,9 +65,7 @@ mod tests {
     #[test]
     fn estimates_single_variable() {
         let mc = MonteCarlo::new(100_000, 1);
-        let p = mc
-            .estimate(&Lineage::var(0), &probs(&[(0, 0.3)]))
-            .unwrap();
+        let p = mc.estimate(&Lineage::var(0), &probs(&[(0, 0.3)])).unwrap();
         assert!((p - 0.3).abs() < 0.01, "{p}");
     }
 
@@ -76,9 +73,7 @@ mod tests {
     fn estimates_conjunction() {
         let mc = MonteCarlo::new(200_000, 2);
         let l = Lineage::and(vec![Lineage::var(0), Lineage::var(1)]);
-        let p = mc
-            .estimate(&l, &probs(&[(0, 0.5), (1, 0.5)]))
-            .unwrap();
+        let p = mc.estimate(&l, &probs(&[(0, 0.5), (1, 0.5)])).unwrap();
         assert!((p - 0.25).abs() < 0.01, "{p}");
     }
 
@@ -106,8 +101,6 @@ mod tests {
     #[test]
     fn zero_samples_is_an_error() {
         let mc = MonteCarlo::new(0, 0);
-        assert!(mc
-            .estimate(&Lineage::var(0), &probs(&[(0, 0.5)]))
-            .is_err());
+        assert!(mc.estimate(&Lineage::var(0), &probs(&[(0, 0.5)])).is_err());
     }
 }

@@ -1,0 +1,300 @@
+//! # pcqe-par — deterministic data parallelism on `std` alone
+//!
+//! A small chunked work-queue scheduler built on [`std::thread::scope`].
+//! No external dependencies, no global thread pool, no unsafe code: a
+//! batch of work items is split into cache-friendly chunks, worker
+//! threads claim chunks from an atomic counter, and the per-chunk outputs
+//! are reassembled **in input order** before returning.
+//!
+//! ## Determinism contract
+//!
+//! For a pure (or per-item-seeded) function `f`, `map(par, items, f)`
+//! returns exactly `items.iter().map(f).collect()` — the same values in
+//! the same order — regardless of how many worker threads ran or how
+//! chunks interleaved. This is what lets the engine keep byte-identical
+//! query answers while scaling across cores: thread count changes *when*
+//! an item is evaluated, never *what* is evaluated or where its output
+//! lands.
+//!
+//! ## Panic propagation
+//!
+//! A panic inside `f` on any worker is re-raised on the calling thread
+//! when the scope joins, so parallel evaluation fails as loudly as the
+//! sequential loop it replaces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parallelism policy: how many workers, and when to bother.
+///
+/// `worker_threads = None` asks the host for
+/// [`std::thread::available_parallelism`]; `Some(n)` uses exactly `n`
+/// workers (even when `n` exceeds the core count — useful for oversubscription
+/// tests and for proving thread-count independence on small machines).
+/// Batches shorter than `parallel_threshold` always run on the calling
+/// thread: spawning costs more than it saves for small inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker count cap. `None` = one worker per available core.
+    pub worker_threads: Option<usize>,
+    /// Minimum batch length before threads are spawned.
+    pub parallel_threshold: usize,
+}
+
+/// Default minimum batch size that justifies spawning worker threads.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024;
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            worker_threads: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl Parallelism {
+    /// A policy that never spawns: bit-for-bit the sequential engine.
+    pub fn sequential() -> Self {
+        Parallelism {
+            worker_threads: Some(1),
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// A policy with a fixed worker count and the default threshold.
+    pub fn with_workers(n: usize) -> Self {
+        Parallelism {
+            worker_threads: Some(n),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Workers that would actually run for a batch of `len` items.
+    pub fn workers_for(&self, len: usize) -> usize {
+        if len < self.parallel_threshold.max(2) {
+            return 1;
+        }
+        let cap = self.worker_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        cap.clamp(1, len)
+    }
+}
+
+/// Number of chunks to cut a batch into: a few morsels per worker so a
+/// slow chunk does not straggle the whole batch.
+const CHUNKS_PER_WORKER: usize = 4;
+
+fn chunk_bounds(len: usize, workers: usize) -> (usize, usize) {
+    let target_chunks = workers * CHUNKS_PER_WORKER;
+    let chunk_size = len.div_ceil(target_chunks).max(1);
+    let n_chunks = len.div_ceil(chunk_size);
+    (chunk_size, n_chunks)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` for any thread count.
+/// Runs on the calling thread when the batch is below the policy's
+/// threshold or only one worker is available.
+pub fn map<T, R, F>(par: &Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(par, items, |_, item| f(item))
+}
+
+/// [`map`], but `f` also receives the item's index in the input slice.
+pub fn map_indexed<T, R, F>(par: &Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = par.workers_for(len);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let (chunk_size, n_chunks) = chunk_bounds(len, workers);
+    let next_chunk = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_chunks) {
+            scope.spawn(|| loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk_size;
+                let end = (start + chunk_size).min(len);
+                let out: Vec<R> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(off, t)| f(start + off, t))
+                    .collect();
+                done.lock().expect("no poisoned chunk list").push((c, out));
+            });
+        }
+    });
+    let mut chunks = done.into_inner().expect("scope joined all workers");
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(chunks.len(), n_chunks);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut part) in chunks {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Fallible [`map`]: apply `f` to every item in parallel and return either
+/// all results in input order or the **first error in input order** —
+/// matching what a sequential `collect::<Result<Vec<_>, _>>()` would
+/// report (later items may still have been evaluated).
+pub fn try_map<T, R, E, F>(par: &Parallelism, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let attempts = map(par, items, f);
+    attempts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn eight() -> Parallelism {
+        Parallelism {
+            worker_threads: Some(8),
+            parallel_threshold: 1,
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = map(&eight(), &[], |x: &u32| x + 1);
+        assert!(out.is_empty());
+        let out: Vec<u32> = map(&Parallelism::sequential(), &[], |x: &u32| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map(&eight(), &[41u32], |x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x + 1
+        });
+        assert_eq!(out, vec![42]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn preserves_input_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1usize, 2, 3, 8, 17] {
+            let par = Parallelism {
+                worker_threads: Some(workers),
+                parallel_threshold: 1,
+            };
+            let got = map(&par, &items, |x| x * 3 + 1);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_gives_the_input_slice_index() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let par = Parallelism {
+            worker_threads: Some(4),
+            parallel_threshold: 1,
+        };
+        let got = map_indexed(&par, &items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn below_threshold_stays_on_calling_thread() {
+        let caller = std::thread::current().id();
+        let par = Parallelism {
+            worker_threads: Some(8),
+            parallel_threshold: 100,
+        };
+        let ids = map(&par, &[1, 2, 3], |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..5000).collect();
+        map(&eight(), &items, |&i| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<u32> = (0..1000).collect();
+        let result = std::panic::catch_unwind(|| {
+            map(&eight(), &items, |&x| {
+                if x == 500 {
+                    panic!("boom at 500");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn try_map_returns_first_error_in_input_order() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let err = try_map(&eight(), &items, |&x| {
+            if x % 3000 == 2999 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "bad 2999", "must match sequential collect semantics");
+        let ok: Vec<u32> = try_map(&eight(), &items, |&x| Ok::<_, ()>(x)).unwrap();
+        assert_eq!(ok, items);
+    }
+
+    #[test]
+    fn workers_for_respects_threshold_and_caps() {
+        let par = Parallelism {
+            worker_threads: Some(4),
+            parallel_threshold: 10,
+        };
+        assert_eq!(par.workers_for(5), 1, "below threshold");
+        assert_eq!(par.workers_for(100), 4, "capped at configured workers");
+        assert_eq!(par.workers_for(0), 1, "empty batch needs no workers");
+        let seq = Parallelism::sequential();
+        assert_eq!(seq.workers_for(1_000_000), 1);
+    }
+
+    #[test]
+    fn oversubscription_beyond_item_count_is_clamped() {
+        let par = Parallelism {
+            worker_threads: Some(64),
+            parallel_threshold: 2,
+        };
+        assert_eq!(par.workers_for(3), 3, "never more workers than items");
+        let got = map(&par, &[10u8, 20, 30], |x| x / 10);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

@@ -25,7 +25,10 @@ impl fmt::Display for PolicyError {
                 write!(f, "confidence threshold {b} outside [0, 1]")
             }
             PolicyError::NoApplicablePolicy { role, purpose } => {
-                write!(f, "no confidence policy applies to role `{role}` with purpose `{purpose}`")
+                write!(
+                    f,
+                    "no confidence policy applies to role `{role}` with purpose `{purpose}`"
+                )
             }
             PolicyError::HierarchyCycle(r) => {
                 write!(f, "adding role `{r}` would create a hierarchy cycle")

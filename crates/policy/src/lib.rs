@@ -31,7 +31,7 @@ pub mod policy;
 pub mod role;
 pub mod store;
 
-pub use decision::{PolicyDecision, evaluate_results};
+pub use decision::{evaluate_results, PolicyDecision};
 pub use error::PolicyError;
 pub use policy::{ConfidencePolicy, PurposeSpec, SubjectSpec};
 pub use role::{Purpose, PurposeHierarchy, Role, RoleHierarchy};

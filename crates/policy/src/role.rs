@@ -140,9 +140,7 @@ impl RoleHierarchy {
         let mut out: Vec<(String, String)> = self
             .parents
             .iter()
-            .flat_map(|(senior, juniors)| {
-                juniors.iter().map(move |j| (senior.clone(), j.clone()))
-            })
+            .flat_map(|(senior, juniors)| juniors.iter().map(move |j| (senior.clone(), j.clone())))
             .collect();
         out.sort();
         out
@@ -197,11 +195,7 @@ impl PurposeHierarchy {
 
     /// Declare that `specialised` is a special case of `general`
     /// (e.g. `investment` specialises `business-use`). Rejects cycles.
-    pub fn add_specialisation(
-        &mut self,
-        specialised: &Purpose,
-        general: &Purpose,
-    ) -> Result<()> {
+    pub fn add_specialisation(&mut self, specialised: &Purpose, general: &Purpose) -> Result<()> {
         if specialised == general || self.specialises(general, specialised) {
             return Err(PolicyError::HierarchyCycle(specialised.name().to_owned()));
         }
@@ -274,8 +268,10 @@ mod tests {
     #[test]
     fn hierarchy_distances() {
         let mut h = RoleHierarchy::new();
-        h.add_inheritance(&"Manager".into(), &"Employee".into()).unwrap();
-        h.add_inheritance(&"Director".into(), &"Manager".into()).unwrap();
+        h.add_inheritance(&"Manager".into(), &"Employee".into())
+            .unwrap();
+        h.add_inheritance(&"Director".into(), &"Manager".into())
+            .unwrap();
         assert_eq!(h.distance(&"Manager".into(), &"Manager".into()), Some(0));
         assert_eq!(h.distance(&"Manager".into(), &"Employee".into()), Some(1));
         assert_eq!(h.distance(&"Director".into(), &"Employee".into()), Some(2));

@@ -93,18 +93,18 @@ impl PolicyStore {
             let better = match &best {
                 None => true,
                 Some((cur, cur_score)) => {
-                    score > *cur_score
-                        || (score == *cur_score && p.threshold > cur.threshold)
+                    score > *cur_score || (score == *cur_score && p.threshold > cur.threshold)
                 }
             };
             if better {
                 best = Some((p, score));
             }
         }
-        best.map(|(p, _)| p).ok_or_else(|| PolicyError::NoApplicablePolicy {
-            role: role.name().to_owned(),
-            purpose: purpose.name().to_owned(),
-        })
+        best.map(|(p, _)| p)
+            .ok_or_else(|| PolicyError::NoApplicablePolicy {
+                role: role.name().to_owned(),
+                purpose: purpose.name().to_owned(),
+            })
     }
 
     /// Shortcut: just the threshold that governs (role, purpose).
@@ -128,11 +128,13 @@ mod tests {
     fn exact_match_selects_paper_policies() {
         let s = paper_store();
         assert_eq!(
-            s.threshold_for(&"Secretary".into(), &"analysis".into()).unwrap(),
+            s.threshold_for(&"Secretary".into(), &"analysis".into())
+                .unwrap(),
             0.05
         );
         assert_eq!(
-            s.threshold_for(&"Manager".into(), &"investment".into()).unwrap(),
+            s.threshold_for(&"Manager".into(), &"investment".into())
+                .unwrap(),
             0.06
         );
     }
@@ -154,12 +156,14 @@ mod tests {
         s.add(ConfidencePolicy::for_purpose("audit", 0.5).unwrap());
         // Exact beats role-wildcard beats floor.
         assert_eq!(
-            s.threshold_for(&"Manager".into(), &"investment".into()).unwrap(),
+            s.threshold_for(&"Manager".into(), &"investment".into())
+                .unwrap(),
             0.06
         );
         // Manager with unlisted purpose → role-any policy.
         assert_eq!(
-            s.threshold_for(&"Manager".into(), &"reporting".into()).unwrap(),
+            s.threshold_for(&"Manager".into(), &"reporting".into())
+                .unwrap(),
             0.03
         );
         // Purpose-specific wildcard beats role-any for that purpose.
@@ -169,7 +173,8 @@ mod tests {
         );
         // Unknown role and purpose → floor.
         assert_eq!(
-            s.threshold_for(&"Intern".into(), &"reporting".into()).unwrap(),
+            s.threshold_for(&"Intern".into(), &"reporting".into())
+                .unwrap(),
             0.01
         );
     }
@@ -182,13 +187,15 @@ mod tests {
             .unwrap();
         // Director inherits the Manager investment policy.
         assert_eq!(
-            s.threshold_for(&"Director".into(), &"investment".into()).unwrap(),
+            s.threshold_for(&"Director".into(), &"investment".into())
+                .unwrap(),
             0.06
         );
         // But an exact Director policy wins over the inherited one.
         s.add(ConfidencePolicy::new("Director", "investment", 0.08).unwrap());
         assert_eq!(
-            s.threshold_for(&"Director".into(), &"investment".into()).unwrap(),
+            s.threshold_for(&"Director".into(), &"investment".into())
+                .unwrap(),
             0.08
         );
     }

@@ -58,8 +58,7 @@ impl Assigner {
         }
         c *= record.method.reliability();
         if self.freshness_half_life_days.is_finite() {
-            c *= (-record.age_days / self.freshness_half_life_days * std::f64::consts::LN_2)
-                .exp();
+            c *= (-record.age_days / self.freshness_half_life_days * std::f64::consts::LN_2).exp();
         }
         c.clamp(0.0, 1.0)
     }
@@ -125,8 +124,7 @@ mod tests {
     fn freshness_decay_halves_at_half_life() {
         let a = Assigner::new(100.0, 0.6).unwrap();
         let fresh = a.record_confidence(&record("s", 0.8, CollectionMethod::Audited));
-        let stale =
-            a.record_confidence(&record("s", 0.8, CollectionMethod::Audited).aged(100.0));
+        let stale = a.record_confidence(&record("s", 0.8, CollectionMethod::Audited).aged(100.0));
         assert!((stale - fresh / 2.0).abs() < 1e-9);
     }
 
@@ -149,7 +147,10 @@ mod tests {
                 record("survey", 0.5, CollectionMethod::Survey),
             ])
             .unwrap();
-        assert!((duplicated - lone).abs() < 1e-12, "same source is not evidence");
+        assert!(
+            (duplicated - lone).abs() < 1e-12,
+            "same source is not evidence"
+        );
     }
 
     #[test]

@@ -75,48 +75,81 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                 }
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    pos: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, pos: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    pos: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, pos: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    pos: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Spanned { token: Token::Dot, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    pos: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    pos: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Spanned { token: Token::Slash, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    pos: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Spanned { token: Token::Plus, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    pos: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Spanned { token: Token::Minus, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Minus,
+                    pos: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Spanned { token: Token::Semicolon, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
+                    pos: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Spanned { token: Token::Eq, pos: start });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    pos: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ne, pos: start });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        pos: start,
+                    });
                     i += 2;
                 } else {
                     return Err(SqlError::Lex {
@@ -127,24 +160,39 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(Spanned { token: Token::Le, pos: start });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        pos: start,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Spanned { token: Token::Ne, pos: start });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        pos: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Spanned { token: Token::Lt, pos: start });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        pos: start,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ge, pos: start });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        pos: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, pos: start });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        pos: start,
+                    });
                     i += 1;
                 }
             }
@@ -176,7 +224,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(s), pos: start });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    pos: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut end = i;

@@ -1,8 +1,7 @@
 //! Recursive-descent parser.
 
 use crate::ast::{
-    BinOp, ColumnDef, Expr, JoinClause, OrderItem, Query, Select, SelectItem, Statement,
-    TableRef,
+    BinOp, ColumnDef, Expr, JoinClause, OrderItem, Query, Select, SelectItem, Statement, TableRef,
 };
 use crate::error::SqlError;
 use crate::lexer::{tokenize, Spanned, Token};
@@ -75,10 +74,7 @@ impl Parser {
     }
 
     fn err_here(&self, message: impl Into<String>) -> SqlError {
-        let pos = self
-            .peek()
-            .map(|t| t.pos)
-            .unwrap_or(self.input_len);
+        let pos = self.peek().map(|t| t.pos).unwrap_or(self.input_len);
         SqlError::Parse {
             pos,
             message: message.into(),
@@ -135,7 +131,10 @@ impl Parser {
     /// Take an identifier that is not a reserved keyword.
     fn ident(&mut self, what: &str) -> Result<String> {
         match self.peek() {
-            Some(Spanned { token: Token::Ident(s), .. }) if !is_reserved(s) => {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) if !is_reserved(s) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)
@@ -353,7 +352,10 @@ impl Parser {
         } else {
             // Bare alias: `FROM Proposal p`.
             match self.peek() {
-                Some(Spanned { token: Token::Ident(s), .. }) if !is_reserved(s) => {
+                Some(Spanned {
+                    token: Token::Ident(s),
+                    ..
+                }) if !is_reserved(s) => {
                     let s = s.clone();
                     self.pos += 1;
                     Some(s)
@@ -598,8 +600,7 @@ impl Parser {
             {
                 let func = agg_func(&s).expect("checked above");
                 self.expect(Token::LParen, "`(`")?;
-                let arg = if func == pcqe_algebra::plan::AggFunc::Count
-                    && self.eat_if(&Token::Star)
+                let arg = if func == pcqe_algebra::plan::AggFunc::Count && self.eat_if(&Token::Star)
                 {
                     None
                 } else {
@@ -630,9 +631,8 @@ impl Parser {
 /// Keywords that cannot be used as bare identifiers.
 fn is_reserved(s: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "JOIN", "INNER", "ON", "AS", "AND",
-        "OR", "NOT", "UNION", "EXCEPT", "TRUE", "FALSE", "NULL", "ORDER", "LIMIT", "GROUP",
-        "HAVING",
+        "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "JOIN", "INNER", "ON", "AS", "AND", "OR",
+        "NOT", "UNION", "EXCEPT", "TRUE", "FALSE", "NULL", "ORDER", "LIMIT", "GROUP", "HAVING",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(s))
 }
@@ -658,7 +658,9 @@ mod tests {
     #[test]
     fn minimal_select() {
         let q = parse("SELECT * FROM t").unwrap();
-        let Query::Select(s) = q else { panic!("expected select") };
+        let Query::Select(s) = q else {
+            panic!("expected select")
+        };
         assert!(s.items.is_empty());
         assert_eq!(s.from[0].table, "t");
         assert!(!s.distinct);
@@ -671,10 +673,7 @@ mod tests {
         assert!(s.distinct);
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.items[0].alias.as_deref(), Some("name"));
-        assert_eq!(
-            s.items[0].expr,
-            Expr::col(Some("c"), "company")
-        );
+        assert_eq!(s.items[0].expr, Expr::col(Some("c"), "company"));
         assert_eq!(s.from[0].alias.as_deref(), Some("c"));
     }
 
@@ -711,7 +710,12 @@ mod tests {
         // a OR b AND c parses as a OR (b AND c)
         let q = parse("SELECT * FROM t WHERE a OR b AND c").unwrap();
         let Query::Select(s) = q else { panic!() };
-        let Some(Expr::Binary { op: BinOp::Or, right, .. }) = s.selection else {
+        let Some(Expr::Binary {
+            op: BinOp::Or,
+            right,
+            ..
+        }) = s.selection
+        else {
             panic!("expected OR at top");
         };
         assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
@@ -719,10 +723,20 @@ mod tests {
         // 1 + 2 * 3 parses as 1 + (2 * 3)
         let q = parse("SELECT * FROM t WHERE x = 1 + 2 * 3").unwrap();
         let Query::Select(s) = q else { panic!() };
-        let Some(Expr::Binary { op: BinOp::Eq, right, .. }) = s.selection else {
+        let Some(Expr::Binary {
+            op: BinOp::Eq,
+            right,
+            ..
+        }) = s.selection
+        else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Add, right, .. } = *right else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = *right
+        else {
             panic!("expected + under =");
         };
         assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
@@ -754,16 +768,15 @@ mod tests {
     fn negative_numbers() {
         let q = parse("SELECT * FROM t WHERE x > -5").unwrap();
         let Query::Select(s) = q else { panic!() };
-        let Some(Expr::Binary { right, .. }) = s.selection else { panic!() };
+        let Some(Expr::Binary { right, .. }) = s.selection else {
+            panic!()
+        };
         assert!(matches!(*right, Expr::Neg(_)));
     }
 
     #[test]
     fn error_positions_and_messages() {
-        assert!(matches!(
-            parse("SELECT"),
-            Err(SqlError::Parse { .. })
-        ));
+        assert!(matches!(parse("SELECT"), Err(SqlError::Parse { .. })));
         assert!(parse("SELECT * FROM").is_err());
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("SELECT * FROM t extra garbage ,").is_err());
@@ -800,10 +813,8 @@ mod tests {
 
     #[test]
     fn insert_with_confidence() {
-        let s = parse_statement(
-            "INSERT INTO t VALUES (1, 'a'), (2, 'b') WITH CONFIDENCE 0.4",
-        )
-        .unwrap();
+        let s =
+            parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b') WITH CONFIDENCE 0.4").unwrap();
         let Statement::Insert {
             table,
             rows,
@@ -821,7 +832,10 @@ mod tests {
     #[test]
     fn insert_without_confidence_defaults() {
         let s = parse_statement("INSERT INTO t VALUES (-3.5)").unwrap();
-        let Statement::Insert { confidence, rows, .. } = s else {
+        let Statement::Insert {
+            confidence, rows, ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(confidence, None);

@@ -1,8 +1,8 @@
 //! Lowering the AST to a `pcqe-algebra` plan.
 
 use crate::ast::{BinOp, Expr, Query, Select, TableRef};
-use pcqe_algebra::plan::SortKey;
 use crate::Result;
+use pcqe_algebra::plan::SortKey;
 use pcqe_algebra::{Plan, ProjItem, ScalarExpr};
 use pcqe_storage::{Catalog, Schema, Value};
 
@@ -169,7 +169,9 @@ fn plan_aggregate(s: &Select, input: Plan, catalog: &Catalog) -> Result<Plan> {
                     .unwrap_or_else(|| item.expr.default_name());
                 // Keep output names unique.
                 if output.iter().any(|(_, n)| n.eq_ignore_ascii_case(&name))
-                    || group_items.iter().any(|g| g.name.eq_ignore_ascii_case(&name))
+                    || group_items
+                        .iter()
+                        .any(|g| g.name.eq_ignore_ascii_case(&name))
                 {
                     name = format!("{name}_{}", aggregates.len());
                 }
@@ -188,16 +190,12 @@ fn plan_aggregate(s: &Select, input: Plan, catalog: &Catalog) -> Result<Plan> {
             }
             expr => {
                 // Must match a GROUP BY expression syntactically.
-                let pos = s
-                    .group_by
-                    .iter()
-                    .position(|g| g == expr)
-                    .ok_or_else(|| {
-                        plan_err(format!(
-                            "`{}` appears in SELECT but not in GROUP BY",
-                            expr.default_name()
-                        ))
-                    })?;
+                let pos = s.group_by.iter().position(|g| g == expr).ok_or_else(|| {
+                    plan_err(format!(
+                        "`{}` appears in SELECT but not in GROUP BY",
+                        expr.default_name()
+                    ))
+                })?;
                 let name = item
                     .alias
                     .clone()
@@ -240,9 +238,7 @@ fn resolve_having(h: &Expr, s: &Select, schema: &Schema) -> Result<ScalarExpr> {
                 .items
                 .iter()
                 .position(|item| &item.expr == h)
-                .ok_or_else(|| {
-                    plan_err("HAVING aggregates must also appear in the SELECT list")
-                })?;
+                .ok_or_else(|| plan_err("HAVING aggregates must also appear in the SELECT list"))?;
             // Output columns are group keys then aggregates in SELECT
             // order; recover the aggregate's index among aggregates.
             let agg_rank = s.items[..pos]
@@ -301,9 +297,7 @@ pub fn literal_row(row: &[Expr]) -> Result<Vec<Value>> {
 /// [`ScalarExpr`].
 pub fn resolve(expr: &Expr, schema: &Schema) -> Result<ScalarExpr> {
     Ok(match expr {
-        Expr::Column { qualifier, name } => {
-            ScalarExpr::named(schema, qualifier.as_deref(), name)?
-        }
+        Expr::Column { qualifier, name } => ScalarExpr::named(schema, qualifier.as_deref(), name)?,
         Expr::Int(i) => ScalarExpr::literal(Value::Int(*i)),
         Expr::Real(r) => ScalarExpr::literal(Value::Real(*r)),
         Expr::Str(s) => ScalarExpr::literal(Value::text(s.clone())),
@@ -464,7 +458,10 @@ mod tests {
     fn select_star_disambiguates_joined_duplicates() {
         let c = paper_db();
         let plan = plan_query(
-            &parse("SELECT * FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company").unwrap(),
+            &parse(
+                "SELECT * FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company",
+            )
+            .unwrap(),
             &c,
         )
         .unwrap();
@@ -551,12 +548,8 @@ mod tests {
     #[test]
     fn like_between_in_and_null_predicates() {
         let mut c = paper_db();
-        c.insert(
-            "CompanyInfo",
-            vec![Value::text("NullCo"), Value::Null],
-            0.9,
-        )
-        .unwrap();
+        c.insert("CompanyInfo", vec![Value::text("NullCo"), Value::Null], 0.9)
+            .unwrap();
         // LIKE.
         let rows = run_scored("SELECT company FROM Proposal WHERE company LIKE 'Sky%'", &c);
         assert_eq!(rows.len(), 2);
@@ -611,11 +604,14 @@ mod tests {
             &c,
         );
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].0, vec![
-            Value::text("MegaCorp"),
-            Value::Int(1),
-            Value::Real(5_000_000.0)
-        ]);
+        assert_eq!(
+            rows[0].0,
+            vec![
+                Value::text("MegaCorp"),
+                Value::Int(1),
+                Value::Real(5_000_000.0)
+            ]
+        );
         assert_eq!(rows[1].0[1], Value::Int(2));
         // Group confidence = P(∃ member): SkyCam = p02 ∨ p03.
         assert!((rows[1].1 - (0.3 + 0.4 - 0.12)).abs() < 1e-12);

@@ -60,12 +60,7 @@ impl Catalog {
     }
 
     /// Insert a row into `table`, allocating a globally unique tuple id.
-    pub fn insert(
-        &mut self,
-        table: &str,
-        values: Vec<Value>,
-        confidence: f64,
-    ) -> Result<TupleId> {
+    pub fn insert(&mut self, table: &str, values: Vec<Value>, confidence: f64) -> Result<TupleId> {
         check_confidence(confidence)?;
         let id = TupleId(self.next_id);
         let t = self.table_mut(table)?;

@@ -74,7 +74,10 @@ pub fn load_into<R: BufRead>(
         if !h.eq_ignore_ascii_case(&c.name) {
             return Err(csv_err(
                 1,
-                format!("header column `{h}` does not match schema column `{}`", c.name),
+                format!(
+                    "header column `{h}` does not match schema column `{}`",
+                    c.name
+                ),
             ));
         }
     }
@@ -177,7 +180,10 @@ pub fn load_into_with_ids<R: BufRead>(
     if header.len() != expected || header[0] != "__id" {
         return Err(csv_err(
             1,
-            format!("expected `__id`, {} schema columns, `confidence`", schema.arity()),
+            format!(
+                "expected `__id`, {} schema columns, `confidence`",
+                schema.arity()
+            ),
         ));
     }
     let mut ids = Vec::with_capacity(records.len());
@@ -407,7 +413,11 @@ mod tests {
         assert_eq!(c2.confidence(a), Some(0.9));
         // New inserts continue past the restored ids.
         let next = c2
-            .insert("people", vec![Value::text("bob"), Value::Null, Value::Null, Value::Null], 0.5)
+            .insert(
+                "people",
+                vec![Value::text("bob"), Value::Null, Value::Null, Value::Null],
+                0.5,
+            )
             .unwrap();
         assert!(next.0 > a.0);
         // Restoring the same ids twice collides.

@@ -233,7 +233,9 @@ mod tests {
 
     #[test]
     fn join_concatenates() {
-        let s = two_col().with_qualifier("a").join(&two_col().with_qualifier("b"));
+        let s = two_col()
+            .with_qualifier("a")
+            .join(&two_col().with_qualifier("b"));
         assert_eq!(s.arity(), 4);
         assert_eq!(s.resolve(Some("b"), "company").unwrap(), 2);
     }

@@ -80,7 +80,12 @@ impl Table {
 
     /// Create a standalone table whose ids follow `base + i * stride`,
     /// letting multiple standalone tables keep disjoint id spaces.
-    pub fn standalone_strided(name: impl Into<String>, schema: Schema, base: u64, stride: u64) -> Self {
+    pub fn standalone_strided(
+        name: impl Into<String>,
+        schema: Schema,
+        base: u64,
+        stride: u64,
+    ) -> Self {
         Table::with_ids(
             name.into(),
             schema,
@@ -205,8 +210,12 @@ mod tests {
     #[test]
     fn insert_assigns_sequential_ids() {
         let mut t = table();
-        let a = t.insert(vec![Value::text("A"), Value::Real(1.0)], 0.5).unwrap();
-        let b = t.insert(vec![Value::text("B"), Value::Real(2.0)], 0.6).unwrap();
+        let a = t
+            .insert(vec![Value::text("A"), Value::Real(1.0)], 0.5)
+            .unwrap();
+        let b = t
+            .insert(vec![Value::text("B"), Value::Real(2.0)], 0.6)
+            .unwrap();
         assert_eq!(a, TupleId(0));
         assert_eq!(b, TupleId(1));
         assert_eq!(t.len(), 2);
@@ -216,7 +225,9 @@ mod tests {
     #[test]
     fn insert_validates_schema_and_confidence() {
         let mut t = table();
-        assert!(t.insert(vec![Value::Int(1), Value::Real(1.0)], 0.5).is_err());
+        assert!(t
+            .insert(vec![Value::Int(1), Value::Real(1.0)], 0.5)
+            .is_err());
         assert!(matches!(
             t.insert(vec![Value::text("A"), Value::Real(1.0)], 1.5),
             Err(StorageError::InvalidConfidence(_))
@@ -231,7 +242,9 @@ mod tests {
     #[test]
     fn confidence_updates() {
         let mut t = table();
-        let id = t.insert(vec![Value::text("A"), Value::Real(1.0)], 0.3).unwrap();
+        let id = t
+            .insert(vec![Value::text("A"), Value::Real(1.0)], 0.3)
+            .unwrap();
         t.set_confidence(id, 0.4).unwrap();
         assert_eq!(t.confidence(id), Some(0.4));
         // raise_confidence never lowers

@@ -4,10 +4,8 @@ use crate::params::WorkloadParams;
 use pcqe_core::problem::{ProblemBuilder, ProblemInstance};
 use pcqe_core::CoreError;
 use pcqe_cost::CostFn;
+use pcqe_lineage::rng::Rng64;
 use pcqe_lineage::Lineage;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Generate a confidence-increment problem from workload parameters.
 ///
@@ -19,7 +17,7 @@ use rand::{Rng, SeedableRng};
 /// initial confidences land well below β but the threshold stays reachable
 /// with a handful of δ increments.
 pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng64::seed_from_u64(params.seed);
     let k = params.data_size;
     let n_results = params.results();
     let cluster_size = params.cluster();
@@ -30,7 +28,7 @@ pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
     for id in 0..k as u64 {
         let lo = (params.confidence_center - params.confidence_jitter).max(0.0);
         let hi = (params.confidence_center + params.confidence_jitter).min(1.0);
-        let confidence = if hi > lo { rng.random_range(lo..hi) } else { lo };
+        let confidence = if hi > lo { rng.range_f64(lo, hi) } else { lo };
         builder.base(id, confidence, random_cost(&mut rng));
     }
 
@@ -45,7 +43,7 @@ pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
         .iter()
         .map(|c| {
             let mut d = c.clone();
-            d.shuffle(&mut rng);
+            rng.shuffle(&mut d);
             d
         })
         .collect();
@@ -57,7 +55,7 @@ pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
     let mut assignment: Vec<usize> = Vec::with_capacity(n_results);
     while assignment.len() < n_results {
         let mut cycle: Vec<usize> = (0..clusters.len().max(1)).collect();
-        cycle.shuffle(&mut rng);
+        rng.shuffle(&mut cycle);
         assignment.extend(cycle);
     }
     assignment.truncate(n_results);
@@ -69,8 +67,8 @@ pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
         // underneath the deck afterwards, so no usage is ever lost.
         let mut leftovers: Vec<u64> = Vec::new();
         while bases.len() < want {
-            if rng.random::<f64>() < params.cross_cluster_prob {
-                let id = rng.random_range(0..k as u64);
+            if rng.next_f64() < params.cross_cluster_prob {
+                let id = rng.below_u64(k as u64);
                 if !bases.contains(&id) {
                     bases.push(id);
                 }
@@ -79,7 +77,7 @@ pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
             if leftovers.len() >= clusters[ci].len() {
                 // The cluster cannot supply any more distinct bases for
                 // this result; fill the remainder from anywhere.
-                let id = rng.random_range(0..k as u64);
+                let id = rng.below_u64(k as u64);
                 if !bases.contains(&id) {
                     bases.push(id);
                 }
@@ -90,7 +88,7 @@ pub fn generate(params: &WorkloadParams) -> Result<ProblemInstance, CoreError> {
                 Some(id) => id,
                 None => {
                     *deck = clusters[ci].clone();
-                    deck.shuffle(&mut rng);
+                    rng.shuffle(deck);
                     deck.pop().expect("clusters are non-empty")
                 }
             };
@@ -124,8 +122,8 @@ pub fn generate_batch(
     for q in 0..n_queries {
         let mut p = params.clone().with_seed(params.seed ^ (0x9e37 + q as u64));
         // Spread thresholds a little so queries differ (clamped sane).
-        p.beta = (params.beta + 0.05 * (q as f64 - n_queries as f64 / 2.0)
-            / n_queries.max(1) as f64)
+        p.beta = (params.beta
+            + 0.05 * (q as f64 - n_queries as f64 / 2.0) / n_queries.max(1) as f64)
             .clamp(0.05, 0.95);
         let mut inst = generate(&p)?;
         // All queries share one physical base-tuple pool: overwrite each
@@ -145,22 +143,22 @@ pub fn generate_batch(
 }
 
 /// One of the paper's three cost-function families, with random scale.
-fn random_cost(rng: &mut StdRng) -> CostFn {
-    match rng.random_range(0..3u8) {
-        0 => CostFn::binomial(rng.random_range(20.0..200.0)).expect("valid range"),
-        1 => CostFn::exponential(rng.random_range(5.0..50.0), 3.0).expect("valid range"),
-        _ => CostFn::logarithmic(rng.random_range(50.0..500.0), 9.0).expect("valid range"),
+fn random_cost(rng: &mut Rng64) -> CostFn {
+    match rng.below_usize(3) {
+        0 => CostFn::binomial(rng.range_f64(20.0, 200.0)).expect("valid range"),
+        1 => CostFn::exponential(rng.range_f64(5.0, 50.0), 3.0).expect("valid range"),
+        _ => CostFn::logarithmic(rng.range_f64(50.0, 500.0), 9.0).expect("valid range"),
     }
 }
 
 /// An OR of AND-groups over the given bases. At most one singleton group
 /// (and only for small fan-in) keeps the initial confidence below β; the
 /// remaining bases pair into AND-groups of 2–3.
-fn random_dag(rng: &mut StdRng, bases: &[u64], fan_in: usize) -> Lineage {
+fn random_dag(rng: &mut Rng64, bases: &[u64], fan_in: usize) -> Lineage {
     let mut rest: Vec<u64> = bases.to_vec();
-    rest.shuffle(rng);
+    rng.shuffle(&mut rest);
     let mut groups: Vec<Lineage> = Vec::new();
-    if fan_in <= 10 && rest.len() >= 3 && rng.random::<f64>() < 0.5 {
+    if fan_in <= 10 && rest.len() >= 3 && rng.next_f64() < 0.5 {
         let v = rest.pop().expect("len checked");
         groups.push(Lineage::var(v));
     }
@@ -169,7 +167,7 @@ fn random_dag(rng: &mut StdRng, bases: &[u64], fan_in: usize) -> Lineage {
             1 => 1,
             2 => 2,
             _ => {
-                if rng.random::<f64>() < 0.6 {
+                if rng.next_f64() < 0.6 {
                     2
                 } else {
                     3
@@ -229,7 +227,11 @@ mod tests {
             assert_eq!(r.bases.len(), 5);
         }
         for b in &inst.bases {
-            assert!((0.05..0.15).contains(&b.initial), "around 0.1: {}", b.initial);
+            assert!(
+                (0.05..0.15).contains(&b.initial),
+                "around 0.1: {}",
+                b.initial
+            );
         }
     }
 
@@ -258,10 +260,7 @@ mod tests {
             let inst = generate(&p).unwrap();
             let mut st = EvalState::new(&inst);
             let frac = st.satisfied_count() as f64 / inst.results.len() as f64;
-            assert!(
-                frac < 0.2,
-                "size {size}: {frac} of results already pass β"
-            );
+            assert!(frac < 0.2, "size {size}: {frac} of results already pass β");
             let all: Vec<usize> = (0..inst.bases.len()).collect();
             assert!(
                 st.optimistic_satisfied(&all) >= inst.required,
@@ -339,6 +338,9 @@ mod tests {
             groups.len() > 1,
             "without cross links the clusters must separate"
         );
-        assert!(groups.len() < inst.results.len(), "but results do share bases");
+        assert!(
+            groups.len() < inst.results.len(),
+            "but results do share bases"
+        );
     }
 }

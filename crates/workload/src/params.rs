@@ -84,8 +84,8 @@ impl WorkloadParams {
     /// Effective number of results.
     pub fn results(&self) -> usize {
         self.num_results.unwrap_or_else(|| {
-            ((self.data_size as f64 * self.usage_factor / self.bases_per_result as f64)
-                .round() as usize)
+            ((self.data_size as f64 * self.usage_factor / self.bases_per_result as f64).round()
+                as usize)
                 .max(1)
         })
     }

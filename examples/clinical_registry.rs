@@ -75,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("assessed confidences:");
-    for (label, id) in [("A (registry)", a), ("B (survey)", b), ("C (survey+claims)", c)] {
+    for (label, id) in [
+        ("A (registry)", a),
+        ("B (survey)", b),
+        ("C (survey+claims)", c),
+    ] {
         println!("  {label}: {:.3}", db.confidence(id).unwrap());
     }
 
@@ -100,7 +104,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Research use: everything but the stale survey row flows through.
     let researcher = User::new("rhea", "researcher");
-    let resp = db.query(&researcher, &QueryRequest::new(query, "hypothesis-generation"))?;
+    let resp = db.query(
+        &researcher,
+        &QueryRequest::new(query, "hypothesis-generation"),
+    )?;
     println!(
         "\nresearcher (β=0.30): {} of 3 rows released",
         resp.released.len()

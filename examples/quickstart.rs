@@ -20,10 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let rows: [(&str, &str, f64, f64); 4] = [
-        ("Acme", "west", 1_200_000.0, 0.9),   // verified account
-        ("Bolt", "west", 800_000.0, 0.35),    // stale record
-        ("Crux", "east", 950_000.0, 0.4),     // unverified import
-        ("Dyno", "west", 400_000.0, 0.85),    // verified account
+        ("Acme", "west", 1_200_000.0, 0.9), // verified account
+        ("Bolt", "west", 800_000.0, 0.35),  // stale record
+        ("Crux", "east", 950_000.0, 0.4),   // unverified import
+        ("Dyno", "west", 400_000.0, 0.85),  // verified account
     ];
     let mut ids = Vec::new();
     for (name, region, revenue, confidence) in rows {
@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "exploration",
     );
     let resp = db.query(&analyst, &request)?;
-    println!("analyst sees {} of {} west-region rows:", resp.released.len(), resp.released.len() + resp.withheld);
+    println!(
+        "analyst sees {} of {} west-region rows:",
+        resp.released.len(),
+        resp.released.len() + resp.withheld
+    );
     for row in &resp.released {
         println!("  {} (confidence {:.2})", row.tuple, row.confidence);
     }
@@ -82,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the query now returns the full picture.
     db.apply(&proposal)?;
     let resp = db.query(&manager, &request)?;
-    println!("\nafter improvement the manager sees {} rows:", resp.released.len());
+    println!(
+        "\nafter improvement the manager sees {} rows:",
+        resp.released.len()
+    );
     for row in &resp.released {
         println!("  {} (confidence {:.2})", row.tuple, row.confidence);
     }

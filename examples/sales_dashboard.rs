@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfo = User::new("c-f-o", "cfo");
     let request = QueryRequest::new(dashboard, "board-deck");
     let resp = db.query(&cfo, &request)?;
-    println!("\nCFO board deck (β=0.55): {} of 3 regions visible", resp.released.len());
+    println!(
+        "\nCFO board deck (β=0.55): {} of 3 regions visible",
+        resp.released.len()
+    );
     let proposal = resp.proposal.expect("regions are verifiable");
     println!("verification plan, cost {:.0}:", proposal.cost);
     for inc in &proposal.increments {
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Preview before committing (what-if), then accept.
     let preview = db.what_if(&cfo, &request, &proposal)?;
-    println!("\npreview after verification: {} regions visible", preview.released.len());
+    println!(
+        "\npreview after verification: {} regions visible",
+        preview.released.len()
+    );
     db.apply(&proposal)?;
     let resp = db.query(&cfo, &request)?;
     assert_eq!(resp.released.len(), 3);

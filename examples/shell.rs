@@ -121,7 +121,11 @@ impl Shell {
             ["accept"] => match self.pending.take() {
                 Some(p) => {
                     self.db.apply(&p)?;
-                    println!("applied {} increment(s), total cost {:.2}", p.increments.len(), p.cost);
+                    println!(
+                        "applied {} increment(s), total cost {:.2}",
+                        p.increments.len(),
+                        p.cost
+                    );
                 }
                 None => println!("no pending proposal"),
             },

@@ -89,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resp = db.query(&secretary, &QueryRequest::new(QUERY, "analysis"))?;
     println!("Secretary (P1, β=0.05): {} row(s)", resp.released.len());
     for r in &resp.released {
-        println!("  {}  confidence {:.3}  lineage {}", r.tuple, r.confidence, r.lineage);
+        println!(
+            "  {}  confidence {:.3}  lineage {}",
+            r.tuple, r.confidence, r.lineage
+        );
     }
     assert_eq!(resp.released.len(), 1);
     assert!((resp.released[0].confidence - 0.058).abs() < 1e-12);
@@ -98,7 +101,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // strategy finder proposes the cheapest fix.
     let manager = User::new("mark", "Manager");
     let resp = db.query(&manager, &QueryRequest::new(QUERY, "investment"))?;
-    println!("\nManager (P2, β=0.06): {} row(s), {} withheld", resp.released.len(), resp.withheld);
+    println!(
+        "\nManager (P2, β=0.06): {} row(s), {} withheld",
+        resp.released.len(),
+        resp.withheld
+    );
     let proposal = resp.proposal.expect("an improvement strategy exists");
     println!("Proposal (cost {:.0}):", proposal.cost);
     for inc in &proposal.increments {

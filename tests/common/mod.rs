@@ -1,0 +1,96 @@
+//! Shared support for the seeded property suites.
+//!
+//! The workspace builds fully offline, so the former `proptest` suites
+//! are driven by the in-repo [`Rng64`] generator instead: each test runs
+//! a fixed number of cases, each case derived from a per-case seed, so a
+//! failure prints the exact seed needed to replay it in isolation.
+
+#![allow(dead_code)]
+
+use pcqe::lineage::{Lineage, Rng64};
+use std::panic::AssertUnwindSafe;
+
+/// Run `f` once per case with an independently seeded generator.
+///
+/// Each case's RNG is seeded from `base_seed` mixed with the case index,
+/// so cases are independent and any failure is replayable: the panic
+/// message names the case index and exact seed.
+pub fn for_each_case(cases: u64, base_seed: u64, mut f: impl FnMut(&mut Rng64)) {
+    for case in 0..cases {
+        let seed = base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Rng64::seed_from_u64(seed);
+        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!("seeded suite failed at case {case} (seed {seed:#018x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A random lineage formula over variables `0..max_vars`, negation and
+/// constants included (the shape space of the old proptest strategy).
+pub fn random_lineage(rng: &mut Rng64, max_vars: u64, depth: u32) -> Lineage {
+    // At depth 0 — or one time in four — emit a leaf.
+    if depth == 0 || rng.below_u64(4) == 0 {
+        if rng.chance(0.75) {
+            Lineage::var(rng.below_u64(max_vars))
+        } else {
+            Lineage::Const(rng.chance(0.5))
+        }
+    } else {
+        match rng.below_u64(3) {
+            0 => Lineage::not(random_lineage(rng, max_vars, depth - 1)),
+            1 => Lineage::and(
+                (0..rng.range_usize(1, 4))
+                    .map(|_| random_lineage(rng, max_vars, depth - 1))
+                    .collect(),
+            ),
+            _ => Lineage::or(
+                (0..rng.range_usize(1, 4))
+                    .map(|_| random_lineage(rng, max_vars, depth - 1))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// A random negation-free lineage over variables `0..max_vars` (the
+/// monotone shape space assumed by the solvers' pruning rules).
+pub fn random_positive_lineage(rng: &mut Rng64, max_vars: u64, depth: u32) -> Lineage {
+    if depth == 0 || rng.below_u64(4) == 0 {
+        Lineage::var(rng.below_u64(max_vars))
+    } else if rng.chance(0.5) {
+        Lineage::and(
+            (0..rng.range_usize(1, 4))
+                .map(|_| random_positive_lineage(rng, max_vars, depth - 1))
+                .collect(),
+        )
+    } else {
+        Lineage::or(
+            (0..rng.range_usize(1, 4))
+                .map(|_| random_positive_lineage(rng, max_vars, depth - 1))
+                .collect(),
+        )
+    }
+}
+
+/// `n` uniform probabilities in `[0, 1)`.
+pub fn random_probs(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.next_f64()).collect()
+}
+
+/// A random string of length `0..=max_len` drawn from `alphabet`.
+pub fn random_string(rng: &mut Rng64, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.below_usize(max_len + 1);
+    (0..len)
+        .map(|_| alphabet[rng.below_usize(alphabet.len())])
+        .collect()
+}
+
+/// A random Unicode scalar value (any `char`, surrogates excluded).
+pub fn random_char(rng: &mut Rng64) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.below_u64(0x11_0000) as u32) {
+            return c;
+        }
+    }
+}

@@ -1,34 +1,35 @@
-//! Property-based round-trip tests for the CSV layer: arbitrary values —
+//! Seeded round-trip tests for the CSV layer: arbitrary values —
 //! including quotes, commas, newlines and unicode — must survive
 //! write-then-load exactly, both with fresh ids and with preserved ids.
 
+mod common;
+
+use common::{for_each_case, random_string};
+use pcqe::lineage::Rng64;
 use pcqe::storage::csv::{load_into, load_into_with_ids, write_table, write_table_with_ids};
 use pcqe::storage::{Catalog, Column, DataType, Schema, Value};
-use proptest::prelude::*;
 use std::io::Cursor;
 
-fn value_strategy(ty: DataType) -> BoxedStrategy<Value> {
+const CASES: u64 = 128;
+
+/// Text alphabet exercising the CSV escaping rules: printable ASCII plus
+/// quotes, commas, newlines and multi-byte unicode.
+const TEXT_ALPHABET: &[char] = &[
+    'a', 'z', 'A', 'Z', '0', '9', ' ', '!', '#', '$', '%', '&', '(', ')', '*', '+', ',', '-', '.',
+    '/', ':', ';', '<', '=', '>', '?', '@', '[', '\\', ']', '^', '_', '`', '{', '|', '}', '~', '"',
+    '\n', 'é', 'ß', '世',
+];
+
+fn random_value(rng: &mut Rng64, ty: DataType) -> Value {
+    // One time in four: NULL, matching the old 3:1 strategy weights.
+    if rng.below_usize(4) == 0 {
+        return Value::Null;
+    }
     match ty {
-        DataType::Int => prop_oneof![
-            3 => proptest::num::i64::ANY.prop_map(Value::Int),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
-        DataType::Real => prop_oneof![
-            3 => (-1e12f64..1e12).prop_map(Value::Real),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
-        DataType::Bool => prop_oneof![
-            3 => any::<bool>().prop_map(Value::Bool),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
-        DataType::Text => prop_oneof![
-            3 => "[ -~éß世\n\"]{0,24}".prop_map(Value::text),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
+        DataType::Int => Value::Int(rng.next_u64() as i64),
+        DataType::Real => Value::Real(rng.range_f64(-1e12, 1e12)),
+        DataType::Bool => Value::Bool(rng.chance(0.5)),
+        DataType::Text => Value::text(random_string(rng, TEXT_ALPHABET, 24)),
     }
 }
 
@@ -48,42 +49,33 @@ fn catalog() -> Catalog {
     c
 }
 
-fn row_strategy() -> impl Strategy<Value = (Value, Value, Value, Value, f64)> {
-    (
-        value_strategy(DataType::Int),
-        value_strategy(DataType::Real),
-        value_strategy(DataType::Bool),
-        value_strategy(DataType::Text),
-        0.0f64..=1.0,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn csv_round_trips_values_and_confidences(
-        rows in proptest::collection::vec(row_strategy(), 0..12)
-    ) {
+#[test]
+fn csv_round_trips_values_and_confidences() {
+    for_each_case(CASES, 0xC5F0_0001, |rng| {
+        let n_rows = rng.below_usize(12);
         let mut c = catalog();
-        for (i, r, b, s, conf) in &rows {
+        for _ in 0..n_rows {
+            let i = random_value(rng, DataType::Int);
+            let r = random_value(rng, DataType::Real);
+            let b = random_value(rng, DataType::Bool);
             // Empty text is indistinguishable from NULL in CSV; normalise.
-            let s = match s {
+            let s = match random_value(rng, DataType::Text) {
                 Value::Text(t) if t.is_empty() => Value::Null,
-                other => other.clone(),
+                other => other,
             };
-            c.insert("t", vec![i.clone(), r.clone(), b.clone(), s], *conf).unwrap();
+            let conf = rng.next_f64();
+            c.insert("t", vec![i, r, b, s], conf).unwrap();
         }
         let mut buf = Vec::new();
         write_table(c.table("t").unwrap(), &mut buf).unwrap();
         let mut c2 = catalog();
         load_into(&mut c2, "t", Cursor::new(&buf)).unwrap();
         let (t1, t2) = (c.table("t").unwrap(), c2.table("t").unwrap());
-        prop_assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.len(), t2.len());
         for (a, b) in t1.rows().iter().zip(t2.rows()) {
-            prop_assert_eq!(&a.tuple, &b.tuple);
+            assert_eq!(&a.tuple, &b.tuple);
             // Confidence survives via its shortest round-trippable form.
-            prop_assert!((a.confidence - b.confidence).abs() < 1e-15);
+            assert!((a.confidence - b.confidence).abs() < 1e-15);
         }
 
         // The id-preserving variant restores identical tuple ids too.
@@ -92,8 +84,8 @@ proptest! {
         let mut c3 = catalog();
         load_into_with_ids(&mut c3, "t", Cursor::new(&buf)).unwrap();
         for (a, b) in t1.rows().iter().zip(c3.table("t").unwrap().rows()) {
-            prop_assert_eq!(a.id, b.id);
-            prop_assert_eq!(&a.tuple, &b.tuple);
+            assert_eq!(a.id, b.id);
+            assert_eq!(&a.tuple, &b.tuple);
         }
-    }
+    });
 }

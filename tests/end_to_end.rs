@@ -2,12 +2,10 @@
 //! fractions, provenance-backed inserts, union/except queries, and the
 //! improvement loop under each solver.
 
-use pcqe::cost::CostFn;
-use pcqe::engine::{
-    Database, EngineConfig, NoProposal, QueryRequest, SolverChoice, User,
-};
 use pcqe::core::dnc::DncOptions;
 use pcqe::core::greedy::GreedyOptions;
+use pcqe::cost::CostFn;
+use pcqe::engine::{Database, EngineConfig, NoProposal, QueryRequest, SolverChoice, User};
 use pcqe::policy::{ConfidencePolicy, Role};
 use pcqe::provenance::{CollectionMethod, ProvenanceRecord, Source};
 use pcqe::storage::{Column, DataType, Schema, Value};
@@ -157,7 +155,10 @@ fn role_hierarchy_applies_policies_to_seniors() {
         .unwrap();
     let boss = User::new("beth", "supervisor");
     let resp = db
-        .query(&boss, &QueryRequest::new("SELECT id FROM Orders", "reporting"))
+        .query(
+            &boss,
+            &QueryRequest::new("SELECT id FROM Orders", "reporting"),
+        )
         .unwrap();
     assert_eq!(resp.threshold, 0.5, "inherited the clerk policy");
 }
@@ -181,7 +182,10 @@ fn provenance_assessed_rows_flow_through_policies() {
     db.insert_assessed(
         "Readings",
         vec![Value::Int(2)],
-        &[ProvenanceRecord::new(weak, CollectionMethod::ThirdPartyFeed)],
+        &[ProvenanceRecord::new(
+            weak,
+            CollectionMethod::ThirdPartyFeed,
+        )],
     )
     .unwrap();
     db.add_policy(ConfidencePolicy::new("ops", "alerting", 0.5).unwrap());
@@ -238,7 +242,10 @@ fn proposal_costs_are_consistent_with_cost_functions() {
     let mut db = orders_db(EngineConfig::default());
     let clerk = User::new("carl", "clerk");
     let resp = db
-        .query(&clerk, &QueryRequest::new("SELECT id FROM Orders", "reporting"))
+        .query(
+            &clerk,
+            &QueryRequest::new("SELECT id FROM Orders", "reporting"),
+        )
         .unwrap();
     let proposal = resp.proposal.unwrap();
     let recomputed: f64 = proposal.increments.iter().map(|i| i.cost).sum();

@@ -2,9 +2,14 @@
 //! must return exactly the rows of the equivalent Product + Select, with
 //! identical lineage.
 
+mod common;
+
+use common::for_each_case;
 use pcqe::algebra::{execute, Plan, ScalarExpr};
+use pcqe::lineage::Rng64;
 use pcqe::storage::{Catalog, Column, DataType, Schema, Value};
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 fn build(left: &[(Option<i64>, i64)], right: &[(Option<i64>, i64)]) -> Catalog {
     let mut c = Catalog::new();
@@ -41,19 +46,28 @@ fn rows_of(plan: &Plan, c: &Catalog) -> Vec<String> {
     out
 }
 
-fn key_strategy() -> impl Strategy<Value = Option<i64>> {
-    prop_oneof![4 => (0i64..4).prop_map(Some), 1 => Just(None)]
+/// A join key: usually a small int, one time in five NULL.
+fn random_key(rng: &mut Rng64) -> Option<i64> {
+    if rng.below_usize(5) < 4 {
+        Some(rng.below_u64(4) as i64)
+    } else {
+        None
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_table(rng: &mut Rng64) -> Vec<(Option<i64>, i64)> {
+    let n = rng.below_usize(8);
+    (0..n)
+        .map(|_| (random_key(rng), rng.below_u64(100) as i64))
+        .collect()
+}
 
-    #[test]
-    fn hash_join_equals_filtered_product(
-        left in proptest::collection::vec((key_strategy(), 0i64..100), 0..8),
-        right in proptest::collection::vec((key_strategy(), 0i64..100), 0..8),
-        with_residual in any::<bool>(),
-    ) {
+#[test]
+fn hash_join_equals_filtered_product() {
+    for_each_case(CASES, 0x2011_0001, |rng| {
+        let left = random_table(rng);
+        let right = random_table(rng);
+        let with_residual = rng.chance(0.5);
         let c = build(&left, &right);
         // l.k = r.k [AND l.v < r.v]
         let mut predicate = ScalarExpr::column(0).eq(ScalarExpr::column(2));
@@ -62,16 +76,17 @@ proptest! {
         }
         let join = Plan::scan("l").join(Plan::scan("r"), predicate.clone());
         let reference = Plan::scan("l").product(Plan::scan("r")).select(predicate);
-        prop_assert_eq!(rows_of(&join, &c), rows_of(&reference, &c));
-    }
+        assert_eq!(rows_of(&join, &c), rows_of(&reference, &c));
+    });
+}
 
-    #[test]
-    fn join_key_multiplicity_is_respected(
-        key in 0i64..3,
-        left_copies in 1usize..4,
-        right_copies in 1usize..4,
-    ) {
+#[test]
+fn join_key_multiplicity_is_respected() {
+    for_each_case(CASES, 0x2011_0002, |rng| {
         // n copies on each side must produce n·m join rows.
+        let key = rng.below_u64(3) as i64;
+        let left_copies = rng.range_usize(1, 4);
+        let right_copies = rng.range_usize(1, 4);
         let left: Vec<(Option<i64>, i64)> =
             (0..left_copies).map(|i| (Some(key), i as i64)).collect();
         let right: Vec<(Option<i64>, i64)> =
@@ -81,6 +96,9 @@ proptest! {
             Plan::scan("r"),
             ScalarExpr::column(0).eq(ScalarExpr::column(2)),
         );
-        prop_assert_eq!(execute(&join, &c).unwrap().len(), left_copies * right_copies);
-    }
+        assert_eq!(
+            execute(&join, &c).unwrap().len(),
+            left_copies * right_copies
+        );
+    });
 }

@@ -1,31 +1,28 @@
-//! Property-based tests over the lineage substrate: simplification is
+//! Seeded property tests over the lineage substrate: simplification is
 //! semantics-preserving, exact probability matches brute-force
 //! enumeration, the compiled form matches the interpreter, and Monte-Carlo
 //! estimation converges to the exact value.
 
-use pcqe::lineage::{CompiledLineage, Evaluator, Lineage, MonteCarlo, VarId};
-use proptest::prelude::*;
+mod common;
+
+use common::{for_each_case, random_lineage, random_positive_lineage, random_probs};
+use pcqe::lineage::{CompiledLineage, Evaluator, Lineage, MonteCarlo, Rng64, VarId};
 use std::collections::HashMap;
 
 const MAX_VARS: u64 = 5;
+const DEPTH: u32 = 3;
+const CASES: u64 = 256;
 
-/// Random lineage formulas, negation included.
-fn lineage_strategy() -> impl Strategy<Value = Lineage> {
-    let leaf = prop_oneof![
-        (0..MAX_VARS).prop_map(Lineage::var),
-        any::<bool>().prop_map(Lineage::Const),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Lineage::Not(Box::new(e))),
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Lineage::And),
-            proptest::collection::vec(inner, 1..4).prop_map(Lineage::Or),
-        ]
-    })
+fn lineage(rng: &mut Rng64) -> Lineage {
+    random_lineage(rng, MAX_VARS, DEPTH)
 }
 
-fn probs_strategy() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..=1.0, MAX_VARS as usize)
+fn prob_map(rng: &mut Rng64) -> (Vec<f64>, HashMap<VarId, f64>) {
+    let probs = random_probs(rng, MAX_VARS as usize);
+    let map = (0..MAX_VARS)
+        .map(|i| (VarId(i), probs[i as usize]))
+        .collect();
+    (probs, map)
 }
 
 /// Brute-force probability by enumerating all assignments of the formula's
@@ -50,109 +47,123 @@ fn brute_force(l: &Lineage, probs: &[f64]) -> f64 {
     total
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn simplify_preserves_semantics(l in lineage_strategy(), bits in 0u32..32) {
+#[test]
+fn simplify_preserves_semantics() {
+    for_each_case(CASES, 0x11AE_0001, |rng| {
+        let l = lineage(rng);
+        let bits = rng.below_u64(32) as u32;
         let s = l.simplify();
         let assign = |v: VarId| bits & (1 << v.0) != 0;
-        prop_assert_eq!(l.eval(&assign), s.eval(&assign));
-    }
+        assert_eq!(l.eval(&assign), s.eval(&assign), "{l} vs {s}");
+    });
+}
 
-    #[test]
-    fn simplify_is_idempotent(l in lineage_strategy()) {
+#[test]
+fn simplify_is_idempotent() {
+    for_each_case(CASES, 0x11AE_0002, |rng| {
+        let l = lineage(rng);
         let once = l.simplify();
         let twice = once.simplify();
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    #[test]
-    fn exact_probability_matches_brute_force(l in lineage_strategy(), probs in probs_strategy()) {
-        let map: HashMap<VarId, f64> =
-            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
-        let exact = Evaluator::exact_only(1 << 16).probability(&l, &map).unwrap();
+#[test]
+fn exact_probability_matches_brute_force() {
+    for_each_case(CASES, 0x11AE_0003, |rng| {
+        let l = lineage(rng);
+        let (probs, map) = prob_map(rng);
+        let exact = Evaluator::exact_only(1 << 16)
+            .probability(&l, &map)
+            .unwrap();
         let brute = brute_force(&l, &probs);
-        prop_assert!((exact - brute).abs() < 1e-9, "exact {} vs brute {}", exact, brute);
-        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&exact));
-    }
+        assert!(
+            (exact - brute).abs() < 1e-9,
+            "exact {exact} vs brute {brute} for {l}"
+        );
+        assert!((-1e-9..=1.0 + 1e-9).contains(&exact));
+    });
+}
 
-    #[test]
-    fn compiled_matches_interpreter(l in lineage_strategy(), probs in probs_strategy()) {
-        let map: HashMap<VarId, f64> =
-            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
-        let exact = Evaluator::exact_only(1 << 16).probability(&l, &map).unwrap();
+#[test]
+fn compiled_matches_interpreter() {
+    for_each_case(CASES, 0x11AE_0004, |rng| {
+        let l = lineage(rng);
+        let (_, map) = prob_map(rng);
+        let exact = Evaluator::exact_only(1 << 16)
+            .probability(&l, &map)
+            .unwrap();
         let compiled = CompiledLineage::compile(&l, 1 << 16).unwrap();
         let fast = compiled.eval_with(|v| map[&v]);
-        prop_assert!((exact - fast).abs() < 1e-9, "exact {} vs compiled {}", exact, fast);
-    }
+        assert!(
+            (exact - fast).abs() < 1e-9,
+            "exact {exact} vs compiled {fast} for {l}"
+        );
+    });
+}
 
-    #[test]
-    fn factoring_preserves_semantics_and_never_grows(l in lineage_strategy(), bits in 0u32..32) {
+#[test]
+fn factoring_preserves_semantics_and_never_grows() {
+    for_each_case(CASES, 0x11AE_0005, |rng| {
+        let l = lineage(rng);
+        let bits = rng.below_u64(32) as u32;
         let f = pcqe::lineage::factor(&l);
         let assign = |v: VarId| bits & (1 << v.0) != 0;
-        prop_assert_eq!(l.eval(&assign), f.eval(&assign), "{} vs {}", l, f);
+        assert_eq!(l.eval(&assign), f.eval(&assign), "{l} vs {f}");
         let before: usize = l.simplify().var_counts().values().sum();
         let after: usize = f.var_counts().values().sum();
-        prop_assert!(after <= before, "{} occurrences grew to {} ({} → {})", before, after, l, f);
-    }
+        assert!(
+            after <= before,
+            "{before} occurrences grew to {after} ({l} → {f})"
+        );
+    });
+}
 
-    #[test]
-    fn conditioning_is_consistent_with_probability(
-        l in lineage_strategy(),
-        probs in probs_strategy(),
-        pivot in 0..MAX_VARS,
-    ) {
+#[test]
+fn conditioning_is_consistent_with_probability() {
+    for_each_case(CASES, 0x11AE_0006, |rng| {
         // P(F) = p·P(F|v=1) + (1−p)·P(F|v=0) for any pivot.
-        let map: HashMap<VarId, f64> =
-            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
+        let l = lineage(rng);
+        let (probs, map) = prob_map(rng);
+        let pivot = rng.below_u64(MAX_VARS);
         let ev = Evaluator::exact_only(1 << 16);
         let full = ev.probability(&l, &map).unwrap();
-        let hi = ev.probability(&l.condition(VarId(pivot), true), &map).unwrap();
-        let lo = ev.probability(&l.condition(VarId(pivot), false), &map).unwrap();
+        let hi = ev
+            .probability(&l.condition(VarId(pivot), true), &map)
+            .unwrap();
+        let lo = ev
+            .probability(&l.condition(VarId(pivot), false), &map)
+            .unwrap();
         let p = probs[pivot as usize];
-        prop_assert!((full - (p * hi + (1.0 - p) * lo)).abs() < 1e-9);
-    }
+        assert!((full - (p * hi + (1.0 - p) * lo)).abs() < 1e-9);
+    });
 }
 
-/// Negation-free lineage strategy (for the monotonicity property).
-fn positive_lineage_strategy() -> impl Strategy<Value = Lineage> {
-    let leaf = (0..MAX_VARS).prop_map(Lineage::var);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Lineage::And),
-            proptest::collection::vec(inner, 1..4).prop_map(Lineage::Or),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The solvers' pruning rules assume raising any base confidence can
-    /// only raise a negation-free result's confidence. Verify it.
-    #[test]
-    fn negation_free_lineage_is_monotone(
-        l in positive_lineage_strategy(),
-        probs in probs_strategy(),
-        bump_var in 0..MAX_VARS,
-        bump in 0.0f64..=1.0,
-    ) {
+/// The solvers' pruning rules assume raising any base confidence can
+/// only raise a negation-free result's confidence. Verify it.
+#[test]
+fn negation_free_lineage_is_monotone() {
+    for_each_case(CASES, 0x11AE_0007, |rng| {
+        let l = random_positive_lineage(rng, MAX_VARS, DEPTH);
+        let (_probs, base) = prob_map(rng);
+        let bump_var = rng.below_u64(MAX_VARS);
+        let bump = rng.next_f64();
         let ev = Evaluator::exact_only(1 << 16);
-        let base: HashMap<VarId, f64> =
-            (0..MAX_VARS).map(|i| (VarId(i), probs[i as usize])).collect();
         let mut raised = base.clone();
         let e = raised.get_mut(&VarId(bump_var)).expect("var present");
         *e = (*e + bump).min(1.0);
         let p0 = ev.probability(&l, &base).unwrap();
         let p1 = ev.probability(&l, &raised).unwrap();
-        prop_assert!(p1 >= p0 - 1e-9, "raising v{bump_var} lowered {p0} to {p1} for {l}");
-    }
+        assert!(
+            p1 >= p0 - 1e-9,
+            "raising v{bump_var} lowered {p0} to {p1} for {l}"
+        );
+    });
 }
 
 #[test]
 fn monte_carlo_converges_to_exact() {
-    // Not a proptest (sampling is slow); three representative formulas.
+    // Not seeded-random (sampling is slow); three representative formulas.
     let formulas = [
         Lineage::or(vec![
             Lineage::and(vec![Lineage::var(0), Lineage::var(1)]),
@@ -168,6 +179,9 @@ fn monte_carlo_converges_to_exact() {
     for l in &formulas {
         let exact = Evaluator::exact_only(1 << 16).probability(l, &map).unwrap();
         let mc = MonteCarlo::new(300_000, 17).estimate(l, &map).unwrap();
-        assert!((exact - mc).abs() < 0.01, "exact {exact} vs mc {mc} for {l}");
+        assert!(
+            (exact - mc).abs() < 0.01,
+            "exact {exact} vs mc {mc} for {l}"
+        );
     }
 }

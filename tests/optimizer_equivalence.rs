@@ -2,16 +2,17 @@
 //! databases and a grid of query shapes, the optimised plan must return
 //! exactly the rows (values, lineage, and confidences) of the naive plan.
 
+mod common;
+
+use common::for_each_case;
 use pcqe::algebra::{execute, optimize};
-use pcqe::lineage::{Evaluator, VarId};
+use pcqe::lineage::{Evaluator, Rng64, VarId};
 use pcqe::sql::parse_and_plan;
 use pcqe::storage::{Catalog, Column, DataType, Schema, TupleId, Value};
-use proptest::prelude::*;
 
-fn build_catalog(
-    orders: &[(i64, i64, f64)],
-    customers: &[(i64, f64)],
-) -> Catalog {
+const CASES: u64 = 64;
+
+fn build_catalog(orders: &[(i64, i64, f64)], customers: &[(i64, f64)]) -> Catalog {
     let mut c = Catalog::new();
     c.create_table(
         "orders",
@@ -28,12 +29,8 @@ fn build_catalog(
     )
     .unwrap();
     for &(cust, amount, conf) in orders {
-        c.insert(
-            "orders",
-            vec![Value::Int(cust), Value::Int(amount)],
-            conf,
-        )
-        .unwrap();
+        c.insert("orders", vec![Value::Int(cust), Value::Int(amount)], conf)
+            .unwrap();
     }
     for &(id, conf) in customers {
         c.insert("customers", vec![Value::Int(id)], conf).unwrap();
@@ -78,20 +75,34 @@ const QUERIES: &[&str] = &[
     "SELECT cust FROM orders WHERE amount + 1 > 2 AND NOT (cust = 9)",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_orders(rng: &mut Rng64) -> Vec<(i64, i64, f64)> {
+    let n = rng.below_usize(8);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below_u64(4) as i64,
+                rng.below_u64(6) as i64,
+                rng.range_f64(0.05, 0.95),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn optimized_plans_are_equivalent(
-        orders in proptest::collection::vec(
-            (0i64..4, 0i64..6, 0.05f64..0.95), 0..8),
-        customers in proptest::collection::vec((0i64..4, 0.05f64..0.95), 0..5),
-    ) {
-        let catalog = build_catalog(&orders, &customers);
+fn random_customers(rng: &mut Rng64) -> Vec<(i64, f64)> {
+    let n = rng.below_usize(5);
+    (0..n)
+        .map(|_| (rng.below_u64(4) as i64, rng.range_f64(0.05, 0.95)))
+        .collect()
+}
+
+#[test]
+fn optimized_plans_are_equivalent() {
+    for_each_case(CASES, 0x0071_0001, |rng| {
+        let catalog = build_catalog(&random_orders(rng), &random_customers(rng));
         for sql in QUERIES {
             assert_equivalent(sql, &catalog);
         }
-    }
+    });
 }
 
 #[test]

@@ -4,9 +4,9 @@
 //! P1/P2 policies, and both increment alternatives the paper discusses.
 
 use pcqe::algebra::execute;
-use pcqe::cost::CostFn;
 use pcqe::core::heuristic::{self, HeuristicOptions};
 use pcqe::core::problem::ProblemBuilder;
+use pcqe::cost::CostFn;
 use pcqe::lineage::{Evaluator, Lineage, VarId};
 use pcqe::policy::{evaluate_results, ConfidencePolicy};
 use pcqe::sql::parse_and_plan;

@@ -1,147 +1,227 @@
-//! Property-based tests over the strategy-finding algorithms: on random
+//! Seeded property tests over the strategy-finding algorithms: on random
 //! feasible instances, every solver's answer validates, the exact search
 //! is never beaten, phase 2 never hurts, and pruning never changes the
 //! optimum.
 
+mod common;
+
+use common::for_each_case;
 use pcqe::core::dnc::{self, DncOptions};
 use pcqe::core::greedy::{self, GreedyOptions};
 use pcqe::core::heuristic::{self, HeuristicOptions};
 use pcqe::core::problem::{ProblemBuilder, ProblemInstance};
 use pcqe::cost::CostFn;
-use pcqe::lineage::Lineage;
-use proptest::prelude::*;
+use pcqe::lineage::{Lineage, Rng64};
 
-/// A random negation-free lineage over a subset of `n_bases` variables.
-fn lineage_strategy(n_bases: u64) -> impl Strategy<Value = Lineage> {
-    // Pick 2–4 distinct variables and a random OR-of-AND grouping.
-    proptest::sample::subsequence((0..n_bases).collect::<Vec<_>>(), 2..=(n_bases.min(4) as usize))
-        .prop_flat_map(|vars| {
-            let len = vars.len();
-            (Just(vars), proptest::collection::vec(any::<bool>(), len))
-        })
-        .prop_map(|(vars, cuts)| {
-            // `cuts[i]` starts a new AND-group before vars[i].
-            let mut groups: Vec<Vec<Lineage>> = vec![vec![]];
-            for (i, v) in vars.iter().enumerate() {
-                if i > 0 && cuts[i] {
-                    groups.push(vec![]);
-                }
-                groups.last_mut().expect("non-empty").push(Lineage::var(*v));
-            }
-            Lineage::or(groups.into_iter().map(Lineage::and).collect())
-        })
+const CASES: u64 = 48;
+
+/// OR-of-AND grouping over `vars`: `cuts[i]` starts a new AND-group
+/// before `vars[i]` (`cuts[0]` is ignored).
+fn group_or_of_and(vars: &[u64], cuts: &[bool]) -> Lineage {
+    let mut groups: Vec<Vec<Lineage>> = vec![vec![]];
+    for (i, v) in vars.iter().enumerate() {
+        if i > 0 && cuts[i] {
+            groups.push(vec![]);
+        }
+        groups.last_mut().expect("non-empty").push(Lineage::var(*v));
+    }
+    Lineage::or(groups.into_iter().map(Lineage::and).collect())
+}
+
+/// A random negation-free lineage over a subset of `n_bases` variables:
+/// 2–4 distinct variables in a random OR-of-AND grouping.
+fn random_lineage(rng: &mut Rng64, n_bases: u64) -> Lineage {
+    let mut all: Vec<u64> = (0..n_bases).collect();
+    rng.shuffle(&mut all);
+    let k = rng.range_usize(2, (n_bases.min(4) as usize) + 1);
+    let vars = &all[..k];
+    let cuts: Vec<bool> = (0..k).map(|_| rng.chance(0.5)).collect();
+    group_or_of_and(vars, &cuts)
 }
 
 /// A random feasible problem: 3–6 bases, 2–4 results, β = 0.5, δ = 0.1.
-fn problem_strategy() -> impl Strategy<Value = ProblemInstance> {
-    (3u64..=6)
-        .prop_flat_map(|n_bases| {
-            let lineages = proptest::collection::vec(lineage_strategy(n_bases), 2..=4);
-            let inits = proptest::collection::vec(0.05f64..0.3, n_bases as usize);
-            let rates = proptest::collection::vec(1.0f64..100.0, n_bases as usize);
-            (Just(n_bases), lineages, inits, rates, 1usize..=2)
-        })
-        .prop_map(|(n_bases, lineages, inits, rates, required)| {
-            let mut b = ProblemBuilder::new(0.5, 0.1);
-            for i in 0..n_bases {
-                b.base(
-                    i,
-                    inits[i as usize],
-                    CostFn::linear(rates[i as usize]).expect("positive rate"),
-                );
-            }
-            let n_results = lineages.len();
-            for l in lineages {
-                b.result_from_lineage(&l).expect("vars are registered");
-            }
-            // Negation-free lineage reaches 1.0 at max confidence, so any
-            // quota ≤ n_results is feasible.
-            b.require(required.min(n_results)).build().expect("valid")
-        })
+fn random_problem(rng: &mut Rng64) -> ProblemInstance {
+    let n_bases = 3 + rng.below_u64(4);
+    let mut b = ProblemBuilder::new(0.5, 0.1);
+    for i in 0..n_bases {
+        b.base(
+            i,
+            rng.range_f64(0.05, 0.3),
+            CostFn::linear(rng.range_f64(1.0, 100.0)).expect("positive rate"),
+        );
+    }
+    let n_results = rng.range_usize(2, 5);
+    for _ in 0..n_results {
+        b.result_from_lineage(&random_lineage(rng, n_bases))
+            .expect("vars are registered");
+    }
+    // Negation-free lineage reaches 1.0 at max confidence, so any
+    // quota ≤ n_results is feasible.
+    let required = rng.range_usize(1, 3);
+    b.require(required.min(n_results)).build().expect("valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_solvers_produce_valid_solutions(problem in problem_strategy()) {
+#[test]
+fn all_solvers_produce_valid_solutions() {
+    for_each_case(CASES, 0x501E_0001, |rng| {
+        let problem = random_problem(rng);
         let g = greedy::solve(&problem, &GreedyOptions::default()).unwrap();
         g.solution.validate(&problem).unwrap();
         let d = dnc::solve(&problem, &DncOptions::default()).unwrap();
         d.solution.validate(&problem).unwrap();
         let h = heuristic::solve(&problem, &HeuristicOptions::all()).unwrap();
         h.solution.validate(&problem).unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn exact_search_is_never_beaten(problem in problem_strategy()) {
+#[test]
+fn exact_search_is_never_beaten() {
+    for_each_case(CASES, 0x501E_0002, |rng| {
+        let problem = random_problem(rng);
         let h = heuristic::solve(&problem, &HeuristicOptions::all()).unwrap();
         let g = greedy::solve(&problem, &GreedyOptions::default()).unwrap();
         let d = dnc::solve(&problem, &DncOptions::default()).unwrap();
-        prop_assert!(h.solution.cost <= g.solution.cost + 1e-6,
-            "heuristic {} vs greedy {}", h.solution.cost, g.solution.cost);
-        prop_assert!(h.solution.cost <= d.solution.cost + 1e-6,
-            "heuristic {} vs dnc {}", h.solution.cost, d.solution.cost);
-    }
+        assert!(
+            h.solution.cost <= g.solution.cost + 1e-6,
+            "heuristic {} vs greedy {}",
+            h.solution.cost,
+            g.solution.cost
+        );
+        assert!(
+            h.solution.cost <= d.solution.cost + 1e-6,
+            "heuristic {} vs dnc {}",
+            h.solution.cost,
+            d.solution.cost
+        );
+    });
+}
 
-    #[test]
-    fn pruning_preserves_the_optimum(problem in problem_strategy()) {
-        let naive = heuristic::solve(&problem, &HeuristicOptions::naive()).unwrap();
-        for config in [
-            HeuristicOptions::only(1),
-            HeuristicOptions::only(2),
-            HeuristicOptions::only(3),
-            HeuristicOptions::only(4),
-            HeuristicOptions::all(),
-        ] {
-            let out = heuristic::solve(&problem, &config).unwrap();
-            prop_assert!((out.solution.cost - naive.solution.cost).abs() < 1e-6,
-                "config {:?}: {} vs naive {}", config, out.solution.cost, naive.solution.cost);
-        }
-        // H2–H4 only cut branches from the *same* tree, so their node
-        // counts are monotone. H1 reorders the variables; its node count
-        // can go either way on any one instance (it helps on average, as
-        // Figure 11(a) shows).
-        for config in [
-            HeuristicOptions::only(2),
-            HeuristicOptions::only(3),
-            HeuristicOptions::only(4),
-        ] {
-            let out = heuristic::solve(&problem, &config).unwrap();
-            prop_assert!(out.stats.nodes <= naive.stats.nodes,
-                "config {:?}: {} nodes vs naive {}", config, out.stats.nodes, naive.stats.nodes);
-        }
-    }
+#[test]
+fn pruning_preserves_the_optimum() {
+    for_each_case(CASES, 0x501E_0003, |rng| {
+        let problem = random_problem(rng);
+        check_pruning(&problem);
+    });
+}
 
-    #[test]
-    fn two_phase_never_costs_more(problem in problem_strategy()) {
+fn check_pruning(problem: &ProblemInstance) {
+    let naive = heuristic::solve(problem, &HeuristicOptions::naive()).unwrap();
+    for config in [
+        HeuristicOptions::only(1),
+        HeuristicOptions::only(2),
+        HeuristicOptions::only(3),
+        HeuristicOptions::only(4),
+        HeuristicOptions::all(),
+    ] {
+        let out = heuristic::solve(problem, &config).unwrap();
+        assert!(
+            (out.solution.cost - naive.solution.cost).abs() < 1e-6,
+            "config {:?}: {} vs naive {}",
+            config,
+            out.solution.cost,
+            naive.solution.cost
+        );
+    }
+    // H2–H4 only cut branches from the *same* tree, so their node
+    // counts are monotone. H1 reorders the variables; its node count
+    // can go either way on any one instance (it helps on average, as
+    // Figure 11(a) shows).
+    for config in [
+        HeuristicOptions::only(2),
+        HeuristicOptions::only(3),
+        HeuristicOptions::only(4),
+    ] {
+        let out = heuristic::solve(problem, &config).unwrap();
+        assert!(
+            out.stats.nodes <= naive.stats.nodes,
+            "config {:?}: {} nodes vs naive {}",
+            config,
+            out.stats.nodes,
+            naive.stats.nodes
+        );
+    }
+}
+
+#[test]
+fn two_phase_never_costs_more() {
+    for_each_case(CASES, 0x501E_0004, |rng| {
+        let problem = random_problem(rng);
         let one = greedy::solve(&problem, &GreedyOptions::one_phase()).unwrap();
         let two = greedy::solve(&problem, &GreedyOptions::default()).unwrap();
-        prop_assert!(two.solution.cost <= one.solution.cost + 1e-6);
-    }
+        assert!(two.solution.cost <= one.solution.cost + 1e-6);
+    });
+}
 
-    #[test]
-    fn greedy_seed_never_worsens_the_search(problem in problem_strategy()) {
-        let seed = greedy::solve(&problem, &GreedyOptions::default()).unwrap().solution;
+#[test]
+fn greedy_seed_never_worsens_the_search() {
+    for_each_case(CASES, 0x501E_0005, |rng| {
+        let problem = random_problem(rng);
+        let seed = greedy::solve(&problem, &GreedyOptions::default())
+            .unwrap()
+            .solution;
         let plain = heuristic::solve(&problem, &HeuristicOptions::all()).unwrap();
-        let seeded = heuristic::solve(
-            &problem,
-            &HeuristicOptions::all().with_seed(seed),
-        )
-        .unwrap();
-        prop_assert!((seeded.solution.cost - plain.solution.cost).abs() < 1e-6);
-        prop_assert!(seeded.stats.nodes <= plain.stats.nodes);
-    }
+        let seeded = heuristic::solve(&problem, &HeuristicOptions::all().with_seed(seed)).unwrap();
+        assert!((seeded.solution.cost - plain.solution.cost).abs() < 1e-6);
+        assert!(seeded.stats.nodes <= plain.stats.nodes);
+    });
+}
 
-    #[test]
-    fn solutions_only_raise_confidences(problem in problem_strategy()) {
+#[test]
+fn solutions_only_raise_confidences() {
+    for_each_case(CASES, 0x501E_0006, |rng| {
+        let problem = random_problem(rng);
         let g = greedy::solve(&problem, &GreedyOptions::default()).unwrap();
         for (level, base) in g.solution.levels.iter().zip(&problem.bases) {
-            prop_assert!(*level >= base.initial - 1e-12);
-            prop_assert!(*level <= base.max + 1e-12);
+            assert!(*level >= base.initial - 1e-12);
+            assert!(*level <= base.max + 1e-12);
         }
         // Increments must sum to the declared cost.
         let total: f64 = g.solution.increments(&problem).iter().map(|i| i.cost).sum();
-        prop_assert!((total - g.solution.cost).abs() < 1e-6);
+        assert!((total - g.solution.cost).abs() < 1e-6);
+    });
+}
+
+/// A shrunk counterexample an earlier randomised run produced: six bases
+/// with these exact initial confidences and linear rates, two results over
+/// bases {1,2,3} and {0,2,4}, β = 0.5, δ = 0.1, quota 2. The original
+/// record did not pin the OR-of-AND grouping of each result's lineage, so
+/// every combination of groupings over the ordered var lists is replayed.
+#[test]
+fn regression_shrunk_instance_all_groupings() {
+    let bases: [(f64, f64); 6] = [
+        (0.21058790371238958, 6.0138480718722676),
+        (0.1513061779753609, 77.63458369442124),
+        (0.1107439804383791, 90.54694533217547),
+        (0.1737898525414536, 71.23342385389901),
+        (0.07445945159196375, 46.134860384014125),
+        (0.06734828639507517, 13.385502936213554),
+    ];
+    let result_vars: [&[u64]; 2] = [&[1, 2, 3], &[0, 2, 4]];
+    // cuts[0] is ignored, so 3 vars ⇒ 4 groupings per result ⇒ 16 combos.
+    for mask_a in 0u8..4 {
+        for mask_b in 0u8..4 {
+            let mut b = ProblemBuilder::new(0.5, 0.1);
+            for (i, &(initial, rate)) in bases.iter().enumerate() {
+                b.base(i as u64, initial, CostFn::linear(rate).expect("positive"));
+            }
+            for (vars, mask) in result_vars.iter().zip([mask_a, mask_b]) {
+                let cuts = [false, mask & 1 != 0, mask & 2 != 0];
+                b.result_from_lineage(&group_or_of_and(vars, &cuts))
+                    .expect("registered vars");
+            }
+            let problem = b.require(2).build().expect("valid");
+            // The full battery the shrunk case was minimised against.
+            let g = greedy::solve(&problem, &GreedyOptions::default()).unwrap();
+            g.solution.validate(&problem).unwrap();
+            let d = dnc::solve(&problem, &DncOptions::default()).unwrap();
+            d.solution.validate(&problem).unwrap();
+            let h = heuristic::solve(&problem, &HeuristicOptions::all()).unwrap();
+            h.solution.validate(&problem).unwrap();
+            assert!(h.solution.cost <= g.solution.cost + 1e-6);
+            assert!(h.solution.cost <= d.solution.cost + 1e-6);
+            check_pruning(&problem);
+            let one = greedy::solve(&problem, &GreedyOptions::one_phase()).unwrap();
+            assert!(g.solution.cost <= one.solution.cost + 1e-6);
+        }
     }
 }

@@ -2,83 +2,113 @@
 //! with errors (never panic), and valid inputs must round-trip through the
 //! grammar's surface forms.
 
+mod common;
+
+use common::{for_each_case, random_char, random_string};
+use pcqe::lineage::Rng64;
 use pcqe::sql::{parse, parse_statement};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Arbitrary byte soup: the lexer/parser must return, not panic.
-    #[test]
-    fn parser_never_panics_on_arbitrary_strings(input in ".{0,80}") {
+/// Arbitrary character soup: the lexer/parser must return, not panic.
+#[test]
+fn parser_never_panics_on_arbitrary_strings() {
+    for_each_case(512, 0x5901_0001, |rng| {
+        let len = rng.below_usize(81);
+        let input: String = (0..len).map(|_| random_char(rng)).collect();
         let _ = parse(&input);
         let _ = parse_statement(&input);
-    }
+    });
+}
 
-    /// Strings made of SQL-ish fragments: still no panics, and the error
-    /// position (when any) stays within the input.
-    #[test]
-    fn parser_never_panics_on_sql_shaped_strings(
-        fragments in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT"), Just("DISTINCT"), Just("*"), Just("FROM"),
-                Just("WHERE"), Just("JOIN"), Just("ON"), Just("AND"),
-                Just("OR"), Just("NOT"), Just("UNION"), Just("EXCEPT"),
-                Just("("), Just(")"), Just(","), Just("="), Just("<"),
-                Just("t"), Just("x"), Just("1"), Just("2.5"), Just("'s'"),
-                Just("a.b"), Just("AS"), Just("+"), Just("-"), Just("/"),
-            ],
-            0..16,
-        )
-    ) {
+/// Strings made of SQL-ish fragments: still no panics, and the error
+/// position (when any) stays within the input.
+#[test]
+fn parser_never_panics_on_sql_shaped_strings() {
+    const FRAGMENTS: &[&str] = &[
+        "SELECT", "DISTINCT", "*", "FROM", "WHERE", "JOIN", "ON", "AND", "OR", "NOT", "UNION",
+        "EXCEPT", "(", ")", ",", "=", "<", "t", "x", "1", "2.5", "'s'", "a.b", "AS", "+", "-", "/",
+    ];
+    for_each_case(512, 0x5901_0002, |rng| {
+        let n = rng.below_usize(16);
+        let fragments: Vec<&str> = (0..n)
+            .map(|_| FRAGMENTS[rng.below_usize(FRAGMENTS.len())])
+            .collect();
         let input = fragments.join(" ");
         match parse(&input) {
             Ok(_) => {}
             Err(pcqe::sql::SqlError::Parse { pos, .. })
             | Err(pcqe::sql::SqlError::Lex { pos, .. }) => {
-                prop_assert!(pos <= input.len());
+                assert!(pos <= input.len(), "position {pos} outside {input:?}");
             }
             Err(_) => {}
         }
-    }
+    });
+}
 
-    /// Every identifier-shaped table/column name parses in a simple query.
-    #[test]
-    fn identifier_names_parse(
-        table in "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
-        column in "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
-    ) {
+/// Every identifier-shaped table/column name parses in a simple query.
+#[test]
+fn identifier_names_parse() {
+    const HEAD: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J',
+        'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '_',
+    ];
+    const TAIL: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J',
+        'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '_', '0',
+        '1', '2', '3', '4', '5', '6', '7', '8', '9',
+    ];
+    let random_ident = |rng: &mut Rng64| {
+        let mut s = String::new();
+        s.push(HEAD[rng.below_usize(HEAD.len())]);
+        s.push_str(&random_string(rng, TAIL, 10));
+        s
+    };
+    for_each_case(512, 0x5901_0003, |rng| {
+        let table = random_ident(rng);
+        let column = random_ident(rng);
         let sql = format!("SELECT {column} FROM {table}");
         match parse(&sql) {
             Ok(_) => {}
             Err(_) => {
                 // Only reserved words may be rejected.
                 let reserved = [
-                    "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "JOIN", "INNER",
-                    "ON", "AS", "AND", "OR", "NOT", "UNION", "EXCEPT", "TRUE",
-                    "FALSE", "NULL",
+                    "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "JOIN", "INNER", "ON", "AS",
+                    "AND", "OR", "NOT", "UNION", "EXCEPT", "TRUE", "FALSE", "NULL",
                 ];
                 let is_reserved = |s: &str| reserved.iter().any(|r| r.eq_ignore_ascii_case(s));
-                prop_assert!(is_reserved(&table) || is_reserved(&column),
-                    "non-reserved identifiers must parse: {}", sql);
+                assert!(
+                    is_reserved(&table) || is_reserved(&column),
+                    "non-reserved identifiers must parse: {sql}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Numeric literals survive the round trip through the lexer.
-    #[test]
-    fn numeric_literals_parse(n in proptest::num::i32::ANY, frac in 0u32..1000) {
+/// Numeric literals survive the round trip through the lexer.
+#[test]
+fn numeric_literals_parse() {
+    for_each_case(512, 0x5901_0004, |rng| {
+        let n = rng.next_u64() as i32;
+        let frac = rng.below_u64(1000);
         let sql = format!("SELECT * FROM t WHERE x = {n} AND y = {n}.{frac:03}");
-        prop_assert!(parse(&sql).is_ok(), "{}", sql);
-    }
+        assert!(parse(&sql).is_ok(), "{sql}");
+    });
+}
 
-    /// String literals with embedded quotes survive escaping.
-    #[test]
-    fn string_literals_parse(s in "[a-zA-Z '\u{e9}\u{4e16}]{0,20}") {
+/// String literals with embedded quotes survive escaping.
+#[test]
+fn string_literals_parse() {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'c', 'x', 'y', 'z', 'A', 'M', 'Z', ' ', '\'', 'é', '世',
+    ];
+    for_each_case(512, 0x5901_0005, |rng| {
+        let s = random_string(rng, ALPHABET, 20);
         let escaped = s.replace('\'', "''");
         let sql = format!("SELECT * FROM t WHERE x = '{escaped}'");
-        prop_assert!(parse(&sql).is_ok(), "{}", sql);
-    }
+        assert!(parse(&sql).is_ok(), "{sql}");
+    });
 }
 
 #[test]

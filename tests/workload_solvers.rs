@@ -1,14 +1,16 @@
 //! Solver checks on realistic generated workloads, plus an independent
 //! brute-force optimality oracle for tiny instances.
 
+mod common;
+
+use common::for_each_case;
 use pcqe::core::dnc::{self, DncOptions};
 use pcqe::core::greedy::{self, GreedyOptions};
 use pcqe::core::heuristic::{self, HeuristicOptions};
 use pcqe::core::problem::{ProblemBuilder, ProblemInstance};
 use pcqe::cost::CostFn;
-use pcqe::lineage::Lineage;
+use pcqe::lineage::{Lineage, Rng64};
 use pcqe::workload::{generate, WorkloadParams};
-use proptest::prelude::*;
 
 /// Brute force: enumerate *every* grid assignment and return the cheapest
 /// cost meeting the quota. Exponential — tiny instances only.
@@ -19,9 +21,7 @@ fn brute_force_optimum(problem: &ProblemInstance) -> Option<f64> {
     let mut best: Option<f64> = None;
     loop {
         // Evaluate this assignment.
-        let levels: Vec<f64> = (0..k)
-            .map(|i| problem.level_at(i, assignment[i]))
-            .collect();
+        let levels: Vec<f64> = (0..k).map(|i| problem.level_at(i, assignment[i])).collect();
         let mut satisfied = 0;
         for r in &problem.results {
             let probs: Vec<f64> = r.bases.iter().map(|&b| levels[b]).collect();
@@ -53,59 +53,53 @@ fn brute_force_optimum(problem: &ProblemInstance) -> Option<f64> {
 
 /// Tiny random instances with a coarse grid (δ = 0.25 keeps the
 /// brute-force space around 4^k).
-fn tiny_instance_strategy() -> impl Strategy<Value = ProblemInstance> {
-    (2u64..=4, 1usize..=2)
-        .prop_flat_map(|(k, required)| {
-            let inits = proptest::collection::vec(0.0f64..0.4, k as usize);
-            let rates = proptest::collection::vec(1.0f64..50.0, k as usize);
-            let shapes = proptest::collection::vec(0u8..3, 2);
-            (Just(k), Just(required), inits, rates, shapes)
-        })
-        .prop_map(|(k, required, inits, rates, shapes)| {
-            let mut b = ProblemBuilder::new(0.5, 0.25);
-            for i in 0..k {
-                b.base(
-                    i,
-                    inits[i as usize],
-                    CostFn::linear(rates[i as usize]).expect("positive"),
-                );
-            }
-            let vars: Vec<Lineage> = (0..k).map(Lineage::var).collect();
-            for &shape in &shapes {
-                let l = match shape {
-                    0 => Lineage::or(vars.clone()),
-                    1 => Lineage::and(vars[..2.min(vars.len())].to_vec()),
-                    _ => Lineage::or(vec![
-                        vars[0].clone(),
-                        Lineage::and(vars[1..].to_vec()),
-                    ]),
-                };
-                b.result_from_lineage(&l).expect("registered vars");
-            }
-            b.require(required.min(2)).build().expect("valid")
-        })
+fn tiny_instance(rng: &mut Rng64) -> ProblemInstance {
+    let k = 2 + rng.below_u64(3);
+    let required = rng.range_usize(1, 3);
+    let mut b = ProblemBuilder::new(0.5, 0.25);
+    for i in 0..k {
+        b.base(
+            i,
+            rng.range_f64(0.0, 0.4),
+            CostFn::linear(rng.range_f64(1.0, 50.0)).expect("positive"),
+        );
+    }
+    let vars: Vec<Lineage> = (0..k).map(Lineage::var).collect();
+    for _ in 0..2 {
+        let l = match rng.below_usize(3) {
+            0 => Lineage::or(vars.clone()),
+            1 => Lineage::and(vars[..2.min(vars.len())].to_vec()),
+            _ => Lineage::or(vec![vars[0].clone(), Lineage::and(vars[1..].to_vec())]),
+        };
+        b.result_from_lineage(&l).expect("registered vars");
+    }
+    b.require(required.min(2)).build().expect("valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn branch_and_bound_matches_brute_force(problem in tiny_instance_strategy()) {
+#[test]
+fn branch_and_bound_matches_brute_force() {
+    for_each_case(32, 0x3011_0001, |rng| {
+        let problem = tiny_instance(rng);
         let brute = brute_force_optimum(&problem);
         match heuristic::solve(&problem, &HeuristicOptions::all()) {
             Ok(out) => {
                 let brute = brute.expect("solver found a solution, oracle must too");
-                prop_assert!(
+                assert!(
                     (out.solution.cost - brute).abs() < 1e-6,
-                    "B&B {} vs brute force {}", out.solution.cost, brute
+                    "B&B {} vs brute force {}",
+                    out.solution.cost,
+                    brute
                 );
             }
             Err(pcqe::core::CoreError::Infeasible { .. }) => {
-                prop_assert!(brute.is_none(), "oracle found {brute:?} but solver said infeasible");
+                assert!(
+                    brute.is_none(),
+                    "oracle found {brute:?} but solver said infeasible"
+                );
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Err(e) => panic!("unexpected error {e}"),
         }
-    }
+    });
 }
 
 #[test]
