@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point. Everything runs OFFLINE: the
 # default workspace depends only on sibling path crates (enforced by
-# tests/hermetic_guard.rs and re-checked here), so a network-less runner
-# with an empty cargo registry builds and tests the whole repository.
+# pcqe-lint rule PCQE-H001 and tests/hermetic_guard.rs), so a
+# network-less runner with an empty cargo registry builds and tests the
+# whole repository.
 #
 # Usage: ./ci.sh [--no-clippy]
 set -euo pipefail
@@ -26,33 +27,19 @@ if [ "$NO_CLIPPY" -eq 0 ]; then
   cargo clippy --workspace --all-targets --offline -- -D warnings
 fi
 
-step "non-path dependency guard"
-# Fast shell-level mirror of tests/hermetic_guard.rs: no dependency table
-# in the default workspace may name a crate without `path =` (workspace
-# pcqe-* entries resolve to path deps declared at the root).
-fail=0
-for manifest in Cargo.toml crates/*/Cargo.toml; do
-  case "$manifest" in crates/bench/*) continue ;; esac
-  bad=$(awk '
-    /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) ; next }
-    in_deps && NF && $0 !~ /^#/ && $0 ~ /=/ {
-      if ($0 !~ /path *=/ && $0 !~ /^ *pcqe[-_]/) print "  " FILENAME ": " $0
-    }
-  ' "$manifest")
-  if [ -n "$bad" ]; then
-    echo "non-path dependencies found:" >&2
-    echo "$bad" >&2
-    fail=1
-  fi
-done
-[ "$fail" -eq 0 ] || exit 1
-echo "all default-workspace dependencies are path dependencies"
+step "static invariants (cargo run -p pcqe-lint)"
+# One analyzer replaces the old awk dependency mirror and extends it:
+# PCQE-D001/D002/D003 (determinism), PCQE-H001 (hermetic manifests —
+# subsumes the former awk guard), PCQE-P001 (panic-safety), PCQE-T001
+# (wall clock), PCQE-A001 (stale allowlist entries). Exceptions live in
+# lint-allow.toml with reasons; see DESIGN.md § "Static invariants".
+cargo run -q -p pcqe-lint --offline
 
 step "release build (offline)"
 cargo build --release --offline
 
-step "tests (offline)"
-cargo test -q --offline
+step "tests (offline, whole workspace)"
+cargo test -q --offline --workspace
 
 step "bench workspace builds (offline, detached)"
 ( cd crates/bench && cargo build --offline && cargo test -q --offline )

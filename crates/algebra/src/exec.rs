@@ -7,7 +7,7 @@ use crate::Result;
 use pcqe_lineage::Lineage;
 use pcqe_par::Parallelism;
 use pcqe_storage::{Catalog, Tuple, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Execute a plan against a catalog, producing derived tuples with lineage.
 ///
@@ -129,8 +129,11 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
                 })?;
                 return Ok(per_left.into_iter().flatten().collect());
             }
-            // Build on the right side.
-            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            // Build on the right side. An ordered map keeps the operator
+            // deterministic-by-construction (lint rule PCQE-D001): even
+            // though probing only does point lookups today, nothing can
+            // later iterate this table in nondeterministic order.
+            let mut table: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
             'rows: for (i, rr) in r.iter().enumerate() {
                 let mut key = Vec::with_capacity(equi.len());
                 for &(_, rc) in &equi {
@@ -223,7 +226,7 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
         } => {
             let rows = run(input, catalog, par)?;
             // Group rows by their key values, preserving first-seen order.
-            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut index: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
             let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
             for (i, row) in rows.iter().enumerate() {
                 let mut key = Vec::with_capacity(group_by.len());
@@ -266,7 +269,7 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
             plan.schema(catalog)?;
             let l = or_merge(run(left, catalog, par)?);
             let r = or_merge(run(right, catalog, par)?);
-            let right_by_value: HashMap<&Tuple, &Lineage> =
+            let right_by_value: BTreeMap<&Tuple, &Lineage> =
                 r.iter().map(|d| (&d.tuple, &d.lineage)).collect();
             let mut out = Vec::new();
             for row in &l {
@@ -406,8 +409,14 @@ fn eval_aggregate(
             } else if args.iter().all(|v| matches!(v, Value::Int(_))) {
                 let mut total = 0i64;
                 for v in &args {
+                    // The `all ints` guard above makes `as_i64` infallible,
+                    // but we still route the impossible case through the
+                    // typed error instead of panicking (PCQE-P001 ethos).
+                    let n = v.as_i64().ok_or_else(|| {
+                        crate::error::AlgebraError::Type("SUM over non-integer value".into())
+                    })?;
                     total = total
-                        .checked_add(v.as_i64().expect("all ints"))
+                        .checked_add(n)
                         .ok_or_else(|| crate::error::AlgebraError::Type("SUM overflow".into()))?;
                 }
                 Value::Int(total)
@@ -442,7 +451,7 @@ fn eval_items(items: &[ProjItem], row: &[Value]) -> Result<Vec<Value>> {
 /// Merge rows with identical values, OR-ing their lineage (set semantics).
 /// The first occurrence's position is kept, so output order is stable.
 fn or_merge(rows: Vec<DerivedTuple>) -> Vec<DerivedTuple> {
-    let mut index: HashMap<Tuple, usize> = HashMap::new();
+    let mut index: BTreeMap<Tuple, usize> = BTreeMap::new();
     let mut grouped: Vec<(Tuple, Vec<Lineage>)> = Vec::new();
     for row in rows {
         match index.get(&row.tuple) {

@@ -12,6 +12,7 @@
 //!
 //! Deterministic in [`AnnealOptions::seed`].
 
+use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::greedy::{self, GreedyOptions, GreedyStats};
 use crate::problem::ProblemInstance;
@@ -19,7 +20,7 @@ use crate::solution::SolveOutcome;
 use crate::state::EvalState;
 use crate::Result;
 use pcqe_lineage::rng::Rng64;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for the annealing baseline.
 #[derive(Debug, Clone)]
@@ -80,12 +81,12 @@ pub fn solve(
     problem: &ProblemInstance,
     options: &AnnealOptions,
 ) -> Result<SolveOutcome<AnnealStats>> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let mut state = EvalState::new(problem);
     greedy::check_feasible(&mut state)?;
     let mut stats = AnnealStats::default();
     if problem.bases.is_empty() || state.meets_quota() {
-        stats.elapsed = start.elapsed();
+        stats.elapsed = watch.elapsed();
         return Ok(SolveOutcome {
             solution: state.to_solution(),
             stats,
@@ -162,7 +163,7 @@ pub fn solve(
     let order: Vec<usize> = (0..k).filter(|&i| state.steps_of(i) > 0).collect();
     greedy::roll_back(&mut state, &order);
 
-    stats.elapsed = start.elapsed();
+    stats.elapsed = watch.elapsed();
     let solution = state.to_solution();
     if solution.satisfied.len() < problem.required {
         return Err(CoreError::GaveUp(

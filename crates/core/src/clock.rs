@@ -1,0 +1,104 @@
+//! The crate's only sanctioned wall-clock access point.
+//!
+//! The solvers measure elapsed time (for statistics) and enforce optional
+//! time limits (for anytime behaviour). Both are *observability* concerns:
+//! no solver decision that affects the returned solution may depend on the
+//! clock, except the explicitly-requested time-limit cutoff. Concentrating
+//! every `Instant::now()` here keeps that boundary auditable — lint rule
+//! `PCQE-T001` forbids wall-clock reads anywhere else in the workspace
+//! outside `crates/bench`, and clippy's `disallowed_methods` mirrors the
+//! ban workspace-wide (hence the targeted `#[allow]`s below).
+//!
+//! [`Stopwatch`] measures elapsed time for run statistics; [`Deadline`]
+//! answers "is the time limit up?" for solvers that accept
+//! `Option<Duration>` budgets. `Deadline::unbounded()` never expires and
+//! never reads the clock, so untimed solves stay clock-free.
+
+use std::time::{Duration, Instant};
+
+/// Measures elapsed wall-clock time for run statistics.
+///
+/// Results never depend on the value read — stats only.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+        self.started.elapsed()
+    }
+}
+
+/// An optional time budget for anytime solvers.
+///
+/// Built from `Option<Duration>`: `None` yields an unbounded deadline whose
+/// [`Deadline::expired`] is a constant `false` with no clock read at all.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    expires: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now; `None` never expires.
+    pub fn after(limit: Option<Duration>) -> Deadline {
+        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+        Deadline {
+            expires: limit.map(|l| Instant::now() + l),
+        }
+    }
+
+    /// A deadline that never expires and never reads the clock.
+    pub fn unbounded() -> Deadline {
+        Deadline { expires: None }
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self) -> bool {
+        match self.expires {
+            None => false,
+            Some(at) => {
+                #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+                let now = Instant::now();
+                now >= at
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let w = Stopwatch::start();
+        assert!(w.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        assert!(!Deadline::unbounded().expired());
+        assert!(!Deadline::after(None).expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        assert!(Deadline::after(Some(Duration::ZERO)).expired());
+    }
+
+    #[test]
+    fn long_deadline_not_yet_expired() {
+        assert!(!Deadline::after(Some(Duration::from_secs(3600))).expired());
+    }
+}

@@ -12,6 +12,7 @@
 //!    with the minimum gain*, trims increments the combined answer no
 //!    longer needs.
 
+use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::greedy::{self, GreedyOptions, GreedyStats};
 use crate::heuristic::{self, HeuristicOptions};
@@ -20,8 +21,8 @@ use crate::problem::{ProblemInstance, ResultSpec};
 use crate::solution::SolveOutcome;
 use crate::state::EvalState;
 use crate::Result;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Options for the divide-and-conquer solver.
 #[derive(Debug, Clone)]
@@ -74,13 +75,13 @@ pub struct DncStats {
 
 /// Solve with divide-and-conquer.
 pub fn solve(problem: &ProblemInstance, options: &DncOptions) -> Result<SolveOutcome<DncStats>> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let mut state = EvalState::new_par(problem, &options.greedy.parallelism);
     greedy::check_feasible(&mut state)?;
     let mut stats = DncStats::default();
 
     // --- Partition ---------------------------------------------------
-    let part_start = Instant::now();
+    let part_watch = Stopwatch::start();
     let groups = partition(
         problem,
         &PartitionOptions {
@@ -88,7 +89,7 @@ pub fn solve(problem: &ProblemInstance, options: &DncOptions) -> Result<SolveOut
             max_group_bases: options.max_group_bases,
         },
     );
-    stats.partition_elapsed = part_start.elapsed();
+    stats.partition_elapsed = part_watch.elapsed();
     stats.groups = groups.len();
 
     // --- Solve each group --------------------------------------------
@@ -175,7 +176,7 @@ pub fn solve(problem: &ProblemInstance, options: &DncOptions) -> Result<SolveOut
     let order: Vec<usize> = candidates.into_iter().map(|(_, i)| i).collect();
     stats.refinement_reductions = greedy::roll_back(&mut state, &order);
 
-    stats.elapsed = start.elapsed();
+    stats.elapsed = watch.elapsed();
     debug_assert!(state.meets_quota());
     let solution = state.to_solution();
     if solution.satisfied.len() < problem.required {
@@ -190,7 +191,7 @@ pub fn solve(problem: &ProblemInstance, options: &DncOptions) -> Result<SolveOut
 /// instance plus the mapping from sub-base index to global base index.
 fn sub_problem(problem: &ProblemInstance, group: &[usize]) -> (ProblemInstance, Vec<usize>) {
     let mut base_map: Vec<usize> = Vec::new();
-    let mut global_to_sub: HashMap<usize, usize> = HashMap::new();
+    let mut global_to_sub: BTreeMap<usize, usize> = BTreeMap::new();
     for &ri in group {
         for &b in &problem.results[ri].bases {
             global_to_sub.entry(b).or_insert_with(|| {

@@ -5,11 +5,12 @@
 //! is the ground truth the branch-and-bound search is validated against,
 //! and the honest "optimal" line for tiny evaluation points.
 
+use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::problem::ProblemInstance;
 use crate::solution::{Solution, SolveOutcome};
 use crate::Result;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Statistics from an exhaustive run.
 #[derive(Debug, Clone, Default)]
@@ -40,7 +41,7 @@ pub fn solve(
     problem: &ProblemInstance,
     options: &ExhaustiveOptions,
 ) -> Result<SolveOutcome<ExhaustiveStats>> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let k = problem.bases.len();
     let steps: Vec<u32> = (0..k).map(|i| problem.max_steps(i)).collect();
     // Refuse combinatorially hopeless inputs up front.
@@ -80,7 +81,7 @@ pub fn solve(
         let mut d = 0;
         loop {
             if d == k {
-                stats.elapsed = start.elapsed();
+                stats.elapsed = watch.elapsed();
                 let Some((cost, levels)) = best else {
                     return Err(CoreError::Infeasible {
                         achievable: 0,

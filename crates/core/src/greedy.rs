@@ -7,12 +7,13 @@
 //! the paper measured this refinement to cut cost by more than 30 % at
 //! negligible extra time (Figure 11(b)/(e)).
 
+use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::problem::ProblemInstance;
 use crate::solution::SolveOutcome;
 use crate::state::EvalState;
 use crate::Result;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How `gain*` sums confidence increments over affected results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,7 +104,7 @@ pub fn solve(
     problem: &ProblemInstance,
     options: &GreedyOptions,
 ) -> Result<SolveOutcome<GreedyStats>> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let mut state = EvalState::new_par(problem, &options.parallelism);
     check_feasible(&mut state)?;
     let mut stats = GreedyStats::default();
@@ -126,7 +127,7 @@ pub fn solve(
     }
 
     stats.evals = state.evals;
-    stats.elapsed = start.elapsed();
+    stats.elapsed = watch.elapsed();
     let solution = state.to_solution();
     Ok(SolveOutcome { solution, stats })
 }

@@ -22,12 +22,13 @@
 //! (`O(d^k)`); with a greedy seed (Figure 11(d)) the initial upper bound is
 //! tight from the start.
 
+use crate::clock::{Deadline, Stopwatch};
 use crate::error::CoreError;
 use crate::problem::ProblemInstance;
 use crate::solution::{Solution, SolveOutcome};
 use crate::state::EvalState;
 use crate::Result;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -129,7 +130,7 @@ pub fn solve(
     problem: &ProblemInstance,
     options: &HeuristicOptions,
 ) -> Result<SolveOutcome<HeuristicStats>> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let mut state = EvalState::new(problem);
     crate::greedy::check_feasible(&mut state)?;
 
@@ -160,11 +161,11 @@ pub fn solve(
             complete: true,
             ..HeuristicStats::default()
         },
-        deadline: options.time_limit.map(|t| start + t),
+        deadline: Deadline::after(options.time_limit),
     };
     search.dfs(&mut state, 0);
     search.stats.evals = state.evals;
-    search.stats.elapsed = start.elapsed();
+    search.stats.elapsed = watch.elapsed();
 
     match search.best {
         Some(solution) => Ok(SolveOutcome {
@@ -186,7 +187,7 @@ struct Search<'p, 'o> {
     best_cost: f64,
     best: Option<Solution>,
     stats: HeuristicStats,
-    deadline: Option<Instant>,
+    deadline: Deadline,
 }
 
 impl Search<'_, '_> {
@@ -197,12 +198,11 @@ impl Search<'_, '_> {
                 return true;
             }
         }
-        if let Some(deadline) = self.deadline {
-            // Check the clock only occasionally; Instant::now is not free.
-            if self.stats.nodes.is_multiple_of(1024) && Instant::now() >= deadline {
-                self.stats.complete = false;
-                return true;
-            }
+        // Check the clock only occasionally; reading it is not free. An
+        // unbounded deadline short-circuits without touching the clock.
+        if self.stats.nodes.is_multiple_of(1024) && self.deadline.expired() {
+            self.stats.complete = false;
+            return true;
         }
         false
     }

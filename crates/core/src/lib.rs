@@ -40,6 +40,7 @@
 //! ```
 
 pub mod anneal;
+pub mod clock;
 pub mod dnc;
 pub mod error;
 pub mod estimator;

@@ -3,14 +3,14 @@
 //! base tuples associated with all queries … we need to check whether a
 //! solution is found for all queries").
 
+use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::greedy::{GainMode, GreedyOptions, GreedyStats};
 use crate::problem::{BaseVar, ProblemInstance, ResultSpec};
 use crate::solution::{Solution, SolveOutcome};
 use crate::state::EvalState;
 use crate::Result;
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 /// A batch of confidence-increment problems that share base tuples (the
 /// same user issuing several queries within a short time period).
@@ -61,7 +61,7 @@ impl MultiQueryProblem {
             }
         }
         let mut bases: Vec<BaseVar> = Vec::new();
-        let mut by_id: HashMap<u64, usize> = HashMap::new();
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
         let mut results = Vec::new();
         let mut queries = Vec::new();
         for p in instances {
@@ -122,7 +122,7 @@ pub fn solve_greedy(
     multi: &MultiQueryProblem,
     options: &GreedyOptions,
 ) -> Result<SolveOutcome<GreedyStats>> {
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let flat = multi.as_flat_instance()?;
     let mut state = EvalState::new_par(&flat, &options.parallelism);
     let mut stats = GreedyStats::default();
@@ -214,7 +214,7 @@ pub fn solve_greedy(
     }
 
     stats.evals = state.evals;
-    stats.elapsed = start.elapsed();
+    stats.elapsed = watch.elapsed();
     // Satisfied set: results above their own query's β.
     let satisfied: Vec<usize> = (0..multi.results.len())
         .filter(|&ri| {

@@ -10,7 +10,7 @@
 //! walk-through.
 
 use crate::problem::ProblemInstance;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Options for the partitioning phase.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ pub fn partition(problem: &ProblemInstance, options: &PartitionOptions) -> Vec<V
 
     // Edge weights: number of shared base tuples per result pair, found by
     // walking each base's result list.
-    let mut weights: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     for b in 0..problem.bases.len() {
         let rs = problem.results_of_base(b);
         for (x, &i) in rs.iter().enumerate() {
@@ -55,13 +55,16 @@ pub fn partition(problem: &ProblemInstance, options: &PartitionOptions) -> Vec<V
         }
     }
 
-    // Per-cluster adjacency and base sets (for the size cap).
-    let mut adj: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+    // Per-cluster adjacency and base sets (for the size cap). Ordered maps
+    // throughout: the absorbed-neighbour loop below iterates `gone_adj`,
+    // and with a hash map that order — hence the heap's insertion order and
+    // any weight-tied merge sequence — would vary run to run (PCQE-D001).
+    let mut adj: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); n];
     for (&(i, j), &w) in &weights {
         adj[i].insert(j, w);
         adj[j].insert(i, w);
     }
-    let mut bases: Vec<HashSet<usize>> = (0..n)
+    let mut bases: Vec<BTreeSet<usize>> = (0..n)
         .map(|ri| problem.results[ri].bases.iter().copied().collect())
         .collect();
 
@@ -123,7 +126,7 @@ pub fn partition(problem: &ProblemInstance, options: &PartitionOptions) -> Vec<V
     }
 
     // Collect groups.
-    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for ri in 0..n {
         groups.entry(uf.find(ri)).or_default().push(ri);
     }

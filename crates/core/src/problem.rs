@@ -5,7 +5,7 @@ use crate::error::CoreError;
 use crate::Result;
 use pcqe_cost::CostFn;
 use pcqe_lineage::{CompiledLineage, Lineage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One base tuple in the optimisation problem: its external id, initial
@@ -140,7 +140,7 @@ pub struct ProblemBuilder {
     beta: f64,
     delta: f64,
     required: usize,
-    id_to_index: HashMap<u64, usize>,
+    id_to_index: BTreeMap<u64, usize>,
     lineage_budget: usize,
 }
 
@@ -153,7 +153,7 @@ impl ProblemBuilder {
             beta,
             delta,
             required: 0,
-            id_to_index: HashMap::new(),
+            id_to_index: BTreeMap::new(),
             lineage_budget: 4096,
         }
     }

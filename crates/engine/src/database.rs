@@ -12,7 +12,7 @@ use pcqe_policy::{evaluate_results, ConfidencePolicy, PolicyStore, Purpose, Role
 use pcqe_provenance::{Assigner, ProvenanceRecord};
 use pcqe_sql::parse_and_plan;
 use pcqe_storage::{Catalog, Schema, TupleId, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A user: a name and the role under which policies are selected.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,7 +77,7 @@ pub enum StatementOutcome {
 pub struct Database {
     pub(crate) catalog: Catalog,
     pub(crate) policies: PolicyStore,
-    pub(crate) costs: HashMap<TupleId, CostFn>,
+    pub(crate) costs: BTreeMap<TupleId, CostFn>,
     config: EngineConfig,
     estimator: RuntimeEstimator,
     assigner: Assigner,
@@ -91,7 +91,7 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             policies: PolicyStore::new(),
-            costs: HashMap::new(),
+            costs: BTreeMap::new(),
             config,
             estimator: RuntimeEstimator::new(),
             assigner: Assigner::default(),
@@ -458,7 +458,7 @@ impl Database {
         let par = self.config.parallelism();
         let plan = self.plan_sql(&request.sql)?;
         let result_set = execute_with(&plan, &self.catalog, &par)?;
-        let overrides: HashMap<TupleId, f64> = proposal
+        let overrides: BTreeMap<TupleId, f64> = proposal
             .increments
             .iter()
             .map(|i| (i.tuple_id, i.to))

@@ -13,7 +13,7 @@ use pcqe_core::problem::{ProblemBuilder, ProblemInstance};
 use pcqe_core::{CoreError, Solution};
 use pcqe_cost::CostFn;
 use pcqe_storage::{Catalog, TupleId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// The outcome of a propose run: a proposal, or a reason there is none.
@@ -37,7 +37,7 @@ pub(crate) struct ProposeContext<'a> {
     /// The catalog supplying current confidences.
     pub catalog: &'a Catalog,
     /// Per-tuple cost functions.
-    pub costs: &'a HashMap<TupleId, CostFn>,
+    pub costs: &'a BTreeMap<TupleId, CostFn>,
     /// Engine configuration (δ, solver, default cost).
     pub config: &'a EngineConfig,
     /// The governing threshold β.
@@ -121,7 +121,7 @@ pub(crate) fn propose(
 /// results; `None` when too few of them are improvable (negated lineage).
 pub(crate) fn build_instance(
     catalog: &Catalog,
-    costs: &HashMap<TupleId, CostFn>,
+    costs: &BTreeMap<TupleId, CostFn>,
     config: &EngineConfig,
     withheld: &[&ScoredTuple],
     beta: f64,
@@ -135,7 +135,7 @@ pub(crate) fn build_instance(
         return Ok(None);
     }
     let mut builder = ProblemBuilder::new(beta, config.delta).lineage_budget(config.lineage_budget);
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = BTreeSet::new();
     for s in &improvable {
         for v in s.lineage.vars() {
             if seen.insert(v.0) {

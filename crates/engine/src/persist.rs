@@ -139,7 +139,9 @@ pub fn load(dir: &Path, config: EngineConfig) -> Result<Database> {
                 cols.push(Column::new(*name, dt));
             }
             (["end"], slot @ Some(_)) => {
-                let (name, cols) = slot.take().expect("matched Some");
+                let Some((name, cols)) = slot.take() else {
+                    return Err(bad("`end` without an open table"));
+                };
                 db.create_table(&name, Schema::new(cols)?)?;
                 let file = fs::File::open(dir.join(format!("{name}.csv")))
                     .map_err(|e| persist_err(format!("open `{name}.csv`: {e}")))?;

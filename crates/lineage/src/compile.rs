@@ -10,7 +10,7 @@
 use crate::error::LineageError;
 use crate::expr::{Lineage, VarId};
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The compiled arithmetic form of a lineage formula.
 #[derive(Debug, Clone)]
@@ -50,7 +50,7 @@ impl CompiledLineage {
             simplified = crate::factor::factor(&simplified);
         }
         let vars = simplified.vars();
-        let slots: HashMap<VarId, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let slots: BTreeMap<VarId, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut remaining = budget;
         let arith = compile_rec(&simplified, &slots, &mut remaining)?;
         Ok(CompiledLineage { vars, arith })
@@ -83,7 +83,7 @@ impl CompiledLineage {
     }
 }
 
-fn compile_rec(l: &Lineage, slots: &HashMap<VarId, usize>, budget: &mut usize) -> Result<Arith> {
+fn compile_rec(l: &Lineage, slots: &BTreeMap<VarId, usize>, budget: &mut usize) -> Result<Arith> {
     match l {
         Lineage::Const(b) => Ok(Arith::Const(if *b { 1.0 } else { 0.0 })),
         Lineage::Var(v) => Ok(Arith::Slot(slots[v])),
@@ -116,7 +116,7 @@ fn compile_rec(l: &Lineage, slots: &HashMap<VarId, usize>, budget: &mut usize) -
 fn compile_shannon(
     l: &Lineage,
     pivot: VarId,
-    slots: &HashMap<VarId, usize>,
+    slots: &BTreeMap<VarId, usize>,
     budget: &mut usize,
 ) -> Result<Arith> {
     if *budget == 0 {

@@ -15,7 +15,7 @@
 //! occurrences.
 
 use crate::expr::{Lineage, VarId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Factor a formula to reduce repeated variable occurrences. Returns a
 /// logically equivalent formula; when the input is an OR of ANDs with a
@@ -63,7 +63,9 @@ fn factor_or(children: Vec<Lineage>, depth: usize) -> Lineage {
     }
     // Count, per variable, in how many children it is a positive
     // top-level conjunct.
-    let mut counts: HashMap<VarId, usize> = HashMap::new();
+    // Ordered map: `max_by_key` ties are already broken by `Reverse(*v)`,
+    // but deterministic iteration removes any doubt (PCQE-D001).
+    let mut counts: BTreeMap<VarId, usize> = BTreeMap::new();
     for c in &children {
         for v in top_level_vars(c) {
             *counts.entry(v).or_insert(0) += 1;

@@ -4,7 +4,7 @@ use crate::error::LineageError;
 use crate::expr::{Lineage, VarId};
 use crate::mc::MonteCarlo;
 use crate::Result;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A source of per-variable marginal probabilities.
 ///
@@ -171,7 +171,7 @@ pub(crate) fn most_shared_var_pub(children: &[Lineage]) -> Option<VarId> {
 /// If the children share variables, return the variable occurring in the
 /// most children (the best Shannon pivot); otherwise `None`.
 fn most_shared_var(children: &[Lineage]) -> Option<VarId> {
-    let mut seen: HashMap<VarId, usize> = HashMap::new();
+    let mut seen: BTreeMap<VarId, usize> = BTreeMap::new();
     for child in children {
         // Count each variable once per child: sharing *within* one child is
         // handled recursively; only cross-child sharing breaks independence.

@@ -1,0 +1,205 @@
+//! `lint-allow.toml`: the explicit, reasoned exception list.
+//!
+//! Format — a sequence of `[[allow]]` tables, each with exactly three
+//! string keys:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "PCQE-P001"          # or the short form "P001"
+//! path = "crates/engine/src/config.rs"
+//! line = 56                   # optional: pin to one line
+//! reason = "constant-argument constructor, infallible by inspection"
+//! ```
+//!
+//! The parser is a hand-rolled subset of TOML (the workspace is
+//! registry-free), strict about what it accepts: unknown keys, missing
+//! keys, bad rule codes and malformed lines are hard errors. Entries that
+//! suppress nothing are *stale* and reported as `PCQE-A001` errors — an
+//! allowlist must never outlive the code it excuses.
+
+use crate::rules::Rule;
+
+/// One parsed `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowEntry {
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// Relative `/`-separated path the suppression applies to.
+    pub path: String,
+    /// Restrict to one line; `None` covers the whole file.
+    pub line: Option<u32>,
+    /// Why the exception is sound. Required and non-empty.
+    pub reason: String,
+    /// Line of the `[[allow]]` header in the allowlist file itself.
+    pub declared_at: u32,
+}
+
+/// Parse the allowlist. `source_name` labels error messages.
+pub fn parse(text: &str, source_name: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<PartialEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                entries.push(p.finish(source_name)?);
+            }
+            current = Some(PartialEntry::new(lineno));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "{source_name}:{lineno}: unexpected table `{line}`; only `[[allow]]` is supported"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{source_name}:{lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "{source_name}:{lineno}: `{}` outside an `[[allow]]` table",
+                key.trim()
+            ));
+        };
+        match key.trim() {
+            "rule" => {
+                let code = parse_string(value, source_name, lineno)?;
+                entry.rule = Some(
+                    Rule::parse(&code)
+                        .ok_or_else(|| format!("{source_name}:{lineno}: unknown rule `{code}`"))?,
+                );
+            }
+            "path" => {
+                let p = parse_string(value, source_name, lineno)?;
+                entry.path = Some(p.replace('\\', "/"));
+            }
+            "line" => {
+                let v = value.trim();
+                entry.line = Some(v.parse::<u32>().map_err(|_| {
+                    format!("{source_name}:{lineno}: `line` must be an integer, got `{v}`")
+                })?);
+            }
+            "reason" => {
+                let r = parse_string(value, source_name, lineno)?;
+                if r.trim().is_empty() {
+                    return Err(format!(
+                        "{source_name}:{lineno}: `reason` must not be empty"
+                    ));
+                }
+                entry.reason = Some(r);
+            }
+            other => {
+                return Err(format!(
+                    "{source_name}:{lineno}: unknown key `{other}` (expected rule/path/line/reason)"
+                ));
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        entries.push(p.finish(source_name)?);
+    }
+    Ok(entries)
+}
+
+struct PartialEntry {
+    declared_at: u32,
+    rule: Option<Rule>,
+    path: Option<String>,
+    line: Option<u32>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn new(declared_at: u32) -> PartialEntry {
+        PartialEntry {
+            declared_at,
+            rule: None,
+            path: None,
+            line: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self, source_name: &str) -> Result<AllowEntry, String> {
+        let at = self.declared_at;
+        let missing = |k: &str| format!("{source_name}:{at}: `[[allow]]` entry is missing `{k}`");
+        Ok(AllowEntry {
+            rule: self.rule.ok_or_else(|| missing("rule"))?,
+            path: self.path.ok_or_else(|| missing("path"))?,
+            line: self.line,
+            reason: self.reason.ok_or_else(|| missing("reason"))?,
+            declared_at: at,
+        })
+    }
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted TOML string value.
+fn parse_string(value: &str, source_name: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| {
+            format!("{source_name}:{lineno}: expected a double-quoted string, got `{v}`")
+        })?;
+    if inner.contains('"') {
+        return Err(format!(
+            "{source_name}:{lineno}: embedded quotes are not supported"
+        ));
+    }
+    Ok(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_and_without_lines() {
+        let text = "\n# header comment\n[[allow]]\nrule = \"PCQE-P001\"\npath = \"crates/engine/src/config.rs\"\nline = 56\nreason = \"infallible constant\"\n\n[[allow]]\nrule = \"D001\" # short form\npath = \"crates/lineage/src/prob.rs\"\nreason = \"lookup-only impl\"\n";
+        let entries = parse(text, "lint-allow.toml").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, Rule::P001);
+        assert_eq!(entries[0].line, Some(56));
+        assert_eq!(entries[1].rule, Rule::D001);
+        assert_eq!(entries[1].line, None);
+        assert_eq!(entries[1].declared_at, 9);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(parse("[[allow]]\nrule = \"P001\"\n", "f").is_err()); // missing path+reason
+        assert!(parse(
+            "[[allow]]\nrule = \"NOPE\"\npath = \"x\"\nreason = \"r\"\n",
+            "f"
+        )
+        .is_err());
+        assert!(parse("rule = \"P001\"\n", "f").is_err()); // key outside table
+        assert!(parse("[allow]\n", "f").is_err()); // wrong table syntax
+        assert!(parse(
+            "[[allow]]\nrule = \"P001\"\npath = \"x\"\nreason = \"\"\n",
+            "f"
+        )
+        .is_err());
+        assert!(parse("[[allow]]\nbogus = \"x\"\n", "f").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! `pcqe-lint` — the in-repo static invariant analyzer.
+//!
+//! PR 1 made the engine deterministic-by-construction (bit-identical
+//! results at any worker count) and hermetic (no registry dependencies).
+//! Those properties were guarded only at the edges: a determinism test
+//! and a dependency grep. This crate moves the invariants into a static
+//! analysis pass that fails CI the moment a violating pattern is
+//! *written*, instead of hoping a test notices the symptom later.
+//!
+//! The analyzer is std-only — no `syn`, no registry crates — and
+//! tokenizes every Rust source in the workspace with a hand-rolled lexer
+//! ([`lexer`]), then matches small token-window patterns ([`rules`]):
+//!
+//! | rule | protects | statement |
+//! |------|----------|-----------|
+//! | `PCQE-D001` | determinism | no `HashMap`/`HashSet` in result-affecting crates |
+//! | `PCQE-D002` | determinism | no RNG construction outside `pcqe-lineage::rng` |
+//! | `PCQE-D003` | determinism | no `std::thread` outside `crates/par` |
+//! | `PCQE-H001` | hermeticity | only path deps in default-workspace manifests |
+//! | `PCQE-P001` | panic-safety | no `unwrap`/`expect`/`panic!` in guarded library code |
+//! | `PCQE-T001` | determinism | wall clock only in `crates/bench` + `core::clock` |
+//! | `PCQE-A001` | hygiene | allowlist entries must suppress something |
+//!
+//! Justified exceptions live in `lint-allow.toml` ([`allowlist`]) with a
+//! required reason; stale entries are themselves errors. Reports come in
+//! human and JSON form ([`report`]). Run it as `cargo run -p pcqe-lint`,
+//! via `ci.sh`, or through the tier-1 test `tests/lint_guard.rs`.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use allowlist::AllowEntry;
+use rules::{Finding, Rule};
+use std::fs;
+use std::path::Path;
+
+/// The outcome of scanning a tree.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted by (path, line, rule code). Includes
+    /// `PCQE-A001` findings for stale allowlist entries.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an allowlist entry, with the entry's reason.
+    pub suppressed: Vec<(Finding, String)>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Manifests checked by H001.
+    pub manifests_scanned: usize,
+}
+
+impl Analysis {
+    /// Does the analysis gate (any error-severity finding)?
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+/// Failures of the analyzer itself (not rule findings).
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem problems reading the tree.
+    Io(String),
+    /// The allowlist file failed to parse or was explicitly requested but
+    /// missing.
+    Allowlist(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(m) => write!(f, "io error: {m}"),
+            LintError::Allowlist(m) => write!(f, "allowlist error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Name of the allowlist file looked up at the scan root by default.
+pub const DEFAULT_ALLOWLIST: &str = "lint-allow.toml";
+
+/// Analyze the tree at `root`.
+///
+/// `allowlist_path`: `None` uses `<root>/lint-allow.toml` when present
+/// (absence means an empty allowlist); `Some(path)` must exist.
+pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, LintError> {
+    let io = |e: std::io::Error, what: &str| LintError::Io(format!("{what}: {e}"));
+
+    // --- Allowlist -----------------------------------------------------
+    let entries: Vec<AllowEntry> = match allowlist_path {
+        Some(p) => {
+            let text = fs::read_to_string(p)
+                .map_err(|e| LintError::Allowlist(format!("{}: {e}", p.display())))?;
+            allowlist::parse(&text, &p.display().to_string()).map_err(LintError::Allowlist)?
+        }
+        None => {
+            let p = root.join(DEFAULT_ALLOWLIST);
+            if p.is_file() {
+                let text = fs::read_to_string(&p).map_err(|e| io(e, DEFAULT_ALLOWLIST))?;
+                allowlist::parse(&text, DEFAULT_ALLOWLIST).map_err(LintError::Allowlist)?
+            } else {
+                Vec::new()
+            }
+        }
+    };
+
+    // --- Scan ----------------------------------------------------------
+    let mut raw: Vec<Finding> = Vec::new();
+    let sources = walk::rust_sources(root).map_err(|e| io(e, "walking sources"))?;
+    for rel in &sources {
+        let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
+        rules::check_source(rel, &text, &mut raw);
+    }
+    let manifests = walk::workspace_manifests(root).map_err(|e| io(e, "walking manifests"))?;
+    for rel in &manifests {
+        let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
+        manifest::check_manifest(rel, &text, &mut raw);
+    }
+
+    // --- Suppress ------------------------------------------------------
+    let mut used = vec![0usize; entries.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed: Vec<(Finding, String)> = Vec::new();
+    for f in raw {
+        let hit = entries.iter().position(|e| {
+            e.rule == f.rule && e.path == f.path && e.line.is_none_or(|l| l == f.line)
+        });
+        match hit {
+            Some(idx) => {
+                used[idx] += 1;
+                suppressed.push((f, entries[idx].reason.clone()));
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // --- Stale allowlist entries ---------------------------------------
+    let allow_name = allowlist_path
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| DEFAULT_ALLOWLIST.to_owned());
+    for (idx, entry) in entries.iter().enumerate() {
+        if used[idx] == 0 {
+            findings.push(Finding {
+                rule: Rule::A001,
+                path: allow_name.clone(),
+                line: entry.declared_at,
+                message: format!(
+                    "stale allowlist entry: no {} finding at `{}`{} — delete the \
+                     entry (reason was: {})",
+                    entry.rule.code(),
+                    entry.path,
+                    entry.line.map(|l| format!(" line {l}")).unwrap_or_default(),
+                    entry.reason
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.code().cmp(b.rule.code()))
+    });
+
+    Ok(Analysis {
+        findings,
+        suppressed,
+        files_scanned: sources.len(),
+        manifests_scanned: manifests.len(),
+    })
+}

@@ -1,0 +1,101 @@
+//! Rule H001: hermeticity of the default workspace's manifests.
+//!
+//! Every dependency entry in the root manifest and each `crates/*`
+//! manifest (minus the detached `crates/bench` workspace) must either be
+//! spelled with an explicit `path = …` or name a `pcqe-*` sibling crate
+//! whose workspace definition resolves to a path dependency. This is the
+//! static version of the invariant behind `cargo build --offline`: an
+//! empty cargo registry is always sufficient.
+//!
+//! The check subsumes the awk mirror that used to live in `ci.sh` and the
+//! table walk in `tests/hermetic_guard.rs` — one parser, one rule ID.
+
+use crate::rules::{Finding, Rule};
+
+/// Section headers that introduce dependency tables.
+fn is_dependency_header(header: &str) -> bool {
+    matches!(
+        header,
+        "[dependencies]"
+            | "[dev-dependencies]"
+            | "[build-dependencies]"
+            | "[workspace.dependencies]"
+    ) || (header.starts_with("[target.") && header.ends_with("dependencies]"))
+}
+
+/// Check one manifest's text. `path` is the `/`-relative manifest path
+/// used in findings.
+pub fn check_manifest(path: &str, text: &str, out: &mut Vec<Finding>) {
+    let mut in_deps = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = is_dependency_header(line);
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        // `foo.workspace = true` spells the name before the dot.
+        let name = name.trim().split('.').next().unwrap_or("").trim();
+        if name.is_empty() {
+            continue;
+        }
+        let spec = spec.trim();
+        let is_path_dep = spec.contains("path =") || spec.contains("path=");
+        let is_workspace_sibling = name.starts_with("pcqe-") || name.starts_with("pcqe_");
+        if !is_path_dep && !is_workspace_sibling {
+            out.push(Finding {
+                rule: Rule::H001,
+                path: path.to_owned(),
+                line: (idx + 1) as u32,
+                message: format!(
+                    "dependency `{name}` is not a path dependency; the default \
+                     workspace must build offline with an empty registry"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<(u32, String)> {
+        let mut out = Vec::new();
+        check_manifest("Cargo.toml", text, &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let text = "[dependencies]\npcqe-storage.workspace = true\nother = { path = \"../other\" }\n\n[workspace.dependencies]\npcqe-core = { path = \"crates/core\" }\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_fail_with_lines() {
+        let text = "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1\"\n\n[dev-dependencies]\nproptest = { version = \"1\" }\n";
+        let hits = findings(text);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 5);
+        assert!(hits[0].1.contains("serde"));
+        assert_eq!(hits[1].0, 8);
+    }
+
+    #[test]
+    fn target_specific_tables_are_covered() {
+        let text = "[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        assert_eq!(findings(text).len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_tables_are_ignored() {
+        let text = "[profile.release]\ndebug = \"line-tables-only\"\n[features]\nfast = []\n";
+        assert!(findings(text).is_empty());
+    }
+}

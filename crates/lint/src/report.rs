@@ -1,0 +1,145 @@
+//! Human and machine-readable finding reports.
+//!
+//! JSON is emitted by hand (same idiom as the bench harness's report
+//! writer): the workspace is registry-free, so no serde. Output is fully
+//! deterministic — findings arrive pre-sorted and maps are avoided.
+
+use crate::rules::Severity;
+use crate::Analysis;
+
+/// Render the human report: one `path:line: CODE [severity] message` per
+/// finding plus a summary line.
+pub fn human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &analysis.findings {
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n",
+            f.path,
+            f.line,
+            f.rule.code(),
+            f.rule.severity().label(),
+            f.message
+        ));
+    }
+    let errors = analysis.error_count();
+    let warnings = analysis.warning_count();
+    out.push_str(&format!(
+        "pcqe-lint: {} file(s), {} manifest(s) scanned; {} error(s), {} warning(s), {} suppressed\n",
+        analysis.files_scanned,
+        analysis.manifests_scanned,
+        errors,
+        warnings,
+        analysis.suppressed.len()
+    ));
+    out
+}
+
+/// Render the JSON report.
+pub fn json(analysis: &Analysis) -> String {
+    let mut out =
+        String::from("{\n  \"tool\": \"pcqe-lint\",\n  \"format_version\": 1,\n  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", f.rule.code()));
+        out.push_str(&format!(
+            "\"severity\": \"{}\", ",
+            f.rule.severity().label()
+        ));
+        out.push_str(&format!("\"path\": \"{}\", ", escape(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+        out.push('}');
+    }
+    if !analysis.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {");
+    out.push_str(&format!("\"files\": {}, ", analysis.files_scanned));
+    out.push_str(&format!("\"manifests\": {}, ", analysis.manifests_scanned));
+    out.push_str(&format!("\"errors\": {}, ", analysis.error_count()));
+    out.push_str(&format!("\"warnings\": {}, ", analysis.warning_count()));
+    out.push_str(&format!("\"suppressed\": {}", analysis.suppressed.len()));
+    out.push_str("}\n}\n");
+    out
+}
+
+impl Analysis {
+    /// Unsuppressed findings with `Error` severity.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Unsuppressed findings with `Warning` severity.
+    pub fn warning_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule.severity() == Severity::Warning)
+            .count()
+    }
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control chars.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                rule: Rule::D001,
+                path: "crates/core/src/x.rs".into(),
+                line: 3,
+                message: "a \"quoted\" construct".into(),
+            }],
+            suppressed: Vec::new(),
+            files_scanned: 2,
+            manifests_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn human_report_names_rule_and_span() {
+        let text = human(&sample());
+        assert!(text.contains("crates/core/src/x.rs:3: PCQE-D001 [error]"));
+        assert!(text.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let text = json(&sample());
+        assert!(text.contains("\"rule\": \"PCQE-D001\""));
+        assert!(text.contains("a \\\"quoted\\\" construct"));
+        assert!(text.contains("\"errors\": 1"));
+        // Empty analysis yields an empty findings array, still valid.
+        let empty = Analysis {
+            findings: Vec::new(),
+            suppressed: Vec::new(),
+            files_scanned: 0,
+            manifests_scanned: 0,
+        };
+        assert!(json(&empty).contains("\"findings\": [],"));
+    }
+}

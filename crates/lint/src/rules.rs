@@ -1,0 +1,572 @@
+//! The rule set: stable IDs, severities, and the token-window matchers.
+//!
+//! Every rule is a *conservative, type-blind* approximation of the
+//! invariant it protects — the lexer sees tokens, not types, so rules are
+//! written to over-approximate (ban the construct outright) rather than
+//! under-approximate (miss violations). Justified exceptions go in
+//! `lint-allow.toml` with a reason; see `DESIGN.md` § "Static invariants".
+
+use crate::lexer::{lex, Tok, Token};
+
+/// Stable rule identifiers. Codes are part of the tool's contract: CI
+/// logs, allowlist entries and docs all refer to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered `HashMap`/`HashSet` in a result-affecting crate.
+    D001,
+    /// Ad-hoc randomness outside `pcqe-lineage::rng`.
+    D002,
+    /// Direct `std::thread` use outside the deterministic scheduler.
+    D003,
+    /// Non-`path` dependency in a default-workspace manifest.
+    H001,
+    /// `unwrap`/`expect`/`panic!`-family in guarded library code.
+    P001,
+    /// Wall-clock access outside the sanctioned timing modules.
+    T001,
+    /// Stale allowlist entry (suppresses nothing).
+    A001,
+}
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run.
+    Error,
+    /// Reported, never fails the run.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl Rule {
+    /// The full stable code, e.g. `PCQE-D001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D001 => "PCQE-D001",
+            Rule::D002 => "PCQE-D002",
+            Rule::D003 => "PCQE-D003",
+            Rule::H001 => "PCQE-H001",
+            Rule::P001 => "PCQE-P001",
+            Rule::T001 => "PCQE-T001",
+            Rule::A001 => "PCQE-A001",
+        }
+    }
+
+    /// Per-rule severity. Everything that protects a shipped invariant is
+    /// an error; the enum keeps the door open for advisory rules.
+    pub fn severity(self) -> Severity {
+        Severity::Error
+    }
+
+    /// What the rule protects, for `--list-rules` and reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D001 => "determinism: no HashMap/HashSet in result-affecting crates",
+            Rule::D002 => "determinism: no RNG construction outside pcqe-lineage::rng",
+            Rule::D003 => "determinism: no std::thread outside the pcqe-par scheduler",
+            Rule::H001 => "hermeticity: only path dependencies in default-workspace manifests",
+            Rule::P001 => "panic-safety: no unwrap/expect/panic! in guarded library code",
+            Rule::T001 => "determinism: wall-clock access only in bench and core::clock",
+            Rule::A001 => "hygiene: allowlist entries must suppress at least one finding",
+        }
+    }
+
+    /// Resolve a rule from either its full code (`PCQE-D001`) or its
+    /// short form (`D001`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        let short = s.strip_prefix("PCQE-").unwrap_or(s);
+        match short {
+            "D001" => Some(Rule::D001),
+            "D002" => Some(Rule::D002),
+            "D003" => Some(Rule::D003),
+            "H001" => Some(Rule::H001),
+            "P001" => Some(Rule::P001),
+            "T001" => Some(Rule::T001),
+            "A001" => Some(Rule::A001),
+            _ => None,
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [Rule; 7] {
+        [
+            Rule::D001,
+            Rule::D002,
+            Rule::D003,
+            Rule::H001,
+            Rule::P001,
+            Rule::T001,
+            Rule::A001,
+        ]
+    }
+}
+
+/// One rule violation at a location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Path relative to the scanned root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation with the offending construct named.
+    pub message: String,
+}
+
+/// Which rules apply to a file, derived from its path relative to the
+/// scanned root.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Test/bench/example/fixture code: token rules are skipped entirely.
+    pub is_test_code: bool,
+    d001: bool,
+    d002: bool,
+    d003: bool,
+    p001: bool,
+    t001: bool,
+}
+
+/// Crates whose output ordering feeds query results; `HashMap` iteration
+/// there silently breaks bit-identical evaluation (rule D001).
+const RESULT_AFFECTING: [&str; 5] = [
+    "crates/algebra/src/",
+    "crates/lineage/src/",
+    "crates/core/src/",
+    "crates/engine/src/",
+    "crates/policy/src/",
+];
+
+/// Crates whose library code must surface typed errors instead of
+/// panicking (rule P001).
+const PANIC_GUARDED: [&str; 4] = [
+    "crates/engine/src/",
+    "crates/policy/src/",
+    "crates/storage/src/",
+    "crates/sql/src/",
+];
+
+/// Identifiers that signal ad-hoc entropy or registry RNG idioms (D002).
+const RNG_IDENTS: [&str; 7] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "getrandom",
+    "RandomState",
+];
+
+impl FileClass {
+    /// Classify a `/`-separated relative path.
+    pub fn classify(path: &str) -> FileClass {
+        let is_test_code = path
+            .split('/')
+            .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"));
+        let starts = |prefixes: &[&str]| prefixes.iter().any(|p| path.starts_with(p));
+        FileClass {
+            is_test_code,
+            d001: starts(&RESULT_AFFECTING),
+            d002: path != "crates/lineage/src/rng.rs",
+            d003: !path.starts_with("crates/par/"),
+            p001: starts(&PANIC_GUARDED),
+            t001: !path.starts_with("crates/bench/") && path != "crates/core/src/clock.rs",
+        }
+    }
+}
+
+/// Run every token-level rule over one source file.
+pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
+    let class = FileClass::classify(path);
+    if class.is_test_code {
+        return;
+    }
+    let toks = lex(src);
+    let skip = test_region_mask(&toks);
+    let emit = |out: &mut Vec<Finding>, rule: Rule, line: u32, message: String| {
+        out.push(Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            message,
+        });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let name = name.as_str();
+
+        // D001: unordered collections in result-affecting crates.
+        if class.d001 && (name == "HashMap" || name == "HashSet") {
+            emit(
+                out,
+                Rule::D001,
+                t.line,
+                format!(
+                    "`{name}` in a result-affecting crate: iteration order is \
+                     unspecified; use `BTreeMap`/`BTreeSet` or collect-and-sort \
+                     before iterating"
+                ),
+            );
+        }
+
+        // D002: ad-hoc randomness outside the vendored seeded generator.
+        if class.d002 && RNG_IDENTS.contains(&name) {
+            emit(
+                out,
+                Rule::D002,
+                t.line,
+                format!(
+                    "`{name}` constructs entropy-dependent state; all randomness \
+                     must flow through `pcqe_lineage::rng` with an explicit seed"
+                ),
+            );
+        }
+
+        // D003: raw threading outside the deterministic scheduler. Match
+        // `thread` only when it is used as a path segment (`std::thread`,
+        // `thread::spawn`, …) so a local named `thread` is not flagged.
+        if class.d003 && name == "thread" && (path_sep_before(&toks, i) || path_sep_after(&toks, i))
+        {
+            emit(
+                out,
+                Rule::D003,
+                t.line,
+                "`std::thread` outside `pcqe-par`: all parallelism must go \
+                 through the deterministic chunked scheduler"
+                    .to_owned(),
+            );
+        }
+
+        // P001: panicking constructs in guarded library code.
+        if class.p001 {
+            let dotted = i > 0 && toks[i - 1].is_punct('.');
+            let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if dotted && called && name == "unwrap" {
+                emit(
+                    out,
+                    Rule::P001,
+                    t.line,
+                    "`.unwrap()` in guarded library code: return a typed error \
+                     instead"
+                        .to_owned(),
+                );
+            }
+            // `.expect("…")` — requiring a string-literal argument keeps
+            // unrelated methods named `expect` (e.g. the SQL parser's
+            // token matcher) out of scope.
+            if dotted
+                && called
+                && name == "expect"
+                && toks.get(i + 2).is_some_and(|n| n.tok == Tok::LitStr)
+            {
+                emit(
+                    out,
+                    Rule::P001,
+                    t.line,
+                    "`.expect(\"…\")` in guarded library code: return a typed \
+                     error instead (or allowlist a provably infallible site)"
+                        .to_owned(),
+                );
+            }
+            let banged = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            if banged && matches!(name, "panic" | "todo" | "unimplemented") {
+                emit(
+                    out,
+                    Rule::P001,
+                    t.line,
+                    format!("`{name}!` in guarded library code: return a typed error instead"),
+                );
+            }
+        }
+
+        // T001: wall-clock reads outside the sanctioned modules.
+        if class.t001 {
+            if name == "Instant"
+                && path_sep_after(&toks, i)
+                && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+            {
+                emit(
+                    out,
+                    Rule::T001,
+                    t.line,
+                    "`Instant::now()` outside `crates/bench` and the core clock \
+                     module: route timing through `pcqe_core::clock`"
+                        .to_owned(),
+                );
+            }
+            if name == "SystemTime" {
+                emit(
+                    out,
+                    Rule::T001,
+                    t.line,
+                    "`SystemTime` outside `crates/bench`: wall-clock timestamps \
+                     are nondeterministic; route timing through `pcqe_core::clock`"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// Is token `i` preceded by `::` (it is a non-leading path segment)?
+fn path_sep_before(toks: &[Token], i: usize) -> bool {
+    i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':')
+}
+
+/// Is token `i` followed by `::` (it has path segments after it)?
+fn path_sep_after(toks: &[Token], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Mark the tokens that belong to `#[cfg(test)]` items (inline test
+/// modules and test-only helpers): rules skip them, matching the policy
+/// that test code may panic and may use unordered collections.
+fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+    let mut skip = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute body up to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut is_cfg_test = false;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(w)
+                        if w == "cfg"
+                            && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                            && attr_mentions_test(toks, j + 2) =>
+                    {
+                        is_cfg_test = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg_test {
+                // Skip the attribute itself, any further attributes, and
+                // the annotated item (to `;` at depth 0 or through the
+                // matching brace of its body).
+                let end = end_of_item(toks, j);
+                for s in skip.iter_mut().take(end).skip(i) {
+                    *s = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    skip
+}
+
+/// Does the attribute argument list starting at `start` mention the bare
+/// predicate `test` (covers `cfg(test)`, `cfg(all(test, …))`, …)?
+/// A `not(…)` predicate disqualifies the whole attribute: `#[cfg(not(test))]`
+/// guards *live* code, which must stay under the rules (the conservative
+/// direction — at worst a genuinely test-only item gets linted).
+fn attr_mentions_test(toks: &[Token], start: usize) -> bool {
+    let mut depth = 1usize;
+    let mut j = start;
+    let mut saw_test = false;
+    while j < toks.len() && depth > 0 {
+        match &toks[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Ident(w) if w == "test" => saw_test = true,
+            Tok::Ident(w) if w == "not" => return false,
+            _ => {}
+        }
+        j += 1;
+    }
+    saw_test
+}
+
+/// Find the end (exclusive token index) of the item starting at `start`:
+/// consume leading attributes, then scan to a `;` at brace depth 0 or
+/// through the first balanced `{ … }` block.
+fn end_of_item(toks: &[Token], mut start: usize) -> usize {
+    // Further attributes on the same item.
+    while start < toks.len()
+        && toks[start].is_punct('#')
+        && toks.get(start + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 0usize;
+        let mut j = start + 1;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        start = j;
+    }
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<(Rule, u32)> {
+        let mut out = Vec::new();
+        check_source(path, src, &mut out);
+        out.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn d001_flags_hash_collections_in_result_crates_only() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let hits = findings("crates/algebra/src/exec.rs", src);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|(r, _)| *r == Rule::D001));
+        // Outside the result-affecting set: clean.
+        assert!(findings("crates/sql/src/parser.rs", src).is_empty());
+        assert!(findings("crates/workload/src/gen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d001_ignores_comments_strings_and_tests() {
+        let src = "// a HashMap comment\nconst S: &str = \"HashMap\";\n#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n  fn t() { let _m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        assert!(findings("crates/core/src/dnc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_flags_entropy_idioms() {
+        let src = "fn f() { let r = thread_rng(); let s = StdRng::from_entropy(); }";
+        let hits = findings("crates/workload/src/gen.rs", src);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        // The sanctioned module may define what it likes.
+        assert!(findings("crates/lineage/src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d003_flags_thread_paths_not_variables() {
+        assert_eq!(
+            findings("crates/engine/src/database.rs", "use std::thread;"),
+            vec![(Rule::D003, 1)]
+        );
+        assert_eq!(
+            findings(
+                "crates/storage/src/table.rs",
+                "fn f() { thread::spawn(|| {}); }"
+            ),
+            vec![(Rule::D003, 1)]
+        );
+        // A local variable named `thread` is fine.
+        assert!(findings(
+            "crates/storage/src/table.rs",
+            "fn f(thread: u32) -> u32 { thread }"
+        )
+        .is_empty());
+        // The scheduler crate is sanctioned.
+        assert!(findings("crates/par/src/lib.rs", "use std::thread;").is_empty());
+    }
+
+    #[test]
+    fn p001_flags_panics_in_guarded_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n  let a = x.unwrap();\n  let b = x.expect(\"present\");\n  if a == b { panic!(\"boom\"); }\n  todo!()\n}\n";
+        let hits = findings("crates/engine/src/database.rs", src);
+        assert_eq!(
+            hits,
+            vec![
+                (Rule::P001, 2),
+                (Rule::P001, 3),
+                (Rule::P001, 4),
+                (Rule::P001, 5)
+            ]
+        );
+        // Algebra is determinism-guarded but not panic-guarded.
+        assert!(findings("crates/algebra/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p001_skips_parser_style_expect_methods() {
+        // `self.expect(Token::LParen, "…")` takes a non-string first
+        // argument: not Option::expect.
+        let src = "fn f(&mut self) { self.expect(Token::LParen, \"`(`\"); }";
+        assert!(findings("crates/sql/src/parser.rs", src).is_empty());
+        // unwrap_or and friends are distinct identifiers.
+        let src = "fn g(x: Option<u32>) -> u32 { x.unwrap_or(3) }";
+        assert!(findings("crates/sql/src/parser.rs", src).is_empty());
+    }
+
+    #[test]
+    fn t001_flags_clock_reads_outside_sanctioned_modules() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let hits = findings("crates/core/src/greedy.rs", src);
+        assert_eq!(hits.len(), 2);
+        assert!(findings("crates/core/src/clock.rs", src).is_empty());
+        assert!(findings("crates/bench/src/timing.rs", src).is_empty());
+        // `Instant` as a stored type (no `::now`) is fine.
+        assert!(findings("crates/core/src/greedy.rs", "struct S { t: Instant }").is_empty());
+    }
+
+    #[test]
+    fn test_paths_are_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(findings("crates/engine/tests/api.rs", src).is_empty());
+        assert!(findings("examples/quickstart.rs", src).is_empty());
+        assert!(findings("crates/bench/benches/b.rs", "use std::thread;").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_without_braces_are_skipped() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n";
+        assert!(findings("crates/core/src/dnc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_codes_round_trip() {
+        for rule in Rule::all() {
+            assert_eq!(Rule::parse(rule.code()), Some(rule));
+            assert_eq!(
+                Rule::parse(rule.code().strip_prefix("PCQE-").unwrap()),
+                Some(rule)
+            );
+        }
+        assert_eq!(Rule::parse("X999"), None);
+    }
+}

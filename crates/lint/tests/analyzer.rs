@@ -1,0 +1,200 @@
+//! End-to-end analyzer tests over the fixture trees in `tests/fixtures/`.
+//!
+//! Each fixture is a miniature workspace: `tree/` seeds one violation per
+//! rule (plus exempt cases that must stay silent), `allow/` pairs a
+//! violation with a reasoned suppression, `stale/` carries an allowlist
+//! entry that excuses nothing, and `clean/` has no findings at all. The
+//! golden file `tree.expected.json` pins the machine-readable report
+//! byte-for-byte — the JSON output is a CI contract.
+
+use pcqe_lint::rules::Rule;
+use pcqe_lint::{analyze, report, Analysis};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str) -> Analysis {
+    analyze(&fixture(name), None).expect("fixture analysis must not fail")
+}
+
+#[test]
+fn tree_fixture_seeds_every_token_and_manifest_rule() {
+    let analysis = run("tree");
+    let got: Vec<(Rule, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    let want = vec![
+        (Rule::D001, "crates/algebra/src/bad_map.rs", 3),
+        (Rule::D001, "crates/algebra/src/bad_map.rs", 5),
+        (Rule::D001, "crates/algebra/src/bad_map.rs", 6),
+        (Rule::H001, "crates/badcrate/Cargo.toml", 7),
+        (Rule::P001, "crates/engine/src/panicky.rs", 4),
+        (Rule::P001, "crates/engine/src/panicky.rs", 5),
+        (Rule::P001, "crates/engine/src/panicky.rs", 7),
+        (Rule::D002, "crates/lineage/src/entropy.rs", 4),
+        (Rule::T001, "crates/sql/src/timing.rs", 4),
+        (Rule::T001, "crates/sql/src/timing.rs", 5),
+        (Rule::D003, "crates/storage/src/spawny.rs", 4),
+    ];
+    assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
+    assert!(!analysis.is_clean());
+    assert_eq!(analysis.error_count(), 11);
+    // The exempt cases stayed silent: `crates/par` may thread, and the
+    // `#[cfg(test)]` module in covered.rs may use HashMap and unwrap.
+    assert!(!got.iter().any(|(_, p, _)| p.contains("par/")));
+    assert!(!got.iter().any(|(_, p, _)| p.contains("covered.rs")));
+}
+
+#[test]
+fn every_rule_id_fires_somewhere_in_the_fixture_suite() {
+    let mut seen: Vec<Rule> = run("tree").findings.iter().map(|f| f.rule).collect();
+    seen.extend(run("stale").findings.iter().map(|f| f.rule));
+    for rule in Rule::all() {
+        assert!(seen.contains(&rule), "{} never fired", rule.code());
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let analysis = run("clean");
+    assert!(analysis.is_clean(), "{:#?}", analysis.findings);
+    assert!(analysis.findings.is_empty());
+    assert!(analysis.suppressed.is_empty());
+    assert_eq!(analysis.files_scanned, 1);
+}
+
+#[test]
+fn allowlist_suppresses_with_reason() {
+    let analysis = run("allow");
+    assert!(analysis.is_clean(), "{:#?}", analysis.findings);
+    assert!(
+        analysis.findings.is_empty(),
+        "nothing may leak past the allowlist"
+    );
+    assert_eq!(analysis.suppressed.len(), 1);
+    let (finding, reason) = &analysis.suppressed[0];
+    assert_eq!(finding.rule, Rule::P001);
+    assert_eq!(finding.path, "crates/engine/src/risky.rs");
+    assert_eq!(finding.line, 4);
+    assert_eq!(reason, "fixture: demonstrates a justified suppression");
+}
+
+#[test]
+fn stale_allowlist_entry_is_an_error() {
+    let analysis = run("stale");
+    assert!(!analysis.is_clean());
+    assert_eq!(analysis.findings.len(), 1, "{:#?}", analysis.findings);
+    let f = &analysis.findings[0];
+    assert_eq!(f.rule, Rule::A001);
+    // The finding points into the allowlist file itself, at the entry.
+    assert_eq!(f.path, "lint-allow.toml");
+    assert_eq!(f.line, 3);
+    assert!(f.message.contains("stale allowlist entry"));
+    assert!(f.message.contains("crates/engine/src/fine.rs"));
+}
+
+#[test]
+fn analysis_is_deterministic_across_runs() {
+    let a = run("tree");
+    let b = run("tree");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(report::json(&a), report::json(&b));
+}
+
+#[test]
+fn json_report_matches_golden_file() {
+    let golden = include_str!("fixtures/tree.expected.json");
+    let actual = report::json(&run("tree"));
+    assert_eq!(
+        actual, golden,
+        "JSON report drifted from tests/fixtures/tree.expected.json; \
+         if the change is intentional, regenerate with \
+         `cargo run -p pcqe-lint -- --root crates/lint/tests/fixtures/tree \
+         --format json > crates/lint/tests/fixtures/tree.expected.json`"
+    );
+}
+
+// --- CLI behaviour ------------------------------------------------------
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pcqe-lint"))
+}
+
+#[test]
+fn cli_exits_one_on_findings_and_names_them() {
+    let out = cli()
+        .args(["--root"])
+        .arg(fixture("tree"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    // Every rule code surfaces with a file:line span.
+    for code in [
+        "PCQE-D001",
+        "PCQE-D002",
+        "PCQE-D003",
+        "PCQE-H001",
+        "PCQE-P001",
+        "PCQE-T001",
+    ] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+    assert!(stdout.contains("crates/engine/src/panicky.rs:4:"));
+    assert!(stdout.contains("11 error(s)"));
+}
+
+#[test]
+fn cli_exits_zero_on_clean_tree() {
+    let out = cli()
+        .args(["--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn cli_json_output_matches_golden_file() {
+    let out = cli()
+        .args(["--root"])
+        .arg(fixture("tree"))
+        .args(["--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(stdout, include_str!("fixtures/tree.expected.json"));
+}
+
+#[test]
+fn cli_exits_two_on_usage_and_io_errors() {
+    let out = cli().args(["--bogus-flag"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args(["--root"])
+        .arg(fixture("clean"))
+        .args(["--allowlist", "/nonexistent/allow.toml"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn explicit_allowlist_flag_overrides_default_lookup() {
+    // Point the stale fixture's code at the allow fixture's list: the
+    // entry matches nothing there either, so A001 still fires, but under
+    // the explicit path name.
+    let allow_path = fixture("stale").join("lint-allow.toml");
+    let analysis = analyze(&fixture("clean"), Some(&allow_path)).expect("analysis runs");
+    assert_eq!(analysis.findings.len(), 1);
+    assert_eq!(analysis.findings[0].rule, Rule::A001);
+    assert!(analysis.findings[0].path.ends_with("lint-allow.toml"));
+}

@@ -1,0 +1,5 @@
+//! Fixture: a violation silenced by a reasoned allowlist entry.
+
+pub fn checked(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

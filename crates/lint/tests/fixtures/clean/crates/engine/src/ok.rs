@@ -1,0 +1,7 @@
+//! Fixture: a fully clean tree.
+
+use std::collections::BTreeMap;
+
+pub fn index() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,5 @@
+//! Fixture: clean code beneath a stale allowlist.
+
+pub fn fine() -> u32 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: D001 — unordered maps in a result-affecting crate.
+
+use std::collections::HashMap;
+
+pub fn index() -> HashMap<u64, u64> {
+    HashMap::new()
+}

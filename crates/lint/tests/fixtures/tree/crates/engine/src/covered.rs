@@ -1,0 +1,17 @@
+//! Fixture: `#[cfg(test)]` regions are exempt from the token rules.
+
+pub fn live() -> u32 {
+    41
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_only_code_may_use_hash_maps_and_unwrap() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, super::live());
+        assert_eq!(m.get(&1).copied().unwrap(), 41);
+    }
+}

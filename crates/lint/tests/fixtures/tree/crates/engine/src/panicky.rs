@@ -1,0 +1,10 @@
+//! Fixture: P001 — panicking constructs in guarded library code.
+
+pub fn read(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a != b {
+        panic!("mismatch");
+    }
+    a
+}

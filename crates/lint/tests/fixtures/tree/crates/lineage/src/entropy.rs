@@ -1,0 +1,6 @@
+//! Fixture: D002 — ad-hoc entropy outside the sanctioned rng module.
+
+pub fn seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

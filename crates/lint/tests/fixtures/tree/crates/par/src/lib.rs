@@ -1,0 +1,8 @@
+//! Fixture: `crates/par` is the sanctioned home for threads (D003-exempt).
+
+use std::thread;
+
+pub fn fan_out() -> u32 {
+    let h = thread::spawn(|| 7);
+    h.join().unwrap_or(0)
+}

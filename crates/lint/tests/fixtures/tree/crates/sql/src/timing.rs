@@ -1,0 +1,7 @@
+//! Fixture: T001 — wall-clock reads outside the sanctioned modules.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -2,7 +2,7 @@
 
 use crate::error::PolicyError;
 use crate::Result;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A role: "a job function or job title within the organization"
@@ -101,7 +101,7 @@ impl From<&str> for Purpose {
 #[derive(Debug, Clone, Default)]
 pub struct RoleHierarchy {
     /// Maps a role key to the keys of the roles it directly inherits from.
-    parents: HashMap<String, HashSet<String>>,
+    parents: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl RoleHierarchy {
@@ -152,7 +152,7 @@ impl RoleHierarchy {
         }
         // BFS over parent edges.
         let mut frontier: Vec<&str> = vec![from];
-        let mut seen: HashSet<&str> = frontier.iter().copied().collect();
+        let mut seen: BTreeSet<&str> = frontier.iter().copied().collect();
         let mut depth = 0;
         while !frontier.is_empty() {
             depth += 1;
@@ -184,7 +184,7 @@ impl RoleHierarchy {
 #[derive(Debug, Clone, Default)]
 pub struct PurposeHierarchy {
     /// Maps a purpose key to the keys of the purposes it specialises.
-    parents: HashMap<String, HashSet<String>>,
+    parents: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl PurposeHierarchy {
@@ -220,7 +220,7 @@ impl PurposeHierarchy {
             return Some(0);
         }
         let mut frontier = vec![from];
-        let mut seen: HashSet<String> = frontier.iter().cloned().collect();
+        let mut seen: BTreeSet<String> = frontier.iter().cloned().collect();
         let mut depth = 0;
         while !frontier.is_empty() {
             depth += 1;

@@ -487,7 +487,9 @@ impl Parser {
                     },
                 });
             }
-            let set = disjunction.expect("at least one alternative parsed");
+            let Some(set) = disjunction else {
+                return Err(self.err_here("empty IN list"));
+            };
             return Ok(if negated {
                 Expr::Not(Box::new(set))
             } else {
@@ -598,7 +600,12 @@ impl Parser {
                 if agg_func(&s).is_some()
                     && self.peek().map(|t| &t.token) == Some(&Token::LParen) =>
             {
-                let func = agg_func(&s).expect("checked above");
+                // The match guard established `agg_func(&s).is_some()`; the
+                // impossible miss becomes a parse error, not a panic.
+                let func = match agg_func(&s) {
+                    Some(f) => f,
+                    None => return Err(self.err_here("expected an aggregate function")),
+                };
                 self.expect(Token::LParen, "`(`")?;
                 let arg = if func == pcqe_algebra::plan::AggFunc::Count && self.eat_if(&Token::Star)
                 {

@@ -56,7 +56,12 @@ impl Catalog {
         let key = self
             .lookup_key(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
-        Ok(self.tables.get_mut(&key).expect("key came from map"))
+        // The key was just produced by `lookup_key`, so the second lookup
+        // cannot miss; report the impossible case as a typed error rather
+        // than panicking (PCQE-P001).
+        self.tables
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
     /// Insert a row into `table`, allocating a globally unique tuple id.

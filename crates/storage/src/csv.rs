@@ -91,7 +91,9 @@ pub fn load_into<R: BufRead>(
             ));
         }
         let confidence = if with_confidence {
-            let raw = record.last().expect("length checked");
+            let raw = record
+                .last()
+                .ok_or_else(|| csv_err(line, "empty record".to_owned()))?;
             raw.parse::<f64>()
                 .map_err(|_| csv_err(line, format!("bad confidence `{raw}`")))?
         } else {
@@ -200,7 +202,7 @@ pub fn load_into_with_ids<R: BufRead>(
             .map_err(|_| csv_err(line, format!("bad tuple id `{}`", record[0])))?;
         let confidence = record
             .last()
-            .expect("length checked")
+            .ok_or_else(|| csv_err(line, "empty record".to_owned()))?
             .parse::<f64>()
             .map_err(|_| csv_err(line, format!("bad confidence `{}`", record[expected - 1])))?;
         let mut values = Vec::with_capacity(schema.arity());

@@ -5,6 +5,7 @@
 //!
 //! Run with `cargo run --example batch_queries`.
 
+use pcqe::core::clock::Stopwatch;
 use pcqe::core::estimator::RuntimeEstimator;
 use pcqe::core::greedy::GreedyOptions;
 use pcqe::core::multi::{solve_greedy, MultiQueryProblem};
@@ -12,7 +13,6 @@ use pcqe::core::problem::ProblemBuilder;
 use pcqe::cost::CostFn;
 use pcqe::lineage::Lineage;
 use pcqe::workload::{generate, WorkloadParams};
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Two queries sharing base tuples --------------------------------
@@ -65,9 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut estimator = RuntimeEstimator::new();
     for size in [200usize, 400, 800, 1600] {
         let problem = generate(&WorkloadParams::scalability_point(size).with_seed(1))?;
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let _ = pcqe::core::greedy::solve(&problem, &GreedyOptions::default())?;
-        estimator.record(size, start.elapsed());
+        estimator.record(size, watch.elapsed());
     }
     let fit = estimator.fit().expect("four samples fit a line");
     println!(

@@ -1,0 +1,47 @@
+//! Tier-1 gate: the repository must satisfy its own static invariants.
+//!
+//! Runs `pcqe-lint` in-process over the workspace root with the checked-in
+//! `lint-allow.toml`. Any unsuppressed finding — including a stale
+//! allowlist entry (PCQE-A001) — fails the build, so a violating pattern
+//! cannot merge even if the author never ran the CLI. This is the same
+//! analysis `ci.sh` runs as a dedicated step; the test form makes it part
+//! of the plain `cargo test` contract.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_its_own_static_analysis() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let analysis = pcqe_lint::analyze(root, None).expect("lint analysis runs");
+
+    // The walk must actually have covered the tree; a silently empty scan
+    // would make this guard vacuous.
+    assert!(
+        analysis.files_scanned >= 100,
+        "suspiciously few sources scanned ({})",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.manifests_scanned >= 11,
+        "suspiciously few manifests scanned ({})",
+        analysis.manifests_scanned
+    );
+
+    assert!(
+        analysis.is_clean(),
+        "pcqe-lint found violations:\n{}",
+        pcqe_lint::report::human(&analysis)
+    );
+
+    // Every suppression must carry a reason (the parser enforces it; this
+    // keeps the invariant visible at the gate).
+    for (finding, reason) in &analysis.suppressed {
+        assert!(
+            !reason.trim().is_empty(),
+            "unreasoned suppression for {} at {}:{}",
+            finding.rule.code(),
+            finding.path,
+            finding.line
+        );
+    }
+}
