@@ -41,6 +41,13 @@ cargo build --release --offline
 step "tests (offline, whole workspace)"
 cargo test -q --offline --workspace
 
+step "observability smoke export (quickstart -> results/metrics.json)"
+# The quickstart example ends by exporting its metrics snapshot; the
+# in-repo JSON parser then validates the document, proving the exporter
+# and parser agree end to end without any external tooling.
+cargo run -q --offline --example quickstart > /dev/null
+cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- results/metrics.json
+
 step "bench workspace builds (offline, detached)"
 ( cd crates/bench && cargo build --offline && cargo test -q --offline )
 

@@ -5,9 +5,119 @@ use crate::plan::{Plan, ProjItem};
 use crate::result::{DerivedTuple, ResultSet};
 use crate::Result;
 use pcqe_lineage::Lineage;
-use pcqe_par::Parallelism;
+use pcqe_par::{ParObserver, Parallelism};
 use pcqe_storage::{Catalog, Tuple, Value};
 use std::collections::BTreeMap;
+
+/// Per-operator counters from a profiled execution (`EXPLAIN ANALYZE`).
+///
+/// `operator` is exactly [`Plan::node_label`], and profiles are collected
+/// in the same pre-order as [`Plan`]'s `Display` rendering — one entry per
+/// plan line, so annotated output can zip the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorProfile {
+    /// The operator's one-line label (`"Scan Proposal"`, `"Join"`, …).
+    pub operator: String,
+    /// Depth in the plan tree (root = 0); matches `Display` indentation.
+    pub depth: usize,
+    /// Rows consumed from this operator's direct inputs (for `Scan`, the
+    /// rows read from storage).
+    pub rows_in: u64,
+    /// Rows produced (after any duplicate merging).
+    pub rows_out: u64,
+    /// Total lineage-expression nodes across the produced rows — the
+    /// quantity that drives downstream confidence-evaluation cost.
+    pub lineage_nodes: u64,
+}
+
+/// The profile of one executed plan: operators in pre-order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// One entry per plan node, pre-order (= `Display` line order).
+    pub operators: Vec<OperatorProfile>,
+}
+
+impl ExecProfile {
+    /// Render the plan with per-operator row counts appended to each line:
+    /// the `EXPLAIN ANALYZE` text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for op in &self.operators {
+            let _ = writeln!(
+                out,
+                "{}{} (rows_in={} rows_out={} lineage_nodes={})",
+                "  ".repeat(op.depth),
+                op.operator,
+                op.rows_in,
+                op.rows_out,
+                op.lineage_nodes
+            );
+        }
+        out
+    }
+}
+
+/// Pre-order profile collector; a disabled profiler is a no-op.
+struct Profiler {
+    slots: Option<Vec<OperatorProfile>>,
+}
+
+impl Profiler {
+    fn off() -> Profiler {
+        Profiler { slots: None }
+    }
+
+    fn on() -> Profiler {
+        Profiler {
+            slots: Some(Vec::new()),
+        }
+    }
+
+    /// Reserve this node's slot *before* its children run, so slot order
+    /// is pre-order regardless of execution order.
+    fn enter(&mut self, plan: &Plan, depth: usize) -> usize {
+        match &mut self.slots {
+            None => 0,
+            Some(v) => {
+                v.push(OperatorProfile {
+                    operator: plan.node_label(),
+                    depth,
+                    rows_in: 0,
+                    rows_out: 0,
+                    lineage_nodes: 0,
+                });
+                v.len() - 1
+            }
+        }
+    }
+
+    /// Fill the reserved slot once the operator's output exists.
+    fn exit(&mut self, slot: usize, rows_in: usize, out: &[DerivedTuple]) {
+        if let Some(v) = &mut self.slots {
+            if let Some(p) = v.get_mut(slot) {
+                p.rows_in = rows_in as u64;
+                p.rows_out = out.len() as u64;
+                p.lineage_nodes = out
+                    .iter()
+                    .fold(0u64, |acc, r| acc.saturating_add(r.lineage.size() as u64));
+            }
+        }
+    }
+
+    fn finish(self) -> ExecProfile {
+        ExecProfile {
+            operators: self.slots.unwrap_or_default(),
+        }
+    }
+}
+
+/// Everything an operator needs besides the plan node itself.
+struct Ctx<'a> {
+    catalog: &'a Catalog,
+    par: &'a Parallelism,
+    observer: Option<&'a dyn ParObserver>,
+}
 
 /// Execute a plan against a catalog, producing derived tuples with lineage.
 ///
@@ -31,46 +141,101 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<ResultSet> {
 /// input order, and errors surface as the first failure in input order.
 pub fn execute_with(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<ResultSet> {
     let schema = plan.schema(catalog)?;
-    let rows = run(plan, catalog, par)?;
+    let ctx = Ctx {
+        catalog,
+        par,
+        observer: None,
+    };
+    let rows = run(plan, &ctx, 0, &mut Profiler::off())?;
     Ok(ResultSet::new(schema, rows))
 }
 
-fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedTuple>> {
+/// [`execute_with`], additionally collecting a per-operator [`ExecProfile`]
+/// and (optionally) feeding scheduler telemetry to a [`ParObserver`].
+///
+/// The result set is byte-identical to [`execute_with`]'s for the same
+/// plan/catalog/policy: profiling only counts rows and lineage nodes that
+/// the unprofiled path computes anyway, and the observer is write-only.
+pub fn execute_profiled(
+    plan: &Plan,
+    catalog: &Catalog,
+    par: &Parallelism,
+    observer: Option<&dyn ParObserver>,
+) -> Result<(ResultSet, ExecProfile)> {
+    let schema = plan.schema(catalog)?;
+    let ctx = Ctx {
+        catalog,
+        par,
+        observer,
+    };
+    let mut prof = Profiler::on();
+    let rows = run(plan, &ctx, 0, &mut prof)?;
+    Ok((ResultSet::new(schema, rows), prof.finish()))
+}
+
+fn run(plan: &Plan, ctx: &Ctx<'_>, depth: usize, prof: &mut Profiler) -> Result<Vec<DerivedTuple>> {
+    let slot = prof.enter(plan, depth);
+    let (rows_in, out) = run_node(plan, ctx, depth, prof)?;
+    prof.exit(slot, rows_in, &out);
+    Ok(out)
+}
+
+/// Execute one node; returns `(rows consumed from direct inputs, output)`.
+fn run_node(
+    plan: &Plan,
+    ctx: &Ctx<'_>,
+    depth: usize,
+    prof: &mut Profiler,
+) -> Result<(usize, Vec<DerivedTuple>)> {
+    let catalog = ctx.catalog;
+    let par = ctx.par;
     match plan {
         Plan::Scan { table, .. } => {
             let t = catalog.table(table)?;
-            Ok(t.rows()
+            let out: Vec<DerivedTuple> = t
+                .rows()
                 .iter()
                 .map(|r| DerivedTuple {
                     tuple: r.tuple.clone(),
                     lineage: Lineage::var(r.id.0),
                 })
-                .collect())
+                .collect();
+            Ok((out.len(), out))
         }
         Plan::Select { input, predicate } => {
-            let rows = run(input, catalog, par)?;
+            let rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
             // Morsel-parallel predicate evaluation; the filter itself is a
             // cheap sequential pass over the boolean mask, so output order
             // (and the first error reported) match the sequential loop.
-            let keep = pcqe_par::try_map(par, &rows, |row| {
-                predicate.eval_predicate(row.tuple.values())
-            })?;
-            Ok(rows
+            let keep = pcqe_par::try_map_observed(
+                par,
+                &rows,
+                |row| predicate.eval_predicate(row.tuple.values()),
+                ctx.observer,
+            )?;
+            let out: Vec<DerivedTuple> = rows
                 .into_iter()
                 .zip(keep)
                 .filter_map(|(row, k)| k.then_some(row))
-                .collect())
+                .collect();
+            Ok((rows_in, out))
         }
         Plan::Project {
             input,
             items,
             distinct,
         } => {
-            let rows = run(input, catalog, par)?;
+            let rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
             // Morsel-parallel expression evaluation, one output row per
             // input row in input order.
-            let values =
-                pcqe_par::try_map(par, &rows, |row| eval_items(items, row.tuple.values()))?;
+            let values = pcqe_par::try_map_observed(
+                par,
+                &rows,
+                |row| eval_items(items, row.tuple.values()),
+                ctx.observer,
+            )?;
             let projected: Vec<DerivedTuple> = rows
                 .into_iter()
                 .zip(values)
@@ -79,19 +244,21 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
                     lineage: row.lineage,
                 })
                 .collect();
-            if *distinct {
-                Ok(or_merge(projected))
+            let out = if *distinct {
+                or_merge(projected)
             } else {
-                Ok(projected)
-            }
+                projected
+            };
+            Ok((rows_in, out))
         }
         Plan::Join {
             left,
             right,
             predicate,
         } => {
-            let l = run(left, catalog, par)?;
-            let r = run(right, catalog, par)?;
+            let l = run(left, ctx, depth + 1, prof)?;
+            let r = run(right, ctx, depth + 1, prof)?;
+            let rows_in = l.len() + r.len();
             let left_schema = left.schema(catalog)?;
             let right_schema = right.schema(catalog)?;
             let left_arity = left_schema.arity();
@@ -114,20 +281,28 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
                 // each left row independently produces its ordered match
                 // list; flattening the per-row lists in input order is
                 // exactly the sequential nested loop's output.
-                let per_left = pcqe_par::try_map(par, &l, |lr| -> Result<Vec<DerivedTuple>> {
-                    let mut matches = Vec::new();
-                    for rr in &r {
-                        let combined = lr.tuple.concat(&rr.tuple);
-                        if predicate.eval_predicate(combined.values())? {
-                            matches.push(DerivedTuple {
-                                tuple: combined,
-                                lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
-                            });
+                let per_left = pcqe_par::try_map_observed(
+                    par,
+                    &l,
+                    |lr| -> Result<Vec<DerivedTuple>> {
+                        let mut matches = Vec::new();
+                        for rr in &r {
+                            let combined = lr.tuple.concat(&rr.tuple);
+                            if predicate.eval_predicate(combined.values())? {
+                                matches.push(DerivedTuple {
+                                    tuple: combined,
+                                    lineage: Lineage::and(vec![
+                                        lr.lineage.clone(),
+                                        rr.lineage.clone(),
+                                    ]),
+                                });
+                            }
                         }
-                    }
-                    Ok(matches)
-                })?;
-                return Ok(per_left.into_iter().flatten().collect());
+                        Ok(matches)
+                    },
+                    ctx.observer,
+                )?;
+                return Ok((rows_in, per_left.into_iter().flatten().collect()));
             }
             // Build on the right side. An ordered map keeps the operator
             // deterministic-by-construction (lint rule PCQE-D001): even
@@ -153,78 +328,93 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
             // is read-only during probing, each left row's match list
             // preserves build order, and flattening per-row lists in
             // input order reproduces the sequential probe loop exactly.
-            let per_left = pcqe_par::try_map(par, &l, |lr| -> Result<Vec<DerivedTuple>> {
-                let mut key = Vec::with_capacity(equi.len());
-                for &(lc, _) in &equi {
-                    let v = lr.tuple.get(lc).cloned().ok_or_else(|| {
-                        crate::error::AlgebraError::Type(format!(
-                            "join key column {lc} out of range"
-                        ))
-                    })?;
-                    if v.is_null() {
-                        return Ok(Vec::new()); // NULL never equi-joins
+            let per_left = pcqe_par::try_map_observed(
+                par,
+                &l,
+                |lr| -> Result<Vec<DerivedTuple>> {
+                    let mut key = Vec::with_capacity(equi.len());
+                    for &(lc, _) in &equi {
+                        let v = lr.tuple.get(lc).cloned().ok_or_else(|| {
+                            crate::error::AlgebraError::Type(format!(
+                                "join key column {lc} out of range"
+                            ))
+                        })?;
+                        if v.is_null() {
+                            return Ok(Vec::new()); // NULL never equi-joins
+                        }
+                        key.push(v);
                     }
-                    key.push(v);
-                }
-                let Some(matches) = table.get(&key) else {
-                    return Ok(Vec::new());
-                };
-                let mut out = Vec::with_capacity(matches.len());
-                for &ri in matches {
-                    let rr = &r[ri];
-                    let combined = lr.tuple.concat(&rr.tuple);
-                    let keep = match &residual {
-                        Some(res) => res.eval_predicate(combined.values())?,
-                        None => true,
+                    let Some(matches) = table.get(&key) else {
+                        return Ok(Vec::new());
                     };
-                    if keep {
-                        out.push(DerivedTuple {
-                            tuple: combined,
-                            lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
-                        });
+                    let mut out = Vec::with_capacity(matches.len());
+                    for &ri in matches {
+                        let rr = &r[ri];
+                        let combined = lr.tuple.concat(&rr.tuple);
+                        let keep = match &residual {
+                            Some(res) => res.eval_predicate(combined.values())?,
+                            None => true,
+                        };
+                        if keep {
+                            out.push(DerivedTuple {
+                                tuple: combined,
+                                lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
+                            });
+                        }
                     }
-                }
-                Ok(out)
-            })?;
-            Ok(per_left.into_iter().flatten().collect())
+                    Ok(out)
+                },
+                ctx.observer,
+            )?;
+            Ok((rows_in, per_left.into_iter().flatten().collect()))
         }
         Plan::Product { left, right } => {
-            let l = run(left, catalog, par)?;
-            let r = run(right, catalog, par)?;
+            let l = run(left, ctx, depth + 1, prof)?;
+            let r = run(right, ctx, depth + 1, prof)?;
+            let rows_in = l.len() + r.len();
             // Morsel-parallel over left rows; flattened in input order.
-            let per_left = pcqe_par::map(par, &l, |lr| {
-                r.iter()
-                    .map(|rr| DerivedTuple {
-                        tuple: lr.tuple.concat(&rr.tuple),
-                        lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
-                    })
-                    .collect::<Vec<_>>()
-            });
-            Ok(per_left.into_iter().flatten().collect())
+            let per_left = pcqe_par::map_observed(
+                par,
+                &l,
+                |lr| {
+                    r.iter()
+                        .map(|rr| DerivedTuple {
+                            tuple: lr.tuple.concat(&rr.tuple),
+                            lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
+                        })
+                        .collect::<Vec<_>>()
+                },
+                ctx.observer,
+            );
+            Ok((rows_in, per_left.into_iter().flatten().collect()))
         }
         Plan::Union { left, right } => {
             // Schema compatibility is checked by Plan::schema.
             plan.schema(catalog)?;
-            let mut rows = run(left, catalog, par)?;
-            rows.extend(run(right, catalog, par)?);
-            Ok(or_merge(rows))
+            let mut rows = run(left, ctx, depth + 1, prof)?;
+            rows.extend(run(right, ctx, depth + 1, prof)?);
+            let rows_in = rows.len();
+            Ok((rows_in, or_merge(rows)))
         }
         Plan::Sort { input, keys } => {
-            let mut rows = run(input, catalog, par)?;
+            let mut rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
             sort_rows(&mut rows, keys)?;
-            Ok(rows)
+            Ok((rows_in, rows))
         }
         Plan::Limit { input, count } => {
-            let mut rows = run(input, catalog, par)?;
+            let mut rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
             rows.truncate(*count);
-            Ok(rows)
+            Ok((rows_in, rows))
         }
         Plan::Aggregate {
             input,
             group_by,
             aggregates,
         } => {
-            let rows = run(input, catalog, par)?;
+            let rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
             // Group rows by their key values, preserving first-seen order.
             let mut index: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
             let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
@@ -263,12 +453,13 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
                     lineage,
                 });
             }
-            Ok(out)
+            Ok((rows_in, out))
         }
         Plan::Difference { left, right } => {
             plan.schema(catalog)?;
-            let l = or_merge(run(left, catalog, par)?);
-            let r = or_merge(run(right, catalog, par)?);
+            let l = or_merge(run(left, ctx, depth + 1, prof)?);
+            let r = or_merge(run(right, ctx, depth + 1, prof)?);
+            let rows_in = l.len() + r.len();
             let right_by_value: BTreeMap<&Tuple, &Lineage> =
                 r.iter().map(|d| (&d.tuple, &d.lineage)).collect();
             let mut out = Vec::new();
@@ -286,7 +477,7 @@ fn run(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result<Vec<DerivedT
                     });
                 }
             }
-            Ok(out)
+            Ok((rows_in, out))
         }
     }
 }
@@ -999,6 +1190,44 @@ mod tests {
             let parallel = execute_with(&plan, &c, &par).unwrap();
             assert_eq!(parallel.rows(), sequential.rows());
         }
+    }
+
+    #[test]
+    fn profiled_execution_matches_paper_example_counts() {
+        let (catalog, _) = paper_db();
+        let plan = paper_plan(&catalog);
+        let (rs, profile) =
+            execute_profiled(&plan, &catalog, &Parallelism::sequential(), None).unwrap();
+        // Result-neutral: same rows as the unprofiled executor.
+        let plain = execute(&plan, &catalog).unwrap();
+        assert_eq!(rs.rows(), plain.rows());
+        // Pre-order, one profile per plan line, with the paper's counts:
+        // Π (2→1 merged), ⋈ (2+1→2), σ (3→2), the two scans.
+        let got: Vec<(&str, usize, u64, u64)> = profile
+            .operators
+            .iter()
+            .map(|o| (o.operator.as_str(), o.depth, o.rows_in, o.rows_out))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("Project DISTINCT [company, income]", 0, 2, 1),
+                ("Join", 1, 3, 2),
+                ("Select", 2, 3, 2),
+                ("Scan Proposal", 3, 3, 3),
+                ("Scan CompanyInfo", 2, 1, 1),
+            ]
+        );
+        // Profile order zips with the Display rendering line-for-line.
+        let lines: Vec<String> = plan.to_string().lines().map(str::to_owned).collect();
+        assert_eq!(lines.len(), profile.operators.len());
+        for (line, op) in lines.iter().zip(&profile.operators) {
+            assert_eq!(line.trim_start(), op.operator);
+        }
+        // Every operator carries lineage.
+        assert!(profile.operators.iter().all(|o| o.lineage_nodes > 0));
+        // The rendered EXPLAIN ANALYZE mentions the counts.
+        assert!(profile.render().contains("Select (rows_in=3 rows_out=2"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod plan;
 pub mod result;
 
 pub use error::AlgebraError;
-pub use exec::{execute, execute_with};
+pub use exec::{execute, execute_profiled, execute_with, ExecProfile, OperatorProfile};
 pub use expr::{BinaryOp, ScalarExpr, UnaryOp};
 pub use optimize::optimize;
 pub use plan::{Plan, ProjItem};

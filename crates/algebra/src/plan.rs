@@ -347,80 +347,81 @@ impl Plan {
     }
 }
 
+impl Plan {
+    /// The one-line label this node renders in [`fmt::Display`], without
+    /// indentation: `"Scan Proposal"`, `"Project DISTINCT [company,
+    /// income]"`, … The profiled executor
+    /// ([`crate::exec::execute_profiled`]) tags each
+    /// [`OperatorProfile`](crate::exec::OperatorProfile) with exactly this
+    /// string, so `EXPLAIN ANALYZE` output lines up with `EXPLAIN` output
+    /// by construction.
+    pub fn node_label(&self) -> String {
+        match self {
+            Plan::Scan { table, alias } => match alias {
+                Some(a) => format!("Scan {table} AS {a}"),
+                None => format!("Scan {table}"),
+            },
+            Plan::Select { .. } => "Select".to_owned(),
+            Plan::Project {
+                items, distinct, ..
+            } => {
+                let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+                format!(
+                    "Project{} [{}]",
+                    if *distinct { " DISTINCT" } else { "" },
+                    names.join(", ")
+                )
+            }
+            Plan::Join { .. } => "Join".to_owned(),
+            Plan::Product { .. } => "Product".to_owned(),
+            Plan::Union { .. } => "Union".to_owned(),
+            Plan::Difference { .. } => "Difference".to_owned(),
+            Plan::Sort { keys, .. } => format!("Sort ({} key(s))", keys.len()),
+            Plan::Limit { count, .. } => format!("Limit {count}"),
+            Plan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let keys: Vec<&str> = group_by.iter().map(|g| g.name.as_str()).collect();
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|a| format!("{}({})", a.func.name(), a.name))
+                    .collect();
+                format!(
+                    "Aggregate by [{}] computing [{}]",
+                    keys.join(", "),
+                    aggs.join(", ")
+                )
+            }
+        }
+    }
+
+    /// The node's inputs, left-to-right (empty for `Scan`).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => Vec::new(),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Aggregate { input, .. } => vec![input],
+            Plan::Join { left, right, .. }
+            | Plan::Product { left, right }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right } => vec![left, right],
+        }
+    }
+}
+
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn indent(f: &mut fmt::Formatter<'_>, plan: &Plan, depth: usize) -> fmt::Result {
-            let pad = "  ".repeat(depth);
-            match plan {
-                Plan::Scan { table, alias } => match alias {
-                    Some(a) => writeln!(f, "{pad}Scan {table} AS {a}"),
-                    None => writeln!(f, "{pad}Scan {table}"),
-                },
-                Plan::Select { input, .. } => {
-                    writeln!(f, "{pad}Select")?;
-                    indent(f, input, depth + 1)
-                }
-                Plan::Project {
-                    input,
-                    items,
-                    distinct,
-                } => {
-                    let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
-                    writeln!(
-                        f,
-                        "{pad}Project{} [{}]",
-                        if *distinct { " DISTINCT" } else { "" },
-                        names.join(", ")
-                    )?;
-                    indent(f, input, depth + 1)
-                }
-                Plan::Join { left, right, .. } => {
-                    writeln!(f, "{pad}Join")?;
-                    indent(f, left, depth + 1)?;
-                    indent(f, right, depth + 1)
-                }
-                Plan::Product { left, right } => {
-                    writeln!(f, "{pad}Product")?;
-                    indent(f, left, depth + 1)?;
-                    indent(f, right, depth + 1)
-                }
-                Plan::Union { left, right } => {
-                    writeln!(f, "{pad}Union")?;
-                    indent(f, left, depth + 1)?;
-                    indent(f, right, depth + 1)
-                }
-                Plan::Difference { left, right } => {
-                    writeln!(f, "{pad}Difference")?;
-                    indent(f, left, depth + 1)?;
-                    indent(f, right, depth + 1)
-                }
-                Plan::Sort { input, keys } => {
-                    writeln!(f, "{pad}Sort ({} key(s))", keys.len())?;
-                    indent(f, input, depth + 1)
-                }
-                Plan::Limit { input, count } => {
-                    writeln!(f, "{pad}Limit {count}")?;
-                    indent(f, input, depth + 1)
-                }
-                Plan::Aggregate {
-                    input,
-                    group_by,
-                    aggregates,
-                } => {
-                    let keys: Vec<&str> = group_by.iter().map(|g| g.name.as_str()).collect();
-                    let aggs: Vec<String> = aggregates
-                        .iter()
-                        .map(|a| format!("{}({})", a.func.name(), a.name))
-                        .collect();
-                    writeln!(
-                        f,
-                        "{pad}Aggregate by [{}] computing [{}]",
-                        keys.join(", "),
-                        aggs.join(", ")
-                    )?;
-                    indent(f, input, depth + 1)
-                }
+            writeln!(f, "{}{}", "  ".repeat(depth), plan.node_label())?;
+            for child in plan.children() {
+                indent(f, child, depth + 1)?;
             }
+            Ok(())
         }
         indent(f, self, 0)
     }

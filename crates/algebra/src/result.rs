@@ -98,11 +98,28 @@ impl ResultSet {
         evaluator: &Evaluator,
         par: &pcqe_par::Parallelism,
     ) -> Result<Vec<ScoredTuple>> {
-        let confidences = pcqe_par::try_map(par, &self.rows, |row| {
-            evaluator
-                .probability(&row.lineage, probs)
-                .map_err(|e| AlgebraError::Lineage(e.to_string()))
-        })?;
+        self.score_par_observed(probs, evaluator, par, None)
+    }
+
+    /// [`ResultSet::score_par`] with an optional scheduler observer:
+    /// identical scores for any observer and thread count.
+    pub fn score_par_observed<P: ProbSource + Sync>(
+        &self,
+        probs: &P,
+        evaluator: &Evaluator,
+        par: &pcqe_par::Parallelism,
+        observer: Option<&dyn pcqe_par::ParObserver>,
+    ) -> Result<Vec<ScoredTuple>> {
+        let confidences = pcqe_par::try_map_observed(
+            par,
+            &self.rows,
+            |row| {
+                evaluator
+                    .probability(&row.lineage, probs)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))
+            },
+            observer,
+        )?;
         Ok(self
             .rows
             .iter()

@@ -11,7 +11,9 @@
 //! * `all` (default) — everything above.
 //! * `--full` — extend the sweeps to the paper's largest sizes (50K/100K);
 //!   expect several minutes for the faithful O(k·l1) greedy.
-//! * `--json PATH` — also dump all series as JSON.
+//! * `--json PATH` — also dump all series as JSON. The document embeds a
+//!   `metrics` block: the run's `pcqe-obs` snapshot (per-figure node and
+//!   timing tallies).
 //! * `--check-params` — print the Table 4 parameter grid as encoded.
 
 use pcqe_bench::report::{render_fig11a, render_fig11be, render_fig11cf, FigureReport};
@@ -63,6 +65,9 @@ fn main() -> ExitCode {
     }
 
     let mut report = FigureReport::default();
+    // Observability: tally what each sweep did so the JSON report embeds
+    // a `metrics` block alongside the figure series.
+    let recorder = pcqe_obs::Recorder::new();
 
     if which.contains(&"fig11a") {
         println!("== Figure 11(a): heuristics, no greedy bound (10 base tuples) ==");
@@ -73,6 +78,13 @@ fn main() -> ExitCode {
         report.fig11d = run_fig11a(true, seed);
         print!("{}", render_fig11a(&report.fig11d, "Figure 11(d)"));
         println!();
+        for (name, rows) in [("fig11a", &report.fig11a), ("fig11d", &report.fig11d)] {
+            for r in rows {
+                recorder.counter_add(&format!("bench.{name}.nodes"), r.nodes as u64);
+                recorder.histogram_record(&format!("bench.{name}.seconds"), r.seconds);
+            }
+            recorder.counter_add(&format!("bench.{name}.configs"), rows.len() as u64);
+        }
     }
 
     if which.contains(&"fig11b") {
@@ -85,6 +97,11 @@ fn main() -> ExitCode {
         report.fig11be = run_fig11be(sizes, seed);
         print!("{}", render_fig11be(&report.fig11be));
         println!();
+        for r in &report.fig11be {
+            recorder.counter_add("bench.fig11be.rows", 1);
+            recorder.histogram_record("bench.fig11be.one_phase_seconds", r.one_phase_seconds);
+            recorder.histogram_record("bench.fig11be.two_phase_seconds", r.two_phase_seconds);
+        }
     }
 
     if which.contains(&"fig11c") {
@@ -97,7 +114,15 @@ fn main() -> ExitCode {
         report.fig11cf = run_fig11cf(&sizes, 100, seed);
         print!("{}", render_fig11cf(&report.fig11cf));
         println!();
+        for r in &report.fig11cf {
+            match r.seconds {
+                Some(sec) => recorder.histogram_record("bench.fig11cf.seconds", sec),
+                None => recorder.counter_add("bench.fig11cf.skipped", 1),
+            }
+        }
     }
+
+    report.metrics = Some(recorder.snapshot());
 
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, report.to_json()) {

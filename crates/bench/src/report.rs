@@ -19,6 +19,9 @@ pub struct FigureReport {
     pub fig11be: Vec<Fig11beRow>,
     /// Figure 11(c)/(f) rows, if run.
     pub fig11cf: Vec<Fig11cfRow>,
+    /// Observability snapshot of the run (row/timing tallies recorded by
+    /// the `figures` binary), if metrics were captured.
+    pub metrics: Option<pcqe_obs::MetricsSnapshot>,
 }
 
 /// Escape a string for inclusion in a JSON document.
@@ -107,12 +110,32 @@ fn json_array(rows: &[String]) -> String {
     s
 }
 
+/// Embed a pre-rendered multi-line JSON document at one indent level:
+/// every line after the first is shifted right by two spaces so the
+/// nested object lines up with the surrounding pretty-printing.
+fn indent_embedded(doc: &str) -> String {
+    let trimmed = doc.trim_end();
+    let mut out = String::with_capacity(trimmed.len());
+    for (i, line) in trimmed.lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out
+}
+
 impl FigureReport {
     /// Serialise the whole report as pretty-printed JSON.
+    ///
+    /// The `"metrics"` member embeds the `pcqe-obs` JSON export of the
+    /// run's [`pcqe_obs::MetricsSnapshot`] (an empty snapshot when none
+    /// was captured), so the document shape is stable either way.
     pub fn to_json(&self) -> String {
         let section = |rows: &[String]| json_array(rows);
+        let snapshot = self.metrics.clone().unwrap_or_default();
         format!(
-            "{{\n  \"fig11a\": {},\n  \"fig11d\": {},\n  \"fig11be\": {},\n  \"fig11cf\": {}\n}}\n",
+            "{{\n  \"fig11a\": {},\n  \"fig11d\": {},\n  \"fig11be\": {},\n  \"fig11cf\": {},\n  \"metrics\": {}\n}}\n",
             section(
                 &self
                     .fig11a
@@ -141,6 +164,7 @@ impl FigureReport {
                     .map(Fig11cfRow::to_json)
                     .collect::<Vec<_>>()
             ),
+            indent_embedded(&pcqe_obs::export::to_json(&snapshot)),
         )
     }
 }
@@ -294,6 +318,26 @@ mod tests {
         assert!(json.contains("\"Gre\\\"edy\""));
         assert!(json.contains("\"seconds\":0.25"));
         assert!(json.contains("\"cost\":null"));
+        // Even without captured metrics the document embeds an (empty)
+        // metrics block, so the shape is stable.
+        assert!(json.contains("\"metrics\": {"));
+        assert!(json.contains("\"counters\""));
+    }
+
+    #[test]
+    fn captured_metrics_are_embedded_in_the_report() {
+        let recorder = pcqe_obs::Recorder::new();
+        recorder.counter_add("bench.fig11a.nodes", 110);
+        recorder.histogram_record("bench.fig11a.seconds", 1.1);
+        let report = FigureReport {
+            metrics: Some(recorder.snapshot()),
+            ..FigureReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench.fig11a.nodes\": 110"), "{json}");
+        assert!(json.contains("\"bench.fig11a.seconds\""), "{json}");
+        // The embedded document is re-indented, not left at column zero.
+        assert!(json.contains("\n    \"counters\""), "{json}");
     }
 
     #[test]

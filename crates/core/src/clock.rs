@@ -9,34 +9,159 @@
 //! outside `crates/bench`, and clippy's `disallowed_methods` mirrors the
 //! ban workspace-wide (hence the targeted `#[allow]`s below).
 //!
+//! # Time sources
+//!
+//! The [`Clock`] trait abstracts the monotonic time source so downstream
+//! instrumentation (the `pcqe-obs` recorder, solver stats, span timing)
+//! can be driven deterministically in tests. Two implementations ship
+//! here:
+//!
+//! * [`SystemClock`] — the real monotonic clock, reported as a [`Duration`]
+//!   since a lazily-pinned process epoch. This module owns the only raw
+//!   `Instant::now()` calls in the workspace outside `crates/bench`.
+//! * [`ManualClock`] — an atomic counter advanced explicitly by tests, so
+//!   golden exports and span trees are byte-stable.
+//!
+//! # Timing primitives
+//!
 //! [`Stopwatch`] measures elapsed time for run statistics; [`Deadline`]
 //! answers "is the time limit up?" for solvers that accept
-//! `Option<Duration>` budgets. `Deadline::unbounded()` never expires and
-//! never reads the clock, so untimed solves stay clock-free.
+//! `Option<Duration>` budgets.
+//!
+//! ## Deadline semantics
+//!
+//! There is exactly one constructor path: [`Deadline::after`] is the
+//! canonical entry and [`Deadline::unbounded`] is sugar for
+//! `Deadline::after(None)`. A `None` budget produces a deadline whose
+//! [`Deadline::expired`] is a constant `false` with **no clock read at
+//! all** — untimed solves stay clock-free. A `Some(limit)` budget reads
+//! the clock once at construction and again on each `expired()` poll.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// A monotonic time source reporting time as a [`Duration`] since an
+/// implementation-defined epoch.
+///
+/// Object-safe so recorders can hold `Arc<dyn Clock + Send + Sync>`.
+/// Implementations must be monotonic: successive readings never decrease.
+pub trait Clock {
+    /// Monotonic reading since the clock's epoch.
+    fn monotonic(&self) -> Duration;
+}
+
+/// The process epoch for [`SystemClock`]: pinned on first read so all
+/// readings are small, comparable `Duration`s.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The real monotonic clock.
+///
+/// Readings are `Duration`s since a lazily-pinned process epoch, so the
+/// very first reading is near zero and all readings are comparable within
+/// one process. This type owns the workspace's sanctioned `Instant::now()`
+/// call sites (together with the [`Stopwatch`]/[`Deadline`] shims below).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn monotonic(&self) -> Duration {
+        let epoch = process_epoch();
+        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+        let now = Instant::now();
+        now.saturating_duration_since(epoch)
+    }
+}
+
+/// A deterministic clock for tests: time advances only when told to.
+///
+/// Shared freely across threads; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// A manual clock starting at `at` past its epoch.
+    pub fn starting_at(at: Duration) -> ManualClock {
+        let c = ManualClock::new();
+        c.set(at);
+        c
+    }
+
+    /// Advance the clock by `by` (saturating at `u64::MAX` nanoseconds).
+    pub fn advance(&self, by: Duration) {
+        let add = duration_to_nanos(by);
+        let mut cur = self.nanos.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(add);
+            match self
+                .nanos
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Set the absolute reading. Monotonicity is the caller's contract —
+    /// tests should only move time forward.
+    pub fn set(&self, to: Duration) {
+        self.nanos.store(duration_to_nanos(to), Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn monotonic(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// Clamp a `Duration` to a `u64` nanosecond count.
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Measures elapsed wall-clock time for run statistics.
 ///
 /// Results never depend on the value read — stats only.
 #[derive(Debug, Clone, Copy)]
 pub struct Stopwatch {
-    started: Instant,
+    started: Duration,
 }
 
 impl Stopwatch {
-    /// Start timing now.
+    /// Start timing now, on the real [`SystemClock`].
     pub fn start() -> Stopwatch {
-        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+        Stopwatch::start_with(&SystemClock)
+    }
+
+    /// Start timing now, on an explicit clock (e.g. [`ManualClock`]).
+    pub fn start_with(clock: &(impl Clock + ?Sized)) -> Stopwatch {
         Stopwatch {
-            started: Instant::now(),
+            started: clock.monotonic(),
         }
     }
 
-    /// Time elapsed since [`Stopwatch::start`].
+    /// Time elapsed since [`Stopwatch::start`], on the real clock.
     pub fn elapsed(&self) -> Duration {
-        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
-        self.started.elapsed()
+        self.elapsed_with(&SystemClock)
+    }
+
+    /// Time elapsed since the start, read from an explicit clock. The
+    /// clock must be the same one the stopwatch was started on.
+    pub fn elapsed_with(&self, clock: &(impl Clock + ?Sized)) -> Duration {
+        clock.monotonic().saturating_sub(self.started)
     }
 }
 
@@ -44,34 +169,47 @@ impl Stopwatch {
 ///
 /// Built from `Option<Duration>`: `None` yields an unbounded deadline whose
 /// [`Deadline::expired`] is a constant `false` with no clock read at all.
+/// See the module docs for the full semantics.
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
-    expires: Option<Instant>,
+    expires: Option<Duration>,
 }
 
 impl Deadline {
-    /// A deadline `limit` from now; `None` never expires.
+    /// A deadline `limit` from now on the real clock; `None` never
+    /// expires. This is the single constructor path — [`Deadline::unbounded`]
+    /// delegates here.
     pub fn after(limit: Option<Duration>) -> Deadline {
-        #[allow(clippy::disallowed_methods)] // the sanctioned clock read
+        Deadline::after_with(limit, &SystemClock)
+    }
+
+    /// A deadline `limit` from now on an explicit clock.
+    ///
+    /// `None` never reads the clock; `Some(limit)` reads it once here and
+    /// once per [`Deadline::expired`] poll (via the matching `*_with`
+    /// method or the real-clock shims).
+    pub fn after_with(limit: Option<Duration>, clock: &(impl Clock + ?Sized)) -> Deadline {
         Deadline {
-            expires: limit.map(|l| Instant::now() + l),
+            expires: limit.map(|l| clock.monotonic().saturating_add(l)),
         }
     }
 
     /// A deadline that never expires and never reads the clock.
+    /// Equivalent to `Deadline::after(None)`.
     pub fn unbounded() -> Deadline {
-        Deadline { expires: None }
+        Deadline::after_with(None, &SystemClock)
     }
 
-    /// Has the budget run out?
+    /// Has the budget run out? (real clock)
     pub fn expired(&self) -> bool {
+        self.expired_with(&SystemClock)
+    }
+
+    /// Has the budget run out, per an explicit clock?
+    pub fn expired_with(&self, clock: &(impl Clock + ?Sized)) -> bool {
         match self.expires {
             None => false,
-            Some(at) => {
-                #[allow(clippy::disallowed_methods)] // the sanctioned clock read
-                let now = Instant::now();
-                now >= at
-            }
+            Some(at) => clock.monotonic() >= at,
         }
     }
 }
@@ -100,5 +238,63 @@ mod tests {
     #[test]
     fn long_deadline_not_yet_expired() {
         assert!(!Deadline::after(Some(Duration::from_secs(3600))).expired());
+    }
+
+    #[test]
+    fn manual_clock_starts_at_zero_and_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.monotonic(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.monotonic(), Duration::from_millis(5));
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.monotonic(), Duration::from_millis(10));
+        c.set(Duration::from_secs(1));
+        assert_eq!(c.monotonic(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn stopwatch_on_manual_clock_is_deterministic() {
+        let c = ManualClock::new();
+        let w = Stopwatch::start_with(&c);
+        assert_eq!(w.elapsed_with(&c), Duration::ZERO);
+        c.advance(Duration::from_micros(250));
+        assert_eq!(w.elapsed_with(&c), Duration::from_micros(250));
+    }
+
+    #[test]
+    fn deadline_on_manual_clock_expires_exactly_on_time() {
+        let c = ManualClock::new();
+        let d = Deadline::after_with(Some(Duration::from_millis(10)), &c);
+        assert!(!d.expired_with(&c));
+        c.advance(Duration::from_millis(9));
+        assert!(!d.expired_with(&c));
+        c.advance(Duration::from_millis(1));
+        assert!(d.expired_with(&c));
+    }
+
+    #[test]
+    fn unbounded_deadline_never_reads_any_clock() {
+        // A ManualClock at zero: unbounded stays unexpired regardless.
+        let c = ManualClock::new();
+        let d = Deadline::after_with(None, &c);
+        c.advance(Duration::from_secs(10_000));
+        assert!(!d.expired_with(&c));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock;
+        let a = c.monotonic();
+        let b = c.monotonic();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_trait_is_object_safe() {
+        let clocks: Vec<Box<dyn Clock + Send + Sync>> =
+            vec![Box::new(SystemClock), Box::new(ManualClock::new())];
+        for c in &clocks {
+            let _ = c.monotonic();
+        }
     }
 }

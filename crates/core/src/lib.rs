@@ -50,6 +50,7 @@ pub mod heuristic;
 pub mod multi;
 pub mod partition;
 pub mod problem;
+pub mod sink;
 pub mod solution;
 pub mod state;
 

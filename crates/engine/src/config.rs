@@ -46,6 +46,11 @@ pub struct EngineConfig {
     /// Minimum batch size (rows to execute, lineages to score, bases to
     /// rescan) before worker threads are spawned.
     pub parallel_threshold: usize,
+    /// Record operator, solver, scheduler and policy metrics into the
+    /// database's [`pcqe_obs::Recorder`]. Recording is result-neutral:
+    /// query answers, proposals and audit entries are bit-identical with
+    /// recording on or off, at any thread count — metrics only observe.
+    pub record_metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +64,7 @@ impl Default for EngineConfig {
             optimize_plans: true,
             worker_threads: None,
             parallel_threshold: pcqe_par::DEFAULT_PARALLEL_THRESHOLD,
+            record_metrics: true,
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::error::EngineError;
 use crate::improve::{self, ProposeOutcome};
 use crate::response::{NoProposal, QueryResponse, ReleasedTuple};
 use crate::Result;
-use pcqe_algebra::execute_with;
+use pcqe_algebra::{execute_profiled, execute_with, ExecProfile};
 use pcqe_core::estimator::RuntimeEstimator;
 use pcqe_cost::CostFn;
 use pcqe_policy::{evaluate_results, ConfidencePolicy, PolicyStore, Purpose, Role};
@@ -82,12 +82,15 @@ pub struct Database {
     estimator: RuntimeEstimator,
     assigner: Assigner,
     audit: Vec<crate::audit::AuditEntry>,
+    recorder: pcqe_obs::Recorder,
     version: u64,
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new(config: EngineConfig) -> Database {
+        let recorder = pcqe_obs::Recorder::new();
+        recorder.set_enabled(config.record_metrics);
         Database {
             catalog: Catalog::new(),
             policies: PolicyStore::new(),
@@ -96,6 +99,7 @@ impl Database {
             estimator: RuntimeEstimator::new(),
             assigner: Assigner::default(),
             audit: Vec::new(),
+            recorder,
             version: 0,
         }
     }
@@ -183,6 +187,83 @@ impl Database {
         &self.audit
     }
 
+    /// The metrics recorder. Recording starts out matching
+    /// [`EngineConfig::record_metrics`] and can be toggled at runtime with
+    /// [`pcqe_obs::Recorder::set_enabled`]; it never changes query
+    /// answers, proposals, or the audit trail.
+    pub fn recorder(&self) -> &pcqe_obs::Recorder {
+        &self.recorder
+    }
+
+    /// A point-in-time snapshot of every metric recorded so far. The
+    /// `policy.released` / `policy.withheld` counters are running totals
+    /// of exactly the per-query counts in [`Database::audit_log`], and
+    /// `improvement.applied` / `improvement.tuples` mirror its
+    /// improvement entries (while recording is enabled).
+    pub fn metrics_snapshot(&self) -> pcqe_obs::MetricsSnapshot {
+        self.recorder.snapshot()
+    }
+
+    /// True when metric recording is active.
+    fn recording(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Push a query audit entry and mirror its counts into the recorder,
+    /// so `metrics_snapshot()` and `audit_log()` agree by construction.
+    fn record_query_decision(
+        &mut self,
+        user: &User,
+        request: &QueryRequest,
+        threshold: f64,
+        released: usize,
+        withheld: usize,
+        proposed: bool,
+    ) {
+        if self.recording() {
+            self.recorder.counter_add("query.total", 1);
+            self.recorder
+                .counter_add("policy.released", released as u64);
+            self.recorder
+                .counter_add("policy.withheld", withheld as u64);
+            if proposed {
+                self.recorder.counter_add("query.proposals", 1);
+            }
+        }
+        self.audit.push(crate::audit::AuditEntry::Query {
+            user: user.name.clone(),
+            role: user.role.name().to_owned(),
+            purpose: request.purpose.name().to_owned(),
+            threshold,
+            released,
+            withheld,
+            proposed,
+        });
+    }
+
+    /// Push an improvement audit entry and mirror it into the recorder.
+    fn record_improvement(&mut self, tuples: usize, cost: f64) {
+        if self.recording() {
+            self.recorder.counter_add("improvement.applied", 1);
+            self.recorder
+                .counter_add("improvement.tuples", tuples as u64);
+            self.recorder.histogram_record("improvement.cost", cost);
+        }
+        self.audit
+            .push(crate::audit::AuditEntry::Improvement { tuples, cost });
+    }
+
+    /// Fold an execution profile into the recorder as `exec.*` counters.
+    fn record_exec_profile(&self, profile: &ExecProfile) {
+        self.recorder
+            .counter_add("exec.operators", profile.operators.len() as u64);
+        for op in &profile.operators {
+            self.recorder.counter_add("exec.rows_out", op.rows_out);
+            self.recorder
+                .counter_add("exec.lineage_nodes", op.lineage_nodes);
+        }
+    }
+
     /// Execute a DDL/DML statement (`CREATE TABLE` or
     /// `INSERT … [WITH CONFIDENCE c]`). Queries must go through
     /// [`Database::query`] since they need a user and purpose; passing one
@@ -223,6 +304,17 @@ impl Database {
         Ok(self.plan_sql(sql)?.to_string())
     }
 
+    /// Execute a query and render its plan annotated with observed
+    /// per-operator `rows_in` / `rows_out` / `lineage_nodes` counts — an
+    /// `EXPLAIN ANALYZE` facility. Runs the plan for real (read-only) but
+    /// skips scoring and policy checking.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let par = self.config.parallelism();
+        let plan = self.plan_sql(sql)?;
+        let (_result, profile) = execute_profiled(&plan, &self.catalog, &par, None)?;
+        Ok(profile.render())
+    }
+
     /// Parse and plan a SQL query, running the optimiser when enabled.
     fn plan_sql(&self, sql: &str) -> Result<pcqe_algebra::Plan> {
         let plan = parse_and_plan(sql, &self.catalog)?;
@@ -238,10 +330,37 @@ impl Database {
     /// confidence-increment strategy and attach it as a proposal.
     pub fn query(&mut self, user: &User, request: &QueryRequest) -> Result<QueryResponse> {
         let par = self.config.parallelism();
-        let plan = self.plan_sql(&request.sql)?;
-        let result_set = execute_with(&plan, &self.catalog, &par)?;
+        let recording = self.recording();
+        let span = self.recorder.span("query");
+        let plan = {
+            let _plan_span = span.child("plan");
+            self.plan_sql(&request.sql)?
+        };
+        let result_set = {
+            let _exec_span = span.child("execute");
+            if recording {
+                let (result_set, profile) =
+                    execute_profiled(&plan, &self.catalog, &par, Some(&self.recorder))?;
+                self.record_exec_profile(&profile);
+                result_set
+            } else {
+                execute_with(&plan, &self.catalog, &par)?
+            }
+        };
         let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-        let scored = result_set.score_par(&probs, &self.config.evaluator, &par)?;
+        let scored = {
+            let _score_span = span.child("score");
+            if recording {
+                result_set.score_par_observed(
+                    &probs,
+                    &self.config.evaluator,
+                    &par,
+                    Some(&self.recorder),
+                )?
+            } else {
+                result_set.score_par(&probs, &self.config.evaluator, &par)?
+            }
+        };
 
         let policy = self.policies.select(&user.role, &request.purpose)?.clone();
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
@@ -270,15 +389,15 @@ impl Database {
 
         if response.released.len() >= requested {
             response.no_proposal = Some(NoProposal::NotNeeded);
-            self.audit.push(crate::audit::AuditEntry::Query {
-                user: user.name.clone(),
-                role: user.role.name().to_owned(),
-                purpose: request.purpose.name().to_owned(),
-                threshold: response.threshold,
-                released: response.released.len(),
-                withheld: response.withheld,
-                proposed: false,
-            });
+            drop(span);
+            self.record_query_decision(
+                user,
+                request,
+                response.threshold,
+                response.released.len(),
+                response.withheld,
+                false,
+            );
             return Ok(response);
         }
 
@@ -296,7 +415,11 @@ impl Database {
             requested,
             version: self.version,
         };
-        let (outcome, stats) = improve::propose(&ctx, &withheld)?;
+        let (outcome, stats) = {
+            let _propose_span = span.child("propose");
+            improve::propose(&ctx, &withheld, &self.recorder)?
+        };
+        drop(span);
         if let Some(s) = stats {
             self.estimator.record(s.problem_size, s.elapsed);
         }
@@ -304,15 +427,14 @@ impl Database {
             ProposeOutcome::Proposal(p) => response.proposal = Some(p),
             ProposeOutcome::No(reason) => response.no_proposal = Some(reason),
         }
-        self.audit.push(crate::audit::AuditEntry::Query {
-            user: user.name.clone(),
-            role: user.role.name().to_owned(),
-            purpose: request.purpose.name().to_owned(),
-            threshold: response.threshold,
-            released: response.released.len(),
-            withheld: response.withheld,
-            proposed: response.proposal.is_some(),
-        });
+        self.record_query_decision(
+            user,
+            request,
+            response.threshold,
+            response.released.len(),
+            response.withheld,
+            response.proposal.is_some(),
+        );
         Ok(response)
     }
 
@@ -331,15 +453,32 @@ impl Database {
         use pcqe_core::multi::{solve_greedy, MultiQueryProblem};
 
         let par = self.config.parallelism();
+        let recording = self.recording();
         let mut responses = Vec::with_capacity(requests.len());
         let mut instances = Vec::new();
         let mut non_monotone = false;
         for request in requests {
             // Evaluate without per-query proposals (done jointly below).
             let plan = self.plan_sql(&request.sql)?;
-            let result_set = execute_with(&plan, &self.catalog, &par)?;
+            let result_set = if recording {
+                let (result_set, profile) =
+                    execute_profiled(&plan, &self.catalog, &par, Some(&self.recorder))?;
+                self.record_exec_profile(&profile);
+                result_set
+            } else {
+                execute_with(&plan, &self.catalog, &par)?
+            };
             let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-            let scored = result_set.score_par(&probs, &self.config.evaluator, &par)?;
+            let scored = if recording {
+                result_set.score_par_observed(
+                    &probs,
+                    &self.config.evaluator,
+                    &par,
+                    Some(&self.recorder),
+                )?
+            } else {
+                result_set.score_par(&probs, &self.config.evaluator, &par)?
+            };
             let policy = self.policies.select(&user.role, &request.purpose)?.clone();
             let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
             let decision = evaluate_results(&policy, &confidences);
@@ -369,6 +508,17 @@ impl Database {
                     None => non_monotone = true,
                 }
             }
+            // Audit each query's policy decision, exactly as single-query
+            // evaluation does (the combined proposal is audited when it is
+            // applied; per-query `proposed` is therefore always false).
+            self.record_query_decision(
+                user,
+                request,
+                policy.threshold,
+                released.len(),
+                decision.withheld.len(),
+                false,
+            );
             responses.push(QueryResponse {
                 schema: result_set.schema().clone(),
                 released,
@@ -399,6 +549,9 @@ impl Database {
         };
         match solve_greedy(&multi, &greedy_opts) {
             Ok(out) => {
+                if recording {
+                    out.stats.emit_as("solver.multi", &self.recorder);
+                }
                 let mut increments: Vec<crate::response::ProposedIncrement> = out
                     .solution
                     .levels
@@ -503,10 +656,7 @@ impl Database {
             self.catalog.raise_confidence(inc.tuple_id, inc.to)?;
         }
         self.version += 1;
-        self.audit.push(crate::audit::AuditEntry::Improvement {
-            tuples: proposal.increments.len(),
-            cost: proposal.cost,
-        });
+        self.record_improvement(proposal.increments.len(), proposal.cost);
         Ok(())
     }
 
@@ -536,7 +686,12 @@ mod tests {
 
     /// The paper's running example, end to end.
     fn paper_db() -> Database {
-        let mut db = Database::new(EngineConfig::default());
+        paper_db_with(EngineConfig::default())
+    }
+
+    /// The paper's running example under an explicit configuration.
+    fn paper_db_with(config: EngineConfig) -> Database {
+        let mut db = Database::new(config);
         db.create_table(
             "Proposal",
             Schema::new(vec![
@@ -801,6 +956,116 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_the_audit_log() {
+        use crate::audit::AuditEntry;
+        let mut db = paper_db();
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let resp = db.query(&user, &request).unwrap();
+        db.apply(&resp.proposal.unwrap()).unwrap();
+        let _ = db.query(&user, &request).unwrap();
+        let _ = db
+            .query(
+                &User::new("sue", "Secretary"),
+                &QueryRequest::new(QUERY, "analysis"),
+            )
+            .unwrap();
+
+        let (mut queries, mut released, mut withheld, mut improvements, mut tuples) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for entry in db.audit_log() {
+            match entry {
+                AuditEntry::Query {
+                    released: r,
+                    withheld: w,
+                    ..
+                } => {
+                    queries += 1;
+                    released += *r as u64;
+                    withheld += *w as u64;
+                }
+                AuditEntry::Improvement { tuples: t, .. } => {
+                    improvements += 1;
+                    tuples += *t as u64;
+                }
+            }
+        }
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("query.total"), queries);
+        assert_eq!(snap.counter("policy.released"), released);
+        assert_eq!(snap.counter("policy.withheld"), withheld);
+        assert_eq!(snap.counter("improvement.applied"), improvements);
+        assert_eq!(snap.counter("improvement.tuples"), tuples);
+        // Solver and execution instrumentation fired too.
+        assert_eq!(snap.counter("query.proposals"), 1);
+        assert!(snap.counter("exec.operators") > 0);
+        assert!(snap.counter("solver.quota.required") > 0);
+        assert!(!snap.spans.is_empty(), "query spans were recorded");
+    }
+
+    #[test]
+    fn batch_queries_are_audited_like_single_queries() {
+        use crate::audit::AuditEntry;
+        let mut db = paper_db();
+        let user = User::new("sue", "Secretary");
+        let requests = [
+            QueryRequest::new(QUERY, "analysis"),
+            QueryRequest::new(QUERY, "analysis"),
+        ];
+        let _ = db.query_batch(&user, &requests).unwrap();
+        let log = db.audit_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|e| matches!(
+            e,
+            AuditEntry::Query {
+                released: 1,
+                withheld: 0,
+                proposed: false,
+                ..
+            }
+        )));
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("query.total"), 2);
+        assert_eq!(snap.counter("policy.released"), 2);
+    }
+
+    #[test]
+    fn recording_off_is_result_neutral_and_records_nothing() {
+        let mut on = paper_db();
+        let mut off = paper_db_with(EngineConfig {
+            record_metrics: false,
+            ..EngineConfig::default()
+        });
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let r_on = on.query(&user, &request).unwrap();
+        let r_off = off.query(&user, &request).unwrap();
+        assert_eq!(r_on.released.len(), r_off.released.len());
+        assert_eq!(r_on.withheld, r_off.withheld);
+        assert_eq!(r_on.proposal, r_off.proposal);
+        assert!(off.metrics_snapshot().is_empty(), "recording off is silent");
+        assert!(!on.metrics_snapshot().is_empty());
+        // Audit entries are identical either way.
+        assert_eq!(on.audit_log(), off.audit_log());
+    }
+
+    #[test]
+    fn explain_analyze_annotates_observed_row_counts() {
+        let db = paper_db();
+        let text = db.explain_analyze(QUERY).unwrap();
+        assert!(
+            text.contains("Select (rows_in=2 rows_out=2"),
+            "got:\n{text}"
+        );
+        assert!(text.contains("Scan Proposal (rows_in=2 rows_out=2"));
+        assert!(text.contains("Scan CompanyInfo (rows_in=1 rows_out=1"));
+        assert!(text.contains("Join (rows_in=3 rows_out=2"));
+        // EXPLAIN ANALYZE is read-only: no audit entry, no policy metrics.
+        assert!(db.audit_log().is_empty());
+        assert_eq!(db.metrics_snapshot().counter("query.total"), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use pcqe_core::dnc::{self, DncOptions};
 use pcqe_core::greedy::{self, GreedyOptions};
 use pcqe_core::heuristic::{self, HeuristicOptions};
 use pcqe_core::problem::{ProblemBuilder, ProblemInstance};
+use pcqe_core::sink::SolverSink;
 use pcqe_core::{CoreError, Solution};
 use pcqe_cost::CostFn;
 use pcqe_storage::{Catalog, TupleId};
@@ -54,9 +55,14 @@ pub(crate) struct ProposeContext<'a> {
 
 /// Compute an improvement proposal that pushes `ctx.needed` more of the
 /// withheld results above β.
+///
+/// Solver statistics (nodes expanded, prune counts, phase timings, quota
+/// progress) are emitted into `sink`; pass [`pcqe_core::sink::NullSink`]
+/// to discard them. The sink never influences the outcome.
 pub(crate) fn propose(
     ctx: &ProposeContext<'_>,
     withheld: &[&ScoredTuple],
+    sink: &dyn SolverSink,
 ) -> Result<(ProposeOutcome, Option<ProposeStats>)> {
     let ProposeContext {
         catalog,
@@ -75,10 +81,13 @@ pub(crate) fn propose(
         return Ok((ProposeOutcome::No(NoProposal::NonMonotone), None));
     };
     let size = problem.bases.len();
+    sink.count("solver.problem_bases", size as u64);
+    sink.count("solver.quota.required", needed as u64);
 
-    let solved = dispatch(&problem, &config.solver, &config.parallelism());
+    let solved = dispatch(&problem, &config.solver, &config.parallelism(), sink);
     match solved {
         Ok((solution, elapsed)) => {
+            sink.count("solver.quota.satisfied", solution.satisfied.len() as u64);
             let mut increments: Vec<ProposedIncrement> = solution
                 .increments(&problem)
                 .into_iter()
@@ -160,11 +169,13 @@ pub(crate) fn build_instance(
 /// Run the configured solver; `Auto` picks by problem size, mirroring the
 /// crossovers measured in Figure 11(c). The engine's parallelism policy is
 /// injected into solvers the user configured with defaults (explicit
-/// per-solver options are honoured as given).
+/// per-solver options are honoured as given). Each solver's statistics are
+/// emitted into `sink` as `solver.*` metrics.
 fn dispatch(
     problem: &ProblemInstance,
     choice: &SolverChoice,
     par: &pcqe_par::Parallelism,
+    sink: &dyn SolverSink,
 ) -> std::result::Result<(Solution, Duration), CoreError> {
     let greedy_opts = GreedyOptions {
         parallelism: par.clone(),
@@ -173,25 +184,30 @@ fn dispatch(
     match choice {
         SolverChoice::Heuristic(opts) => {
             let out = heuristic::solve(problem, opts)?;
+            out.stats.emit(sink);
             Ok((out.solution, out.stats.elapsed))
         }
         SolverChoice::Greedy(opts) => {
             let out = greedy::solve(problem, opts)?;
+            out.stats.emit(sink);
             Ok((out.solution, out.stats.elapsed))
         }
         SolverChoice::Dnc(opts) => {
             let out = dnc::solve(problem, opts)?;
+            out.stats.emit(sink);
             Ok((out.solution, out.stats.elapsed))
         }
         SolverChoice::Auto => {
             if problem.bases.len() <= 12 {
                 // Tiny: exact search, seeded by greedy for a tight bound.
                 let seed = greedy::solve(problem, &greedy_opts)?;
+                seed.stats.emit(sink);
                 let opts = HeuristicOptions {
                     node_limit: Some(2_000_000),
                     ..HeuristicOptions::all().with_seed(seed.solution)
                 };
                 let out = heuristic::solve(problem, &opts)?;
+                out.stats.emit(sink);
                 Ok((out.solution, out.stats.elapsed))
             } else if problem.results.len() > 64 {
                 let opts = DncOptions {
@@ -199,9 +215,11 @@ fn dispatch(
                     ..DncOptions::default()
                 };
                 let out = dnc::solve(problem, &opts)?;
+                out.stats.emit(sink);
                 Ok((out.solution, out.stats.elapsed))
             } else {
                 let out = greedy::solve(problem, &greedy_opts)?;
+                out.stats.emit(sink);
                 Ok((out.solution, out.stats.elapsed))
             }
         }

@@ -137,22 +137,27 @@ pub struct FileClass {
 }
 
 /// Crates whose output ordering feeds query results; `HashMap` iteration
-/// there silently breaks bit-identical evaluation (rule D001).
-const RESULT_AFFECTING: [&str; 5] = [
+/// there silently breaks bit-identical evaluation (rule D001). `pcqe-obs`
+/// is included: metric snapshots and exports are golden-tested, so their
+/// iteration order must be stable too.
+const RESULT_AFFECTING: [&str; 6] = [
     "crates/algebra/src/",
     "crates/lineage/src/",
     "crates/core/src/",
     "crates/engine/src/",
     "crates/policy/src/",
+    "crates/obs/src/",
 ];
 
 /// Crates whose library code must surface typed errors instead of
-/// panicking (rule P001).
-const PANIC_GUARDED: [&str; 4] = [
+/// panicking (rule P001). `pcqe-obs` is included: instrumentation runs
+/// inside every query and must never abort one.
+const PANIC_GUARDED: [&str; 5] = [
     "crates/engine/src/",
     "crates/policy/src/",
     "crates/storage/src/",
     "crates/sql/src/",
+    "crates/obs/src/",
 ];
 
 /// Identifiers that signal ad-hoc entropy or registry RNG idioms (D002).
@@ -179,6 +184,10 @@ impl FileClass {
             d002: path != "crates/lineage/src/rng.rs",
             d003: !path.starts_with("crates/par/"),
             p001: starts(&PANIC_GUARDED),
+            // Note: `crates/obs` is deliberately NOT exempt — the
+            // observability crate times spans exclusively through the
+            // `pcqe_core::clock::Clock` trait, so a raw `Instant::now()`
+            // there is a bug, not a sanctioned read.
             t001: !path.starts_with("crates/bench/") && path != "crates/core/src/clock.rs",
         }
     }
@@ -542,6 +551,32 @@ mod tests {
         assert!(findings("crates/bench/src/timing.rs", src).is_empty());
         // `Instant` as a stored type (no `::now`) is fine.
         assert!(findings("crates/core/src/greedy.rs", "struct S { t: Instant }").is_empty());
+    }
+
+    #[test]
+    fn obs_crate_is_guarded_but_not_clock_exempt() {
+        // The observability crate must route timing through
+        // `pcqe_core::clock`, so a raw wall-clock read there still fires.
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            findings("crates/obs/src/recorder.rs", src),
+            vec![(Rule::T001, 1)]
+        );
+        // And it is held to the determinism and panic-safety rules.
+        assert_eq!(
+            findings(
+                "crates/obs/src/snapshot.rs",
+                "use std::collections::HashMap;"
+            ),
+            vec![(Rule::D001, 1)]
+        );
+        assert_eq!(
+            findings(
+                "crates/obs/src/recorder.rs",
+                "fn f(x: Option<u32>) -> u32 { x.unwrap() }"
+            ),
+            vec![(Rule::P001, 1)]
+        );
     }
 
     #[test]

@@ -39,13 +39,14 @@ fn tree_fixture_seeds_every_token_and_manifest_rule() {
         (Rule::P001, "crates/engine/src/panicky.rs", 5),
         (Rule::P001, "crates/engine/src/panicky.rs", 7),
         (Rule::D002, "crates/lineage/src/entropy.rs", 4),
+        (Rule::T001, "crates/obs/src/raw_clock.rs", 5),
         (Rule::T001, "crates/sql/src/timing.rs", 4),
         (Rule::T001, "crates/sql/src/timing.rs", 5),
         (Rule::D003, "crates/storage/src/spawny.rs", 4),
     ];
     assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
     assert!(!analysis.is_clean());
-    assert_eq!(analysis.error_count(), 11);
+    assert_eq!(analysis.error_count(), 12);
     // The exempt cases stayed silent: `crates/par` may thread, and the
     // `#[cfg(test)]` module in covered.rs may use HashMap and unwrap.
     assert!(!got.iter().any(|(_, p, _)| p.contains("par/")));
@@ -148,7 +149,8 @@ fn cli_exits_one_on_findings_and_names_them() {
         assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
     }
     assert!(stdout.contains("crates/engine/src/panicky.rs:4:"));
-    assert!(stdout.contains("11 error(s)"));
+    assert!(stdout.contains("crates/obs/src/raw_clock.rs:5:"));
+    assert!(stdout.contains("12 error(s)"));
 }
 
 #[test]

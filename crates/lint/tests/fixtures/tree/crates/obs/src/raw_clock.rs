@@ -1,0 +1,6 @@
+//! Fixture: T001 — `crates/obs` has no wall-clock exemption; the
+//! observability crate must time spans through `pcqe_core::clock`.
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,81 @@
+//! `pcqe-obs-validate` — validate an exported metrics JSON document.
+//!
+//! Usage: `pcqe-obs-validate <file.json>`
+//!
+//! Exit codes: `0` the document parses and has the metrics shape
+//! (`counters`/`gauges`/`histograms`/`spans` object members), `1` the
+//! document is malformed, `2` usage or I/O error. Used by `ci.sh` as the
+//! smoke check on `results/metrics.json` — hermetically, with the crate's
+//! own parser.
+
+use pcqe_obs::json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: pcqe-obs-validate <file.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pcqe-obs-validate: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match validate(&text) {
+        Ok(summary) => {
+            println!("{path}: ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pcqe-obs-validate: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Check that `text` is a metrics document; return a one-line summary.
+fn validate(text: &str) -> Result<String, String> {
+    let doc = json::parse(text)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| "top level must be an object".to_owned())?;
+    let mut sizes = Vec::new();
+    for key in ["counters", "gauges", "histograms", "spans"] {
+        let section = obj
+            .get(key)
+            .ok_or_else(|| format!("missing `{key}` member"))?;
+        let members = section
+            .as_object()
+            .ok_or_else(|| format!("`{key}` must be an object"))?;
+        sizes.push(format!("{key}={}", members.len()));
+    }
+    Ok(sizes.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_a_minimal_metrics_document() {
+        let doc = "{\"counters\": {\"a\": 1}, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}";
+        assert_eq!(
+            validate(doc),
+            Ok("counters=1 gauges=0 histograms=0 spans=0".to_owned())
+        );
+    }
+
+    #[test]
+    fn rejects_missing_sections_and_non_objects() {
+        assert!(validate("[]").is_err());
+        assert!(validate("{\"counters\": {}}").is_err());
+        assert!(
+            validate("{\"counters\": 1, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}")
+                .is_err()
+        );
+        assert!(validate("not json").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Byte-stable exporters: hand-rolled JSON and Prometheus text format.
+//!
+//! No serde — the workspace is registry-free. Both exporters walk the
+//! snapshot's `BTreeMap`s, so equal snapshots always serialize to
+//! byte-identical documents; the golden files in
+//! `tests/golden/metrics.{json,prom}` pin the formats.
+//!
+//! Floats are written with Rust's `{:?}` formatting, which round-trips
+//! through the parser in [`crate::json`] exactly. Non-finite values (only
+//! possible via a gauge) degrade to JSON `null` / are skipped in the
+//! Prometheus text rather than emitting invalid documents.
+
+use crate::snapshot::{Histogram, MetricsSnapshot, BUCKET_BOUNDS};
+use std::fmt::Write as _;
+
+/// Serialize the snapshot as a pretty-printed JSON document (trailing
+/// newline included). Key order is the snapshot's map order: sorted.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"counters\": {},", counters_json(snapshot));
+    let _ = writeln!(out, "  \"gauges\": {},", gauges_json(snapshot));
+    let _ = writeln!(out, "  \"histograms\": {},", histograms_json(snapshot));
+    let _ = writeln!(out, "  \"spans\": {}", spans_json(snapshot));
+    out.push_str("}\n");
+    out
+}
+
+fn counters_json(s: &MetricsSnapshot) -> String {
+    object(
+        s.counters.iter().map(|(k, v)| (k.as_str(), v.to_string())),
+        4,
+    )
+}
+
+fn gauges_json(s: &MetricsSnapshot) -> String {
+    object(s.gauges.iter().map(|(k, v)| (k.as_str(), json_f64(*v))), 4)
+}
+
+fn histograms_json(s: &MetricsSnapshot) -> String {
+    object(
+        s.histograms
+            .iter()
+            .map(|(k, h)| (k.as_str(), histogram_json(h))),
+        4,
+    )
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    let bounds = BUCKET_BOUNDS
+        .iter()
+        .map(|&b| json_f64(b))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let counts = h
+        .bucket_counts()
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"bounds\": [{bounds}], \"counts\": [{counts}], \"sum\": {}, \"count\": {}}}",
+        json_f64(h.sum()),
+        h.count()
+    )
+}
+
+fn spans_json(s: &MetricsSnapshot) -> String {
+    object(
+        s.spans.iter().map(|(k, v)| {
+            (
+                k.as_str(),
+                format!(
+                    "{{\"count\": {}, \"total_nanos\": {}}}",
+                    v.count, v.total_nanos
+                ),
+            )
+        }),
+        4,
+    )
+}
+
+/// Render `key: value` pairs as a JSON object with `indent`-space members.
+/// Values are pre-rendered JSON.
+fn object<'a>(pairs: impl Iterator<Item = (&'a str, String)>, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let members: Vec<String> = pairs
+        .map(|(k, v)| format!("{pad}{}: {v}", json_string(k)))
+        .collect();
+    if members.is_empty() {
+        return "{}".to_owned();
+    }
+    let close_pad = " ".repeat(indent.saturating_sub(2));
+    format!("{{\n{}\n{close_pad}}}", members.join(",\n"))
+}
+
+/// Escape a string for JSON.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number for `v`: `{v:?}` round-trips; non-finite becomes `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serialize the snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Metric names are sanitized (`[a-zA-Z0-9_]`) and
+/// prefixed `pcqe_`; histograms expose cumulative `_bucket{le="…"}`
+/// series plus `_sum`/`_count`; spans export `_count` and
+/// `_nanos_total` counters.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let m = metric_name(name, "");
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        if !value.is_finite() {
+            continue;
+        }
+        let m = metric_name(name, "");
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {value:?}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let m = metric_name(name, "");
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let cumulative = h.cumulative_counts();
+        for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+            let _ = writeln!(out, "{m}_bucket{{le=\"{bound:?}\"}} {}", cumulative[i]);
+        }
+        let _ = writeln!(
+            out,
+            "{m}_bucket{{le=\"+Inf\"}} {}",
+            cumulative.last().copied().unwrap_or(0)
+        );
+        let _ = writeln!(out, "{m}_sum {:?}", h.sum());
+        let _ = writeln!(out, "{m}_count {}", h.count());
+    }
+    for (name, stat) in &snapshot.spans {
+        let m = metric_name(name, "span_");
+        let _ = writeln!(out, "# TYPE {m}_count counter");
+        let _ = writeln!(out, "{m}_count {}", stat.count);
+        let _ = writeln!(out, "# TYPE {m}_nanos_total counter");
+        let _ = writeln!(out, "{m}_nanos_total {}", stat.total_nanos);
+    }
+    out
+}
+
+/// `pcqe_` + optional kind prefix + the sanitized metric name.
+fn metric_name(name: &str, kind: &str) -> String {
+    let mut out = String::with_capacity(name.len() + kind.len() + 5);
+    out.push_str("pcqe_");
+    out.push_str(kind);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SpanStat;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("query.total".into(), 3);
+        s.counters.insert("policy.released".into(), 2);
+        s.gauges.insert("par.workers".into(), 4.0);
+        let mut h = Histogram::default();
+        h.record(0.002);
+        h.record(0.5);
+        s.histograms.insert("solver.greedy.elapsed".into(), h);
+        s.spans.insert(
+            "query/execute".into(),
+            SpanStat {
+                count: 3,
+                total_nanos: 42_000,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let doc = to_json(&sample());
+        let parsed = crate::json::parse(&doc).expect("export must parse");
+        let obj = parsed.as_object().expect("top-level object");
+        for key in ["counters", "gauges", "histograms", "spans"] {
+            assert!(obj.contains_key(key), "missing {key} in:\n{doc}");
+        }
+        assert!(doc.contains("\"query.total\": 3"));
+        assert!(doc.contains("\"count\": 3, \"total_nanos\": 42000"));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_export_of_empty_snapshot_is_valid() {
+        let doc = to_json(&MetricsSnapshot::default());
+        assert!(crate::json::parse(&doc).is_ok(), "{doc}");
+        assert!(doc.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn identical_snapshots_export_identical_bytes() {
+        assert_eq!(to_json(&sample()), to_json(&sample()));
+        assert_eq!(to_prometheus(&sample()), to_prometheus(&sample()));
+    }
+
+    #[test]
+    fn prometheus_export_shapes_each_kind() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE pcqe_query_total counter"));
+        assert!(text.contains("pcqe_query_total 3"));
+        assert!(text.contains("# TYPE pcqe_par_workers gauge"));
+        assert!(text.contains("pcqe_par_workers 4.0"));
+        assert!(text.contains("pcqe_solver_greedy_elapsed_bucket{le=\"0.001\"} 0"));
+        assert!(text.contains("pcqe_solver_greedy_elapsed_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pcqe_solver_greedy_elapsed_count 2"));
+        assert!(text.contains("pcqe_span_query_execute_nanos_total 42000"));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

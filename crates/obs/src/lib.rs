@@ -1,0 +1,43 @@
+//! # pcqe-obs — hermetic metrics and span tracing
+//!
+//! A std-only, registry-free observability layer for the PCQE stack:
+//!
+//! * [`Recorder`] — thread-safe counters, gauges, fixed-bucket histograms
+//!   and hierarchical [`span`](Recorder::span)s, timed exclusively through
+//!   [`pcqe_core::clock`] (so [`ManualClock`](pcqe_core::clock::ManualClock)
+//!   makes every export deterministic in tests);
+//! * [`MetricsSnapshot`] — an immutable, ordered copy of the recorder
+//!   state, taken atomically;
+//! * [`export`] — hand-rolled byte-stable JSON and Prometheus text
+//!   exposition (no serde: the workspace is registry-free);
+//! * [`json`] — a minimal JSON parser used by CI to validate exports and
+//!   by tests to round-trip them;
+//! * [`sink`] — adapters implementing [`pcqe_core::sink::SolverSink`] and
+//!   [`pcqe_par::ParObserver`] for the recorder, so solver statistics and
+//!   scheduler telemetry flow in without `pcqe-core`/`pcqe-par` depending
+//!   on this crate.
+//!
+//! ## Determinism contract
+//!
+//! Recording is strictly *passive*: nothing in this crate influences query
+//! answers, solver solutions, or scheduling decisions. The engine produces
+//! bit-identical results with recording enabled or disabled, at any worker
+//! thread count — `tests/obs_determinism.rs` at the workspace root proves
+//! it. Snapshots order every map by name (`BTreeMap`), so two snapshots of
+//! equal state export byte-identical documents.
+//!
+//! ## Panic safety
+//!
+//! Every path in this crate is panic-free (lint rule `PCQE-P001` guards
+//! `crates/obs/src`): poisoned mutexes are recovered rather than unwrapped,
+//! arithmetic saturates, and the export/validate CLI returns exit codes
+//! instead of panicking.
+
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+pub mod snapshot;
+
+pub use recorder::{Recorder, SpanGuard};
+pub use snapshot::{Histogram, MetricsSnapshot, SpanStat};

@@ -1,0 +1,336 @@
+//! The [`Recorder`]: thread-safe metric collection behind one mutex.
+//!
+//! All time is read through [`pcqe_core::clock::Clock`] — this crate never
+//! touches `Instant`/`SystemTime` directly (lint rule `PCQE-T001` would
+//! fail the build if it did; the analyzer fixture
+//! `crates/lint/tests/fixtures/tree/crates/obs/src/raw_clock.rs` proves
+//! the rule fires inside `crates/obs`). Constructed with
+//! [`Recorder::with_clock`] over a [`ManualClock`](pcqe_core::clock::ManualClock),
+//! every span duration — and therefore every export — is deterministic.
+//!
+//! Recording can be switched off ([`Recorder::set_enabled`]): disabled
+//! recorders skip the lock and the clock entirely, so the hot path cost is
+//! one relaxed atomic load. Enabled or not, recording never influences
+//! computation results — the recorder is write-only from the engine's
+//! perspective.
+
+use crate::snapshot::{Histogram, MetricsSnapshot, SpanStat};
+use pcqe_core::clock::{Clock, SystemClock};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+/// Thread-safe counters, gauges, histograms and hierarchical spans.
+pub struct Recorder {
+    enabled: AtomicBool,
+    clock: Arc<dyn Clock + Send + Sync>,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder on the real monotonic clock.
+    pub fn new() -> Recorder {
+        Recorder::with_clock(Arc::new(SystemClock))
+    }
+
+    /// An enabled recorder on an explicit clock (tests pass
+    /// [`ManualClock`](pcqe_core::clock::ManualClock) for byte-stable
+    /// exports).
+    pub fn with_clock(clock: Arc<dyn Clock + Send + Sync>) -> Recorder {
+        Recorder {
+            enabled: AtomicBool::new(true),
+            clock,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A recorder that starts disabled: every record call is a no-op until
+    /// [`Recorder::set_enabled`] turns it on.
+    pub fn disabled() -> Recorder {
+        let r = Recorder::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Toggle recording. Already-collected data is kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording currently on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The recorder's clock (shared with spawned span guards).
+    pub fn clock(&self) -> &Arc<dyn Clock + Send + Sync> {
+        &self.clock
+    }
+
+    /// A monotonic nanosecond reading of the recorder clock, saturating
+    /// at `u64::MAX`.
+    pub fn now_nanos(&self) -> u64 {
+        duration_to_nanos(self.clock.monotonic())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic while holding this mutex poisons it; the data is plain
+        // counters, always valid, so recover rather than propagate.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `value` to the counter `name` (created at 0), saturating.
+    pub fn counter_add(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let slot = entry_or_default(&mut inner.counters, name);
+        *slot = slot.saturating_add(value);
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Record one observation into the fixed-bucket histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        entry_or_default(&mut inner.histograms, name).record(value);
+    }
+
+    /// Add one completed activation of `total` to the span `path`.
+    /// Normally called by [`SpanGuard::drop`]; exposed for adapters that
+    /// receive externally-timed durations.
+    pub fn span_record(&self, path: &str, total: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let stat = entry_or_default(&mut inner.spans, path);
+        stat.count = stat.count.saturating_add(1);
+        stat.total_nanos = stat.total_nanos.saturating_add(duration_to_nanos(total));
+    }
+
+    /// Open a root span named `name`. The span measures from now until the
+    /// returned guard drops; nest with [`SpanGuard::child`]. Disabled
+    /// recorders hand back an inert guard that never reads the clock.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let live = self.is_enabled();
+        SpanGuard {
+            recorder: self,
+            path: name.to_owned(),
+            started: if live {
+                Some(self.clock.monotonic())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// An ordered, mutually-consistent copy of all collected metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+            spans: inner.spans.clone(),
+        }
+    }
+
+    /// Drop all collected data (the enabled flag is untouched).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+}
+
+/// Fetch-or-insert a default slot. The `String` allocation on the hit
+/// path is acceptable: this runs on instrumentation calls, never inside
+/// result-affecting loops.
+fn entry_or_default<'a, V: Default>(map: &'a mut BTreeMap<String, V>, name: &str) -> &'a mut V {
+    map.entry(name.to_owned()).or_default()
+}
+
+/// An open span: records `(count, elapsed)` under its path on drop.
+///
+/// Paths are `/`-separated; [`SpanGuard::child`] appends a segment, so
+/// `recorder.span("query")` then `.child("execute")` times
+/// `"query/execute"` inside `"query"`.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    path: String,
+    /// Start reading; `None` when the recorder was disabled at open time
+    /// (the guard then records nothing, even if recording is re-enabled
+    /// mid-span — half-timed spans would be misleading).
+    started: Option<Duration>,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Open a nested span `self.path + "/" + name`.
+    pub fn child(&self, name: &str) -> SpanGuard<'a> {
+        let live = self.started.is_some() && self.recorder.is_enabled();
+        SpanGuard {
+            recorder: self.recorder,
+            path: format!("{}/{}", self.path, name),
+            started: if live {
+                Some(self.recorder.clock.monotonic())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The span's full `/`-separated path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let elapsed = self.recorder.clock.monotonic().saturating_sub(started);
+            self.recorder.span_record(&self.path, elapsed);
+        }
+    }
+}
+
+/// Clamp a [`Duration`] to `u64` nanoseconds.
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcqe_core::clock::ManualClock;
+
+    fn manual() -> (Arc<ManualClock>, Recorder) {
+        let clock = Arc::new(ManualClock::new());
+        let recorder = Recorder::with_clock(clock.clone());
+        (clock, recorder)
+    }
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = Recorder::new();
+        r.counter_add("q", 2);
+        r.counter_add("q", 3);
+        r.counter_add("sat", u64::MAX);
+        r.counter_add("sat", 5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("q"), 5);
+        assert_eq!(s.counter("sat"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Recorder::new();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.snapshot().gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 1.0);
+        r.histogram_record("h", 0.5);
+        {
+            let _span = r.span("s");
+        }
+        assert!(r.snapshot().is_empty());
+        r.set_enabled(true);
+        r.counter_add("c", 1);
+        assert_eq!(r.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn spans_time_on_the_manual_clock() {
+        let (clock, r) = manual();
+        {
+            let query = r.span("query");
+            clock.advance(Duration::from_micros(10));
+            {
+                let exec = query.child("execute");
+                assert_eq!(exec.path(), "query/execute");
+                clock.advance(Duration::from_micros(30));
+            }
+            clock.advance(Duration::from_micros(5));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.spans["query"].count, 1);
+        assert_eq!(s.spans["query"].total_nanos, 45_000);
+        assert_eq!(s.spans["query/execute"].total_nanos, 30_000);
+    }
+
+    #[test]
+    fn span_opened_while_disabled_never_records() {
+        let (clock, r) = manual();
+        r.set_enabled(false);
+        let span = r.span("late");
+        r.set_enabled(true); // re-enabled mid-span: still inert
+        clock.advance(Duration::from_millis(1));
+        drop(span);
+        assert!(r.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled_state() {
+        let r = Recorder::new();
+        r.counter_add("c", 1);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+        assert!(r.is_enabled());
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let r = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        r.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counter("n"), 8000);
+    }
+}

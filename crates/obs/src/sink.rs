@@ -1,0 +1,131 @@
+//! Adapters: the [`Recorder`] as a solver-stats sink and a scheduler
+//! observer.
+//!
+//! `pcqe-core` and `pcqe-par` stay dependency-free by defining the traits
+//! ([`SolverSink`], [`ParObserver`]) on their side; this module implements
+//! both for [`Recorder`], closing the loop without a dependency cycle
+//! (`pcqe-obs` → `pcqe-core` → `pcqe-par`).
+
+use crate::recorder::Recorder;
+use pcqe_core::sink::SolverSink;
+use pcqe_par::{BatchReport, ParObserver};
+use std::time::Duration;
+
+impl SolverSink for Recorder {
+    fn count(&self, name: &str, value: u64) {
+        self.counter_add(name, value);
+    }
+
+    fn duration(&self, name: &str, value: Duration) {
+        // Both shapes are useful: a running total for rate math and a
+        // histogram for distribution. Names stay distinct so the JSON
+        // export keeps them apart.
+        let nanos = u64::try_from(value.as_nanos()).unwrap_or(u64::MAX);
+        self.counter_add(&format!("{name}_nanos"), nanos);
+        self.histogram_record(name, value.as_secs_f64());
+    }
+}
+
+impl ParObserver for Recorder {
+    fn now_nanos(&self) -> u64 {
+        Recorder::now_nanos(self)
+    }
+
+    fn batch(&self, report: &BatchReport) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter_add("par.batches", 1);
+        self.counter_add("par.items", report.items as u64);
+        self.counter_add("par.chunks", report.chunks as u64);
+        self.counter_add("par.reassembly_stalls", report.reassembly_stalls);
+        self.counter_add(
+            "par.chunks_claimed",
+            report.chunks_claimed.iter().copied().sum(),
+        );
+        let busy_total: u64 = report
+            .busy_nanos
+            .iter()
+            .fold(0u64, |acc, &b| acc.saturating_add(b));
+        self.counter_add("par.busy_nanos", busy_total);
+        self.gauge_set("par.workers", report.workers as f64);
+        // Per-worker busy-time distribution: skew across workers shows up
+        // as spread across buckets.
+        for &busy in &report.busy_nanos {
+            self.histogram_record("par.worker_busy_seconds", busy as f64 / 1e9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcqe_core::clock::ManualClock;
+    use pcqe_core::greedy::GreedyStats;
+    use pcqe_core::heuristic::HeuristicStats;
+    use std::sync::Arc;
+
+    #[test]
+    fn solver_stats_land_as_counters_and_histograms() {
+        let r = Recorder::new();
+        let stats = HeuristicStats {
+            nodes: 10,
+            pruned_h2: 4,
+            elapsed: Duration::from_millis(3),
+            ..HeuristicStats::default()
+        };
+        stats.emit(&r);
+        let s = r.snapshot();
+        assert_eq!(s.counter("solver.heuristic.nodes"), 10);
+        assert_eq!(s.counter("solver.heuristic.pruned_h2"), 4);
+        assert_eq!(s.counter("solver.heuristic.elapsed_nanos"), 3_000_000);
+        assert_eq!(s.histograms["solver.heuristic.elapsed"].count(), 1);
+    }
+
+    #[test]
+    fn greedy_stats_accumulate_across_runs() {
+        let r = Recorder::new();
+        let one = GreedyStats {
+            iterations: 5,
+            evals: 7,
+            ..GreedyStats::default()
+        };
+        one.emit(&r);
+        one.emit(&r);
+        let s = r.snapshot();
+        assert_eq!(s.counter("solver.greedy.iterations"), 10);
+        assert_eq!(s.counter("solver.greedy.evals"), 14);
+    }
+
+    #[test]
+    fn par_batches_fold_into_counters() {
+        let r = Recorder::new();
+        let report = BatchReport {
+            items: 100,
+            workers: 2,
+            chunks: 8,
+            chunks_claimed: vec![5, 3],
+            busy_nanos: vec![1_000, 3_000],
+            reassembly_stalls: 2,
+        };
+        r.batch(&report);
+        r.batch(&report);
+        let s = r.snapshot();
+        assert_eq!(s.counter("par.batches"), 2);
+        assert_eq!(s.counter("par.items"), 200);
+        assert_eq!(s.counter("par.chunks_claimed"), 16);
+        assert_eq!(s.counter("par.busy_nanos"), 8_000);
+        assert_eq!(s.counter("par.reassembly_stalls"), 4);
+        assert_eq!(s.gauge("par.workers"), Some(2.0));
+        assert_eq!(s.histograms["par.worker_busy_seconds"].count(), 4);
+    }
+
+    #[test]
+    fn observer_clock_is_the_recorder_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let r = Recorder::with_clock(clock.clone());
+        assert_eq!(ParObserver::now_nanos(&r), 0);
+        clock.advance(Duration::from_nanos(123));
+        assert_eq!(ParObserver::now_nanos(&r), 123);
+    }
+}

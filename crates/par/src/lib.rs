@@ -25,6 +25,43 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Per-batch scheduler telemetry handed to a [`ParObserver`].
+///
+/// Vectors are indexed by worker slot (`0..workers`), so per-worker skew
+/// is visible: a healthy batch has near-equal `busy_nanos` entries, a
+/// straggling one does not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Items in the batch.
+    pub items: usize,
+    /// Worker threads that ran (1 = sequential fast path).
+    pub workers: usize,
+    /// Chunks the batch was cut into.
+    pub chunks: usize,
+    /// Chunks claimed, per worker slot.
+    pub chunks_claimed: Vec<u64>,
+    /// Nanoseconds spent computing (claim-to-push), per worker slot.
+    pub busy_nanos: Vec<u64>,
+    /// Chunks that completed after a higher-indexed chunk — each one
+    /// forces the in-order reassembly to hold buffered output.
+    pub reassembly_stalls: u64,
+}
+
+/// A passive observer of scheduler batches.
+///
+/// `pcqe-par` has no dependencies, so it cannot name a clock type; the
+/// observer supplies its own monotonic nanosecond source via
+/// [`ParObserver::now_nanos`] (the `pcqe-obs` recorder forwards
+/// `pcqe_core::clock`). Observation is strictly read-only: the scheduler
+/// calls `now_nanos` around chunk execution and hands one [`BatchReport`]
+/// per parallel batch to [`ParObserver::batch`]. Results are unaffected.
+pub trait ParObserver: Sync {
+    /// A monotonic nanosecond reading from the observer's clock.
+    fn now_nanos(&self) -> u64;
+    /// One finished batch's telemetry.
+    fn batch(&self, report: &BatchReport);
+}
+
 /// Parallelism policy: how many workers, and when to bother.
 ///
 /// `worker_threads = None` asks the host for
@@ -116,32 +153,121 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    map_indexed_observed(par, items, f, None)
+}
+
+/// [`map`] with an optional [`ParObserver`] receiving batch telemetry.
+///
+/// Identical output to [`map`] for every observer and thread count: the
+/// observer only reads its own clock and receives counts after the fact.
+pub fn map_observed<T, R, F>(
+    par: &Parallelism,
+    items: &[T],
+    f: F,
+    observer: Option<&dyn ParObserver>,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed_observed(par, items, |_, item| f(item), observer)
+}
+
+/// [`map_indexed`] with an optional [`ParObserver`].
+pub fn map_indexed_observed<T, R, F>(
+    par: &Parallelism,
+    items: &[T],
+    f: F,
+    observer: Option<&dyn ParObserver>,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let len = items.len();
     let workers = par.workers_for(len);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let started = observer.map(|o| o.now_nanos());
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let (Some(obs), Some(t0)) = (observer, started) {
+            obs.batch(&BatchReport {
+                items: len,
+                workers: 1,
+                chunks: 1,
+                chunks_claimed: vec![1],
+                busy_nanos: vec![obs.now_nanos().saturating_sub(t0)],
+                reassembly_stalls: 0,
+            });
+        }
+        return out;
     }
     let (chunk_size, n_chunks) = chunk_bounds(len, workers);
+    let spawned = workers.min(n_chunks);
     let next_chunk = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    // Per-worker telemetry, written once per worker at loop exit.
+    let worker_stats: Mutex<Vec<(usize, u64, u64)>> = Mutex::new(Vec::with_capacity(spawned));
+    let stalls = AtomicUsize::new(0);
+    let max_pushed = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n_chunks) {
-            scope.spawn(|| loop {
-                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+        for w in 0..spawned {
+            let f = &f;
+            let next_chunk = &next_chunk;
+            let done = &done;
+            let worker_stats = &worker_stats;
+            let stalls = &stalls;
+            let max_pushed = &max_pushed;
+            scope.spawn(move || {
+                let mut claimed: u64 = 0;
+                let mut busy: u64 = 0;
+                loop {
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let t0 = observer.map(|o| o.now_nanos());
+                    let start = c * chunk_size;
+                    let end = (start + chunk_size).min(len);
+                    let out: Vec<R> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(off, t)| f(start + off, t))
+                        .collect();
+                    if let (Some(obs), Some(t0)) = (observer, t0) {
+                        claimed += 1;
+                        busy += obs.now_nanos().saturating_sub(t0);
+                        // A chunk landing after a higher-indexed sibling
+                        // means in-order reassembly had to buffer.
+                        let seen = max_pushed.fetch_max(c + 1, Ordering::Relaxed);
+                        if seen > c + 1 {
+                            stalls.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    done.lock().expect("no poisoned chunk list").push((c, out));
                 }
-                let start = c * chunk_size;
-                let end = (start + chunk_size).min(len);
-                let out: Vec<R> = items[start..end]
-                    .iter()
-                    .enumerate()
-                    .map(|(off, t)| f(start + off, t))
-                    .collect();
-                done.lock().expect("no poisoned chunk list").push((c, out));
+                if observer.is_some() {
+                    worker_stats
+                        .lock()
+                        .expect("no poisoned stats list")
+                        .push((w, claimed, busy));
+                }
             });
         }
     });
+    if let Some(obs) = observer {
+        let mut per_worker = worker_stats.into_inner().expect("scope joined all workers");
+        per_worker.sort_unstable_by_key(|&(w, _, _)| w);
+        obs.batch(&BatchReport {
+            items: len,
+            workers: spawned,
+            chunks: n_chunks,
+            chunks_claimed: per_worker.iter().map(|&(_, c, _)| c).collect(),
+            busy_nanos: per_worker.iter().map(|&(_, _, b)| b).collect(),
+            reassembly_stalls: stalls.load(Ordering::Relaxed) as u64,
+        });
+    }
     let mut chunks = done.into_inner().expect("scope joined all workers");
     chunks.sort_unstable_by_key(|&(c, _)| c);
     debug_assert_eq!(chunks.len(), n_chunks);
@@ -163,7 +289,23 @@ where
     E: Send,
     F: Fn(&T) -> Result<R, E> + Sync,
 {
-    let attempts = map(par, items, f);
+    try_map_observed(par, items, f, None)
+}
+
+/// [`try_map`] with an optional [`ParObserver`].
+pub fn try_map_observed<T, R, E, F>(
+    par: &Parallelism,
+    items: &[T],
+    f: F,
+    observer: Option<&dyn ParObserver>,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let attempts = map_observed(par, items, f, observer);
     attempts.into_iter().collect()
 }
 
@@ -285,6 +427,95 @@ mod tests {
         assert_eq!(par.workers_for(0), 1, "empty batch needs no workers");
         let seq = Parallelism::sequential();
         assert_eq!(seq.workers_for(1_000_000), 1);
+    }
+
+    #[test]
+    fn observed_map_matches_unobserved_map_exactly() {
+        struct CountingObserver {
+            ticks: AtomicUsize,
+            batches: Mutex<Vec<BatchReport>>,
+        }
+        impl ParObserver for CountingObserver {
+            fn now_nanos(&self) -> u64 {
+                // A fake monotonic clock: one tick per read.
+                self.ticks.fetch_add(1, Ordering::Relaxed) as u64
+            }
+            fn batch(&self, report: &BatchReport) {
+                self.batches.lock().expect("batches").push(report.clone());
+            }
+        }
+        let items: Vec<u64> = (0..10_000).collect();
+        let plain = map(&eight(), &items, |x| x * 7 + 3);
+        let obs = CountingObserver {
+            ticks: AtomicUsize::new(0),
+            batches: Mutex::new(Vec::new()),
+        };
+        let observed = map_observed(&eight(), &items, |x| x * 7 + 3, Some(&obs));
+        assert_eq!(plain, observed, "observation must not change results");
+        let batches = obs.batches.lock().expect("batches");
+        assert_eq!(batches.len(), 1, "one report per batch");
+        let r = &batches[0];
+        assert_eq!(r.items, 10_000);
+        assert!(r.workers >= 1 && r.workers <= 8);
+        assert_eq!(r.chunks_claimed.len(), r.workers);
+        assert_eq!(r.busy_nanos.len(), r.workers);
+        assert_eq!(
+            r.chunks_claimed.iter().sum::<u64>(),
+            r.chunks as u64,
+            "every chunk claimed exactly once"
+        );
+    }
+
+    #[test]
+    fn sequential_path_still_reports_one_chunk() {
+        struct OneBatch(Mutex<Option<BatchReport>>);
+        impl ParObserver for OneBatch {
+            fn now_nanos(&self) -> u64 {
+                0
+            }
+            fn batch(&self, report: &BatchReport) {
+                *self.0.lock().expect("slot") = Some(report.clone());
+            }
+        }
+        let obs = OneBatch(Mutex::new(None));
+        let out = map_observed(
+            &Parallelism::sequential(),
+            &[1u8, 2, 3],
+            |x| x + 1,
+            Some(&obs),
+        );
+        assert_eq!(out, vec![2, 3, 4]);
+        let report = obs.0.lock().expect("slot").clone().expect("reported");
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.chunks, 1);
+        assert_eq!(report.chunks_claimed, vec![1]);
+        assert_eq!(report.reassembly_stalls, 0);
+    }
+
+    #[test]
+    fn try_map_observed_keeps_first_error_semantics() {
+        struct Null;
+        impl ParObserver for Null {
+            fn now_nanos(&self) -> u64 {
+                0
+            }
+            fn batch(&self, _report: &BatchReport) {}
+        }
+        let items: Vec<u32> = (0..10_000).collect();
+        let err = try_map_observed(
+            &eight(),
+            &items,
+            |&x| {
+                if x % 3000 == 2999 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            },
+            Some(&Null),
+        )
+        .unwrap_err();
+        assert_eq!(err, "bad 2999");
     }
 
     #[test]

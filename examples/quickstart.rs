@@ -94,5 +94,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {} (confidence {:.2})", row.tuple, row.confidence);
     }
     assert_eq!(resp.released.len(), 3);
+
+    // 6. EXPLAIN ANALYZE: the plan annotated with observed per-operator
+    //    row and lineage counts.
+    println!("\nEXPLAIN ANALYZE:");
+    print!(
+        "{}",
+        db.explain_analyze("SELECT name, revenue FROM Customers WHERE region = 'west'")?
+    );
+
+    // 7. Every query above was metered. Export the metrics as JSON (for
+    //    the CI smoke check) and show the Prometheus rendering.
+    let snapshot = db.metrics_snapshot();
+    std::fs::create_dir_all("results")?;
+    std::fs::write(
+        "results/metrics.json",
+        pcqe::obs::export::to_json(&snapshot),
+    )?;
+    println!("\nwrote results/metrics.json; Prometheus excerpt:");
+    for line in pcqe::obs::export::to_prometheus(&snapshot)
+        .lines()
+        .filter(|l| l.contains("pcqe_policy_") || l.contains("pcqe_improvement_applied"))
+    {
+        println!("  {line}");
+    }
     Ok(())
 }

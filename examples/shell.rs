@@ -19,7 +19,8 @@
 //!
 //! Dot-commands: `.user <name> <role>`, `.purpose <p>`,
 //! `.policy <role> <purpose> <beta>`, `.cost <tuple-id> <rate>`,
-//! `.expecting <fraction>`, `.accept`, `.tables`, `.help`, `.quit`.
+//! `.expecting <fraction>`, `.accept`, `.tables`, `.analyze <query>`,
+//! `.metrics [json|prom]`, `.help`, `.quit`.
 
 use pcqe::cost::CostFn;
 use pcqe::engine::{
@@ -91,7 +92,8 @@ impl Shell {
                      dot-commands: .user <name> <role> | .purpose <p> | \
                      .policy <role> <purpose> <beta> | .cost <tuple-id> <rate> | \
                      .expecting <fraction> | .accept | .tables | \
-                     .explain <query> | .save <dir> | .load <dir> | .quit"
+                     .explain <query> | .analyze <query> | .metrics [json|prom] | \
+                     .save <dir> | .load <dir> | .quit"
                 );
             }
             ["user", name, role] => {
@@ -137,6 +139,23 @@ impl Shell {
             }
             ["explain", rest @ ..] if !rest.is_empty() => {
                 print!("{}", self.db.explain(&rest.join(" "))?);
+            }
+            ["analyze", rest @ ..] if !rest.is_empty() => {
+                // EXPLAIN ANALYZE: run the plan and annotate it with the
+                // observed per-operator row and lineage counts.
+                print!("{}", self.db.explain_analyze(&rest.join(" "))?);
+            }
+            ["metrics"] | ["metrics", "prom"] => {
+                print!(
+                    "{}",
+                    pcqe::obs::export::to_prometheus(&self.db.metrics_snapshot())
+                );
+            }
+            ["metrics", "json"] => {
+                print!(
+                    "{}",
+                    pcqe::obs::export::to_json(&self.db.metrics_snapshot())
+                );
             }
             ["save", dir] => {
                 pcqe::engine::persist::save(&self.db, std::path::Path::new(dir))?;

@@ -17,6 +17,9 @@
 //!   branch-and-bound, two-phase greedy, divide-and-conquer).
 //! * [`engine`] — the end-to-end PCQE framework of the paper's Figure 1.
 //! * [`workload`] — the synthetic evaluation workloads of Section 5.
+//! * [`obs`] — hermetic observability: metrics, spans, `EXPLAIN
+//!   ANALYZE` plumbing, JSON/Prometheus exporters.
+//! * [`par`] — the deterministic chunked scheduler.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -25,6 +28,8 @@ pub use pcqe_core as core;
 pub use pcqe_cost as cost;
 pub use pcqe_engine as engine;
 pub use pcqe_lineage as lineage;
+pub use pcqe_obs as obs;
+pub use pcqe_par as par;
 pub use pcqe_policy as policy;
 pub use pcqe_provenance as provenance;
 pub use pcqe_sql as sql;
