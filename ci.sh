@@ -28,12 +28,24 @@ if [ "$NO_CLIPPY" -eq 0 ]; then
 fi
 
 step "static invariants (cargo run -p pcqe-lint)"
-# One analyzer replaces the old awk dependency mirror and extends it:
-# PCQE-D001/D002/D003 (determinism), PCQE-H001 (hermetic manifests —
-# subsumes the former awk guard), PCQE-P001 (panic-safety), PCQE-T001
-# (wall clock), PCQE-A001 (stale allowlist entries). Exceptions live in
-# lint-allow.toml with reasons; see DESIGN.md § "Static invariants".
+# One analyzer replaces the old awk dependency mirror and extends it.
+# Token layer: PCQE-D001/D002/D003/D004 (determinism), PCQE-C001
+# (concurrency containment), PCQE-P001 (panic-safety), PCQE-T001 (wall
+# clock), PCQE-H001 (hermetic manifests — subsumes the former awk
+# guard). Graph layer: PCQE-P002 (panic-reachability from guarded public
+# API) and PCQE-G001 (rows released only below the policy gate).
+# Hygiene: PCQE-A001 (stale allowlist entries), PCQE-A002 (unreasoned
+# entries). Exceptions live in lint-allow.toml with reasons; see
+# DESIGN.md § "Static invariants".
 cargo run -q -p pcqe-lint --offline
+
+step "static invariants artifact (results/lint.json)"
+# The same analysis as a machine-readable CI artifact, then validated
+# with the in-repo JSON parser — exporter and parser agree end to end
+# without external tooling, mirroring the metrics smoke check below.
+mkdir -p results
+cargo run -q -p pcqe-lint --offline -- --format json > results/lint.json
+cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- --schema lint results/lint.json
 
 step "release build (offline)"
 cargo build --release --offline

@@ -323,7 +323,10 @@ impl ScalarExpr {
                         eval_arith(*op, &l, &r)
                     }
                     BinaryOp::Like => eval_like(&l, &r),
-                    BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+                    // Short-circuit handling above returned early; if
+                    // control ever falls through, `eval_logic` computes the
+                    // same three-valued result (no panic path, PCQE-P002).
+                    BinaryOp::And | BinaryOp::Or => eval_logic(*op, &l, &r),
                 }
             }
             ScalarExpr::Unary { op, expr } => {
@@ -381,7 +384,11 @@ fn eval_logic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
             (Some(false), Some(false)) => Some(false),
             _ => None,
         },
-        _ => unreachable!(),
+        other => {
+            return Err(AlgebraError::Type(format!(
+                "{other:?} is not a logical connective"
+            )))
+        }
     };
     Ok(out.map_or(Value::Null, Value::Bool))
 }
@@ -401,7 +408,11 @@ fn eval_cmp(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
         BinaryOp::Le => ord != Ordering::Greater,
         BinaryOp::Gt => ord == Ordering::Greater,
         BinaryOp::Ge => ord != Ordering::Less,
-        _ => unreachable!(),
+        other => {
+            return Err(AlgebraError::Type(format!(
+                "{other:?} is not a comparison operator"
+            )))
+        }
     };
     Ok(Value::Bool(b))
 }
@@ -426,11 +437,14 @@ fn like_match(text: &[char], pattern: &[char]) -> bool {
     match pattern.split_first() {
         None => text.is_empty(),
         Some(('%', rest)) => {
-            // Greedy with backtracking: try every split point.
-            (0..=text.len()).any(|i| like_match(&text[i..], rest))
+            // Greedy with backtracking: try every split point. `get`
+            // instead of slicing keeps the matcher panic-free (PCQE-P002).
+            (0..=text.len()).any(|i| text.get(i..).is_some_and(|t| like_match(t, rest)))
         }
-        Some(('_', rest)) => !text.is_empty() && like_match(&text[1..], rest),
-        Some((c, rest)) => text.first() == Some(c) && like_match(&text[1..], rest),
+        Some(('_', rest)) => text.split_first().is_some_and(|(_, t)| like_match(t, rest)),
+        Some((c, rest)) => text
+            .split_first()
+            .is_some_and(|(t0, t)| t0 == c && like_match(t, rest)),
     }
 }
 
@@ -444,7 +458,11 @@ fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                 BinaryOp::Add => a.checked_add(*b),
                 BinaryOp::Sub => a.checked_sub(*b),
                 BinaryOp::Mul => a.checked_mul(*b),
-                _ => unreachable!(),
+                other => {
+                    return Err(AlgebraError::Type(format!(
+                        "{other:?} is not an arithmetic operator"
+                    )))
+                }
             };
             return out
                 .map(Value::Int)
@@ -464,12 +482,18 @@ fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
         BinaryOp::Sub => a - b,
         BinaryOp::Mul => a * b,
         BinaryOp::Div => {
+            // Exact-zero check on purpose (see lint-allow.toml, PCQE-D004).
+            #[allow(clippy::float_cmp)]
             if b == 0.0 {
                 return Err(AlgebraError::Type("division by zero".into()));
             }
             a / b
         }
-        _ => unreachable!(),
+        other => {
+            return Err(AlgebraError::Type(format!(
+                "{other:?} is not an arithmetic operator"
+            )))
+        }
     };
     Ok(Value::Real(out))
 }

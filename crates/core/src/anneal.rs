@@ -174,6 +174,7 @@ pub fn solve(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::heuristic::{self, HeuristicOptions};

@@ -16,6 +16,7 @@ use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::greedy::{self, GreedyOptions, GreedyStats};
 use crate::heuristic::{self, HeuristicOptions};
+use crate::ord::OrdF64;
 use crate::partition::{partition, PartitionOptions};
 use crate::problem::{ProblemInstance, ResultSpec};
 use crate::solution::SolveOutcome;
@@ -172,7 +173,7 @@ pub fn solve(problem: &ProblemInstance, options: &DncOptions) -> Result<SolveOut
         };
         candidates.push((gain, i));
     }
-    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    candidates.sort_by_key(|&(g, i)| (OrdF64(g), i));
     let order: Vec<usize> = candidates.into_iter().map(|(_, i)| i).collect();
     stats.refinement_reductions = greedy::roll_back(&mut state, &order);
 

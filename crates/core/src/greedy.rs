@@ -9,6 +9,7 @@
 
 use crate::clock::Stopwatch;
 use crate::error::CoreError;
+use crate::ord::OrdF64;
 use crate::problem::ProblemInstance;
 use crate::solution::SolveOutcome;
 use crate::state::EvalState;
@@ -118,11 +119,7 @@ pub fn solve(
 
     // Phase 2: roll back unnecessary increments, cheapest gain first.
     if options.two_phase {
-        raised.sort_by(|&a, &b| {
-            last_gain[a]
-                .total_cmp(&last_gain[b])
-                .then_with(|| a.cmp(&b))
-        });
+        raised.sort_by_key(|&a| (OrdF64(last_gain[a]), a));
         stats.reductions = roll_back(&mut state, &raised);
     }
 
@@ -293,31 +290,20 @@ fn phase1_incremental(
         }
     };
 
-    // Heap entries: (gain as total-ordered f64 bits via total_cmp wrapper,
-    // Reverse(index), version). A plain tuple works because we wrap the
-    // gain in `OrderedGain`.
-    #[derive(PartialEq)]
-    struct Entry(f64, Reverse<usize>, u64);
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .total_cmp(&other.0)
-                .then_with(|| self.1.cmp(&other.1))
-        }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
+    // Heap entries: (gain under the sanctioned total order, Reverse(index),
+    // version). `OrdF64` makes the whole tuple derivably `Ord`, so the max
+    // heap pops the highest gain, lowest index first; the version only
+    // breaks ties between stale revisions of the same base, which the
+    // liveness check below filters anyway.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Entry(OrdF64, Reverse<usize>, u64);
 
     let mut versions: Vec<u64> = vec![0; k];
     let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k);
     for i in 0..k {
         let g = gain_of(state, i);
         if g > 0.0 {
-            heap.push(Entry(g, Reverse(i), 0));
+            heap.push(Entry(OrdF64(g), Reverse(i), 0));
         }
     }
 
@@ -333,7 +319,7 @@ fn phase1_incremental(
             match heap.pop() {
                 Some(Entry(g, Reverse(i), v)) => {
                     if v == versions[i] {
-                        break Some((g, i));
+                        break Some((g.get(), i));
                     }
                 }
                 None => break None,
@@ -390,7 +376,7 @@ fn phase1_incremental(
             versions[b] += 1;
             let g = gain_of(state, b);
             if g > 0.0 {
-                heap.push(Entry(g, Reverse(b), versions[b]));
+                heap.push(Entry(OrdF64(g), Reverse(b), versions[b]));
             }
         }
     }
@@ -434,6 +420,7 @@ pub(crate) fn check_feasible(state: &mut EvalState<'_>) -> Result<()> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::problem::ProblemBuilder;

@@ -24,10 +24,12 @@
 
 use crate::clock::{Deadline, Stopwatch};
 use crate::error::CoreError;
+use crate::ord::OrdF64;
 use crate::problem::ProblemInstance;
 use crate::solution::{Solution, SolveOutcome};
 use crate::state::EvalState;
 use crate::Result;
+use std::cmp::Reverse;
 use std::time::Duration;
 
 /// Options for the branch-and-bound search.
@@ -273,7 +275,7 @@ fn cost_beta_order(problem: &ProblemInstance, state: &mut EvalState<'_>) -> Vec<
         .map(|i| (cost_beta(problem, state, i), i))
         .collect();
     // Descending by costβ; ties keep index order for determinism.
-    keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    keyed.sort_by_key(|&(c, i)| (Reverse(OrdF64(c)), i));
     keyed.into_iter().map(|(_, i)| i).collect()
 }
 
@@ -314,6 +316,7 @@ fn cost_beta(problem: &ProblemInstance, state: &mut EvalState<'_>, i: usize) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::greedy::{self, GreedyOptions};

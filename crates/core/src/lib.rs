@@ -48,6 +48,7 @@ pub mod exhaustive;
 pub mod greedy;
 pub mod heuristic;
 pub mod multi;
+pub mod ord;
 pub mod partition;
 pub mod problem;
 pub mod sink;

@@ -6,6 +6,7 @@
 use crate::clock::Stopwatch;
 use crate::error::CoreError;
 use crate::greedy::{GainMode, GreedyOptions, GreedyStats};
+use crate::ord::OrdF64;
 use crate::problem::{BaseVar, ProblemInstance, ResultSpec};
 use crate::solution::{Solution, SolveOutcome};
 use crate::state::EvalState;
@@ -196,7 +197,7 @@ pub fn solve_greedy(
     }
 
     if options.two_phase {
-        raised.sort_by(|&a, &b| last_gain[a].total_cmp(&last_gain[b]).then(a.cmp(&b)));
+        raised.sort_by_key(|&a| (OrdF64(last_gain[a]), a));
         for &i in &raised {
             loop {
                 if state.steps_of(i) == 0 {

@@ -9,7 +9,9 @@
 //! weights of the edges it absorbed, exactly as in the paper's Figure 9
 //! walk-through.
 
+use crate::ord::OrdF64;
 use crate::problem::ProblemInstance;
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Options for the partitioning phase.
@@ -72,10 +74,20 @@ pub fn partition(problem: &ProblemInstance, options: &PartitionOptions) -> Vec<V
     // cluster roots and the weight at push time; stale entries are skipped.
     let mut heap: BinaryHeap<HeapEdge> = weights
         .iter()
-        .map(|(&(i, j), &w)| HeapEdge { w, a: i, b: j })
+        .map(|(&(i, j), &w)| HeapEdge {
+            w: OrdF64(w),
+            a: Reverse(i),
+            b: Reverse(j),
+        })
         .collect();
 
-    while let Some(HeapEdge { w, a, b }) = heap.pop() {
+    while let Some(HeapEdge {
+        w,
+        a: Reverse(a),
+        b: Reverse(b),
+    }) = heap.pop()
+    {
+        let w = w.get();
         if w <= options.gamma {
             break;
         }
@@ -118,9 +130,9 @@ pub fn partition(problem: &ProblemInstance, options: &PartitionOptions) -> Vec<V
             adj[nb].remove(&gone);
             adj[nb].insert(keep, merged_w);
             heap.push(HeapEdge {
-                w: merged_w,
-                a: keep,
-                b: nb,
+                w: OrdF64(merged_w),
+                a: Reverse(keep),
+                b: Reverse(nb),
             });
         }
     }
@@ -138,29 +150,15 @@ pub fn partition(problem: &ProblemInstance, options: &PartitionOptions) -> Vec<V
     out
 }
 
-#[derive(PartialEq)]
+/// Max-heap entry: highest weight pops first; weight ties break towards
+/// the *lower* index pair (hence the `Reverse`d fields) for determinism.
+/// Deriving `Ord` on top of [`OrdF64`] keeps the ordering structural —
+/// no hand-written comparator to drift (PCQE-D004).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
 struct HeapEdge {
-    w: f64,
-    a: usize,
-    b: usize,
-}
-
-impl Eq for HeapEdge {}
-
-impl Ord for HeapEdge {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.w
-            .total_cmp(&other.w)
-            // Tie-break for determinism: lower indexes first.
-            .then_with(|| other.a.cmp(&self.a))
-            .then_with(|| other.b.cmp(&self.b))
-    }
-}
-
-impl PartialOrd for HeapEdge {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    w: OrdF64,
+    a: Reverse<usize>,
+    b: Reverse<usize>,
 }
 
 struct UnionFind {

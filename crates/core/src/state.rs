@@ -284,6 +284,7 @@ impl<'p> EvalState<'p> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::problem::ProblemBuilder;

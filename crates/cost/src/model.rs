@@ -117,11 +117,13 @@ impl CostFn {
 
     /// Piecewise-linear model through the given breakpoints.
     pub fn piecewise(points: Vec<(f64, f64)>) -> Result<CostFn> {
-        if points.is_empty() || points[0].0 != 0.0 {
+        let Some(&(first_p, _)) = points.first() else {
+            return Err(CostError::NonMonotonic);
+        };
+        if first_p != 0.0 {
             return Err(CostError::NonMonotonic);
         }
-        for w in points.windows(2) {
-            let ((p0, g0), (p1, g1)) = (w[0], w[1]);
+        for ((p0, g0), (p1, g1)) in points.iter().zip(points.iter().skip(1)) {
             if !(p1 > p0 && g1 >= g0) {
                 return Err(CostError::NonMonotonic);
             }
@@ -147,9 +149,15 @@ impl CostFn {
             CostFn::Exponential { coeff, rate } => coeff * ((rate * p).exp() - 1.0),
             CostFn::Logarithmic { coeff, scale } => coeff * (1.0 + scale * p).ln(),
             CostFn::Piecewise { points } => {
-                // Find the segment containing p and interpolate.
-                let mut prev = points[0];
-                for &(px, gx) in &points[1..] {
+                // Find the segment containing p and interpolate. The
+                // constructor guarantees a non-empty breakpoint list; the
+                // impossible empty case evaluates to zero rather than
+                // panicking (PCQE-P002).
+                let Some((&first, rest)) = points.split_first() else {
+                    return 0.0;
+                };
+                let mut prev = first;
+                for &(px, gx) in rest {
                     if p <= px {
                         let (p0, g0) = prev;
                         let t = if px > p0 { (p - p0) / (px - p0) } else { 0.0 };
@@ -204,6 +212,7 @@ impl fmt::Display for CostFn {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
 

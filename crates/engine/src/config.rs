@@ -87,6 +87,7 @@ impl EngineConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
 

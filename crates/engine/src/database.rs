@@ -366,15 +366,7 @@ impl Database {
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
         let decision = evaluate_results(&policy, &confidences);
 
-        let released: Vec<ReleasedTuple> = decision
-            .released
-            .iter()
-            .map(|&i| ReleasedTuple {
-                tuple: scored[i].tuple.clone(),
-                lineage: scored[i].lineage.clone(),
-                confidence: scored[i].confidence,
-            })
-            .collect();
+        let released = released_tuples(&scored, &decision.released);
         let n = scored.len();
         let requested = (request.min_fraction * n as f64).ceil() as usize;
 
@@ -402,8 +394,7 @@ impl Database {
         }
 
         // Strategy finding (Figure 1, steps 5–6).
-        let withheld: Vec<&pcqe_algebra::ScoredTuple> =
-            decision.withheld.iter().map(|&i| &scored[i]).collect();
+        let withheld = withheld_tuples(&scored, &decision.withheld);
         let needed = requested - response.released.len();
         let ctx = improve::ProposeContext {
             catalog: &self.catalog,
@@ -482,20 +473,11 @@ impl Database {
             let policy = self.policies.select(&user.role, &request.purpose)?.clone();
             let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
             let decision = evaluate_results(&policy, &confidences);
-            let released: Vec<ReleasedTuple> = decision
-                .released
-                .iter()
-                .map(|&i| ReleasedTuple {
-                    tuple: scored[i].tuple.clone(),
-                    lineage: scored[i].lineage.clone(),
-                    confidence: scored[i].confidence,
-                })
-                .collect();
+            let released = released_tuples(&scored, &decision.released);
             let requested = (request.min_fraction * scored.len() as f64).ceil() as usize;
             let shortfall = requested.saturating_sub(released.len());
             if shortfall > 0 {
-                let withheld: Vec<&pcqe_algebra::ScoredTuple> =
-                    decision.withheld.iter().map(|&i| &scored[i]).collect();
+                let withheld = withheld_tuples(&scored, &decision.withheld);
                 match improve::build_instance(
                     &self.catalog,
                     &self.costs,
@@ -629,15 +611,7 @@ impl Database {
         let decision = evaluate_results(policy, &confidences);
         Ok(QueryResponse {
             schema: result_set.schema().clone(),
-            released: decision
-                .released
-                .iter()
-                .map(|&i| ReleasedTuple {
-                    tuple: scored[i].tuple.clone(),
-                    lineage: scored[i].lineage.clone(),
-                    confidence: scored[i].confidence,
-                })
-                .collect(),
+            released: released_tuples(&scored, &decision.released),
             withheld: decision.withheld.len(),
             threshold: policy.threshold,
             proposal: None,
@@ -677,6 +651,32 @@ impl Database {
             None => Ok(first),
         }
     }
+}
+
+/// Materialize the released-tuple payload for the indices a policy
+/// decision selected. `PolicyDecision` indices are in-bounds by
+/// construction, but the query path must stay panic-free (PCQE-P002), so
+/// this goes through checked `get` — an impossible out-of-range index is
+/// dropped instead of unwinding mid-release.
+fn released_tuples(scored: &[pcqe_algebra::ScoredTuple], indices: &[usize]) -> Vec<ReleasedTuple> {
+    indices
+        .iter()
+        .filter_map(|&i| scored.get(i))
+        .map(|s| ReleasedTuple {
+            tuple: s.tuple.clone(),
+            lineage: s.lineage.clone(),
+            confidence: s.confidence,
+        })
+        .collect()
+}
+
+/// Borrow the withheld scored tuples for strategy finding, with the same
+/// checked-indexing discipline as [`released_tuples`].
+fn withheld_tuples<'a>(
+    scored: &'a [pcqe_algebra::ScoredTuple],
+    indices: &[usize],
+) -> Vec<&'a pcqe_algebra::ScoredTuple> {
+    indices.iter().filter_map(|&i| scored.get(i)).collect()
 }
 
 #[cfg(test)]

@@ -89,14 +89,10 @@ pub fn save(db: &Database, dir: &Path) -> Result<()> {
         ));
     }
 
-    let mut cost_ids: Vec<&TupleId> = db.costs.keys().collect();
-    cost_ids.sort();
-    for id in cost_ids {
-        manifest.push_str(&format!(
-            "cost\t{}\t{}\n",
-            id.0,
-            encode_cost(&db.costs[id])?
-        ));
+    // BTreeMap iteration is already id-sorted; iterating entries directly
+    // keeps the path free of indexing (PCQE-P002).
+    for (id, cost) in &db.costs {
+        manifest.push_str(&format!("cost\t{}\t{}\n", id.0, encode_cost(cost)?));
     }
 
     let mut f = fs::File::create(dir.join("manifest.tsv"))
@@ -214,6 +210,7 @@ fn decode_cost(fields: &[&str]) -> Option<CostFn> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::database::{QueryRequest, User};

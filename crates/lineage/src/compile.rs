@@ -86,7 +86,9 @@ impl CompiledLineage {
 fn compile_rec(l: &Lineage, slots: &BTreeMap<VarId, usize>, budget: &mut usize) -> Result<Arith> {
     match l {
         Lineage::Const(b) => Ok(Arith::Const(if *b { 1.0 } else { 0.0 })),
-        Lineage::Var(v) => Ok(Arith::Slot(slots[v])),
+        Lineage::Var(v) => Ok(Arith::Slot(
+            slots.get(v).copied().ok_or(LineageError::UnknownVar(*v))?,
+        )),
         Lineage::Not(e) => Ok(Arith::Complement(Box::new(compile_rec(e, slots, budget)?))),
         Lineage::And(es) => {
             if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
@@ -126,7 +128,10 @@ fn compile_shannon(
     let hi = compile_rec(&l.condition(pivot, true), slots, budget)?;
     let lo = compile_rec(&l.condition(pivot, false), slots, budget)?;
     Ok(Arith::Mix {
-        slot: slots[&pivot],
+        slot: slots
+            .get(&pivot)
+            .copied()
+            .ok_or(LineageError::UnknownVar(pivot))?,
         hi: Box::new(hi),
         lo: Box::new(lo),
     })
@@ -135,20 +140,24 @@ fn compile_shannon(
 fn eval_rec(a: &Arith, probs: &[f64]) -> f64 {
     match a {
         Arith::Const(c) => *c,
-        Arith::Slot(i) => probs[*i],
+        // Slots were allocated over the same `vars` that produced `probs`;
+        // an out-of-range slot is impossible, and the panic-free fallback
+        // is the neutral probability 0 (PCQE-P002).
+        Arith::Slot(i) => probs.get(*i).copied().unwrap_or(0.0),
         Arith::Complement(c) => 1.0 - eval_rec(c, probs),
         Arith::Product(cs) => cs.iter().map(|c| eval_rec(c, probs)).product(),
         Arith::DisjProduct(cs) => {
             1.0 - cs.iter().map(|c| 1.0 - eval_rec(c, probs)).product::<f64>()
         }
         Arith::Mix { slot, hi, lo } => {
-            let p = probs[*slot];
+            let p = probs.get(*slot).copied().unwrap_or(0.0);
             p * eval_rec(hi, probs) + (1.0 - p) * eval_rec(lo, probs)
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::prob::Evaluator;

@@ -183,10 +183,15 @@ impl Lineage {
                         }
                     }
                 }
-                match out.len() {
-                    0 => Lineage::Const(true),
-                    1 => out.pop().expect("len checked"),
-                    _ => Lineage::And(out),
+                // Pop-then-inspect instead of len-then-index: no `expect`
+                // on the query-scoring path (PCQE-P002).
+                match out.pop() {
+                    None => Lineage::Const(true),
+                    Some(single) if out.is_empty() => single,
+                    Some(last) => {
+                        out.push(last);
+                        Lineage::And(out)
+                    }
                 }
             }
             Lineage::Or(es) => {
@@ -209,10 +214,13 @@ impl Lineage {
                         }
                     }
                 }
-                match out.len() {
-                    0 => Lineage::Const(false),
-                    1 => out.pop().expect("len checked"),
-                    _ => Lineage::Or(out),
+                match out.pop() {
+                    None => Lineage::Const(false),
+                    Some(single) if out.is_empty() => single,
+                    Some(last) => {
+                        out.push(last);
+                        Lineage::Or(out)
+                    }
                 }
             }
         }

@@ -38,12 +38,17 @@ impl MonteCarlo {
         let mut hits = 0usize;
         let mut assignment: Vec<bool> = vec![false; vars.len()];
         for _ in 0..self.samples {
-            for (slot, &p) in marginals.iter().enumerate() {
-                assignment[slot] = rng.next_f64() < p;
+            for (slot, &p) in assignment.iter_mut().zip(&marginals) {
+                *slot = rng.next_f64() < p;
             }
+            // Every variable in the lineage was collected into `vars`
+            // above, so the lookup cannot miss; the panic-free fallback
+            // for the impossible case is `false` (PCQE-P002).
             let truth = lineage.eval(&|v: VarId| {
-                let slot = vars.binary_search(&v).expect("var collected above");
-                assignment[slot]
+                vars.binary_search(&v)
+                    .ok()
+                    .and_then(|slot| assignment.get(slot).copied())
+                    .unwrap_or(false)
             });
             if truth {
                 hits += 1;
@@ -54,6 +59,7 @@ impl MonteCarlo {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use std::collections::HashMap;

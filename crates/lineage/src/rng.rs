@@ -37,7 +37,13 @@ impl SplitMix64 {
 /// xoshiro256++ — the workspace's general-purpose seeded generator.
 #[derive(Debug, Clone)]
 pub struct Rng64 {
-    s: [u64; 4],
+    // Four named words rather than `[u64; 4]`: the scramble below then
+    // never indexes, keeping the hot path free of bound checks and panic
+    // sites (PCQE-P002).
+    s0: u64,
+    s1: u64,
+    s2: u64,
+    s3: u64,
 }
 
 impl Rng64 {
@@ -46,23 +52,27 @@ impl Rng64 {
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
         Rng64 {
-            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+            s0: sm.next_u64(),
+            s1: sm.next_u64(),
+            s2: sm.next_u64(),
+            s3: sm.next_u64(),
         }
     }
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
+        let result = self
+            .s0
+            .wrapping_add(self.s3)
             .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+            .wrapping_add(self.s0);
+        let t = self.s1 << 17;
+        self.s2 ^= self.s0;
+        self.s3 ^= self.s1;
+        self.s1 ^= self.s2;
+        self.s0 ^= self.s3;
+        self.s2 ^= t;
+        self.s3 = self.s3.rotate_left(45);
         result
     }
 

@@ -13,9 +13,11 @@
 //!
 //! The parser is a hand-rolled subset of TOML (the workspace is
 //! registry-free), strict about what it accepts: unknown keys, missing
-//! keys, bad rule codes and malformed lines are hard errors. Entries that
-//! suppress nothing are *stale* and reported as `PCQE-A001` errors — an
-//! allowlist must never outlive the code it excuses.
+//! `rule`/`path`, bad rule codes and malformed lines are hard errors. A
+//! missing or blank `reason` parses (as the empty string) so the rest of
+//! the analysis still runs, but is reported as a `PCQE-A002` error.
+//! Entries that suppress nothing are *stale* and reported as `PCQE-A001`
+//! errors — an allowlist must never outlive the code it excuses.
 
 use crate::rules::Rule;
 
@@ -86,13 +88,11 @@ pub fn parse(text: &str, source_name: &str) -> Result<Vec<AllowEntry>, String> {
                 })?);
             }
             "reason" => {
-                let r = parse_string(value, source_name, lineno)?;
-                if r.trim().is_empty() {
-                    return Err(format!(
-                        "{source_name}:{lineno}: `reason` must not be empty"
-                    ));
-                }
-                entry.reason = Some(r);
+                // Emptiness is *not* a parse error: rule PCQE-A002 turns
+                // a missing/blank reason into a reported finding, so the
+                // rest of the analysis still runs and the whole hygiene
+                // state is visible in one report.
+                entry.reason = Some(parse_string(value, source_name, lineno)?);
             }
             other => {
                 return Err(format!(
@@ -133,7 +133,9 @@ impl PartialEntry {
             rule: self.rule.ok_or_else(|| missing("rule"))?,
             path: self.path.ok_or_else(|| missing("path"))?,
             line: self.line,
-            reason: self.reason.ok_or_else(|| missing("reason"))?,
+            // A missing reason parses as empty and is reported as a
+            // PCQE-A002 finding by the analyzer.
+            reason: self.reason.unwrap_or_default(),
             declared_at: at,
         })
     }
@@ -187,7 +189,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed_entries() {
-        assert!(parse("[[allow]]\nrule = \"P001\"\n", "f").is_err()); // missing path+reason
+        assert!(parse("[[allow]]\nrule = \"P001\"\n", "f").is_err()); // missing path
         assert!(parse(
             "[[allow]]\nrule = \"NOPE\"\npath = \"x\"\nreason = \"r\"\n",
             "f"
@@ -195,11 +197,20 @@ mod tests {
         .is_err());
         assert!(parse("rule = \"P001\"\n", "f").is_err()); // key outside table
         assert!(parse("[allow]\n", "f").is_err()); // wrong table syntax
-        assert!(parse(
-            "[[allow]]\nrule = \"P001\"\npath = \"x\"\nreason = \"\"\n",
-            "f"
-        )
-        .is_err());
         assert!(parse("[[allow]]\nbogus = \"x\"\n", "f").is_err());
+    }
+
+    #[test]
+    fn missing_or_empty_reason_parses_for_a002_to_report() {
+        // A missing or blank reason is not a parse error — the analyzer
+        // reports it as PCQE-A002 so the rest of the run still happens.
+        let e = parse("[[allow]]\nrule = \"P001\"\npath = \"x\"\n", "f").unwrap();
+        assert_eq!(e[0].reason, "");
+        let e = parse(
+            "[[allow]]\nrule = \"P001\"\npath = \"x\"\nreason = \"\"\n",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(e[0].reason, "");
     }
 }

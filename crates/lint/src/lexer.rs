@@ -30,8 +30,12 @@ pub enum Tok {
     LitStr,
     /// Character or byte literal.
     LitChar,
-    /// Numeric literal.
+    /// Integer numeric literal.
     LitNum,
+    /// Floating-point numeric literal (`0.5`, `1e9`, `2.5f64`). Kept
+    /// distinct from [`Tok::LitNum`] so float-determinism rules can match
+    /// comparisons against float constants without retaining digits.
+    LitFloat,
     /// A single punctuation character.
     Punct(char),
 }
@@ -262,14 +266,17 @@ impl<'a> Lexer<'a> {
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.i;
         while self.i < self.bytes.len()
             && (self.bytes[self.i].is_ascii_alphanumeric() || self.bytes[self.i] == b'_')
         {
             self.i += 1;
         }
+        let mut fractional = false;
         // A fractional part only if `.` is followed by a digit — keeps
         // ranges (`0..n`) and method calls (`1.max(2)`) intact.
         if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            fractional = true;
             self.i += 1;
             while self.i < self.bytes.len()
                 && (self.bytes[self.i].is_ascii_alphanumeric() || self.bytes[self.i] == b'_')
@@ -277,8 +284,18 @@ impl<'a> Lexer<'a> {
                 self.i += 1;
             }
         }
+        let text = &self.src[start..self.i];
+        // Classify: hex/octal/binary literals are integers whatever letters
+        // they contain; otherwise a fraction, an exponent, or an `f32`/`f64`
+        // suffix makes the literal a float.
+        let is_float =
+            !(text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b"))
+                && (fractional
+                    || text.contains(['e', 'E'])
+                    || text.ends_with("f32")
+                    || text.ends_with("f64"));
         self.out.push(Token {
-            tok: Tok::LitNum,
+            tok: if is_float { Tok::LitFloat } else { Tok::LitNum },
             line,
         });
     }
@@ -470,7 +487,7 @@ mod tests {
 
     #[test]
     fn numbers_and_ranges() {
-        assert_eq!(kinds("0.5"), vec![Tok::LitNum]);
+        assert_eq!(kinds("0.5"), vec![Tok::LitFloat]);
         assert_eq!(
             kinds("0..5"),
             vec![Tok::LitNum, Tok::Punct('.'), Tok::Punct('.'), Tok::LitNum]
@@ -486,7 +503,22 @@ mod tests {
                 Tok::Punct(')'),
             ]
         );
-        assert_eq!(kinds("0xFF_u8 1e9"), vec![Tok::LitNum, Tok::LitNum]);
+        assert_eq!(kinds("0xFF_u8 1e9"), vec![Tok::LitNum, Tok::LitFloat]);
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        assert_eq!(kinds("3f64 1.5e3"), vec![Tok::LitFloat, Tok::LitFloat]);
+        // A negative exponent splits at the sign; the mantissa is still
+        // recognisably a float, which is all the rules need.
+        assert_eq!(
+            kinds("2.5e-3"),
+            vec![Tok::LitFloat, Tok::Punct('-'), Tok::LitNum]
+        );
+        // Hex digits include `e`; prefixed literals stay integers.
+        assert_eq!(kinds("0xdead 0b10 0o77"), vec![Tok::LitNum; 3]);
+        assert_eq!(kinds("1_000u64"), vec![Tok::LitNum]);
+        assert_eq!(kinds("0.5f32"), vec![Tok::LitFloat]);
     }
 
     #[test]

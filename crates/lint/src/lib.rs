@@ -7,19 +7,33 @@
 //! analysis pass that fails CI the moment a violating pattern is
 //! *written*, instead of hoping a test notices the symptom later.
 //!
-//! The analyzer is std-only — no `syn`, no registry crates — and
-//! tokenizes every Rust source in the workspace with a hand-rolled lexer
-//! ([`lexer`]), then matches small token-window patterns ([`rules`]):
+//! The analyzer is std-only — no `syn`, no registry crates — and works
+//! in two layers:
 //!
-//! | rule | protects | statement |
-//! |------|----------|-----------|
-//! | `PCQE-D001` | determinism | no `HashMap`/`HashSet` in result-affecting crates |
-//! | `PCQE-D002` | determinism | no RNG construction outside `pcqe-lineage::rng` |
-//! | `PCQE-D003` | determinism | no `std::thread` outside `crates/par` |
-//! | `PCQE-H001` | hermeticity | only path deps in default-workspace manifests |
-//! | `PCQE-P001` | panic-safety | no `unwrap`/`expect`/`panic!` in guarded library code |
-//! | `PCQE-T001` | determinism | wall clock only in `crates/bench` + `core::clock` |
-//! | `PCQE-A001` | hygiene | allowlist entries must suppress something |
+//! 1. **Token layer.** Every Rust source is tokenized by a hand-rolled
+//!    lexer ([`lexer`]) and matched against small token-window patterns
+//!    ([`rules`]).
+//! 2. **Graph layer.** The same token streams feed a lightweight item
+//!    parser ([`item`]: fns, impls, `use` trees, visibility, per-fn call
+//!    and panic sites), whose output links into a workspace-wide
+//!    resolved call graph ([`graph`]) powering *reachability* rules —
+//!    properties that hold along every path, not just at the call sites
+//!    a token window happens to see.
+//!
+//! | rule | layer | protects | statement |
+//! |------|-------|----------|-----------|
+//! | `PCQE-D001` | token | determinism | no `HashMap`/`HashSet` in result-affecting crates |
+//! | `PCQE-D002` | token | determinism | no RNG construction outside `pcqe-lineage::rng` |
+//! | `PCQE-D003` | token | determinism | no `std::thread` outside `crates/par` |
+//! | `PCQE-D004` | token | determinism | float compare/order through `pcqe_core::ord` only |
+//! | `PCQE-C001` | token | determinism | `Mutex`/`RwLock`/`Atomic*`/`mpsc` contained to `pcqe-par`/`pcqe-obs` |
+//! | `PCQE-G001` | graph | compliance | query entry points release rows only below the policy gate |
+//! | `PCQE-H001` | manifest | hermeticity | only path deps in default-workspace manifests |
+//! | `PCQE-P001` | token | panic-safety | no `unwrap`/`expect`/`panic!` in guarded library code |
+//! | `PCQE-P002` | graph | panic-safety | no panic construct *reachable* from guarded public API |
+//! | `PCQE-T001` | token | determinism | wall clock only in `crates/bench` + `core::clock` |
+//! | `PCQE-A001` | hygiene | hygiene | allowlist entries must suppress something |
+//! | `PCQE-A002` | hygiene | hygiene | allowlist entries must carry a non-empty reason |
 //!
 //! Justified exceptions live in `lint-allow.toml` ([`allowlist`]) with a
 //! required reason; stale entries are themselves errors. Reports come in
@@ -27,6 +41,8 @@
 //! via `ci.sh`, or through the tier-1 test `tests/lint_guard.rs`.
 
 pub mod allowlist;
+pub mod graph;
+pub mod item;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
@@ -109,12 +125,31 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
     };
 
     // --- Scan ----------------------------------------------------------
+    // Each file is lexed once; the token stream feeds both the token
+    // rules and the item parser, whose output links into the workspace
+    // call graph for the reachability rules (P002, G001).
     let mut raw: Vec<Finding> = Vec::new();
+    let mut items: Vec<item::FileItems> = Vec::new();
     let sources = walk::rust_sources(root).map_err(|e| io(e, "walking sources"))?;
     for rel in &sources {
+        if rules::FileClass::classify(rel).is_test_code {
+            continue;
+        }
         let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
-        rules::check_source(rel, &text, &mut raw);
+        let toks = lexer::lex(&text);
+        let mask = rules::test_region_mask(&toks);
+        rules::check_tokens(rel, &toks, &mask, &mut raw);
+        // The analyzer itself and the detached bench workspace stay out
+        // of the call graph: no guarded product crate can depend on the
+        // dev tooling (H001 enforces path-only deps), so a name-collision
+        // edge into them is spurious by construction.
+        if !rel.starts_with("crates/lint/") && !rel.starts_with("crates/bench/") {
+            items.push(item::collect(rel, &toks, &mask));
+        }
     }
+    let call_graph = graph::CallGraph::build(&items);
+    graph::panic_reachability(&call_graph, &mut raw);
+    graph::policy_gating(&call_graph, &mut raw);
     let manifests = walk::workspace_manifests(root).map_err(|e| io(e, "walking manifests"))?;
     for rel in &manifests {
         let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
@@ -138,10 +173,26 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
         }
     }
 
-    // --- Stale allowlist entries ---------------------------------------
+    // --- Allowlist hygiene (A001 stale, A002 unreasoned) ---------------
     let allow_name = allowlist_path
         .map(|p| p.display().to_string())
         .unwrap_or_else(|| DEFAULT_ALLOWLIST.to_owned());
+    for entry in &entries {
+        if entry.reason.trim().is_empty() {
+            findings.push(Finding {
+                rule: Rule::A002,
+                path: allow_name.clone(),
+                line: entry.declared_at,
+                message: format!(
+                    "allowlist entry for {} at `{}`{} has no `reason`; every \
+                     exception must say why it is sound",
+                    entry.rule.code(),
+                    entry.path,
+                    entry.line.map(|l| format!(" line {l}")).unwrap_or_default(),
+                ),
+            });
+        }
+    }
     for (idx, entry) in entries.iter().enumerate() {
         if used[idx] == 0 {
             findings.push(Finding {

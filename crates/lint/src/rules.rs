@@ -18,14 +18,26 @@ pub enum Rule {
     D002,
     /// Direct `std::thread` use outside the deterministic scheduler.
     D003,
+    /// Float comparison/ordering outside the `pcqe_core::ord` wrapper.
+    D004,
+    /// Concurrency primitives outside `pcqe-par`/`pcqe-obs`.
+    C001,
+    /// Row release reachable from a query entry point without passing the
+    /// policy gate (call-graph rule, see [`crate::graph`]).
+    G001,
     /// Non-`path` dependency in a default-workspace manifest.
     H001,
     /// `unwrap`/`expect`/`panic!`-family in guarded library code.
     P001,
+    /// Panic construct *reachable* from guarded public API (call-graph
+    /// rule with witness paths, see [`crate::graph`]).
+    P002,
     /// Wall-clock access outside the sanctioned timing modules.
     T001,
     /// Stale allowlist entry (suppresses nothing).
     A001,
+    /// Allowlist entry without a non-empty `reason`.
+    A002,
 }
 
 /// How a finding affects the exit status.
@@ -54,10 +66,15 @@ impl Rule {
             Rule::D001 => "PCQE-D001",
             Rule::D002 => "PCQE-D002",
             Rule::D003 => "PCQE-D003",
+            Rule::D004 => "PCQE-D004",
+            Rule::C001 => "PCQE-C001",
+            Rule::G001 => "PCQE-G001",
             Rule::H001 => "PCQE-H001",
             Rule::P001 => "PCQE-P001",
+            Rule::P002 => "PCQE-P002",
             Rule::T001 => "PCQE-T001",
             Rule::A001 => "PCQE-A001",
+            Rule::A002 => "PCQE-A002",
         }
     }
 
@@ -73,10 +90,27 @@ impl Rule {
             Rule::D001 => "determinism: no HashMap/HashSet in result-affecting crates",
             Rule::D002 => "determinism: no RNG construction outside pcqe-lineage::rng",
             Rule::D003 => "determinism: no std::thread outside the pcqe-par scheduler",
+            Rule::D004 => {
+                "determinism: float compare/order through pcqe_core::ord only (no ==/!=, \
+                 partial_cmp/total_cmp, f32) in result-affecting crates"
+            }
+            Rule::C001 => {
+                "concurrency: Mutex/RwLock/Atomic*/mpsc contained to pcqe-par, pcqe-obs \
+                 and core::clock"
+            }
+            Rule::G001 => {
+                "policy: every call path from a query entry point to a row-emitting fn \
+                 passes the policy gate"
+            }
             Rule::H001 => "hermeticity: only path dependencies in default-workspace manifests",
             Rule::P001 => "panic-safety: no unwrap/expect/panic! in guarded library code",
+            Rule::P002 => {
+                "panic-safety: no panic construct reachable from guarded public API \
+                 (witness call path reported)"
+            }
             Rule::T001 => "determinism: wall-clock access only in bench and core::clock",
             Rule::A001 => "hygiene: allowlist entries must suppress at least one finding",
+            Rule::A002 => "hygiene: allowlist entries must carry a non-empty reason",
         }
     }
 
@@ -88,24 +122,34 @@ impl Rule {
             "D001" => Some(Rule::D001),
             "D002" => Some(Rule::D002),
             "D003" => Some(Rule::D003),
+            "D004" => Some(Rule::D004),
+            "C001" => Some(Rule::C001),
+            "G001" => Some(Rule::G001),
             "H001" => Some(Rule::H001),
             "P001" => Some(Rule::P001),
+            "P002" => Some(Rule::P002),
             "T001" => Some(Rule::T001),
             "A001" => Some(Rule::A001),
+            "A002" => Some(Rule::A002),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::D001,
             Rule::D002,
             Rule::D003,
+            Rule::D004,
+            Rule::C001,
+            Rule::G001,
             Rule::H001,
             Rule::P001,
+            Rule::P002,
             Rule::T001,
             Rule::A001,
+            Rule::A002,
         ]
     }
 }
@@ -132,7 +176,12 @@ pub struct FileClass {
     d001: bool,
     d002: bool,
     d003: bool,
-    p001: bool,
+    d004: bool,
+    c001: bool,
+    /// P001 applies here; also consulted by the graph layer, which
+    /// reports only *index* panics under P002 where P001 already covers
+    /// the direct constructs.
+    pub p001: bool,
     t001: bool,
 }
 
@@ -183,6 +232,16 @@ impl FileClass {
             d001: starts(&RESULT_AFFECTING),
             d002: path != "crates/lineage/src/rng.rs",
             d003: !path.starts_with("crates/par/"),
+            // The total-order wrapper itself is the one sanctioned home
+            // for raw float ordering.
+            d004: starts(&RESULT_AFFECTING) && path != "crates/core/src/ord.rs",
+            // `pcqe-par` owns work distribution, `pcqe-obs` owns shared
+            // recorders, and `ManualClock` advances an `AtomicU64`;
+            // everything else must stay free of sync primitives so the
+            // deterministic scheduler remains the only concurrency story.
+            c001: !path.starts_with("crates/par/")
+                && !path.starts_with("crates/obs/")
+                && path != "crates/core/src/clock.rs",
             p001: starts(&PANIC_GUARDED),
             // Note: `crates/obs` is deliberately NOT exempt — the
             // observability crate times spans exclusively through the
@@ -193,7 +252,8 @@ impl FileClass {
     }
 }
 
-/// Run every token-level rule over one source file.
+/// Run every token-level rule over one source file. Convenience wrapper
+/// over [`check_tokens`] for callers that have not lexed yet.
 pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
     let class = FileClass::classify(path);
     if class.is_test_code {
@@ -201,6 +261,17 @@ pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
     }
     let toks = lex(src);
     let skip = test_region_mask(&toks);
+    check_tokens(path, &toks, &skip, out);
+}
+
+/// Run every token-level rule over one pre-lexed source file. `skip` is
+/// the [`test_region_mask`] of `toks`. The caller is responsible for
+/// exempting test-code paths ([`FileClass::classify`]).
+pub fn check_tokens(path: &str, toks: &[Token], skip: &[bool], out: &mut Vec<Finding>) {
+    let class = FileClass::classify(path);
+    if class.is_test_code {
+        return;
+    }
     let emit = |out: &mut Vec<Finding>, rule: Rule, line: u32, message: String| {
         out.push(Finding {
             rule,
@@ -214,6 +285,34 @@ pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
         if skip[i] {
             continue;
         }
+
+        // D004 (literal form): float-literal equality — `x == 0.5`,
+        // `0.5 != y`. `==`/`!=` lex as two punctuation tokens, so the
+        // operand and operator are adjacent; compound operators (`<=`,
+        // `..=`, `+=`, …) have a different first token and do not match.
+        if class.d004 && t.tok == Tok::LitFloat {
+            let eq_before = i >= 2
+                && toks[i - 1].is_punct('=')
+                && (toks[i - 2].is_punct('=') || toks[i - 2].is_punct('!'))
+                // `0.5 == 0.75` was already reported at the left operand.
+                && !(i >= 3 && toks[i - 3].tok == Tok::LitFloat);
+            let eq_after = toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('=') || n.is_punct('!'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct('='));
+            if eq_before || eq_after {
+                emit(
+                    out,
+                    Rule::D004,
+                    t.line,
+                    "float `==`/`!=` in a result-affecting crate: exact equality on \
+                     floats is representation-dependent; compare through \
+                     `pcqe_core::ord::OrdF64` or test an explicit tolerance"
+                        .to_owned(),
+                );
+            }
+        }
+
         let Tok::Ident(name) = &t.tok else { continue };
         let name = name.as_str();
 
@@ -247,8 +346,7 @@ pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
         // D003: raw threading outside the deterministic scheduler. Match
         // `thread` only when it is used as a path segment (`std::thread`,
         // `thread::spawn`, …) so a local named `thread` is not flagged.
-        if class.d003 && name == "thread" && (path_sep_before(&toks, i) || path_sep_after(&toks, i))
-        {
+        if class.d003 && name == "thread" && (path_sep_before(toks, i) || path_sep_after(toks, i)) {
             emit(
                 out,
                 Rule::D003,
@@ -256,6 +354,54 @@ pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
                 "`std::thread` outside `pcqe-par`: all parallelism must go \
                  through the deterministic chunked scheduler"
                     .to_owned(),
+            );
+        }
+
+        // D004 (ident forms): float ordering and narrowing must go
+        // through the `pcqe_core::ord` wrapper. Confidence math is
+        // `f64`-only by design, so a bare `f32` (including `as f32`
+        // narrowing) is always a loss of precision in these crates.
+        if class.d004 {
+            if name == "f32" {
+                emit(
+                    out,
+                    Rule::D004,
+                    t.line,
+                    "`f32` in a result-affecting crate: confidence math is `f64`-only; \
+                     an `f32` (or `as f32` cast) silently loses precision"
+                        .to_owned(),
+                );
+            }
+            let dotted = i > 0 && toks[i - 1].is_punct('.');
+            let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if dotted && called && (name == "partial_cmp" || name == "total_cmp") {
+                emit(
+                    out,
+                    Rule::D004,
+                    t.line,
+                    format!(
+                        "`.{name}()` in a result-affecting crate: sort/compare through \
+                         `pcqe_core::ord::OrdF64` so every float ordering uses the one \
+                         total order"
+                    ),
+                );
+            }
+        }
+
+        // C001: concurrency primitives outside the sanctioned crates.
+        if class.c001
+            && (matches!(name, "Mutex" | "RwLock" | "Condvar" | "mpsc")
+                || (name.starts_with("Atomic") && name.len() > "Atomic".len()))
+        {
+            emit(
+                out,
+                Rule::C001,
+                t.line,
+                format!(
+                    "`{name}` outside `pcqe-par`/`pcqe-obs`/`core::clock`: shared-state \
+                     primitives undermine the deterministic scheduler's containment; \
+                     route parallelism through `pcqe-par`"
+                ),
             );
         }
 
@@ -304,7 +450,7 @@ pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
         // T001: wall-clock reads outside the sanctioned modules.
         if class.t001 {
             if name == "Instant"
-                && path_sep_after(&toks, i)
+                && path_sep_after(toks, i)
                 && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
             {
                 emit(
@@ -343,8 +489,9 @@ fn path_sep_after(toks: &[Token], i: usize) -> bool {
 
 /// Mark the tokens that belong to `#[cfg(test)]` items (inline test
 /// modules and test-only helpers): rules skip them, matching the policy
-/// that test code may panic and may use unordered collections.
-fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+/// that test code may panic and may use unordered collections. Public so
+/// the item layer ([`crate::item`]) skips the same regions.
+pub fn test_region_mask(toks: &[Token]) -> Vec<bool> {
     let mut skip = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -577,6 +724,91 @@ mod tests {
             ),
             vec![(Rule::P001, 1)]
         );
+    }
+
+    #[test]
+    fn d004_flags_float_compares_and_orderings() {
+        // Literal equality, both directions; one finding per comparison.
+        assert_eq!(
+            findings(
+                "crates/algebra/src/expr.rs",
+                "fn f(b: f64) -> bool { b == 0.0 }"
+            ),
+            vec![(Rule::D004, 1)]
+        );
+        assert_eq!(
+            findings("crates/core/src/x.rs", "fn f(b: f64) -> bool { 0.5 != b }"),
+            vec![(Rule::D004, 1)]
+        );
+        assert_eq!(
+            findings("crates/core/src/x.rs", "fn f() -> bool { 0.5 == 0.75 }"),
+            vec![(Rule::D004, 1)]
+        );
+        // Compound operators (`+=`, `<=`, `..=`) are not equality.
+        assert!(findings(
+            "crates/core/src/x.rs",
+            "fn f(mut a: f64) -> bool { a += 0.5; a <= 0.5 }"
+        )
+        .is_empty());
+        // Method forms and `f32` narrowing.
+        assert_eq!(
+            findings(
+                "crates/core/src/greedy.rs",
+                "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b); }"
+            ),
+            vec![(Rule::D004, 1)]
+        );
+        assert_eq!(
+            findings(
+                "crates/core/src/greedy.rs",
+                "fn f(a: f64, b: f64) { let _ = a.total_cmp(&b); }"
+            ),
+            vec![(Rule::D004, 1)]
+        );
+        assert_eq!(
+            findings(
+                "crates/policy/src/lib.rs",
+                "fn f(c: f64) -> f64 { (c as f32) as f64 }"
+            ),
+            vec![(Rule::D004, 1)]
+        );
+        // The wrapper module is the sanctioned home; storage is out of
+        // scope (`Value` ordering is its own contract); and a trait
+        // *definition* of `partial_cmp` is not a call.
+        let cmp = "fn f(a: f64, b: f64) { let _ = a.total_cmp(&b); }";
+        assert!(findings("crates/core/src/ord.rs", cmp).is_empty());
+        assert!(findings("crates/storage/src/value.rs", cmp).is_empty());
+        assert!(findings(
+            "crates/core/src/x.rs",
+            "impl PartialOrd for W { fn partial_cmp(&self, o: &W) -> Option<Ordering> { \
+             Some(self.cmp(o)) } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn c001_contains_concurrency_primitives() {
+        let src =
+            "use std::sync::{Mutex, atomic::AtomicU64};\nfn f() { let _m = Mutex::new(0u32); }\n";
+        let hits = findings("crates/engine/src/database.rs", src);
+        assert_eq!(
+            hits,
+            vec![(Rule::C001, 1), (Rule::C001, 1), (Rule::C001, 2)]
+        );
+        // The sanctioned homes stay silent.
+        assert!(findings("crates/par/src/lib.rs", src).is_empty());
+        assert!(findings("crates/obs/src/recorder.rs", src).is_empty());
+        assert!(findings(
+            "crates/core/src/clock.rs",
+            "use std::sync::atomic::AtomicU64;"
+        )
+        .is_empty());
+        // Channels are contained too; `Ordering` alone is not a primitive.
+        assert_eq!(
+            findings("crates/sql/src/parser.rs", "use std::sync::mpsc;"),
+            vec![(Rule::C001, 1)]
+        );
+        assert!(findings("crates/engine/src/database.rs", "use std::cmp::Ordering;").is_empty());
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! End-to-end analyzer tests over the fixture trees in `tests/fixtures/`.
 //!
 //! Each fixture is a miniature workspace: `tree/` seeds one violation per
-//! rule (plus exempt cases that must stay silent), `allow/` pairs a
-//! violation with a reasoned suppression, `stale/` carries an allowlist
-//! entry that excuses nothing, and `clean/` has no findings at all. The
-//! golden file `tree.expected.json` pins the machine-readable report
-//! byte-for-byte — the JSON output is a CI contract.
+//! token/manifest rule (plus exempt cases that must stay silent),
+//! `graph/` seeds the graph-layer rules (P002 panic-reachability, G001
+//! policy-gating) and the D004/C001 token forms, `gated/` is the G001
+//! negative (the gate dominates the row constructor), `noreason/` trips
+//! the A002 hygiene rule, `allow/` pairs a violation with a reasoned
+//! suppression, `stale/` carries an allowlist entry that excuses
+//! nothing, and `clean/` has no findings at all. The golden files
+//! `tree.expected.json`/`graph.expected.json` pin the machine-readable
+//! report byte-for-byte — the JSON output is a CI contract.
 
 use pcqe_lint::rules::Rule;
 use pcqe_lint::{analyze, report, Analysis};
@@ -54,9 +58,109 @@ fn tree_fixture_seeds_every_token_and_manifest_rule() {
 }
 
 #[test]
+fn graph_fixture_seeds_the_graph_layer_and_new_token_rules() {
+    let analysis = run("graph");
+    let got: Vec<(Rule, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    let want = vec![
+        (Rule::C001, "crates/algebra/src/locky.rs", 3),
+        (Rule::C001, "crates/algebra/src/locky.rs", 5),
+        (Rule::C001, "crates/algebra/src/locky.rs", 6),
+        (Rule::D004, "crates/core/src/floaty.rs", 4), // x == 0.0
+        (Rule::D004, "crates/core/src/floaty.rs", 4), // x != 1.0
+        (Rule::D004, "crates/core/src/floaty.rs", 8), // as f32
+        (Rule::D004, "crates/core/src/floaty.rs", 12), // .partial_cmp(
+        (Rule::P002, "crates/core/src/pick.rs", 5),
+        (Rule::G001, "crates/engine/src/database.rs", 16),
+    ];
+    assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
+    // The exempt cases stayed silent: `core/src/ord.rs` is the sanctioned
+    // home for raw float ordering, and `crates/par` may hold atomics.
+    assert!(!got.iter().any(|(_, p, _)| p.ends_with("ord.rs")));
+    assert!(!got.iter().any(|(_, p, _)| p.contains("par/")));
+}
+
+#[test]
+fn p002_witness_names_the_full_call_path() {
+    let analysis = run("graph");
+    let p002 = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::P002)
+        .expect("P002 fires in the graph fixture");
+    // The panic is reported at the site (in pcqe-core, which is not
+    // P001-guarded) with the two-hop chain from the engine's public API.
+    assert_eq!(p002.path, "crates/core/src/pick.rs");
+    assert!(
+        p002.message
+            .contains("pcqe_engine::run → pcqe_engine::step → pcqe_core::pick"),
+        "witness missing in: {}",
+        p002.message
+    );
+    // The never-called `panic!` in the same file stays unreported: P002
+    // is reachability, not presence.
+    assert!(
+        !analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::P002 && f.line > 5),
+        "{:#?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn g001_names_the_ungated_constructor_and_entry_point() {
+    let analysis = run("graph");
+    let g001 = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::G001)
+        .expect("G001 fires in the graph fixture");
+    assert!(
+        g001.message
+            .contains("pcqe_engine::Database::query → pcqe_engine::release_all"),
+        "witness missing in: {}",
+        g001.message
+    );
+    assert!(g001.message.contains("evaluate_results"));
+}
+
+#[test]
+fn gated_fixture_is_clean_because_the_gate_dominates() {
+    // Same shape as the graph fixture's database.rs, but the path from
+    // `Database::query` to the `ReleasedTuple` constructor passes through
+    // a function that calls `evaluate_results` — the BFS stops there.
+    let analysis = run("gated");
+    assert!(analysis.is_clean(), "{:#?}", analysis.findings);
+    assert!(analysis.findings.is_empty());
+}
+
+#[test]
+fn unreasoned_allowlist_entry_is_an_error_but_still_suppresses() {
+    let analysis = run("noreason");
+    assert_eq!(analysis.findings.len(), 1, "{:#?}", analysis.findings);
+    let f = &analysis.findings[0];
+    assert_eq!(f.rule, Rule::A002);
+    assert_eq!(f.path, "lint-allow.toml");
+    assert_eq!(f.line, 3);
+    assert!(f.message.contains("has no `reason`"));
+    // The entry is not stale — it really suppresses the P001 — so A001
+    // must not double-report it.
+    assert!(!analysis.findings.iter().any(|f| f.rule == Rule::A001));
+    assert_eq!(analysis.suppressed.len(), 1);
+    assert_eq!(analysis.suppressed[0].0.rule, Rule::P001);
+}
+
+#[test]
 fn every_rule_id_fires_somewhere_in_the_fixture_suite() {
     let mut seen: Vec<Rule> = run("tree").findings.iter().map(|f| f.rule).collect();
+    seen.extend(run("graph").findings.iter().map(|f| f.rule));
     seen.extend(run("stale").findings.iter().map(|f| f.rule));
+    seen.extend(run("noreason").findings.iter().map(|f| f.rule));
     for rule in Rule::all() {
         assert!(seen.contains(&rule), "{} never fired", rule.code());
     }
@@ -103,10 +207,12 @@ fn stale_allowlist_entry_is_an_error() {
 
 #[test]
 fn analysis_is_deterministic_across_runs() {
-    let a = run("tree");
-    let b = run("tree");
-    assert_eq!(a.findings, b.findings);
-    assert_eq!(report::json(&a), report::json(&b));
+    for name in ["tree", "graph"] {
+        let a = run(name);
+        let b = run(name);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(report::json(&a), report::json(&b));
+    }
 }
 
 #[test]
@@ -155,12 +261,34 @@ fn cli_exits_one_on_findings_and_names_them() {
 
 #[test]
 fn cli_exits_zero_on_clean_tree() {
+    for name in ["clean", "gated"] {
+        let out = cli()
+            .args(["--root"])
+            .arg(fixture(name))
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "{name} must be clean");
+    }
+}
+
+#[test]
+fn cli_graph_json_output_matches_golden_file() {
     let out = cli()
         .args(["--root"])
-        .arg(fixture("clean"))
+        .arg(fixture("graph"))
+        .args(["--format", "json"])
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(
+        stdout,
+        include_str!("fixtures/graph.expected.json"),
+        "JSON report drifted from tests/fixtures/graph.expected.json; \
+         if the change is intentional, regenerate with \
+         `cargo run -p pcqe-lint -- --root crates/lint/tests/fixtures/graph \
+         --format json > crates/lint/tests/fixtures/graph.expected.json`"
+    );
 }
 
 #[test]

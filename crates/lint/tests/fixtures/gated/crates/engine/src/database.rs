@@ -1,0 +1,28 @@
+//! Fixture: rows are built only below the policy gate — G001-clean.
+//! `gate_and_release` calls `evaluate_results`, so the gate dominates
+//! `build`; its `ReleasedTuple` construction is policy-filtered by
+//! construction and must not be flagged.
+
+use pcqe_policy::evaluate_results;
+
+pub struct ReleasedTuple {
+    pub id: u64,
+}
+
+pub struct Database;
+
+impl Database {
+    pub fn query(&self) -> u64 {
+        gate_and_release()
+    }
+}
+
+fn gate_and_release() -> u64 {
+    let keep = evaluate_results();
+    build(keep)
+}
+
+fn build(keep: u64) -> u64 {
+    let t = ReleasedTuple { id: keep };
+    t.id
+}

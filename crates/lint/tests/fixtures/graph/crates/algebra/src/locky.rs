@@ -1,0 +1,7 @@
+//! Fixture: C001 — a lock outside `pcqe-par`/`pcqe-obs`.
+
+use std::sync::Mutex;
+
+pub fn make() -> Mutex<u32> {
+    Mutex::new(0)
+}

@@ -1,0 +1,6 @@
+//! Fixture: the one sanctioned home for raw float ordering — this file
+//! is D004-exempt and must stay silent.
+
+pub fn total(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}

@@ -1,0 +1,10 @@
+//! Fixture: the reachable panic site — P002 reports it here, with the
+//! witness call path from the guarded public API.
+
+pub fn pick(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn unreached() -> u32 {
+    panic!("never called from a guarded root")
+}

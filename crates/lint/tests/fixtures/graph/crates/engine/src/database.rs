@@ -1,0 +1,19 @@
+//! Fixture: G001 — a query entry point that reaches a row constructor
+//! without passing the policy gate.
+
+pub struct ReleasedTuple {
+    pub id: u64,
+}
+
+pub struct Database;
+
+impl Database {
+    pub fn query(&self) -> u64 {
+        release_all()
+    }
+}
+
+fn release_all() -> u64 {
+    let t = ReleasedTuple { id: 1 };
+    t.id
+}

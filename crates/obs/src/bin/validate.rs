@@ -1,22 +1,44 @@
-//! `pcqe-obs-validate` — validate an exported metrics JSON document.
+//! `pcqe-obs-validate` — validate an exported JSON artifact.
 //!
-//! Usage: `pcqe-obs-validate <file.json>`
+//! Usage: `pcqe-obs-validate [--schema metrics|lint] <file.json>`
 //!
-//! Exit codes: `0` the document parses and has the metrics shape
-//! (`counters`/`gauges`/`histograms`/`spans` object members), `1` the
+//! Schemas:
+//!
+//! * `metrics` (default) — the document has the metrics-snapshot shape
+//!   (`counters`/`gauges`/`histograms`/`spans` object members);
+//! * `lint` — the document has the `pcqe-lint --format json` report
+//!   shape (`tool`/`format_version`, a `findings` array of
+//!   rule/severity/path/line/message records, and a `summary` object).
+//!
+//! Exit codes: `0` the document parses and matches the schema, `1` the
 //! document is malformed, `2` usage or I/O error. Used by `ci.sh` as the
-//! smoke check on `results/metrics.json` — hermetically, with the crate's
-//! own parser.
+//! smoke check on `results/metrics.json` and `results/lint.json` —
+//! hermetically, with the crate's own parser.
 
-use pcqe_obs::json;
+use pcqe_obs::json::{self, Value};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut schema = Schema::Metrics;
+    let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: pcqe-obs-validate <file.json>");
-        return ExitCode::from(2);
+    let usage = || {
+        eprintln!("usage: pcqe-obs-validate [--schema metrics|lint] <file.json>");
+        ExitCode::from(2)
     };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schema" => match args.next().as_deref() {
+                Some("metrics") => schema = Schema::Metrics,
+                Some("lint") => schema = Schema::Lint,
+                _ => return usage(),
+            },
+            _ if arg.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -24,7 +46,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match validate(&text) {
+    let outcome = match schema {
+        Schema::Metrics => validate_metrics(&text),
+        Schema::Lint => validate_lint(&text),
+    };
+    match outcome {
         Ok(summary) => {
             println!("{path}: ok ({summary})");
             ExitCode::SUCCESS
@@ -36,8 +62,15 @@ fn main() -> ExitCode {
     }
 }
 
+/// Which document shape to check.
+#[derive(Clone, Copy)]
+enum Schema {
+    Metrics,
+    Lint,
+}
+
 /// Check that `text` is a metrics document; return a one-line summary.
-fn validate(text: &str) -> Result<String, String> {
+fn validate_metrics(text: &str) -> Result<String, String> {
     let doc = json::parse(text)?;
     let obj = doc
         .as_object()
@@ -55,27 +88,119 @@ fn validate(text: &str) -> Result<String, String> {
     Ok(sizes.join(" "))
 }
 
+/// Check that `text` is a `pcqe-lint` JSON report; return a summary.
+fn validate_lint(text: &str) -> Result<String, String> {
+    let doc = json::parse(text)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| "top level must be an object".to_owned())?;
+    let tool = obj
+        .get("tool")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string `tool` member".to_owned())?;
+    if tool != "pcqe-lint" {
+        return Err(format!("`tool` is `{tool}`, expected `pcqe-lint`"));
+    }
+    obj.get("format_version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing numeric `format_version` member".to_owned())?;
+    let findings = obj
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing `findings` array".to_owned())?;
+    for (i, f) in findings.iter().enumerate() {
+        let f = f
+            .as_object()
+            .ok_or_else(|| format!("findings[{i}] must be an object"))?;
+        for key in ["rule", "severity", "path", "message"] {
+            f.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("findings[{i}] missing string `{key}`"))?;
+        }
+        f.get("line")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("findings[{i}] missing numeric `line`"))?;
+    }
+    let summary = obj
+        .get("summary")
+        .and_then(Value::as_object)
+        .ok_or_else(|| "missing `summary` object".to_owned())?;
+    let mut counts = Vec::new();
+    for key in ["files", "manifests", "errors", "warnings", "suppressed"] {
+        let n = summary
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("summary missing numeric `{key}`"))?;
+        counts.push(format!("{key}={n}"));
+    }
+    Ok(format!("findings={} {}", findings.len(), counts.join(" ")))
+}
+
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{validate_lint, validate_metrics};
 
     #[test]
     fn accepts_a_minimal_metrics_document() {
         let doc = "{\"counters\": {\"a\": 1}, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}";
         assert_eq!(
-            validate(doc),
+            validate_metrics(doc),
             Ok("counters=1 gauges=0 histograms=0 spans=0".to_owned())
         );
     }
 
     #[test]
     fn rejects_missing_sections_and_non_objects() {
-        assert!(validate("[]").is_err());
-        assert!(validate("{\"counters\": {}}").is_err());
-        assert!(
-            validate("{\"counters\": 1, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}")
-                .is_err()
+        assert!(validate_metrics("[]").is_err());
+        assert!(validate_metrics("{\"counters\": {}}").is_err());
+        assert!(validate_metrics(
+            "{\"counters\": 1, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}"
+        )
+        .is_err());
+        assert!(validate_metrics("not json").is_err());
+    }
+
+    #[test]
+    fn accepts_a_minimal_lint_report() {
+        let doc = "{\"tool\": \"pcqe-lint\", \"format_version\": 1, \
+                   \"findings\": [{\"rule\": \"PCQE-D001\", \"severity\": \"error\", \
+                   \"path\": \"crates/x.rs\", \"line\": 3, \"message\": \"m\"}], \
+                   \"summary\": {\"files\": 1, \"manifests\": 1, \"errors\": 1, \
+                   \"warnings\": 0, \"suppressed\": 0}}";
+        assert_eq!(
+            validate_lint(doc),
+            Ok("findings=1 files=1 manifests=1 errors=1 warnings=0 suppressed=0".to_owned())
         );
-        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_lint_reports_with_the_wrong_shape() {
+        // Wrong tool name.
+        assert!(validate_lint(
+            "{\"tool\": \"other\", \"format_version\": 1, \"findings\": [], \
+             \"summary\": {\"files\": 0, \"manifests\": 0, \"errors\": 0, \
+             \"warnings\": 0, \"suppressed\": 0}}"
+        )
+        .is_err());
+        // Finding missing its line.
+        assert!(validate_lint(
+            "{\"tool\": \"pcqe-lint\", \"format_version\": 1, \
+             \"findings\": [{\"rule\": \"PCQE-D001\", \"severity\": \"error\", \
+             \"path\": \"x\", \"message\": \"m\"}], \
+             \"summary\": {\"files\": 0, \"manifests\": 0, \"errors\": 1, \
+             \"warnings\": 0, \"suppressed\": 0}}"
+        )
+        .is_err());
+        // Summary missing a count.
+        assert!(validate_lint(
+            "{\"tool\": \"pcqe-lint\", \"format_version\": 1, \"findings\": [], \
+             \"summary\": {\"files\": 0}}"
+        )
+        .is_err());
+        // A metrics document is not a lint report.
+        assert!(validate_lint(
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}"
+        )
+        .is_err());
     }
 }

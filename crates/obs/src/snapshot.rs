@@ -49,7 +49,12 @@ impl Histogram {
                 .position(|&b| value <= b)
                 .unwrap_or(BUCKET_BOUNDS.len())
         };
-        self.counts[idx] = self.counts[idx].saturating_add(1);
+        // `idx <= BUCKET_BOUNDS.len()` and `counts` has one extra overflow
+        // slot, but the metrics path must never panic (PCQE-P002), so the
+        // impossible miss is simply dropped.
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot = slot.saturating_add(1);
+        }
         if !value.is_nan() {
             self.sum += value;
         }

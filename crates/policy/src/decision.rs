@@ -53,6 +53,7 @@ pub fn evaluate_results(policy: &ConfidencePolicy, confidences: &[f64]) -> Polic
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
 

@@ -84,8 +84,14 @@ impl Assigner {
         }
         let mut contributions: Vec<f64> = per_source.into_values().collect();
         contributions.sort_by(|a, b| b.total_cmp(a));
-        let mut confidence = contributions[0];
-        for &c in &contributions[1..] {
+        // `records` was checked non-empty, so there is at least one
+        // contribution — but the assessor stays panic-free (PCQE-P002) by
+        // treating the impossible empty case as the typed error above.
+        let (&best, rest) = contributions
+            .split_first()
+            .ok_or(ProvenanceError::NoRecords)?;
+        let mut confidence = best;
+        for &c in rest {
             // Damped noisy-OR: each corroborating source closes a fraction
             // of the remaining gap to certainty.
             confidence += (1.0 - confidence) * self.corroboration * c;

@@ -118,6 +118,7 @@ pub(crate) fn check_trust(who: &str, value: f64) -> Result<()> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
 

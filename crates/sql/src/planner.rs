@@ -44,9 +44,15 @@ fn scan_of(t: &TableRef) -> Plan {
 }
 
 fn plan_select(s: &Select, catalog: &Catalog) -> Result<Plan> {
-    // FROM: first table, then comma cross products, then JOINs.
-    let mut plan = scan_of(&s.from[0]);
-    for extra in &s.from[1..] {
+    // FROM: first table, then comma cross products, then JOINs. The
+    // parser guarantees a non-empty FROM, but the planner reports the
+    // impossible case as a typed error instead of indexing (PCQE-P002).
+    let (first, rest) = s
+        .from
+        .split_first()
+        .ok_or_else(|| plan_err("SELECT without a FROM table"))?;
+    let mut plan = scan_of(first);
+    for extra in rest {
         plan = plan.product(scan_of(extra));
     }
     for join in &s.joins {
@@ -196,10 +202,13 @@ fn plan_aggregate(s: &Select, input: Plan, catalog: &Catalog) -> Result<Plan> {
                         expr.default_name()
                     ))
                 })?;
-                let name = item
-                    .alias
-                    .clone()
-                    .unwrap_or_else(|| group_items[pos].name.clone());
+                let name = match item.alias.clone() {
+                    Some(a) => a,
+                    None => group_items
+                        .get(pos)
+                        .map(|g| g.name.clone())
+                        .ok_or_else(|| plan_err("GROUP BY position out of range"))?,
+                };
                 output.push((pos, name));
             }
         }
@@ -241,8 +250,10 @@ fn resolve_having(h: &Expr, s: &Select, schema: &Schema) -> Result<ScalarExpr> {
                 .ok_or_else(|| plan_err("HAVING aggregates must also appear in the SELECT list"))?;
             // Output columns are group keys then aggregates in SELECT
             // order; recover the aggregate's index among aggregates.
-            let agg_rank = s.items[..pos]
+            let agg_rank = s
+                .items
                 .iter()
+                .take(pos)
                 .filter(|i| matches!(i.expr, Expr::Agg { .. }))
                 .count();
             let group_count = s.group_by.len();

@@ -48,7 +48,12 @@ impl Catalog {
         let key = self
             .lookup_key(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
-        Ok(&self.tables[&key])
+        // Same discipline as `table_mut`: the key just came from
+        // `lookup_key`, but the impossible miss is a typed error, not a
+        // panic (PCQE-P002).
+        self.tables
+            .get(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
     /// Mutably borrow a table by name (case-insensitive).
@@ -148,6 +153,7 @@ impl Table {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::schema::Column;

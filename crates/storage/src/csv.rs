@@ -179,7 +179,7 @@ pub fn load_into_with_ids<R: BufRead>(
     let header = records.remove(0);
     let schema = catalog.table(table)?.schema().clone();
     let expected = schema.arity() + 2;
-    if header.len() != expected || header[0] != "__id" {
+    if header.len() != expected || header.first().map(String::as_str) != Some("__id") {
         return Err(csv_err(
             1,
             format!(
@@ -197,16 +197,27 @@ pub fn load_into_with_ids<R: BufRead>(
                 format!("expected {expected} fields, found {}", record.len()),
             ));
         }
-        let id = record[0]
+        let raw_id = record
+            .first()
+            .ok_or_else(|| csv_err(line, "empty record".to_owned()))?;
+        let id = raw_id
             .parse::<u64>()
-            .map_err(|_| csv_err(line, format!("bad tuple id `{}`", record[0])))?;
-        let confidence = record
+            .map_err(|_| csv_err(line, format!("bad tuple id `{raw_id}`")))?;
+        let raw_conf = record
             .last()
-            .ok_or_else(|| csv_err(line, "empty record".to_owned()))?
+            .ok_or_else(|| csv_err(line, "empty record".to_owned()))?;
+        let confidence = raw_conf
             .parse::<f64>()
-            .map_err(|_| csv_err(line, format!("bad confidence `{}`", record[expected - 1])))?;
+            .map_err(|_| csv_err(line, format!("bad confidence `{raw_conf}`")))?;
         let mut values = Vec::with_capacity(schema.arity());
-        for (raw, col) in record[1..expected - 1].iter().zip(schema.columns()) {
+        // Fields 1..expected-1 are the schema columns (the arity check
+        // above pinned the record length); skip/take avoids slicing.
+        for (raw, col) in record
+            .iter()
+            .skip(1)
+            .take(expected - 2)
+            .zip(schema.columns())
+        {
             values.push(parse_value(raw, col.data_type, line)?);
         }
         ids.push(catalog.insert_with_id(table, TupleId(id), values, confidence)?);
@@ -289,6 +300,7 @@ fn parse<R: BufRead>(mut reader: R) -> Result<Vec<Vec<String>>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::schema::{Column, Schema};

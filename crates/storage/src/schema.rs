@@ -74,7 +74,7 @@ impl Schema {
     /// Create a schema, rejecting duplicate `qualifier.name` pairs.
     pub fn new(columns: Vec<Column>) -> Result<Self> {
         for (i, a) in columns.iter().enumerate() {
-            for b in &columns[..i] {
+            for b in columns.iter().take(i) {
                 let same_name = a.name.eq_ignore_ascii_case(&b.name);
                 let same_qual = match (&a.qualifier, &b.qualifier) {
                     (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),

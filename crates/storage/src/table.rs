@@ -157,7 +157,7 @@ impl Table {
 
     /// Look up a row by id.
     pub fn row(&self, id: TupleId) -> Option<&StoredTuple> {
-        self.by_id.get(&id).map(|&i| &self.rows[i])
+        self.by_id.get(&id).and_then(|&i| self.rows.get(i))
     }
 
     /// Current confidence of a tuple, if it exists.
@@ -172,7 +172,11 @@ impl Table {
             .by_id
             .get(&id)
             .ok_or(StorageError::UnknownTuple(id.0))?;
-        self.rows[idx].confidence = confidence;
+        let row = self
+            .rows
+            .get_mut(idx)
+            .ok_or(StorageError::UnknownTuple(id.0))?;
+        row.confidence = confidence;
         Ok(())
     }
 
@@ -184,7 +188,10 @@ impl Table {
             .by_id
             .get(&id)
             .ok_or(StorageError::UnknownTuple(id.0))?;
-        let row = &mut self.rows[idx];
+        let row = self
+            .rows
+            .get_mut(idx)
+            .ok_or(StorageError::UnknownTuple(id.0))?;
         if confidence > row.confidence {
             row.confidence = confidence;
         }
@@ -193,6 +200,7 @@ impl Table {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use crate::schema::Column;

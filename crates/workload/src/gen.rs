@@ -181,6 +181,7 @@ fn random_dag(rng: &mut Rng64, bases: &[u64], fan_in: usize) -> Lineage {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
 mod tests {
     use super::*;
     use pcqe_core::state::EvalState;

@@ -20,7 +20,8 @@
 //! Dot-commands: `.user <name> <role>`, `.purpose <p>`,
 //! `.policy <role> <purpose> <beta>`, `.cost <tuple-id> <rate>`,
 //! `.expecting <fraction>`, `.accept`, `.tables`, `.analyze <query>`,
-//! `.metrics [json|prom]`, `.help`, `.quit`.
+//! `.metrics [json|prom]`, `.lint [json]` (run the static invariant
+//! analyzer over the workspace), `.help`, `.quit`.
 
 use pcqe::cost::CostFn;
 use pcqe::engine::{
@@ -93,7 +94,7 @@ impl Shell {
                      .policy <role> <purpose> <beta> | .cost <tuple-id> <rate> | \
                      .expecting <fraction> | .accept | .tables | \
                      .explain <query> | .analyze <query> | .metrics [json|prom] | \
-                     .save <dir> | .load <dir> | .quit"
+                     .lint [json] | .save <dir> | .load <dir> | .quit"
                 );
             }
             ["user", name, role] => {
@@ -144,6 +145,18 @@ impl Shell {
                 // EXPLAIN ANALYZE: run the plan and annotate it with the
                 // observed per-operator row and lineage counts.
                 print!("{}", self.db.explain_analyze(&rest.join(" "))?);
+            }
+            ["lint"] | ["lint", "json"] => {
+                // Run the in-repo static analyzer over the workspace the
+                // shell was built from — the same analysis as
+                // `cargo run -p pcqe-lint`, inside the session.
+                let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+                let analysis = pcqe_lint::analyze(root, None)?;
+                if parts.len() == 2 {
+                    print!("{}", pcqe_lint::report::json(&analysis));
+                } else {
+                    print!("{}", pcqe_lint::report::human(&analysis));
+                }
             }
             ["metrics"] | ["metrics", "prom"] => {
                 print!(

@@ -1,5 +1,7 @@
 //! Seeded property tests for the cost models and the policy store.
 
+#![allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
+
 mod common;
 
 use common::for_each_case;

@@ -2,6 +2,8 @@
 //! fractions, provenance-backed inserts, union/except queries, and the
 //! improvement loop under each solver.
 
+#![allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
+
 use pcqe::core::dnc::DncOptions;
 use pcqe::core::greedy::GreedyOptions;
 use pcqe::cost::CostFn;

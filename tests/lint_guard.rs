@@ -7,6 +7,7 @@
 //! analysis `ci.sh` runs as a dedicated step; the test form makes it part
 //! of the plain `cargo test` contract.
 
+use pcqe_lint::rules::Rule;
 use std::path::Path;
 
 #[test]
@@ -33,8 +34,8 @@ fn workspace_passes_its_own_static_analysis() {
         pcqe_lint::report::human(&analysis)
     );
 
-    // Every suppression must carry a reason (the parser enforces it; this
-    // keeps the invariant visible at the gate).
+    // Every suppression must carry a reason (rule PCQE-A002 enforces it;
+    // this keeps the invariant visible at the gate).
     for (finding, reason) in &analysis.suppressed {
         assert!(
             !reason.trim().is_empty(),
@@ -44,4 +45,75 @@ fn workspace_passes_its_own_static_analysis() {
             finding.line
         );
     }
+}
+
+/// The graph-layer rules (P002 panic-reachability, G001 policy-gating),
+/// the new token rules (D004 float-determinism, C001 concurrency
+/// containment), and the hygiene rule A002 must all be live — i.e. they
+/// fire on the fixture trees that plant exactly one violation each. A
+/// rule that silently stopped firing would turn the clean workspace gate
+/// above into a vacuous check.
+#[test]
+fn reachability_and_hygiene_rules_are_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let graph = pcqe_lint::analyze(&root.join("crates/lint/tests/fixtures/graph"), None)
+        .expect("graph fixture analysis runs");
+    for rule in [Rule::P002, Rule::D004, Rule::C001, Rule::G001] {
+        assert!(
+            graph.findings.iter().any(|f| f.rule == rule),
+            "{} must fire on the graph fixture:\n{}",
+            rule.code(),
+            pcqe_lint::report::human(&graph)
+        );
+    }
+    // The planted transitive panic is reported at the site with the full
+    // witness call path from the guarded public API.
+    let p002 = graph
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::P002)
+        .expect("P002 finding present");
+    assert_eq!(p002.path, "crates/core/src/pick.rs");
+    assert!(
+        p002.message
+            .contains("pcqe_engine::run → pcqe_engine::step → pcqe_core::pick"),
+        "witness path missing in: {}",
+        p002.message
+    );
+
+    let noreason = pcqe_lint::analyze(&root.join("crates/lint/tests/fixtures/noreason"), None)
+        .expect("noreason fixture analysis runs");
+    assert!(
+        noreason.findings.iter().any(|f| f.rule == Rule::A002),
+        "PCQE-A002 must fire on the unreasoned allowlist entry:\n{}",
+        pcqe_lint::report::human(&noreason)
+    );
+}
+
+/// The JSON report is a CI artifact (`ci.sh` writes `results/lint.json`):
+/// it must be byte-identical across runs and parseable by the in-repo
+/// JSON reader that `obs-validate` uses, with summary counts that agree
+/// with the analysis itself.
+#[test]
+fn json_report_is_byte_stable_and_round_trips_through_the_obs_parser() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let a = pcqe_lint::analyze(root, None).expect("first analysis runs");
+    let b = pcqe_lint::analyze(root, None).expect("second analysis runs");
+    let ja = pcqe_lint::report::json(&a);
+    let jb = pcqe_lint::report::json(&b);
+    assert_eq!(ja, jb, "JSON report drifted between two identical runs");
+
+    let value = pcqe_obs::json::parse(&ja).expect("report parses with pcqe_obs::json");
+    let obj = value.as_object().expect("top level is an object");
+    assert_eq!(obj["tool"].as_str(), Some("pcqe-lint"));
+    assert_eq!(obj["format_version"].as_u64(), Some(1));
+    let findings = obj["findings"].as_array().expect("findings array");
+    assert_eq!(findings.len(), a.findings.len());
+    let summary = obj["summary"].as_object().expect("summary object");
+    assert_eq!(summary["errors"].as_u64(), Some(a.error_count() as u64));
+    assert_eq!(summary["files"].as_u64(), Some(a.files_scanned as u64));
+    assert_eq!(
+        summary["suppressed"].as_u64(),
+        Some(a.suppressed.len() as u64)
+    );
 }
