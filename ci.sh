@@ -60,7 +60,43 @@ step "observability smoke export (quickstart -> results/metrics.json)"
 cargo run -q --offline --example quickstart > /dev/null
 cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- results/metrics.json
 
+step "EXPLAIN smoke (.plan on the § 3.1 running example)"
+# Pipe the paper's running-example schema and query through the shell
+# and assert the physical planner's choices show up in the side-by-side
+# plan: the residual filter is pushed into the Proposal scan and the
+# small build side makes the join a nested loop.
+PLAN_OUT="$(cargo run -q --offline --example shell <<'EOF'
+CREATE TABLE Proposal (company TEXT, proposal TEXT, funding REAL);
+CREATE TABLE CompanyInfo (company TEXT, income REAL);
+INSERT INTO Proposal VALUES ('ABC', 'p7', 500000.0) WITH CONFIDENCE 0.8;
+INSERT INTO CompanyInfo VALUES ('ABC', 900000.0) WITH CONFIDENCE 0.9;
+.plan SELECT DISTINCT CompanyInfo.company, income FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company WHERE funding < 1000000.0
+.quit
+EOF
+)"
+echo "$PLAN_OUT" | grep -q "NestedLoopJoin" || {
+  echo "EXPLAIN smoke: expected NestedLoopJoin in .plan output" >&2
+  echo "$PLAN_OUT" >&2
+  exit 1
+}
+echo "$PLAN_OUT" | grep -q "TableScan Proposal \[filter:" || {
+  echo "EXPLAIN smoke: expected pushed filter on the Proposal scan" >&2
+  echo "$PLAN_OUT" >&2
+  exit 1
+}
+echo "EXPLAIN smoke OK (nested-loop join, pushed residual filter)"
+
 step "bench workspace builds (offline, detached)"
 ( cd crates/bench && cargo build --offline && cargo test -q --offline )
+
+step "physical planning bench export (results/physical_planning.json)"
+# The bench asserts logical/physical bit-identity, β-gated audit parity,
+# and that the low-β workload actually skips exact expansions, then
+# exports its measurements; the in-repo parser validates the document.
+( cd crates/bench \
+  && cargo bench -q --offline --bench physical_planning -- \
+    ../../results/physical_planning.json )
+cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+  results/physical_planning.json
 
 step "ci.sh: all stages passed"

@@ -12,6 +12,9 @@ pub enum AlgebraError {
     Type(String),
     /// Union/difference inputs had incompatible schemas.
     SchemaMismatch(String),
+    /// A physical plan referenced an access path the catalog does not
+    /// provide (e.g. an index scan on an unindexed column).
+    Plan(String),
     /// A lineage evaluation failed while scoring results.
     Lineage(String),
 }
@@ -22,6 +25,7 @@ impl fmt::Display for AlgebraError {
             AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
             AlgebraError::Type(m) => write!(f, "type error: {m}"),
             AlgebraError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            AlgebraError::Plan(m) => write!(f, "plan error: {m}"),
             AlgebraError::Lineage(m) => write!(f, "lineage error: {m}"),
         }
     }

@@ -59,29 +59,35 @@ impl ExecProfile {
 }
 
 /// Pre-order profile collector; a disabled profiler is a no-op.
-struct Profiler {
+///
+/// Shared between the logical executor (labels from [`Plan::node_label`])
+/// and the physical executor (labels from
+/// [`crate::physical::PhysicalPlan::node_label`]).
+pub(crate) struct Profiler {
     slots: Option<Vec<OperatorProfile>>,
 }
 
 impl Profiler {
-    fn off() -> Profiler {
+    pub(crate) fn off() -> Profiler {
         Profiler { slots: None }
     }
 
-    fn on() -> Profiler {
+    pub(crate) fn on() -> Profiler {
         Profiler {
             slots: Some(Vec::new()),
         }
     }
 
     /// Reserve this node's slot *before* its children run, so slot order
-    /// is pre-order regardless of execution order.
-    fn enter(&mut self, plan: &Plan, depth: usize) -> usize {
+    /// is pre-order regardless of execution order. The label closure is
+    /// only invoked when profiling is enabled, keeping the unprofiled hot
+    /// path allocation-free.
+    pub(crate) fn enter(&mut self, depth: usize, label: impl FnOnce() -> String) -> usize {
         match &mut self.slots {
             None => 0,
             Some(v) => {
                 v.push(OperatorProfile {
-                    operator: plan.node_label(),
+                    operator: label(),
                     depth,
                     rows_in: 0,
                     rows_out: 0,
@@ -93,7 +99,7 @@ impl Profiler {
     }
 
     /// Fill the reserved slot once the operator's output exists.
-    fn exit(&mut self, slot: usize, rows_in: usize, out: &[DerivedTuple]) {
+    pub(crate) fn exit(&mut self, slot: usize, rows_in: usize, out: &[DerivedTuple]) {
         if let Some(v) = &mut self.slots {
             if let Some(p) = v.get_mut(slot) {
                 p.rows_in = rows_in as u64;
@@ -105,18 +111,19 @@ impl Profiler {
         }
     }
 
-    fn finish(self) -> ExecProfile {
+    pub(crate) fn finish(self) -> ExecProfile {
         ExecProfile {
             operators: self.slots.unwrap_or_default(),
         }
     }
 }
 
-/// Everything an operator needs besides the plan node itself.
-struct Ctx<'a> {
-    catalog: &'a Catalog,
-    par: &'a Parallelism,
-    observer: Option<&'a dyn ParObserver>,
+/// Everything an operator needs besides the plan node itself. Shared with
+/// the physical executor ([`crate::physical`]).
+pub(crate) struct Ctx<'a> {
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) par: &'a Parallelism,
+    pub(crate) observer: Option<&'a dyn ParObserver>,
 }
 
 /// Execute a plan against a catalog, producing derived tuples with lineage.
@@ -174,7 +181,7 @@ pub fn execute_profiled(
 }
 
 fn run(plan: &Plan, ctx: &Ctx<'_>, depth: usize, prof: &mut Profiler) -> Result<Vec<DerivedTuple>> {
-    let slot = prof.enter(plan, depth);
+    let slot = prof.enter(depth, || plan.node_label());
     let (rows_in, out) = run_node(plan, ctx, depth, prof)?;
     prof.exit(slot, rows_in, &out);
     Ok(out)
@@ -485,7 +492,7 @@ fn run_node(
 /// Split a join predicate into hashable equality pairs `(left column,
 /// right column)` and the residual predicate. `hashable` decides whether a
 /// candidate pair may be used as a hash key.
-fn split_equi_conjuncts(
+pub(crate) fn split_equi_conjuncts(
     predicate: &ScalarExpr,
     left_arity: usize,
     hashable: impl Fn(usize, usize) -> bool,
@@ -533,7 +540,7 @@ fn split_equi_conjuncts(
     (equi, residual)
 }
 
-fn sort_rows(rows: &mut [DerivedTuple], keys: &[crate::plan::SortKey]) -> Result<()> {
+pub(crate) fn sort_rows(rows: &mut [DerivedTuple], keys: &[crate::plan::SortKey]) -> Result<()> {
     // Precompute key tuples so evaluation errors surface before sorting.
     let mut keyed: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
     for row in rows.iter() {
@@ -564,7 +571,7 @@ fn sort_rows(rows: &mut [DerivedTuple], keys: &[crate::plan::SortKey]) -> Result
 }
 
 /// Evaluate one aggregate over a group's member rows.
-fn eval_aggregate(
+pub(crate) fn eval_aggregate(
     agg: &crate::plan::AggItem,
     members: &[usize],
     rows: &[DerivedTuple],
@@ -635,13 +642,13 @@ fn eval_aggregate(
     })
 }
 
-fn eval_items(items: &[ProjItem], row: &[Value]) -> Result<Vec<Value>> {
+pub(crate) fn eval_items(items: &[ProjItem], row: &[Value]) -> Result<Vec<Value>> {
     items.iter().map(|item| item.expr.eval(row)).collect()
 }
 
 /// Merge rows with identical values, OR-ing their lineage (set semantics).
 /// The first occurrence's position is kept, so output order is stable.
-fn or_merge(rows: Vec<DerivedTuple>) -> Vec<DerivedTuple> {
+pub(crate) fn or_merge(rows: Vec<DerivedTuple>) -> Vec<DerivedTuple> {
     let mut index: BTreeMap<Tuple, usize> = BTreeMap::new();
     let mut grouped: Vec<(Tuple, Vec<Lineage>)> = Vec::new();
     for row in rows {

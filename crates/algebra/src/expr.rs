@@ -498,6 +498,26 @@ fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     Ok(Value::Real(out))
 }
 
+impl fmt::Display for ScalarExpr {
+    /// Compact infix rendering for plan output: columns as `#i` (positions
+    /// in the input schema), text literals quoted, compound expressions
+    /// parenthesised. Deterministic — used in golden EXPLAIN snapshots.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(i) => write!(f, "#{i}"),
+            ScalarExpr::Literal(Value::Text(s)) => write!(f, "'{s}'"),
+            ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            ScalarExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::IsNull => write!(f, "({expr} IS NULL)"),
+                UnaryOp::IsNotNull => write!(f, "({expr} IS NOT NULL)"),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

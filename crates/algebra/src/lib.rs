@@ -39,6 +39,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod optimize;
+pub mod physical;
 pub mod plan;
 pub mod result;
 
@@ -46,8 +47,12 @@ pub use error::AlgebraError;
 pub use exec::{execute, execute_profiled, execute_with, ExecProfile, OperatorProfile};
 pub use expr::{BinaryOp, ScalarExpr, UnaryOp};
 pub use optimize::optimize;
+pub use physical::{
+    execute_physical, execute_physical_profiled, execute_physical_with, lower, render_side_by_side,
+    PhysicalPlan,
+};
 pub use plan::{Plan, ProjItem};
-pub use result::{DerivedTuple, ResultSet, ScoredTuple};
+pub use result::{DerivedTuple, GatedScore, ResultSet, ScoredTuple};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,427 @@
+//! Physical plan execution.
+//!
+//! Node-for-node this mirrors the logical executor in [`crate::exec`] —
+//! the same morsel-parallel primitives, the same lineage rules, the same
+//! ordered-map determinism — but driven by a [`PhysicalPlan`], so access
+//! paths (index vs table scan) and join strategies (hash vs nested loop)
+//! are explicit rather than chosen per execution.
+//!
+//! The contract that everything downstream relies on: for any logical
+//! plan `p`, `execute_physical(&lower(&p, c)?, c)` produces a result set
+//! **bit-identical** to `execute(&p, c)` — same rows, same order, same
+//! lineage expressions. The planner only makes substitutions that
+//! provably preserve this (see [`crate::physical::planner`] module docs),
+//! and this executor implements each operator with the logical executor's
+//! exact semantics.
+
+use crate::exec::{eval_aggregate, eval_items, or_merge, sort_rows, Ctx, ExecProfile, Profiler};
+use crate::expr::ScalarExpr;
+use crate::physical::plan::PhysicalPlan;
+use crate::result::{DerivedTuple, ResultSet};
+use crate::Result;
+use pcqe_lineage::Lineage;
+use pcqe_par::{ParObserver, Parallelism};
+use pcqe_storage::{Catalog, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Execute a physical plan sequentially.
+///
+/// Like [`crate::execute`], confidence values are never consulted here:
+/// lineage stays symbolic and scoring happens afterwards (via
+/// [`crate::ResultSet::score`] or the β-gated
+/// [`crate::ResultSet::score_gated`]).
+pub fn execute_physical(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ResultSet> {
+    execute_physical_with(plan, catalog, &Parallelism::sequential())
+}
+
+/// [`execute_physical`] with a parallelism policy. Output is byte-identical
+/// for any policy: per-row work is pure, morsels reassemble in input order,
+/// and errors surface as the first failure in input order.
+pub fn execute_physical_with(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    par: &Parallelism,
+) -> Result<ResultSet> {
+    let schema = plan.schema(catalog)?;
+    let ctx = Ctx {
+        catalog,
+        par,
+        observer: None,
+    };
+    let rows = run(plan, &ctx, 0, &mut Profiler::off())?;
+    Ok(ResultSet::new(schema, rows))
+}
+
+/// [`execute_physical_with`], additionally collecting a per-operator
+/// [`ExecProfile`] (labels from [`PhysicalPlan::node_label`], pre-order =
+/// `Display` line order) and optionally feeding a [`ParObserver`].
+pub fn execute_physical_profiled(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    par: &Parallelism,
+    observer: Option<&dyn ParObserver>,
+) -> Result<(ResultSet, ExecProfile)> {
+    let schema = plan.schema(catalog)?;
+    let ctx = Ctx {
+        catalog,
+        par,
+        observer,
+    };
+    let mut prof = Profiler::on();
+    let rows = run(plan, &ctx, 0, &mut prof)?;
+    Ok((ResultSet::new(schema, rows), prof.finish()))
+}
+
+fn run(
+    plan: &PhysicalPlan,
+    ctx: &Ctx<'_>,
+    depth: usize,
+    prof: &mut Profiler,
+) -> Result<Vec<DerivedTuple>> {
+    let slot = prof.enter(depth, || plan.node_label());
+    let (rows_in, out) = run_node(plan, ctx, depth, prof)?;
+    prof.exit(slot, rows_in, &out);
+    Ok(out)
+}
+
+/// Apply a pushed-down residual predicate: morsel-parallel mask, then a
+/// cheap sequential filter — exactly the logical `Select` implementation.
+fn apply_residual(
+    rows: Vec<DerivedTuple>,
+    residual: &Option<ScalarExpr>,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<DerivedTuple>> {
+    let Some(predicate) = residual else {
+        return Ok(rows);
+    };
+    let keep = pcqe_par::try_map_observed(
+        ctx.par,
+        &rows,
+        |row| predicate.eval_predicate(row.tuple.values()),
+        ctx.observer,
+    )?;
+    Ok(rows
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(row, k)| k.then_some(row))
+        .collect())
+}
+
+/// Execute one node; returns `(rows consumed from direct inputs, output)`.
+///
+/// For scans, "rows consumed" is the rows actually read from storage: the
+/// full table for [`PhysicalPlan::TableScan`] but only the matching
+/// postings for [`PhysicalPlan::IndexScan`] — `EXPLAIN ANALYZE` makes the
+/// access path's saving directly visible.
+fn run_node(
+    plan: &PhysicalPlan,
+    ctx: &Ctx<'_>,
+    depth: usize,
+    prof: &mut Profiler,
+) -> Result<(usize, Vec<DerivedTuple>)> {
+    let catalog = ctx.catalog;
+    let par = ctx.par;
+    match plan {
+        PhysicalPlan::TableScan {
+            table, residual, ..
+        } => {
+            let t = catalog.table(table)?;
+            let rows: Vec<DerivedTuple> = t
+                .rows()
+                .iter()
+                .map(|r| DerivedTuple {
+                    tuple: r.tuple.clone(),
+                    lineage: Lineage::var(r.id.0),
+                })
+                .collect();
+            let rows_in = rows.len();
+            Ok((rows_in, apply_residual(rows, residual, ctx)?))
+        }
+        PhysicalPlan::IndexScan {
+            table,
+            column,
+            key,
+            residual,
+            ..
+        } => {
+            let t = catalog.table(table)?;
+            let index = t.index_on(*column).ok_or_else(|| {
+                crate::error::AlgebraError::Plan(format!(
+                    "physical plan requires an index on column {column} of `{table}`, \
+                     but the catalog has none"
+                ))
+            })?;
+            let stored = t.rows();
+            let positions = index.lookup(key);
+            let mut rows = Vec::with_capacity(positions.len());
+            for &pos in positions {
+                let r = stored.get(pos).ok_or_else(|| {
+                    crate::error::AlgebraError::Plan(format!(
+                        "index on `{table}` points at row {pos} beyond table length {}",
+                        stored.len()
+                    ))
+                })?;
+                rows.push(DerivedTuple {
+                    tuple: r.tuple.clone(),
+                    lineage: Lineage::var(r.id.0),
+                });
+            }
+            let rows_in = rows.len();
+            Ok((rows_in, apply_residual(rows, residual, ctx)?))
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
+            Ok((
+                rows_in,
+                apply_residual(rows, &Some(predicate.clone()), ctx)?,
+            ))
+        }
+        PhysicalPlan::Project {
+            input,
+            items,
+            distinct,
+        } => {
+            let rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
+            let values = pcqe_par::try_map_observed(
+                par,
+                &rows,
+                |row| eval_items(items, row.tuple.values()),
+                ctx.observer,
+            )?;
+            let projected: Vec<DerivedTuple> = rows
+                .into_iter()
+                .zip(values)
+                .map(|(row, values)| DerivedTuple {
+                    tuple: Tuple::new(values),
+                    lineage: row.lineage,
+                })
+                .collect();
+            let out = if *distinct {
+                or_merge(projected)
+            } else {
+                projected
+            };
+            Ok((rows_in, out))
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+        } => {
+            let left_arity = left.schema(catalog)?.arity();
+            let l = run(left, ctx, depth + 1, prof)?;
+            let r = run(right, ctx, depth + 1, prof)?;
+            let rows_in = l.len() + r.len();
+            // Build on the right side into an ordered map — identical to
+            // the logical executor's hash path (lint rule PCQE-D001).
+            let mut table: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+            'rows: for (i, rr) in r.iter().enumerate() {
+                let mut key = Vec::with_capacity(keys.len());
+                for &(_, rc) in keys {
+                    let v = rr.tuple.get(rc - left_arity).cloned().ok_or_else(|| {
+                        crate::error::AlgebraError::Type(format!(
+                            "join key column {rc} out of range"
+                        ))
+                    })?;
+                    if v.is_null() {
+                        continue 'rows; // NULL never equi-joins
+                    }
+                    key.push(v);
+                }
+                table.entry(key).or_default().push(i);
+            }
+            // Probe morsel-parallel over left rows; per-row match lists
+            // flattened in input order reproduce the sequential loop.
+            let per_left = pcqe_par::try_map_observed(
+                par,
+                &l,
+                |lr| -> Result<Vec<DerivedTuple>> {
+                    let mut key = Vec::with_capacity(keys.len());
+                    for &(lc, _) in keys {
+                        let v = lr.tuple.get(lc).cloned().ok_or_else(|| {
+                            crate::error::AlgebraError::Type(format!(
+                                "join key column {lc} out of range"
+                            ))
+                        })?;
+                        if v.is_null() {
+                            return Ok(Vec::new()); // NULL never equi-joins
+                        }
+                        key.push(v);
+                    }
+                    let Some(matches) = table.get(&key) else {
+                        return Ok(Vec::new());
+                    };
+                    let mut out = Vec::with_capacity(matches.len());
+                    for &ri in matches {
+                        let rr = r.get(ri).ok_or_else(|| {
+                            crate::error::AlgebraError::Plan("hash table entry out of range".into())
+                        })?;
+                        let combined = lr.tuple.concat(&rr.tuple);
+                        let keep = match residual {
+                            Some(res) => res.eval_predicate(combined.values())?,
+                            None => true,
+                        };
+                        if keep {
+                            out.push(DerivedTuple {
+                                tuple: combined,
+                                lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
+                            });
+                        }
+                    }
+                    Ok(out)
+                },
+                ctx.observer,
+            )?;
+            Ok((rows_in, per_left.into_iter().flatten().collect()))
+        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = run(left, ctx, depth + 1, prof)?;
+            let r = run(right, ctx, depth + 1, prof)?;
+            let rows_in = l.len() + r.len();
+            let out: Vec<Vec<DerivedTuple>> = match predicate {
+                // Pure cross product: infallible per-row work.
+                None => pcqe_par::map_observed(
+                    par,
+                    &l,
+                    |lr| {
+                        r.iter()
+                            .map(|rr| DerivedTuple {
+                                tuple: lr.tuple.concat(&rr.tuple),
+                                lineage: Lineage::and(vec![lr.lineage.clone(), rr.lineage.clone()]),
+                            })
+                            .collect::<Vec<_>>()
+                    },
+                    ctx.observer,
+                ),
+                // Predicated nested loop, morsel-parallel over left rows.
+                Some(p) => pcqe_par::try_map_observed(
+                    par,
+                    &l,
+                    |lr| -> Result<Vec<DerivedTuple>> {
+                        let mut matches = Vec::new();
+                        for rr in &r {
+                            let combined = lr.tuple.concat(&rr.tuple);
+                            if p.eval_predicate(combined.values())? {
+                                matches.push(DerivedTuple {
+                                    tuple: combined,
+                                    lineage: Lineage::and(vec![
+                                        lr.lineage.clone(),
+                                        rr.lineage.clone(),
+                                    ]),
+                                });
+                            }
+                        }
+                        Ok(matches)
+                    },
+                    ctx.observer,
+                )?,
+            };
+            Ok((rows_in, out.into_iter().flatten().collect()))
+        }
+        PhysicalPlan::Union { left, right } => {
+            // Schema compatibility is checked by PhysicalPlan::schema.
+            plan.schema(catalog)?;
+            let mut rows = run(left, ctx, depth + 1, prof)?;
+            rows.extend(run(right, ctx, depth + 1, prof)?);
+            let rows_in = rows.len();
+            Ok((rows_in, or_merge(rows)))
+        }
+        PhysicalPlan::Difference { left, right } => {
+            plan.schema(catalog)?;
+            let l = or_merge(run(left, ctx, depth + 1, prof)?);
+            let r = or_merge(run(right, ctx, depth + 1, prof)?);
+            let rows_in = l.len() + r.len();
+            let right_by_value: BTreeMap<&Tuple, &Lineage> =
+                r.iter().map(|d| (&d.tuple, &d.lineage)).collect();
+            let mut out = Vec::new();
+            for row in &l {
+                let lineage = match right_by_value.get(&row.tuple) {
+                    Some(rl) => {
+                        Lineage::and(vec![row.lineage.clone(), Lineage::not((*rl).clone())])
+                    }
+                    None => row.lineage.clone(),
+                };
+                if lineage != Lineage::Const(false) {
+                    out.push(DerivedTuple {
+                        tuple: row.tuple.clone(),
+                        lineage,
+                    });
+                }
+            }
+            Ok((rows_in, out))
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let mut rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
+            sort_rows(&mut rows, keys)?;
+            Ok((rows_in, rows))
+        }
+        PhysicalPlan::Limit { input, count } => {
+            let mut rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
+            rows.truncate(*count);
+            Ok((rows_in, rows))
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let rows = run(input, ctx, depth + 1, prof)?;
+            let rows_in = rows.len();
+            // Group rows by key values, preserving first-seen order —
+            // identical to the logical Aggregate.
+            let mut index: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+            let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(g.expr.eval(row.tuple.values())?);
+                }
+                match index.get(&key) {
+                    Some(&gi) => {
+                        if let Some(group) = groups.get_mut(gi) {
+                            group.1.push(i);
+                        }
+                    }
+                    None => {
+                        index.insert(key.clone(), groups.len());
+                        groups.push((key, vec![i]));
+                    }
+                }
+            }
+            if group_by.is_empty() && groups.is_empty() {
+                groups.push((Vec::new(), Vec::new()));
+            }
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, members) in groups {
+                let mut values = key;
+                for agg in aggregates {
+                    values.push(eval_aggregate(agg, &members, &rows)?);
+                }
+                let lineage = if members.is_empty() {
+                    Lineage::certain()
+                } else {
+                    Lineage::or(
+                        members
+                            .iter()
+                            .filter_map(|&i| rows.get(i).map(|r| r.lineage.clone()))
+                            .collect(),
+                    )
+                };
+                out.push(DerivedTuple {
+                    tuple: Tuple::new(values),
+                    lineage,
+                });
+            }
+            Ok((rows_in, out))
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Physical operator trees.
+//!
+//! A [`PhysicalPlan`] is what actually runs: every node names a concrete
+//! algorithm (hash join vs nested loop, index scan vs table scan) and
+//! carries its pushed-down predicates explicitly. Logical [`Plan`]s are
+//! lowered to physical plans by [`crate::physical::planner::lower`].
+//!
+//! The rendering contract mirrors the logical side: [`fmt::Display`] is a
+//! 2-space-indented pre-order tree, one line per node, each line exactly
+//! [`PhysicalPlan::node_label`] — so `EXPLAIN ANALYZE` output can zip a
+//! profile against the plan text line-for-line.
+
+use crate::error::AlgebraError;
+use crate::expr::ScalarExpr;
+use crate::plan::{AggFunc, AggItem, Plan, ProjItem, SortKey};
+use crate::Result;
+use pcqe_storage::{Catalog, Column, DataType, Schema, Value};
+use std::fmt;
+
+/// A physical query plan: concrete operators with explicit access paths,
+/// join strategies and pushed-down predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Sequential scan of a base table, with an optional pushed-down
+    /// residual predicate applied to every row.
+    TableScan {
+        /// Table name in the catalog.
+        table: String,
+        /// Alias qualifying the output columns.
+        alias: Option<String>,
+        /// Pushed-down filter evaluated per row (`None` = keep all).
+        residual: Option<ScalarExpr>,
+    },
+    /// Equality-index lookup: fetch only the rows whose indexed column
+    /// equals `key`, in insertion order, then apply the residual.
+    IndexScan {
+        /// Table name in the catalog.
+        table: String,
+        /// Alias qualifying the output columns.
+        alias: Option<String>,
+        /// Indexed column position in the table schema.
+        column: usize,
+        /// Column name (for rendering).
+        column_name: String,
+        /// The equality key. Never `NULL`; its type matches the column
+        /// exactly, so index equality agrees with SQL `=`.
+        key: Value,
+        /// Remaining pushed-down conjuncts applied per fetched row.
+        residual: Option<ScalarExpr>,
+    },
+    /// σ over an arbitrary input.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Boolean predicate over the input schema.
+        predicate: ScalarExpr,
+    },
+    /// Π — compute output columns; `distinct` OR-merges duplicates.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output columns.
+        items: Vec<ProjItem>,
+        /// Whether to deduplicate (OR-merging lineage).
+        distinct: bool,
+    },
+    /// Hash join: build an ordered map over the right input's key columns,
+    /// probe with the left input in order. `keys` are `(left column,
+    /// right column)` pairs with right columns numbered in the combined
+    /// schema (as in the join predicate).
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<PhysicalPlan>,
+        /// Right (build) input.
+        right: Box<PhysicalPlan>,
+        /// Equality key pairs `(left col, combined-schema right col)`.
+        keys: Vec<(usize, usize)>,
+        /// Non-equality conjuncts checked per candidate match.
+        residual: Option<ScalarExpr>,
+    },
+    /// Nested-loop join; `predicate: None` is a cartesian product.
+    NestedLoopJoin {
+        /// Left (outer) input.
+        left: Box<PhysicalPlan>,
+        /// Right (inner) input.
+        right: Box<PhysicalPlan>,
+        /// Join predicate over the combined schema; `None` = cross join.
+        predicate: Option<ScalarExpr>,
+    },
+    /// ∪ — set union (duplicates merge, lineage ORs).
+    Union {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// − — set difference (`l ∧ ¬(r₁ ∨ …)` lineage).
+    Difference {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Stable sort by a sequence of keys.
+    Sort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Sort keys, applied in order.
+        keys: Vec<SortKey>,
+    },
+    /// Keep only the first `count` rows.
+    Limit {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Maximum number of rows.
+        count: usize,
+    },
+    /// γ — grouping and aggregation (same semantics as the logical node).
+    Aggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Group-key expressions (empty = one global group).
+        group_by: Vec<ProjItem>,
+        /// Aggregates over the input schema.
+        aggregates: Vec<AggItem>,
+    },
+}
+
+impl PhysicalPlan {
+    /// The plan's output schema against a catalog. Mirrors
+    /// [`Plan::schema`]: physical lowering never changes the schema of the
+    /// logical node it implements.
+    pub fn schema(&self, catalog: &Catalog) -> Result<Schema> {
+        match self {
+            PhysicalPlan::TableScan { table, alias, .. }
+            | PhysicalPlan::IndexScan { table, alias, .. } => {
+                let t = catalog.table(table)?;
+                let qualifier = alias.as_deref().unwrap_or(table);
+                Ok(t.schema().with_qualifier(qualifier))
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.schema(catalog),
+            PhysicalPlan::Project { input, items, .. } => {
+                let in_schema = input.schema(catalog)?;
+                let mut cols = Vec::with_capacity(items.len());
+                for item in items {
+                    let dt = item.expr.infer_type(&in_schema)?;
+                    cols.push(Column::new(item.name.clone(), dt));
+                }
+                Schema::new(cols).map_err(AlgebraError::from)
+            }
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                Ok(left.schema(catalog)?.join(&right.schema(catalog)?))
+            }
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let in_schema = input.schema(catalog)?;
+                let mut cols = Vec::with_capacity(group_by.len() + aggregates.len());
+                for item in group_by {
+                    cols.push(Column::new(
+                        item.name.clone(),
+                        item.expr.infer_type(&in_schema)?,
+                    ));
+                }
+                for agg in aggregates {
+                    let dt = match (agg.func, &agg.arg) {
+                        (AggFunc::Count, _) => DataType::Int,
+                        (AggFunc::Avg, _) => DataType::Real,
+                        (AggFunc::Sum, Some(arg)) => match arg.infer_type(&in_schema)? {
+                            DataType::Int => DataType::Int,
+                            _ => DataType::Real,
+                        },
+                        (AggFunc::Min | AggFunc::Max, Some(arg)) => arg.infer_type(&in_schema)?,
+                        (f, None) => {
+                            return Err(AlgebraError::Type(format!(
+                                "{} requires an argument",
+                                f.name()
+                            )))
+                        }
+                    };
+                    cols.push(Column::new(agg.name.clone(), dt));
+                }
+                Schema::new(cols).map_err(AlgebraError::from)
+            }
+            PhysicalPlan::Union { left, right } | PhysicalPlan::Difference { left, right } => {
+                let l = left.schema(catalog)?;
+                let r = right.schema(catalog)?;
+                if l.arity() != r.arity() {
+                    return Err(AlgebraError::SchemaMismatch(format!(
+                        "arity {} vs {}",
+                        l.arity(),
+                        r.arity()
+                    )));
+                }
+                for (a, b) in l.columns().iter().zip(r.columns()) {
+                    if a.data_type != b.data_type {
+                        return Err(AlgebraError::SchemaMismatch(format!(
+                            "column `{}` is {} on the left but {} on the right",
+                            a.name, a.data_type, b.data_type
+                        )));
+                    }
+                }
+                Ok(l)
+            }
+        }
+    }
+
+    /// The one-line label this node renders in [`fmt::Display`], exposing
+    /// the access path, join strategy and pushed-down predicates. The
+    /// physical profiler tags each operator with exactly this string, so
+    /// physical `EXPLAIN ANALYZE` lines up with `EXPLAIN` by construction.
+    pub fn node_label(&self) -> String {
+        fn filter_suffix(residual: &Option<ScalarExpr>) -> String {
+            match residual {
+                Some(p) => format!(" [filter: {p}]"),
+                None => String::new(),
+            }
+        }
+        match self {
+            PhysicalPlan::TableScan {
+                table,
+                alias,
+                residual,
+            } => {
+                let name = match alias {
+                    Some(a) => format!("{table} AS {a}"),
+                    None => table.clone(),
+                };
+                format!("TableScan {name}{}", filter_suffix(residual))
+            }
+            PhysicalPlan::IndexScan {
+                table,
+                alias,
+                column_name,
+                key,
+                residual,
+                ..
+            } => {
+                let name = match alias {
+                    Some(a) => format!("{table} AS {a}"),
+                    None => table.clone(),
+                };
+                let key = ScalarExpr::Literal(key.clone());
+                format!(
+                    "IndexScan {name} ({column_name} = {key}){}",
+                    filter_suffix(residual)
+                )
+            }
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter [{predicate}]"),
+            PhysicalPlan::Project {
+                items, distinct, ..
+            } => {
+                let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+                format!(
+                    "Project{} [{}]",
+                    if *distinct { " DISTINCT" } else { "" },
+                    names.join(", ")
+                )
+            }
+            PhysicalPlan::HashJoin { keys, residual, .. } => {
+                let pairs: Vec<String> = keys.iter().map(|(l, r)| format!("#{l} = #{r}")).collect();
+                format!(
+                    "HashJoin [{}]{}",
+                    pairs.join(" AND "),
+                    filter_suffix(residual)
+                )
+            }
+            PhysicalPlan::NestedLoopJoin { predicate, .. } => match predicate {
+                Some(p) => format!("NestedLoopJoin [{p}]"),
+                None => "NestedLoopJoin (cross)".to_owned(),
+            },
+            PhysicalPlan::Union { .. } => "Union".to_owned(),
+            PhysicalPlan::Difference { .. } => "Difference".to_owned(),
+            PhysicalPlan::Sort { keys, .. } => format!("Sort ({} key(s))", keys.len()),
+            PhysicalPlan::Limit { count, .. } => format!("Limit {count}"),
+            PhysicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let keys: Vec<&str> = group_by.iter().map(|g| g.name.as_str()).collect();
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|a| format!("{}({})", a.func.name(), a.name))
+                    .collect();
+                format!(
+                    "Aggregate by [{}] computing [{}]",
+                    keys.join(", "),
+                    aggs.join(", ")
+                )
+            }
+        }
+    }
+
+    /// The node's inputs, left-to-right (empty for scans).
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. } | PhysicalPlan::IndexScan { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Aggregate { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::Union { left, right }
+            | PhysicalPlan::Difference { left, right } => vec![left, right],
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn indent(f: &mut fmt::Formatter<'_>, plan: &PhysicalPlan, depth: usize) -> fmt::Result {
+            writeln!(f, "{}{}", "  ".repeat(depth), plan.node_label())?;
+            for child in plan.children() {
+                indent(f, child, depth + 1)?;
+            }
+            Ok(())
+        }
+        indent(f, self, 0)
+    }
+}
+
+/// Render a logical and a physical plan side by side, line-aligned at the
+/// top: the shell's `.plan` output. The left column is padded to the
+/// longest logical line.
+pub fn render_side_by_side(logical: &Plan, physical: &PhysicalPlan) -> String {
+    let left: Vec<String> = logical.to_string().lines().map(str::to_owned).collect();
+    let right: Vec<String> = physical.to_string().lines().map(str::to_owned).collect();
+    let width = left.iter().map(String::len).max().unwrap_or(0).max(12);
+    let mut out = String::new();
+    out.push_str(&format!("{:<width$} | {}\n", "LOGICAL", "PHYSICAL"));
+    out.push_str(&format!("{:-<width$}-+-{:-<width$}\n", "", ""));
+    for i in 0..left.len().max(right.len()) {
+        let l = left.get(i).map(String::as_str).unwrap_or("");
+        let r = right.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("{l:<width$} | {r}\n"));
+    }
+    out
+}

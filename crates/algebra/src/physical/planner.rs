@@ -1,0 +1,351 @@
+//! Lowering logical plans to physical plans with a deterministic cost
+//! model.
+//!
+//! The planner consumes the *optimised* logical plan (selections already
+//! pushed to just above the scans by [`crate::optimize`]) and makes two
+//! kinds of decisions:
+//!
+//! * **Access paths** — a `Select` directly over a `Scan` becomes either a
+//!   [`PhysicalPlan::TableScan`] with the predicate pushed in as a
+//!   residual, or — when an equality conjunct `column = literal` hits an
+//!   [`pcqe_storage::EqualityIndex`] — a [`PhysicalPlan::IndexScan`] that
+//!   fetches only the matching rows.
+//! * **Join strategies** — a `Join` with hashable equality conjuncts
+//!   becomes a [`PhysicalPlan::HashJoin`] or a
+//!   [`PhysicalPlan::NestedLoopJoin`] depending on estimated input
+//!   cardinalities; without equality conjuncts it is always a nested loop.
+//!
+//! # Why every choice is output-identical
+//!
+//! Correctness never depends on the cost model — only running time does:
+//!
+//! * An index lookup returns row positions in insertion order, the exact
+//!   subset a sequential scan + filter would keep (index keys are typed
+//!   exactly: only `INT`/`TEXT`/`BOOL` columns are indexable, and the key
+//!   literal's type must match the column's, so map equality coincides
+//!   with SQL `=`; `NULL` never matches in either implementation).
+//! * Hash join and nested loop produce identical row order: both emit,
+//!   for each left row in input order, its matching right rows in right
+//!   input order. The planner may only *substitute* a nested loop for a
+//!   hash join when every key column's type has exact equality
+//!   (`INT`/`TEXT`/`BOOL`), where `=`'s coercing comparison and the hash
+//!   table's ordered-map equality provably agree; `REAL` keys (where
+//!   `0.0`/`-0.0` and NaN make the two differ) always keep the hash
+//!   strategy the logical executor uses.
+
+use crate::exec::split_equi_conjuncts;
+use crate::expr::{BinaryOp, ScalarExpr};
+use crate::physical::plan::PhysicalPlan;
+use crate::plan::Plan;
+use crate::Result;
+use pcqe_storage::{Catalog, DataType, Value};
+
+/// Per-row cost multiplier for building the hash table, relative to one
+/// nested-loop predicate evaluation. Build inserts clone key values into an
+/// ordered map, so they are several times the cost of a probe comparison.
+const HASH_BUILD_COST: usize = 4;
+
+/// Lower an (already optimised) logical plan to a physical plan.
+pub fn lower(plan: &Plan, catalog: &Catalog) -> Result<PhysicalPlan> {
+    Ok(match plan {
+        Plan::Scan { table, alias } => PhysicalPlan::TableScan {
+            table: table.clone(),
+            alias: alias.clone(),
+            residual: None,
+        },
+        Plan::Select { input, predicate } => match &**input {
+            Plan::Scan { table, alias } => plan_scan(table, alias.clone(), predicate, catalog)?,
+            other => PhysicalPlan::Filter {
+                input: Box::new(lower(other, catalog)?),
+                predicate: predicate.clone(),
+            },
+        },
+        Plan::Project {
+            input,
+            items,
+            distinct,
+        } => PhysicalPlan::Project {
+            input: Box::new(lower(input, catalog)?),
+            items: items.clone(),
+            distinct: *distinct,
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let left_schema = left.schema(catalog)?;
+            let right_schema = right.schema(catalog)?;
+            let left_arity = left_schema.arity();
+            // Same hashability rule as the logical executor: only
+            // same-typed column pairs may be hash keys.
+            let hashable = |lc: usize, rc: usize| {
+                let lt = left_schema.columns().get(lc).map(|c| c.data_type);
+                let rt = right_schema
+                    .columns()
+                    .get(rc - left_arity)
+                    .map(|c| c.data_type);
+                lt.is_some() && lt == rt
+            };
+            let (equi, residual) = split_equi_conjuncts(predicate, left_arity, hashable);
+            let l = lower(left, catalog)?;
+            let r = lower(right, catalog)?;
+            if equi.is_empty() {
+                PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    predicate: Some(predicate.clone()),
+                }
+            } else {
+                // A nested loop may replace the hash join only when every
+                // key type has exact (non-coercing) equality — see module
+                // docs for the REAL-key caveat.
+                let exact_keys = equi.iter().all(|&(lc, _)| {
+                    matches!(
+                        left_schema.columns().get(lc).map(|c| c.data_type),
+                        Some(DataType::Int | DataType::Text | DataType::Bool)
+                    )
+                });
+                let lrows = estimate(&l, catalog);
+                let rrows = estimate(&r, catalog);
+                let cost_nl = lrows.saturating_mul(rrows);
+                let cost_hash = lrows.saturating_add(rrows.saturating_mul(HASH_BUILD_COST));
+                if exact_keys && cost_nl < cost_hash {
+                    PhysicalPlan::NestedLoopJoin {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        predicate: Some(predicate.clone()),
+                    }
+                } else {
+                    PhysicalPlan::HashJoin {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        keys: equi,
+                        residual,
+                    }
+                }
+            }
+        }
+        Plan::Product { left, right } => PhysicalPlan::NestedLoopJoin {
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+            predicate: None,
+        },
+        Plan::Union { left, right } => PhysicalPlan::Union {
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+        },
+        Plan::Difference { left, right } => PhysicalPlan::Difference {
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+        },
+        Plan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(lower(input, catalog)?),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, count } => PhysicalPlan::Limit {
+            input: Box::new(lower(input, catalog)?),
+            count: *count,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => PhysicalPlan::Aggregate {
+            input: Box::new(lower(input, catalog)?),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+    })
+}
+
+/// Choose the access path for a filtered base-table scan.
+fn plan_scan(
+    table: &str,
+    alias: Option<String>,
+    predicate: &ScalarExpr,
+    catalog: &Catalog,
+) -> Result<PhysicalPlan> {
+    let t = catalog.table(table)?;
+    let stats = t.stats();
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(predicate, &mut conjuncts);
+    // Find the cheapest usable index among `column = literal` conjuncts.
+    // Determinism: strict improvement (`<`) keeps the earliest conjunct on
+    // ties, so the choice is a pure function of plan + catalog state.
+    let mut best: Option<(usize, usize, Value)> = None; // (est, conjunct idx, key)
+    let mut best_column = 0usize;
+    for (i, c) in conjuncts.iter().enumerate() {
+        let Some((column, key)) = index_key(c) else {
+            continue;
+        };
+        let Some(col) = t.schema().columns().get(column) else {
+            continue;
+        };
+        // The key literal's type must match the column exactly; a coerced
+        // key (e.g. REAL literal on an INT column) cannot use the index
+        // because map equality would not coincide with SQL `=`.
+        if key.is_null() || key.data_type() != Some(col.data_type) {
+            continue;
+        }
+        if t.index_on(column).is_none() {
+            continue;
+        }
+        let est = stats.eq_selectivity_rows(column);
+        if best.as_ref().is_none_or(|(b, _, _)| est < *b) {
+            best = Some((est, i, key.clone()));
+            best_column = column;
+        }
+    }
+    match best {
+        Some((_, chosen, key)) => {
+            let residual = and_all(
+                conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != chosen)
+                    .map(|(_, c)| c.clone())
+                    .collect(),
+            );
+            let column_name = t
+                .schema()
+                .columns()
+                .get(best_column)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            Ok(PhysicalPlan::IndexScan {
+                table: table.to_owned(),
+                alias,
+                column: best_column,
+                column_name,
+                key,
+                residual,
+            })
+        }
+        None => Ok(PhysicalPlan::TableScan {
+            table: table.to_owned(),
+            alias,
+            residual: Some(predicate.clone()),
+        }),
+    }
+}
+
+/// If `expr` is `column = literal` (either side), return the pair.
+fn index_key(expr: &ScalarExpr) -> Option<(usize, &Value)> {
+    let ScalarExpr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = expr
+    else {
+        return None;
+    };
+    match (&**left, &**right) {
+        (ScalarExpr::Column(c), ScalarExpr::Literal(v))
+        | (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => Some((*c, v)),
+        _ => None,
+    }
+}
+
+/// Split on top-level ANDs.
+fn collect_conjuncts(expr: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    match expr {
+        ScalarExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// AND a list of conjuncts back together (`None` when empty).
+fn and_all(mut conjuncts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
+    if conjuncts.is_empty() {
+        return None;
+    }
+    let first = conjuncts.remove(0);
+    Some(conjuncts.into_iter().fold(first, |acc, c| acc.and(c)))
+}
+
+/// Estimated output cardinality of a physical operator.
+///
+/// Deterministic integer arithmetic over live table statistics
+/// ([`pcqe_storage::TableStats`]): scans use real row counts (and NDV for
+/// indexed equality), filters apply the textbook 1/10 (equality) and 1/3
+/// (comparison) selectivities, joins assume 1/10 selectivity over the
+/// cross product. Estimates steer strategy choice only — never results.
+pub fn estimate(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
+    match plan {
+        PhysicalPlan::TableScan {
+            table, residual, ..
+        } => {
+            let base = catalog.table(table).map(|t| t.len()).unwrap_or(0);
+            match residual {
+                Some(p) => predicate_rows(base, p),
+                None => base,
+            }
+        }
+        PhysicalPlan::IndexScan {
+            table,
+            column,
+            residual,
+            ..
+        } => {
+            let base = catalog
+                .table(table)
+                .map(|t| t.stats().eq_selectivity_rows(*column))
+                .unwrap_or(0);
+            match residual {
+                Some(p) => predicate_rows(base, p),
+                None => base,
+            }
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            predicate_rows(estimate(input, catalog), predicate)
+        }
+        PhysicalPlan::Project { input, .. } | PhysicalPlan::Sort { input, .. } => {
+            estimate(input, catalog)
+        }
+        PhysicalPlan::HashJoin { left, right, .. } => estimate(left, catalog)
+            .saturating_mul(estimate(right, catalog))
+            .div_ceil(10),
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let cross = estimate(left, catalog).saturating_mul(estimate(right, catalog));
+            match predicate {
+                Some(p) => predicate_rows(cross, p),
+                None => cross,
+            }
+        }
+        PhysicalPlan::Union { left, right } => {
+            estimate(left, catalog).saturating_add(estimate(right, catalog))
+        }
+        PhysicalPlan::Difference { left, .. } => estimate(left, catalog),
+        PhysicalPlan::Limit { input, count } => estimate(input, catalog).min(*count),
+        PhysicalPlan::Aggregate { input, .. } => estimate(input, catalog).div_ceil(10).max(1),
+    }
+}
+
+/// Scale a cardinality by per-conjunct selectivity guesses.
+fn predicate_rows(base: usize, predicate: &ScalarExpr) -> usize {
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(predicate, &mut conjuncts);
+    let mut rows = base;
+    for c in &conjuncts {
+        if let ScalarExpr::Binary { op, .. } = c {
+            rows = match op {
+                BinaryOp::Eq => rows.div_ceil(10),
+                BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => rows.div_ceil(3),
+                _ => rows,
+            };
+        }
+    }
+    rows.min(base)
+}

@@ -131,6 +131,114 @@ impl ResultSet {
             })
             .collect())
     }
+
+    /// β-gated scoring: skip exact confidence computation for rows whose
+    /// cheap monotone upper bound ([`pcqe_lineage::upper_bound`], linear in
+    /// lineage size) already proves the row cannot pass the policy
+    /// threshold `beta`.
+    ///
+    /// A policy admits a row iff its confidence is **strictly** greater
+    /// than β. The Fréchet upper bound is sound under any dependence
+    /// structure, so `upper ≤ β` implies `exact ≤ β` — the row is withheld
+    /// either way, and the released-tuple set is provably identical to
+    /// exact scoring. Skipped rows carry their upper bound as `confidence`
+    /// (a labelled over-estimate, never an admit) and are flagged in
+    /// [`GatedScore::skipped`] so callers that later need exact values
+    /// (e.g. strategy finding over withheld rows) can re-score just those
+    /// rows via [`ResultSet::rescore_exact`].
+    pub fn score_gated<P: ProbSource + Sync>(
+        &self,
+        probs: &P,
+        evaluator: &Evaluator,
+        beta: f64,
+        par: &pcqe_par::Parallelism,
+        observer: Option<&dyn pcqe_par::ParObserver>,
+    ) -> Result<GatedScore> {
+        let outcomes = pcqe_par::try_map_observed(
+            par,
+            &self.rows,
+            |row| -> Result<(f64, bool)> {
+                let upper = pcqe_lineage::upper_bound(&row.lineage, probs)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                if upper <= beta {
+                    return Ok((upper, true));
+                }
+                let exact = evaluator
+                    .probability(&row.lineage, probs)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                Ok((exact, false))
+            },
+            observer,
+        )?;
+        let mut scored = Vec::with_capacity(self.rows.len());
+        let mut skipped = Vec::with_capacity(self.rows.len());
+        let mut exact_skipped = 0usize;
+        for (row, (confidence, was_skipped)) in self.rows.iter().zip(outcomes) {
+            scored.push(ScoredTuple {
+                tuple: row.tuple.clone(),
+                lineage: row.lineage.clone(),
+                confidence,
+            });
+            skipped.push(was_skipped);
+            if was_skipped {
+                exact_skipped += 1;
+            }
+        }
+        Ok(GatedScore {
+            scored,
+            skipped,
+            exact_skipped,
+        })
+    }
+
+    /// Replace bound-valued confidences with exact ones for the rows
+    /// flagged in `skipped` (in place over a [`GatedScore::scored`]
+    /// vector). Used by callers that decided to skip exact evaluation for
+    /// β-failing rows but later need true confidences — e.g. before
+    /// computing improvement strategies over withheld tuples.
+    pub fn rescore_exact<P: ProbSource + Sync>(
+        scored: &mut [ScoredTuple],
+        skipped: &[bool],
+        probs: &P,
+        evaluator: &Evaluator,
+        par: &pcqe_par::Parallelism,
+    ) -> Result<usize> {
+        let targets: Vec<usize> = skipped
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s && i < scored.len()).then_some(i))
+            .collect();
+        let lineages: Vec<Lineage> = targets
+            .iter()
+            .filter_map(|&i| scored.get(i).map(|s| s.lineage.clone()))
+            .collect();
+        let exact = pcqe_par::try_map(par, &lineages, |l| {
+            evaluator
+                .probability(l, probs)
+                .map_err(|e| AlgebraError::Lineage(e.to_string()))
+        })?;
+        let n = targets.len();
+        for (i, confidence) in targets.into_iter().zip(exact) {
+            if let Some(s) = scored.get_mut(i) {
+                s.confidence = confidence;
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// The outcome of [`ResultSet::score_gated`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatedScore {
+    /// One scored tuple per result row, in row order. Rows with
+    /// `skipped[i] == true` carry their confidence *upper bound* (≤ β)
+    /// instead of the exact value.
+    pub scored: Vec<ScoredTuple>,
+    /// Per-row flag: `true` when exact evaluation was short-circuited.
+    pub skipped: Vec<bool>,
+    /// Number of rows whose exact evaluation was skipped
+    /// (`skipped.iter().filter(|s| **s).count()`).
+    pub exact_skipped: usize,
 }
 
 impl fmt::Display for ResultSet {
@@ -215,5 +323,64 @@ mod tests {
         let text = simple().to_string();
         assert!(text.starts_with("x\n"));
         assert!(text.contains('2'));
+    }
+
+    #[test]
+    fn gated_scoring_skips_only_provably_failing_rows() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let par = pcqe_par::Parallelism::sequential();
+        // Row 0: exact 0.5; row 1 (AND): exact 0.2, upper bound
+        // min(0.5, 0.4) = 0.4.
+        let gated = rs
+            .score_gated(&probs, &Evaluator::default(), 0.45, &par, None)
+            .unwrap();
+        assert_eq!(gated.exact_skipped, 1);
+        assert_eq!(gated.skipped, vec![false, true]);
+        // Unskipped rows carry exact confidence; skipped rows carry the
+        // (≤ β) upper bound.
+        assert!((gated.scored[0].confidence - 0.5).abs() < 1e-12);
+        assert!((gated.scored[1].confidence - 0.4).abs() < 1e-12);
+        // Classification against β is identical to exact scoring.
+        let exact = rs.score(&probs, &Evaluator::default()).unwrap();
+        for (g, e) in gated.scored.iter().zip(&exact) {
+            assert_eq!(g.confidence > 0.45, e.confidence > 0.45);
+        }
+    }
+
+    #[test]
+    fn gated_scoring_with_high_bound_matches_exact() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let par = pcqe_par::Parallelism::sequential();
+        // β = 0.1: no row's bound proves failure, so nothing is skipped
+        // and every confidence is exact.
+        let gated = rs
+            .score_gated(&probs, &Evaluator::default(), 0.1, &par, None)
+            .unwrap();
+        assert_eq!(gated.exact_skipped, 0);
+        let exact = rs.score(&probs, &Evaluator::default()).unwrap();
+        assert_eq!(gated.scored, exact);
+    }
+
+    #[test]
+    fn rescore_exact_restores_true_confidences() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let par = pcqe_par::Parallelism::sequential();
+        let mut gated = rs
+            .score_gated(&probs, &Evaluator::default(), 0.45, &par, None)
+            .unwrap();
+        let n = ResultSet::rescore_exact(
+            &mut gated.scored,
+            &gated.skipped,
+            &probs,
+            &Evaluator::default(),
+            &par,
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        let exact = rs.score(&probs, &Evaluator::default()).unwrap();
+        assert_eq!(gated.scored, exact);
     }
 }

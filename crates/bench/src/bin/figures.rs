@@ -80,7 +80,7 @@ fn main() -> ExitCode {
         println!();
         for (name, rows) in [("fig11a", &report.fig11a), ("fig11d", &report.fig11d)] {
             for r in rows {
-                recorder.counter_add(&format!("bench.{name}.nodes"), r.nodes as u64);
+                recorder.counter_add(&format!("bench.{name}.nodes"), r.nodes);
                 recorder.histogram_record(&format!("bench.{name}.seconds"), r.seconds);
             }
             recorder.counter_add(&format!("bench.{name}.configs"), rows.len() as u64);

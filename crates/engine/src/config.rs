@@ -38,6 +38,20 @@ pub struct EngineConfig {
     /// Run the logical optimiser (predicate pushdown, product→join
     /// conversion) on every query plan.
     pub optimize_plans: bool,
+    /// Lower every query to a physical plan (index scans, cost-chosen
+    /// hash vs nested-loop joins) before executing. Physical execution is
+    /// bit-identical to logical execution for every query — the planner
+    /// only changes *how* rows are produced, never which rows — so this
+    /// flag is a pure performance switch.
+    pub physical_planning: bool,
+    /// Skip exact confidence computation (Shannon expansion / Monte
+    /// Carlo) for result rows whose cheap monotone upper bound already
+    /// proves they fall at or below the policy threshold β. The
+    /// released-tuple set, audit entries, and policy counters are
+    /// provably identical with this on or off; rows that later feed the
+    /// strategy-finding (θ) path are re-scored exactly first, so
+    /// improvement proposals are also unchanged.
+    pub beta_short_circuit: bool,
     /// Worker threads for plan execution, result scoring and solver
     /// rescans. `None` uses every available core; `Some(1)` reproduces
     /// the sequential engine bit-for-bit (any setting produces identical
@@ -62,6 +76,8 @@ impl Default for EngineConfig {
             solver: SolverChoice::Auto,
             lineage_budget: 4096,
             optimize_plans: true,
+            physical_planning: true,
+            beta_short_circuit: true,
             worker_threads: None,
             parallel_threshold: pcqe_par::DEFAULT_PARALLEL_THRESHOLD,
             record_metrics: true,

@@ -5,7 +5,9 @@ use crate::error::EngineError;
 use crate::improve::{self, ProposeOutcome};
 use crate::response::{NoProposal, QueryResponse, ReleasedTuple};
 use crate::Result;
-use pcqe_algebra::{execute_profiled, execute_with, ExecProfile};
+use pcqe_algebra::{
+    execute_physical_profiled, execute_physical_with, execute_profiled, execute_with, ExecProfile,
+};
 use pcqe_core::estimator::RuntimeEstimator;
 use pcqe_cost::CostFn;
 use pcqe_policy::{evaluate_results, ConfidencePolicy, PolicyStore, Purpose, Role};
@@ -116,6 +118,14 @@ impl Database {
         let id = self.catalog.insert(table, values, confidence)?;
         self.version += 1;
         Ok(id)
+    }
+
+    /// Create an equality index on `table.column` (INT/TEXT/BOOL columns
+    /// only). Indexes are maintained on every insert and change only
+    /// *access paths* chosen by the physical planner — never query
+    /// results. Returns the indexed column's position. Idempotent.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<usize> {
+        Ok(self.catalog.create_index(table, column)?)
     }
 
     /// Insert a row whose confidence is assessed from provenance records.
@@ -304,15 +314,34 @@ impl Database {
         Ok(self.plan_sql(sql)?.to_string())
     }
 
+    /// Render the logical and physical plans side by side — the shell's
+    /// `.plan` view. The physical column names the join strategy
+    /// (`HashJoin` vs `NestedLoopJoin`), the access path (`TableScan` vs
+    /// `IndexScan`) and every pushed-down predicate.
+    pub fn explain_physical(&self, sql: &str) -> Result<String> {
+        let plan = self.plan_sql(sql)?;
+        let phys = pcqe_algebra::lower(&plan, &self.catalog)?;
+        Ok(pcqe_algebra::render_side_by_side(&plan, &phys))
+    }
+
     /// Execute a query and render its plan annotated with observed
     /// per-operator `rows_in` / `rows_out` / `lineage_nodes` counts — an
     /// `EXPLAIN ANALYZE` facility. Runs the plan for real (read-only) but
-    /// skips scoring and policy checking.
+    /// skips scoring and policy checking. With
+    /// [`EngineConfig::physical_planning`] enabled (the default) the
+    /// annotated operators are the *physical* ones, so index-scan savings
+    /// and join-strategy fan-out are directly visible.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
         let par = self.config.parallelism();
         let plan = self.plan_sql(sql)?;
-        let (_result, profile) = execute_profiled(&plan, &self.catalog, &par, None)?;
-        Ok(profile.render())
+        if self.config.physical_planning {
+            let phys = pcqe_algebra::lower(&plan, &self.catalog)?;
+            let (_result, profile) = execute_physical_profiled(&phys, &self.catalog, &par, None)?;
+            Ok(profile.render())
+        } else {
+            let (_result, profile) = execute_profiled(&plan, &self.catalog, &par, None)?;
+            Ok(profile.render())
+        }
     }
 
     /// Parse and plan a SQL query, running the optimiser when enabled.
@@ -325,12 +354,46 @@ impl Database {
         }
     }
 
+    /// Execute a planned query — physically when
+    /// [`EngineConfig::physical_planning`] is set — recording an execution
+    /// profile when metrics are on. The two paths produce bit-identical
+    /// result sets for every query (see [`pcqe_algebra::physical`]), so
+    /// the flag never changes which tuples a policy sees.
+    fn run_plan(
+        &self,
+        plan: &pcqe_algebra::Plan,
+        par: &pcqe_par::Parallelism,
+        recording: bool,
+    ) -> Result<pcqe_algebra::ResultSet> {
+        if self.config.physical_planning {
+            let phys = pcqe_algebra::lower(plan, &self.catalog)?;
+            if recording {
+                let (result_set, profile) =
+                    execute_physical_profiled(&phys, &self.catalog, par, Some(&self.recorder))?;
+                self.record_exec_profile(&profile);
+                Ok(result_set)
+            } else {
+                Ok(execute_physical_with(&phys, &self.catalog, par)?)
+            }
+        } else if recording {
+            let (result_set, profile) =
+                execute_profiled(plan, &self.catalog, par, Some(&self.recorder))?;
+            self.record_exec_profile(&profile);
+            Ok(result_set)
+        } else {
+            Ok(execute_with(plan, &self.catalog, par)?)
+        }
+    }
+
     /// Run the full pipeline: evaluate, score, policy-check, and — when
     /// fewer than `perc` of the results survive — find the cheapest
     /// confidence-increment strategy and attach it as a proposal.
     pub fn query(&mut self, user: &User, request: &QueryRequest) -> Result<QueryResponse> {
         let par = self.config.parallelism();
         let recording = self.recording();
+        // Select the policy before scoring: β-gated scoring needs the
+        // threshold up front, and selection is independent of the rows.
+        let policy = self.policies.select(&user.role, &request.purpose)?.clone();
         let span = self.recorder.span("query");
         let plan = {
             let _plan_span = span.child("plan");
@@ -338,31 +401,46 @@ impl Database {
         };
         let result_set = {
             let _exec_span = span.child("execute");
-            if recording {
-                let (result_set, profile) =
-                    execute_profiled(&plan, &self.catalog, &par, Some(&self.recorder))?;
-                self.record_exec_profile(&profile);
-                result_set
-            } else {
-                execute_with(&plan, &self.catalog, &par)?
-            }
+            self.run_plan(&plan, &par, recording)?
         };
         let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-        let scored = {
+        let observer: Option<&dyn pcqe_par::ParObserver> = if recording {
+            Some(&self.recorder)
+        } else {
+            None
+        };
+        // β-aware short-circuit: rows whose confidence upper bound is
+        // already ≤ β are withheld without exact Shannon/Monte-Carlo
+        // evaluation. `skipped` remembers which rows carry a bound so the
+        // strategy-finding path below can restore exact values first.
+        let (mut scored, skipped) = {
             let _score_span = span.child("score");
-            if recording {
-                result_set.score_par_observed(
+            if self.config.beta_short_circuit {
+                let gated = result_set.score_gated(
                     &probs,
                     &self.config.evaluator,
+                    policy.threshold,
                     &par,
-                    Some(&self.recorder),
-                )?
+                    observer,
+                )?;
+                if recording {
+                    self.recorder
+                        .counter_add("lineage.exact_skipped", gated.exact_skipped as u64);
+                }
+                (gated.scored, Some(gated.skipped))
             } else {
-                result_set.score_par(&probs, &self.config.evaluator, &par)?
+                (
+                    result_set.score_par_observed(
+                        &probs,
+                        &self.config.evaluator,
+                        &par,
+                        observer,
+                    )?,
+                    None,
+                )
             }
         };
 
-        let policy = self.policies.select(&user.role, &request.purpose)?.clone();
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
         let decision = evaluate_results(&policy, &confidences);
 
@@ -393,7 +471,24 @@ impl Database {
             return Ok(response);
         }
 
-        // Strategy finding (Figure 1, steps 5–6).
+        // Strategy finding (Figure 1, steps 5–6). The θ path is exempt
+        // from β-gating: improvement inputs must be *exact* confidences,
+        // so any short-circuited rows are re-scored first. (Released rows
+        // are never skipped — a skipped row's bound is ≤ β, which can
+        // never admit — so only withheld rows are touched here.)
+        if let Some(skipped) = &skipped {
+            let rescored = pcqe_algebra::ResultSet::rescore_exact(
+                &mut scored,
+                skipped,
+                &probs,
+                &self.config.evaluator,
+                &par,
+            )?;
+            if recording {
+                self.recorder
+                    .counter_add("lineage.exact_rescored", rescored as u64);
+            }
+        }
         let withheld = withheld_tuples(&scored, &decision.withheld);
         let needed = requested - response.released.len();
         let ctx = improve::ProposeContext {
@@ -450,15 +545,11 @@ impl Database {
         let mut non_monotone = false;
         for request in requests {
             // Evaluate without per-query proposals (done jointly below).
+            // Scoring stays exact here: every withheld row may feed the
+            // combined improvement instance, so β-gating would only add a
+            // re-scoring pass.
             let plan = self.plan_sql(&request.sql)?;
-            let result_set = if recording {
-                let (result_set, profile) =
-                    execute_profiled(&plan, &self.catalog, &par, Some(&self.recorder))?;
-                self.record_exec_profile(&profile);
-                result_set
-            } else {
-                execute_with(&plan, &self.catalog, &par)?
-            };
+            let result_set = self.run_plan(&plan, &par, recording)?;
             let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
             let scored = if recording {
                 result_set.score_par_observed(
@@ -592,7 +683,7 @@ impl Database {
     ) -> Result<QueryResponse> {
         let par = self.config.parallelism();
         let plan = self.plan_sql(&request.sql)?;
-        let result_set = execute_with(&plan, &self.catalog, &par)?;
+        let result_set = self.run_plan(&plan, &par, false)?;
         let overrides: BTreeMap<TupleId, f64> = proposal
             .increments
             .iter()
@@ -1056,6 +1147,35 @@ mod tests {
     fn explain_analyze_annotates_observed_row_counts() {
         let db = paper_db();
         let text = db.explain_analyze(QUERY).unwrap();
+        // Physical operators with true observed sizes: the pushed-down σ
+        // keeps both sub-million proposals, the join emits 2 SkyCam pairs,
+        // and DISTINCT merges them into 1.
+        assert!(text.contains("TableScan Proposal [filter:"), "got:\n{text}");
+        assert!(text.contains("(rows_in=2 rows_out=2"), "got:\n{text}");
+        assert!(
+            text.contains("TableScan CompanyInfo (rows_in=1 rows_out=1"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("NestedLoopJoin") && text.contains("(rows_in=3 rows_out=2"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("Project DISTINCT [company, income] (rows_in=2 rows_out=1"),
+            "got:\n{text}"
+        );
+        // EXPLAIN ANALYZE is read-only: no audit entry, no policy metrics.
+        assert!(db.audit_log().is_empty());
+        assert_eq!(db.metrics_snapshot().counter("query.total"), 0);
+    }
+
+    #[test]
+    fn explain_analyze_logical_fallback_keeps_logical_labels() {
+        let db = paper_db_with(EngineConfig {
+            physical_planning: false,
+            ..EngineConfig::default()
+        });
+        let text = db.explain_analyze(QUERY).unwrap();
         assert!(
             text.contains("Select (rows_in=2 rows_out=2"),
             "got:\n{text}"
@@ -1063,9 +1183,154 @@ mod tests {
         assert!(text.contains("Scan Proposal (rows_in=2 rows_out=2"));
         assert!(text.contains("Scan CompanyInfo (rows_in=1 rows_out=1"));
         assert!(text.contains("Join (rows_in=3 rows_out=2"));
-        // EXPLAIN ANALYZE is read-only: no audit entry, no policy metrics.
-        assert!(db.audit_log().is_empty());
-        assert_eq!(db.metrics_snapshot().counter("query.total"), 0);
+    }
+
+    #[test]
+    fn explain_physical_shows_both_plans() {
+        let db = paper_db();
+        let text = db.explain_physical(QUERY).unwrap();
+        assert!(text.contains("LOGICAL"), "got:\n{text}");
+        assert!(text.contains("PHYSICAL"), "got:\n{text}");
+        assert!(text.contains("NestedLoopJoin"), "got:\n{text}");
+        assert!(text.contains("TableScan Proposal [filter:"), "got:\n{text}");
+    }
+
+    #[test]
+    fn physical_planning_off_is_result_identical() {
+        let mut physical = paper_db();
+        let mut logical = paper_db_with(EngineConfig {
+            physical_planning: false,
+            ..EngineConfig::default()
+        });
+        for (user, purpose) in [
+            (User::new("sue", "Secretary"), "analysis"),
+            (User::new("mark", "Manager"), "investment"),
+        ] {
+            let request = QueryRequest::new(QUERY, purpose);
+            let a = physical.query(&user, &request).unwrap();
+            let b = logical.query(&user, &request).unwrap();
+            assert_eq!(a.released, b.released);
+            assert_eq!(a.withheld, b.withheld);
+            assert_eq!(a.proposal, b.proposal);
+        }
+        assert_eq!(physical.audit_log(), logical.audit_log());
+    }
+
+    #[test]
+    fn beta_short_circuit_preserves_release_and_audit() {
+        let mut gated = paper_db();
+        let mut exact = paper_db_with(EngineConfig {
+            beta_short_circuit: false,
+            ..EngineConfig::default()
+        });
+        let secretary = User::new("sue", "Secretary");
+        let manager = User::new("mark", "Manager");
+        for db in [&mut gated, &mut exact] {
+            let s = db
+                .query(&secretary, &QueryRequest::new(QUERY, "analysis"))
+                .unwrap();
+            assert_eq!(s.released.len(), 1);
+            let m = db
+                .query(&manager, &QueryRequest::new(QUERY, "investment"))
+                .unwrap();
+            assert!(m.released.is_empty());
+            // The θ path is exempt from gating: the proposal is built
+            // from exact confidences either way.
+            let p = m.proposal.expect("a strategy exists");
+            assert!((p.cost - 10.0).abs() < 1e-9);
+        }
+        // Released/withheld counters and audit entries are identical.
+        assert_eq!(gated.audit_log(), exact.audit_log());
+        let gs = gated.metrics_snapshot();
+        let es = exact.metrics_snapshot();
+        assert_eq!(gs.counter("policy.released"), es.counter("policy.released"));
+        assert_eq!(gs.counter("policy.withheld"), es.counter("policy.withheld"));
+        // On the paper example the union bound (0.2) exceeds both β
+        // values, so the gated run skips nothing — and must say so.
+        assert_eq!(gs.counter("lineage.exact_skipped"), 0);
+        assert_eq!(es.counter("lineage.exact_skipped"), 0);
+    }
+
+    #[test]
+    fn beta_gating_skips_exact_evaluation_for_hopeless_rows() {
+        fn build(config: EngineConfig) -> Database {
+            let mut db = Database::new(config);
+            db.create_table(
+                "a",
+                Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+            )
+            .unwrap();
+            db.create_table(
+                "b",
+                Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+            )
+            .unwrap();
+            // Row 1: AND-lineage with upper bound min(0.2, 0.9) = 0.2 ≤ β
+            // but exact 0.18 — the short-circuit case.
+            db.insert("a", vec![Value::Int(1)], 0.2).unwrap();
+            db.insert("b", vec![Value::Int(1)], 0.9).unwrap();
+            // Row 2: bound 0.9 > β, exact 0.855 > β — released.
+            db.insert("a", vec![Value::Int(2)], 0.9).unwrap();
+            db.insert("b", vec![Value::Int(2)], 0.95).unwrap();
+            db.add_policy(ConfidencePolicy::new("r", "p", 0.5).unwrap());
+            db
+        }
+        let sql = "SELECT a.x FROM a JOIN b ON a.x = b.x";
+        let user = User::new("u", "r");
+
+        let mut db = build(EngineConfig::default());
+        // θ = 0.5 is met by the released row: the hopeless row's exact
+        // confidence is never computed.
+        let resp = db
+            .query(&user, &QueryRequest::new(sql, "p").expecting(0.5))
+            .unwrap();
+        assert_eq!(resp.released.len(), 1);
+        assert!((resp.released[0].confidence - 0.855).abs() < 1e-12);
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("lineage.exact_skipped"), 1);
+        assert_eq!(snap.counter("lineage.exact_rescored"), 0);
+
+        // θ = 1.0 pulls the withheld row into strategy finding, which is
+        // exempt from gating: the row is re-scored exactly first.
+        let resp = db.query(&user, &QueryRequest::new(sql, "p")).unwrap();
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("lineage.exact_skipped"), 2);
+        assert_eq!(snap.counter("lineage.exact_rescored"), 1);
+        let proposal = resp.proposal.expect("a strategy exists");
+
+        // The proposal is identical to a never-gated engine's.
+        let mut exact = build(EngineConfig {
+            beta_short_circuit: false,
+            ..EngineConfig::default()
+        });
+        let expected = exact
+            .query(&user, &QueryRequest::new(sql, "p"))
+            .unwrap()
+            .proposal
+            .expect("a strategy exists");
+        assert_eq!(proposal, expected);
+    }
+
+    #[test]
+    fn index_changes_access_path_but_not_results() {
+        let mut db = paper_db();
+        let user = User::new("sue", "Secretary");
+        let sql = "SELECT proposal FROM Proposal WHERE company = 'SkyCam'";
+        let before = db
+            .query(&user, &QueryRequest::new(sql, "analysis"))
+            .unwrap();
+        let col = db.create_index("Proposal", "company").unwrap();
+        assert_eq!(col, 0);
+        let text = db.explain_physical(sql).unwrap();
+        assert!(
+            text.contains("IndexScan Proposal (company = 'SkyCam')"),
+            "got:\n{text}"
+        );
+        let after = db
+            .query(&user, &QueryRequest::new(sql, "analysis"))
+            .unwrap();
+        assert_eq!(before.released, after.released);
+        assert_eq!(before.withheld, after.withheld);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! assert!((p - 0.058).abs() < 1e-12);
 //! ```
 
+pub mod bound;
 pub mod compile;
 pub mod error;
 pub mod expr;
@@ -35,6 +36,7 @@ pub mod mc;
 pub mod prob;
 pub mod rng;
 
+pub use bound::{bounds, upper_bound, Bounds};
 pub use compile::CompiledLineage;
 pub use error::LineageError;
 pub use expr::{Lineage, VarId};

@@ -188,25 +188,34 @@ pub struct FileClass {
 /// Crates whose output ordering feeds query results; `HashMap` iteration
 /// there silently breaks bit-identical evaluation (rule D001). `pcqe-obs`
 /// is included: metric snapshots and exports are golden-tested, so their
-/// iteration order must be stable too.
-const RESULT_AFFECTING: [&str; 6] = [
+/// iteration order must be stable too. The storage index and statistics
+/// modules are listed individually: equality-index postings order and
+/// cardinality estimates both feed physical plan choice and row order,
+/// so hash iteration there would silently change plans or results.
+const RESULT_AFFECTING: [&str; 8] = [
     "crates/algebra/src/",
     "crates/lineage/src/",
     "crates/core/src/",
     "crates/engine/src/",
     "crates/policy/src/",
     "crates/obs/src/",
+    "crates/storage/src/index.rs",
+    "crates/storage/src/stats.rs",
 ];
 
 /// Crates whose library code must surface typed errors instead of
 /// panicking (rule P001). `pcqe-obs` is included: instrumentation runs
-/// inside every query and must never abort one.
-const PANIC_GUARDED: [&str; 5] = [
+/// inside every query and must never abort one. `algebra::physical` is
+/// held to the same standard even though the rest of `pcqe-algebra` is
+/// not: the physical executor and planner sit on the hot path of every
+/// engine query, so they must surface typed errors, not panics.
+const PANIC_GUARDED: [&str; 6] = [
     "crates/engine/src/",
     "crates/policy/src/",
     "crates/storage/src/",
     "crates/sql/src/",
     "crates/obs/src/",
+    "crates/algebra/src/physical/",
 ];
 
 /// Identifiers that signal ad-hoc entropy or registry RNG idioms (D002).

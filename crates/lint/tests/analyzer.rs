@@ -74,7 +74,8 @@ fn graph_fixture_seeds_the_graph_layer_and_new_token_rules() {
         (Rule::D004, "crates/core/src/floaty.rs", 8), // as f32
         (Rule::D004, "crates/core/src/floaty.rs", 12), // .partial_cmp(
         (Rule::P002, "crates/core/src/pick.rs", 5),
-        (Rule::G001, "crates/engine/src/database.rs", 16),
+        (Rule::G001, "crates/engine/src/database.rs", 24), // release_all
+        (Rule::G001, "crates/engine/src/database.rs", 35), // release_physical
     ];
     assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
     // The exempt cases stayed silent: `core/src/ord.rs` is the sanctioned
@@ -115,25 +116,38 @@ fn p002_witness_names_the_full_call_path() {
 #[test]
 fn g001_names_the_ungated_constructor_and_entry_point() {
     let analysis = run("graph");
-    let g001 = analysis
+    let g001: Vec<_> = analysis
         .findings
         .iter()
-        .find(|f| f.rule == Rule::G001)
-        .expect("G001 fires in the graph fixture");
+        .filter(|f| f.rule == Rule::G001)
+        .collect();
+    assert_eq!(g001.len(), 2, "{:#?}", analysis.findings);
     assert!(
-        g001.message
+        g001[0]
+            .message
             .contains("pcqe_engine::Database::query → pcqe_engine::release_all"),
         "witness missing in: {}",
-        g001.message
+        g001[0].message
     );
-    assert!(g001.message.contains("evaluate_results"));
+    assert!(g001[0].message.contains("evaluate_results"));
+    // The physical-execution pipeline is held to the same gate: the
+    // extra `execute_physical` hop appears in the witness chain.
+    assert!(
+        g001[1].message.contains(
+            "pcqe_engine::Database::query_physical → pcqe_engine::execute_physical \
+             → pcqe_engine::release_physical"
+        ),
+        "witness missing in: {}",
+        g001[1].message
+    );
 }
 
 #[test]
 fn gated_fixture_is_clean_because_the_gate_dominates() {
-    // Same shape as the graph fixture's database.rs, but the path from
-    // `Database::query` to the `ReleasedTuple` constructor passes through
-    // a function that calls `evaluate_results` — the BFS stops there.
+    // Same shape as the graph fixture's database.rs, but every path from
+    // a `Database` entry point — logical or physical — reaches the
+    // `ReleasedTuple` constructor through a function that calls
+    // `evaluate_results`; the BFS stops at the gate on both pipelines.
     let analysis = run("gated");
     assert!(analysis.is_clean(), "{:#?}", analysis.findings);
     assert!(analysis.findings.is_empty());

@@ -1,7 +1,9 @@
 //! Fixture: rows are built only below the policy gate — G001-clean.
-//! `gate_and_release` calls `evaluate_results`, so the gate dominates
-//! `build`; its `ReleasedTuple` construction is policy-filtered by
-//! construction and must not be flagged.
+//! Both execution pipelines out of `Database` — the logical walker and
+//! the lowered physical plan — hand their rows to `gate_and_release`,
+//! which calls `evaluate_results`; the gate dominates `build`, so the
+//! `ReleasedTuple` construction is policy-filtered by construction and
+//! must not be flagged on either path.
 
 use pcqe_policy::evaluate_results;
 
@@ -13,12 +15,28 @@ pub struct Database;
 
 impl Database {
     pub fn query(&self) -> u64 {
-        gate_and_release()
+        gate_and_release(run_logical())
+    }
+
+    pub fn query_physical(&self) -> u64 {
+        gate_and_release(execute_physical())
     }
 }
 
-fn gate_and_release() -> u64 {
-    let keep = evaluate_results();
+/// Models the logical executor: produces rows, never releases them.
+fn run_logical() -> u64 {
+    1
+}
+
+/// Models `algebra::physical::execute_physical`: a second execution
+/// pipeline that also produces rows without constructing
+/// `ReleasedTuple` — release still happens only below the gate.
+fn execute_physical() -> u64 {
+    2
+}
+
+fn gate_and_release(rows: u64) -> u64 {
+    let keep = evaluate_results() + rows;
     build(keep)
 }
 

@@ -1,5 +1,9 @@
-//! Fixture: G001 — a query entry point that reaches a row constructor
-//! without passing the policy gate.
+//! Fixture: G001 — query entry points that reach a row constructor
+//! without passing the policy gate. Both the logical path
+//! (`query → release_all`) and the physical-execution path
+//! (`query_physical → execute_physical → release_physical`) must be
+//! flagged: lowering to physical operators is not a licence to skip
+//! `evaluate_results`.
 
 pub struct ReleasedTuple {
     pub id: u64,
@@ -11,9 +15,24 @@ impl Database {
     pub fn query(&self) -> u64 {
         release_all()
     }
+
+    pub fn query_physical(&self) -> u64 {
+        execute_physical()
+    }
 }
 
 fn release_all() -> u64 {
     let t = ReleasedTuple { id: 1 };
+    t.id
+}
+
+/// Models the physical executor: an extra hop between the entry point
+/// and the ungated constructor — the BFS must still reach it.
+fn execute_physical() -> u64 {
+    release_physical()
+}
+
+fn release_physical() -> u64 {
+    let t = ReleasedTuple { id: 2 };
     t.id
 }

@@ -105,6 +105,15 @@ impl Catalog {
         self.tables.keys().map(String::as_str).collect()
     }
 
+    /// Create an equality index on `table.column`, backfilling from existing
+    /// rows. Returns the column's position. Idempotent per column.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<usize> {
+        let t = self.table_mut(table)?;
+        let pos = t.schema().resolve(None, column)?;
+        t.create_index(pos)?;
+        Ok(pos)
+    }
+
     /// Find the base tuple with the given id, searching all tables.
     pub fn find_tuple(&self, id: TupleId) -> Option<(&str, &StoredTuple)> {
         self.tables
@@ -230,6 +239,27 @@ mod tests {
         assert_eq!(c.raise_confidence(id, 0.5).unwrap(), 0.5);
         assert_eq!(c.raise_confidence(id, 0.1).unwrap(), 0.5);
         assert!(c.raise_confidence(TupleId(42), 0.5).is_err());
+    }
+
+    #[test]
+    fn create_index_resolves_names_and_survives_csv_import() {
+        let mut c = catalog();
+        // Case-insensitive table and column resolution.
+        let pos = c.create_index("proposal", "COMPANY").unwrap();
+        assert_eq!(pos, 0);
+        c.insert("Proposal", vec![Value::text("A"), Value::Real(1.0)], 0.3)
+            .unwrap();
+        // CSV import funnels through Catalog::insert, so the index sees it.
+        let csv = "company,funding,confidence\nB,2.0,0.4\nA,3.0,0.5\n";
+        crate::csv::load_into(&mut c, "Proposal", csv.as_bytes()).unwrap();
+        let ix = c.table("Proposal").unwrap().index_on(0).unwrap();
+        assert_eq!(ix.lookup(&Value::text("A")), &[0, 2]);
+        assert_eq!(ix.lookup(&Value::text("B")), &[1]);
+        // REAL columns are refused.
+        assert!(matches!(
+            c.create_index("Proposal", "funding"),
+            Err(StorageError::NotIndexable { .. })
+        ));
     }
 
     #[test]

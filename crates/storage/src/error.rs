@@ -42,6 +42,14 @@ pub enum StorageError {
     CatalogManagedTable(String),
     /// An explicit tuple id collided with an existing tuple.
     DuplicateTupleId(u64),
+    /// An equality index was requested on a column type that cannot carry
+    /// one (only `INT`, `TEXT` and `BOOL` columns are indexable).
+    NotIndexable {
+        /// Offending column's display name.
+        column: String,
+        /// The column's declared type.
+        data_type: DataType,
+    },
     /// A CSV document failed to parse or did not match the table schema.
     Csv {
         /// 1-based line number (0 when the document could not be read).
@@ -83,6 +91,12 @@ impl fmt::Display for StorageError {
             ),
             StorageError::DuplicateTupleId(id) => {
                 write!(f, "tuple id {id} already exists")
+            }
+            StorageError::NotIndexable { column, data_type } => {
+                write!(
+                    f,
+                    "column `{column}` of type {data_type} cannot carry an equality index"
+                )
             }
             StorageError::Csv { line, message } => {
                 write!(f, "csv error at line {line}: {message}")

@@ -30,14 +30,18 @@
 pub mod catalog;
 pub mod csv;
 pub mod error;
+pub mod index;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod tuple;
 pub mod value;
 
 pub use catalog::Catalog;
 pub use error::StorageError;
+pub use index::EqualityIndex;
 pub use schema::{Column, Schema};
+pub use stats::{ColumnStats, TableStats};
 pub use table::{StoredTuple, Table};
 pub use tuple::{Tuple, TupleId};
 pub use value::{DataType, Value};

@@ -1,7 +1,9 @@
 //! Confidence-carrying tables.
 
 use crate::error::StorageError;
+use crate::index::{check_indexable, EqualityIndex};
 use crate::schema::Schema;
+use crate::stats::{ColumnStats, TableStats};
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 use crate::Result;
@@ -25,6 +27,10 @@ pub struct Table {
     schema: Schema,
     rows: Vec<StoredTuple>,
     by_id: HashMap<TupleId, usize>,
+    /// Equality indexes, in creation order. Maintained incrementally by
+    /// [`Table::push_row`], which every insert path funnels through
+    /// (catalog insert, restore-with-id, standalone insert, CSV import).
+    indexes: Vec<EqualityIndex>,
     /// Id allocator for standalone tables; `None` when the owning
     /// [`crate::Catalog`] allocates ids.
     ids: Option<IdSeq>,
@@ -55,6 +61,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             by_id: HashMap::new(),
+            indexes: Vec::new(),
             ids,
         }
     }
@@ -97,15 +104,72 @@ impl Table {
         )
     }
 
-    /// Append a validated row, maintaining the id index.
+    /// Append a validated row, maintaining the id index and every equality
+    /// index. This is the single funnel for all insert paths, so indexes can
+    /// never go stale.
     pub(crate) fn push_row(&mut self, row: StoredTuple) {
         debug_assert!(
             !self.by_id.contains_key(&row.id),
             "duplicate tuple id {}",
             row.id
         );
-        self.by_id.insert(row.id, self.rows.len());
+        let pos = self.rows.len();
+        for ix in &mut self.indexes {
+            if let Some(v) = row.tuple.get(ix.column()) {
+                ix.add(pos, v);
+            }
+        }
+        self.by_id.insert(row.id, pos);
         self.rows.push(row);
+    }
+
+    /// Create an equality index on the column at position `column`,
+    /// backfilling it from all existing rows. Idempotent: re-creating an
+    /// existing index is a no-op. Only `INT`, `TEXT` and `BOOL` columns are
+    /// indexable (see [`crate::index`] for why `REAL` is refused).
+    pub fn create_index(&mut self, column: usize) -> Result<()> {
+        let col = self
+            .schema
+            .columns()
+            .get(column)
+            .ok_or(StorageError::ColumnIndexOutOfRange(column))?;
+        check_indexable(&col.display_name(), col.data_type)?;
+        if self.index_on(column).is_some() {
+            return Ok(());
+        }
+        let mut ix = EqualityIndex::new(column);
+        for (pos, row) in self.rows.iter().enumerate() {
+            if let Some(v) = row.tuple.get(column) {
+                ix.add(pos, v);
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// The equality index on `column`, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&EqualityIndex> {
+        self.indexes.iter().find(|ix| ix.column() == column)
+    }
+
+    /// All equality indexes, in creation order.
+    pub fn indexes(&self) -> &[EqualityIndex] {
+        &self.indexes
+    }
+
+    /// Current statistics: cardinality plus NDV for each indexed column.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            row_count: self.rows.len(),
+            columns: self
+                .indexes
+                .iter()
+                .map(|ix| ColumnStats {
+                    column: ix.column(),
+                    distinct_keys: ix.distinct_keys(),
+                })
+                .collect(),
+        }
     }
 
     /// Table name.
@@ -274,6 +338,51 @@ mod tests {
         assert_ne!(ia, ib);
         let ia2 = a.insert(vec![Value::Int(2)], 0.1).unwrap();
         assert_eq!(ia2, TupleId(2));
+    }
+
+    #[test]
+    fn indexes_are_maintained_across_insert_paths() {
+        let schema = Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("funding", DataType::Real),
+        ])
+        .unwrap();
+        let mut t = Table::standalone("Proposal", schema);
+        t.insert(vec![Value::text("A"), Value::Real(1.0)], 0.5)
+            .unwrap();
+        // Index created after the fact backfills existing rows...
+        t.create_index(0).unwrap();
+        // ...and subsequent inserts maintain it incrementally.
+        t.insert(vec![Value::text("B"), Value::Real(2.0)], 0.6)
+            .unwrap();
+        t.insert(vec![Value::text("A"), Value::Real(3.0)], 0.7)
+            .unwrap();
+        t.insert(vec![Value::Null, Value::Real(4.0)], 0.8).unwrap();
+        let ix = t.index_on(0).unwrap();
+        assert_eq!(ix.lookup(&Value::text("A")), &[0, 2]);
+        assert_eq!(ix.lookup(&Value::text("B")), &[1]);
+        assert_eq!(ix.lookup(&Value::Null), &[] as &[usize]);
+        assert_eq!(ix.distinct_keys(), 2);
+        // Re-creating is a no-op, not an error.
+        t.create_index(0).unwrap();
+        assert_eq!(t.indexes().len(), 1);
+        // Stats reflect the live table.
+        let stats = t.stats();
+        assert_eq!(stats.row_count, 4);
+        assert_eq!(stats.distinct_keys(0), Some(2));
+    }
+
+    #[test]
+    fn real_columns_refuse_indexes() {
+        let mut t = table();
+        assert!(matches!(
+            t.create_index(1),
+            Err(StorageError::NotIndexable { .. })
+        ));
+        assert!(matches!(
+            t.create_index(9),
+            Err(StorageError::ColumnIndexOutOfRange(9))
+        ));
     }
 
     #[test]

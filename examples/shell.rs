@@ -19,7 +19,8 @@
 //!
 //! Dot-commands: `.user <name> <role>`, `.purpose <p>`,
 //! `.policy <role> <purpose> <beta>`, `.cost <tuple-id> <rate>`,
-//! `.expecting <fraction>`, `.accept`, `.tables`, `.analyze <query>`,
+//! `.expecting <fraction>`, `.accept`, `.tables`, `.plan <query>`
+//! (logical and chosen physical plan side by side), `.analyze <query>`,
 //! `.metrics [json|prom]`, `.lint [json]` (run the static invariant
 //! analyzer over the workspace), `.help`, `.quit`.
 
@@ -93,8 +94,12 @@ impl Shell {
                      dot-commands: .user <name> <role> | .purpose <p> | \
                      .policy <role> <purpose> <beta> | .cost <tuple-id> <rate> | \
                      .expecting <fraction> | .accept | .tables | \
-                     .explain <query> | .analyze <query> | .metrics [json|prom] | \
-                     .lint [json] | .save <dir> | .load <dir> | .quit"
+                     .explain <query> | .plan <query> | .analyze <query> | \
+                     .metrics [json|prom] | \
+                     .lint [json] | .save <dir> | .load <dir> | .quit\n\
+                     .plan shows the logical plan and the cost-chosen \
+                     physical plan side by side (join strategy, access \
+                     path, pushed predicates)"
                 );
             }
             ["user", name, role] => {
@@ -140,6 +145,13 @@ impl Shell {
             }
             ["explain", rest @ ..] if !rest.is_empty() => {
                 print!("{}", self.db.explain(&rest.join(" "))?);
+            }
+            ["plan", rest @ ..] if !rest.is_empty() => {
+                // Logical plan and the cost-chosen physical plan side by
+                // side: join strategy (hash vs nested-loop), access path
+                // (table scan vs index scan) and pushed-down predicates
+                // are all visible in the right-hand column.
+                print!("{}", self.db.explain_physical(&rest.join(" "))?);
             }
             ["analyze", rest @ ..] if !rest.is_empty() => {
                 // EXPLAIN ANALYZE: run the plan and annotate it with the

@@ -26,12 +26,16 @@ const QUERY: &str = "SELECT DISTINCT CompanyInfo.company, income \
 /// The paper's Section 3.1 database under an explicit parallelism and
 /// recording configuration.
 fn paper_db(worker_threads: Option<usize>, record_metrics: bool) -> Database {
-    let config = EngineConfig {
+    paper_db_config(EngineConfig {
         worker_threads,
         parallel_threshold: 1,
         record_metrics,
         ..EngineConfig::default()
-    };
+    })
+}
+
+/// [`paper_db`] under an arbitrary engine configuration.
+fn paper_db_config(config: EngineConfig) -> Database {
     let mut db = Database::new(config);
     db.create_table(
         "Proposal",
@@ -266,9 +270,42 @@ fn explain_analyze_counts_match_actual_operator_sizes() {
     for line in text.lines() {
         assert!(line.contains("(rows_in="), "unannotated line: {line}");
     }
-    // The running example's true operator sizes: both Proposal rows pass
-    // the funding filter, the join pairs them with the one CompanyInfo
-    // row, and DISTINCT merges the two derivations into one result.
+    // The running example's true operator sizes under the physical
+    // planner: the funding filter is pushed into the Proposal scan (both
+    // rows pass), the tiny join stays nested-loop and pairs them with the
+    // one CompanyInfo row, and DISTINCT merges the two derivations into
+    // one result.
+    assert!(
+        text.contains("TableScan Proposal [filter: (#2 < 1000000)] (rows_in=2 rows_out=2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("TableScan CompanyInfo (rows_in=1 rows_out=1"),
+        "{text}"
+    );
+    assert!(text.contains("NestedLoopJoin"), "{text}");
+    assert!(text.contains("(rows_in=3 rows_out=2"), "{text}");
+    assert!(
+        text.contains("Project DISTINCT [company, income] (rows_in=2 rows_out=1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn logical_explain_analyze_keeps_logical_shape_and_sizes() {
+    // With physical planning off, EXPLAIN ANALYZE annotates the logical
+    // plan and must keep exactly the shape of plain EXPLAIN.
+    let db = paper_db_config(EngineConfig {
+        worker_threads: Some(1),
+        parallel_threshold: 1,
+        record_metrics: true,
+        physical_planning: false,
+        ..EngineConfig::default()
+    });
+    let text = db.explain_analyze(QUERY).unwrap();
+    for line in text.lines() {
+        assert!(line.contains("(rows_in="), "unannotated line: {line}");
+    }
     assert!(
         text.contains("Scan Proposal (rows_in=2 rows_out=2"),
         "{text}"
