@@ -5,67 +5,95 @@
 # network-less runner with an empty cargo registry builds and tests the
 # whole repository.
 #
-# Usage: ./ci.sh [--no-clippy]
+# Usage: ./ci.sh [--no-clippy] [--stage <name>]...
+#
+# With no --stage arguments every stage runs in registry order; each
+# --stage selects one stage by name (repeatable, run in the order
+# given), which is how .github/workflows/ci.yml fans the pipeline out
+# across parallel jobs. `./ci.sh --list` prints the registry. A
+# wall-time summary table is printed at the end of every run — including
+# failed ones, so slow or broken stages are visible at a glance.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-NO_CLIPPY=0
-for arg in "$@"; do
-  case "$arg" in
-    --no-clippy) NO_CLIPPY=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
-  esac
-done
+# ---------------------------------------------------------------------------
+# Stage registry. Names are the --stage vocabulary; keep ci.yml in sync.
 
-step() { printf '\n==> %s\n' "$*"; }
+STAGES=(
+  fmt
+  clippy
+  lint
+  lint-artifact
+  build
+  test
+  smoke-metrics
+  smoke-explain
+  bench-build
+  bench-physical
+  bench-cache
+  gate-cache
+)
 
-step "formatting (cargo fmt --check)"
-cargo fmt --all --check
+stage_fmt() { # formatting (cargo fmt --check)
+  cargo fmt --all --check
+}
 
-if [ "$NO_CLIPPY" -eq 0 ]; then
-  step "lints (cargo clippy -D warnings)"
+stage_clippy() { # lints (cargo clippy -D warnings)
+  if [ "$NO_CLIPPY" -eq 1 ]; then
+    echo "clippy skipped (--no-clippy)"
+    return 0
+  fi
   cargo clippy --workspace --all-targets --offline -- -D warnings
-fi
+}
 
-step "static invariants (cargo run -p pcqe-lint)"
-# One analyzer replaces the old awk dependency mirror and extends it.
-# Token layer: PCQE-D001/D002/D003/D004 (determinism), PCQE-C001
-# (concurrency containment), PCQE-P001 (panic-safety), PCQE-T001 (wall
-# clock), PCQE-H001 (hermetic manifests — subsumes the former awk
-# guard). Graph layer: PCQE-P002 (panic-reachability from guarded public
-# API) and PCQE-G001 (rows released only below the policy gate).
-# Hygiene: PCQE-A001 (stale allowlist entries), PCQE-A002 (unreasoned
-# entries). Exceptions live in lint-allow.toml with reasons; see
-# DESIGN.md § "Static invariants".
-cargo run -q -p pcqe-lint --offline
+stage_lint() { # static invariants (cargo run -p pcqe-lint)
+  # One analyzer replaces the old awk dependency mirror and extends it.
+  # Token layer: PCQE-D001/D002/D003/D004 (determinism), PCQE-C001
+  # (concurrency containment), PCQE-P001 (panic-safety), PCQE-T001 (wall
+  # clock), PCQE-H001 (hermetic manifests — subsumes the former awk
+  # guard). Graph layer: PCQE-P002 (panic-reachability from guarded
+  # public API) and PCQE-G001 (rows released only below the policy
+  # gate). Hygiene: PCQE-A001 (stale allowlist entries), PCQE-A002
+  # (unreasoned entries). Exceptions live in lint-allow.toml with
+  # reasons; see DESIGN.md § "Static invariants".
+  cargo run -q -p pcqe-lint --offline
+}
 
-step "static invariants artifact (results/lint.json)"
-# The same analysis as a machine-readable CI artifact, then validated
-# with the in-repo JSON parser — exporter and parser agree end to end
-# without external tooling, mirroring the metrics smoke check below.
-mkdir -p results
-cargo run -q -p pcqe-lint --offline -- --format json > results/lint.json
-cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- --schema lint results/lint.json
+stage_lint_artifact() { # static invariants artifact (results/lint.json)
+  # The same analysis as a machine-readable CI artifact, then validated
+  # with the in-repo JSON parser — exporter and parser agree end to end
+  # without external tooling, mirroring the metrics smoke check below.
+  mkdir -p results
+  cargo run -q -p pcqe-lint --offline -- --format json > results/lint.json
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- --schema lint results/lint.json
+}
 
-step "release build (offline)"
-cargo build --release --offline
+stage_build() { # release build (offline)
+  cargo build --release --offline
+}
 
-step "tests (offline, whole workspace)"
-cargo test -q --offline --workspace
+stage_test() { # tests (offline, whole workspace)
+  cargo test -q --offline --workspace
+}
 
-step "observability smoke export (quickstart -> results/metrics.json)"
-# The quickstart example ends by exporting its metrics snapshot; the
-# in-repo JSON parser then validates the document, proving the exporter
-# and parser agree end to end without any external tooling.
-cargo run -q --offline --example quickstart > /dev/null
-cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- results/metrics.json
+stage_smoke_metrics() { # observability smoke export (quickstart -> results/metrics.json)
+  # The quickstart example ends by exporting its metrics snapshot; the
+  # in-repo JSON parser then validates the document, proving the
+  # exporter and parser agree end to end without any external tooling.
+  cargo run -q --offline --example quickstart > /dev/null
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- results/metrics.json
+}
 
-step "EXPLAIN smoke (.plan on the § 3.1 running example)"
-# Pipe the paper's running-example schema and query through the shell
-# and assert the physical planner's choices show up in the side-by-side
-# plan: the residual filter is pushed into the Proposal scan and the
-# small build side makes the join a nested loop.
-PLAN_OUT="$(cargo run -q --offline --example shell <<'EOF'
+stage_smoke_explain() { # EXPLAIN smoke (.plan on the § 3.1 running example)
+  # Pipe the paper's running-example schema and query through the shell
+  # and assert the physical planner's choices show up in the
+  # side-by-side plan: the residual filter is pushed into the Proposal
+  # scan and the small build side makes the join a nested loop. The
+  # shell's stderr is captured and surfaced on failure — a panic in the
+  # heredoc must be reported as itself, not as a grep miss.
+  local plan_out stderr_file status=0
+  stderr_file="$(mktemp)"
+  plan_out="$(cargo run -q --offline --example shell 2>"$stderr_file" <<'EOF'
 CREATE TABLE Proposal (company TEXT, proposal TEXT, funding REAL);
 CREATE TABLE CompanyInfo (company TEXT, income REAL);
 INSERT INTO Proposal VALUES ('ABC', 'p7', 500000.0) WITH CONFIDENCE 0.8;
@@ -73,30 +101,154 @@ INSERT INTO CompanyInfo VALUES ('ABC', 900000.0) WITH CONFIDENCE 0.9;
 .plan SELECT DISTINCT CompanyInfo.company, income FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company WHERE funding < 1000000.0
 .quit
 EOF
-)"
-echo "$PLAN_OUT" | grep -q "NestedLoopJoin" || {
-  echo "EXPLAIN smoke: expected NestedLoopJoin in .plan output" >&2
-  echo "$PLAN_OUT" >&2
-  exit 1
+)" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "EXPLAIN smoke: shell exited with status $status; stderr follows" >&2
+    cat "$stderr_file" >&2
+    rm -f "$stderr_file"
+    return 1
+  fi
+  rm -f "$stderr_file"
+  echo "$plan_out" | grep -q "NestedLoopJoin" || {
+    echo "EXPLAIN smoke: expected NestedLoopJoin in .plan output" >&2
+    echo "$plan_out" >&2
+    return 1
+  }
+  echo "$plan_out" | grep -q "TableScan Proposal \[filter:" || {
+    echo "EXPLAIN smoke: expected pushed filter on the Proposal scan" >&2
+    echo "$plan_out" >&2
+    return 1
+  }
+  echo "EXPLAIN smoke OK (nested-loop join, pushed residual filter)"
 }
-echo "$PLAN_OUT" | grep -q "TableScan Proposal \[filter:" || {
-  echo "EXPLAIN smoke: expected pushed filter on the Proposal scan" >&2
-  echo "$PLAN_OUT" >&2
-  exit 1
+
+stage_bench_build() { # bench workspace builds (offline, detached)
+  ( cd crates/bench && cargo build --offline && cargo test -q --offline )
 }
-echo "EXPLAIN smoke OK (nested-loop join, pushed residual filter)"
 
-step "bench workspace builds (offline, detached)"
-( cd crates/bench && cargo build --offline && cargo test -q --offline )
+stage_bench_physical() { # physical planning bench export (results/physical_planning.json)
+  # The bench asserts logical/physical bit-identity, β-gated audit
+  # parity, and that the low-β workload actually skips exact expansions,
+  # then exports its measurements; the in-repo parser validates the
+  # document.
+  mkdir -p results
+  ( cd crates/bench \
+    && cargo bench -q --offline --bench physical_planning -- \
+      ../../results/physical_planning.json )
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    results/physical_planning.json
+}
 
-step "physical planning bench export (results/physical_planning.json)"
-# The bench asserts logical/physical bit-identity, β-gated audit parity,
-# and that the low-β workload actually skips exact expansions, then
-# exports its measurements; the in-repo parser validates the document.
-( cd crates/bench \
-  && cargo bench -q --offline --bench physical_planning -- \
-    ../../results/physical_planning.json )
-cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
-  results/physical_planning.json
+stage_bench_cache() { # circuit-cache bench export (results/confidence_cache.json)
+  # The bench asserts cache-on/cache-off bit-identity over the repeated
+  # what-if workload, nonzero memo hits and invalidations, and the ≥5x
+  # speedup contract, then exports its measurements.
+  mkdir -p results
+  ( cd crates/bench \
+    && cargo bench -q --offline --bench confidence_cache -- \
+      ../../results/confidence_cache.json )
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    results/confidence_cache.json
+}
 
-step "ci.sh: all stages passed"
+stage_gate_cache() { # bench-regression gate (confidence_cache vs checked-in baseline)
+  # Every counter and gauge named in the baseline is a floor the fresh
+  # export must clear: cache hit counts, invalidations and the cache-on
+  # speedup may only regress by failing CI.
+  if [ ! -f results/confidence_cache.json ]; then
+    echo "gate-cache: results/confidence_cache.json missing; run the bench-cache stage first" >&2
+    return 1
+  fi
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    --gate results/baseline_confidence_cache.json results/confidence_cache.json
+}
+
+# ---------------------------------------------------------------------------
+# Driver: argument parsing, per-stage timing, summary table.
+
+NO_CLIPPY=0
+SELECTED=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --no-clippy) NO_CLIPPY=1 ;;
+    --stage)
+      shift
+      [ $# -gt 0 ] || { echo "--stage needs a name (see ./ci.sh --list)" >&2; exit 2; }
+      SELECTED+=("$1")
+      ;;
+    --list)
+      printf '%s\n' "${STAGES[@]}"
+      exit 0
+      ;;
+    -h|--help)
+      echo "usage: ./ci.sh [--no-clippy] [--stage <name>]... [--list]"
+      exit 0
+      ;;
+    *) echo "unknown argument: $1 (try --help)" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+known_stage() {
+  local name
+  for name in "${STAGES[@]}"; do
+    [ "$name" = "$1" ] && return 0
+  done
+  return 1
+}
+
+for name in ${SELECTED[@]+"${SELECTED[@]}"}; do
+  if ! known_stage "$name"; then
+    echo "unknown stage: $name (available: ${STAGES[*]})" >&2
+    exit 2
+  fi
+done
+if [ "${#SELECTED[@]}" -eq 0 ]; then
+  SELECTED=("${STAGES[@]}")
+fi
+
+SUMMARY_NAMES=()
+SUMMARY_NANOS=()
+SUMMARY_STATUS=()
+CURRENT_STAGE=""
+CURRENT_T0=0
+PIPELINE_T0=$(date +%s%N)
+
+print_summary() {
+  local code=$?
+  # A stage that was entered but never recorded is the one that failed.
+  if [ -n "$CURRENT_STAGE" ]; then
+    SUMMARY_NAMES+=("$CURRENT_STAGE")
+    SUMMARY_NANOS+=($(($(date +%s%N) - CURRENT_T0)))
+    SUMMARY_STATUS+=("FAILED")
+  fi
+  if [ "${#SUMMARY_NAMES[@]}" -eq 0 ]; then
+    return "$code"
+  fi
+  printf '\n%-18s %-8s %10s\n' "stage" "status" "time"
+  printf '%-18s %-8s %10s\n' "-----" "------" "----"
+  local i total=0
+  for i in "${!SUMMARY_NAMES[@]}"; do
+    total=$((total + SUMMARY_NANOS[i]))
+    printf '%-18s %-8s %9s.%02ds\n' "${SUMMARY_NAMES[$i]}" "${SUMMARY_STATUS[$i]}" \
+      "$((SUMMARY_NANOS[i] / 1000000000))" "$((SUMMARY_NANOS[i] % 1000000000 / 10000000))"
+  done
+  printf '%-18s %-8s %9s.%02ds\n' "total" "" \
+    "$((total / 1000000000))" "$((total % 1000000000 / 10000000))"
+  return "$code"
+}
+trap print_summary EXIT
+
+for name in "${SELECTED[@]}"; do
+  printf '\n==> stage: %s\n' "$name"
+  CURRENT_STAGE="$name"
+  CURRENT_T0=$(date +%s%N)
+  "stage_${name//-/_}"
+  SUMMARY_NAMES+=("$name")
+  SUMMARY_NANOS+=($(($(date +%s%N) - CURRENT_T0)))
+  SUMMARY_STATUS+=("ok")
+  CURRENT_STAGE=""
+done
+
+printf '\n==> ci.sh: all selected stages passed (%d of %d in the registry)\n' \
+  "${#SELECTED[@]}" "${#STAGES[@]}"

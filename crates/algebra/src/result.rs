@@ -2,7 +2,7 @@
 
 use crate::error::AlgebraError;
 use crate::Result;
-use pcqe_lineage::{Evaluator, Lineage, ProbSource};
+use pcqe_lineage::{CircuitCache, Evaluator, Lineage, ProbSource};
 use pcqe_storage::{Schema, Tuple};
 use std::fmt;
 
@@ -225,6 +225,102 @@ impl ResultSet {
         }
         Ok(n)
     }
+
+    /// [`Self::score`] through a shared [`CircuitCache`]: rows with equal
+    /// or overlapping lineage share compiled subcircuits and memoized
+    /// probabilities. Bit-identical to [`Self::score`]/[`Self::score_par`]
+    /// whenever `cache.probs()` agrees with the probability source those
+    /// were given — the cache replays the interpreter's float operations in
+    /// the same order, and memo hits return the identical f64.
+    ///
+    /// The pass is sequential by construction (memoized evaluation is a
+    /// shared-state walk), which is what makes it thread-count independent:
+    /// there is no scheduling to vary.
+    pub fn score_cached(
+        &self,
+        cache: &mut CircuitCache,
+        evaluator: &Evaluator,
+    ) -> Result<Vec<ScoredTuple>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let confidence = cache
+                    .score_lineage(&row.lineage, evaluator)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                Ok(ScoredTuple {
+                    tuple: row.tuple.clone(),
+                    lineage: row.lineage.clone(),
+                    confidence,
+                })
+            })
+            .collect()
+    }
+
+    /// [`Self::score_gated`] through a shared [`CircuitCache`]: the same
+    /// Fréchet-bound gate (rows with `upper ≤ β` skip exact evaluation and
+    /// carry the bound), with exact scores served from the cache. Skip
+    /// decisions and confidences are bit-identical to the uncached gated
+    /// path under the same probabilities.
+    pub fn score_gated_cached(
+        &self,
+        cache: &mut CircuitCache,
+        evaluator: &Evaluator,
+        beta: f64,
+    ) -> Result<GatedScore> {
+        let mut scored = Vec::with_capacity(self.rows.len());
+        let mut skipped = Vec::with_capacity(self.rows.len());
+        let mut exact_skipped = 0usize;
+        for row in &self.rows {
+            let upper = pcqe_lineage::upper_bound(&row.lineage, cache.probs())
+                .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+            let (confidence, was_skipped) = if upper <= beta {
+                (upper, true)
+            } else {
+                let exact = cache
+                    .score_lineage(&row.lineage, evaluator)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                (exact, false)
+            };
+            scored.push(ScoredTuple {
+                tuple: row.tuple.clone(),
+                lineage: row.lineage.clone(),
+                confidence,
+            });
+            skipped.push(was_skipped);
+            if was_skipped {
+                exact_skipped += 1;
+            }
+        }
+        Ok(GatedScore {
+            scored,
+            skipped,
+            exact_skipped,
+        })
+    }
+
+    /// [`Self::rescore_exact`] through a shared [`CircuitCache`]; same
+    /// in-place contract, with the flagged rows' exact confidences served
+    /// from (and memoized into) the pool.
+    pub fn rescore_exact_cached(
+        scored: &mut [ScoredTuple],
+        skipped: &[bool],
+        cache: &mut CircuitCache,
+        evaluator: &Evaluator,
+    ) -> Result<usize> {
+        let mut n = 0usize;
+        for (i, &was_skipped) in skipped.iter().enumerate() {
+            if !was_skipped {
+                continue;
+            }
+            if let Some(s) = scored.get_mut(i) {
+                s.confidence = cache
+                    .score_lineage(&s.lineage, evaluator)
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
 }
 
 /// The outcome of [`ResultSet::score_gated`].
@@ -361,6 +457,81 @@ mod tests {
         assert_eq!(gated.exact_skipped, 0);
         let exact = rs.score(&probs, &Evaluator::default()).unwrap();
         assert_eq!(gated.scored, exact);
+    }
+
+    fn seeded_cache(probs: &HashMap<VarId, f64>) -> CircuitCache {
+        let mut cache = CircuitCache::new();
+        let mut sorted: Vec<(VarId, f64)> = probs.iter().map(|(&v, &p)| (v, p)).collect();
+        sorted.sort_by_key(|&(v, _)| v);
+        for (v, p) in sorted {
+            cache.set_prob(v, p);
+        }
+        cache
+    }
+
+    #[test]
+    fn cached_scoring_is_bit_identical_to_plain() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let plain = rs.score(&probs, &Evaluator::default()).unwrap();
+        let mut cache = seeded_cache(&probs);
+        // Score twice: the second pass is pure memo hits and must not
+        // perturb a single bit.
+        for pass in 0..2 {
+            let cached = rs.score_cached(&mut cache, &Evaluator::default()).unwrap();
+            assert_eq!(cached.len(), plain.len());
+            for (c, p) in cached.iter().zip(&plain) {
+                assert_eq!(
+                    c.confidence.to_bits(),
+                    p.confidence.to_bits(),
+                    "pass {pass}"
+                );
+            }
+        }
+        assert!(cache.stats().hits() > 0);
+    }
+
+    #[test]
+    fn cached_gating_matches_plain_gating_bitwise() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let par = pcqe_par::Parallelism::sequential();
+        for beta in [0.1, 0.45] {
+            let plain = rs
+                .score_gated(&probs, &Evaluator::default(), beta, &par, None)
+                .unwrap();
+            let mut cache = seeded_cache(&probs);
+            let cached = rs
+                .score_gated_cached(&mut cache, &Evaluator::default(), beta)
+                .unwrap();
+            assert_eq!(cached.skipped, plain.skipped, "beta={beta}");
+            assert_eq!(cached.exact_skipped, plain.exact_skipped);
+            for (c, p) in cached.scored.iter().zip(&plain.scored) {
+                assert_eq!(c.confidence.to_bits(), p.confidence.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_rescore_matches_plain_rescore() {
+        let rs = simple();
+        let probs: HashMap<VarId, f64> = [(VarId(0), 0.5), (VarId(1), 0.4)].into_iter().collect();
+        let mut cache = seeded_cache(&probs);
+        let mut cached = rs
+            .score_gated_cached(&mut cache, &Evaluator::default(), 0.45)
+            .unwrap();
+        let n = ResultSet::rescore_exact_cached(
+            &mut cached.scored,
+            &cached.skipped,
+            &mut cache,
+            &Evaluator::default(),
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        let exact = rs.score(&probs, &Evaluator::default()).unwrap();
+        for (c, p) in cached.scored.iter().zip(&exact) {
+            assert_eq!(c.confidence.to_bits(), p.confidence.to_bits());
+        }
     }
 
     #[test]

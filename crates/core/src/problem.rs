@@ -201,6 +201,37 @@ impl ProblemBuilder {
         Ok(self.results.len() - 1)
     }
 
+    /// Like [`ProblemBuilder::result_from_lineage`], but compiling through
+    /// a shared [`CircuitCache`] pool: results whose lineage (or
+    /// subformulas thereof) were already compiled for this query reuse the
+    /// pooled circuit via its `Arc` instead of re-expanding. Budget
+    /// success/failure and the compiled circuit's variables and arithmetic
+    /// are identical to the uncached path.
+    pub fn result_from_lineage_cached(
+        &mut self,
+        lineage: &Lineage,
+        cache: &mut pcqe_lineage::CircuitCache,
+    ) -> Result<usize> {
+        let id = cache
+            .compile(lineage, self.lineage_budget)
+            .map_err(|e| CoreError::Lineage(e.to_string()))?;
+        let compiled = cache.compiled(id).cloned().ok_or_else(|| {
+            CoreError::InvalidProblem("circuit cache returned a dangling handle".to_owned())
+        })?;
+        let mut bases = Vec::with_capacity(compiled.vars().len());
+        for v in compiled.vars() {
+            let idx = self.id_to_index.get(&v.0).copied().ok_or_else(|| {
+                CoreError::InvalidProblem(format!("lineage references unknown base id {}", v.0))
+            })?;
+            bases.push(idx);
+        }
+        self.results.push(ResultSpec {
+            bases,
+            conf: ConfFn::Compiled(compiled),
+        });
+        Ok(self.results.len() - 1)
+    }
+
     /// Add a result with a custom (monotone) confidence function over the
     /// given base indexes.
     pub fn result_custom<F>(&mut self, bases: Vec<usize>, f: F) -> usize

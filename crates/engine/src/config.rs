@@ -65,6 +65,15 @@ pub struct EngineConfig {
     /// query answers, proposals and audit entries are bit-identical with
     /// recording on or off, at any thread count — metrics only observe.
     pub record_metrics: bool,
+    /// Score result confidences through the query-scoped
+    /// [`pcqe_lineage::CircuitCache`]: compiled circuits are hash-consed
+    /// into a shared pool, subcircuit probabilities are memoized, and a
+    /// what-if/θ probe that changes one base tuple's confidence
+    /// re-evaluates only the circuits whose var-set intersects it.
+    /// Bit-identical to uncached scoring — released sets, confidences,
+    /// audit entries and proposals are unchanged — so this flag is a pure
+    /// performance switch (see DESIGN.md §10).
+    pub circuit_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +90,7 @@ impl Default for EngineConfig {
             worker_threads: None,
             parallel_threshold: pcqe_par::DEFAULT_PARALLEL_THRESHOLD,
             record_metrics: true,
+            circuit_cache: true,
         }
     }
 }

@@ -86,6 +86,11 @@ pub struct Database {
     audit: Vec<crate::audit::AuditEntry>,
     recorder: pcqe_obs::Recorder,
     version: u64,
+    /// Query-scoped circuit pool (see [`EngineConfig::circuit_cache`]).
+    /// Probabilities are re-synced from the catalog (or what-if overrides)
+    /// before every cached scoring pass, so the pool survives across
+    /// queries and `apply` calls without going stale.
+    cache: pcqe_lineage::CircuitCache,
 }
 
 impl Database {
@@ -103,6 +108,7 @@ impl Database {
             audit: Vec::new(),
             recorder,
             version: 0,
+            cache: pcqe_lineage::CircuitCache::new(),
         }
     }
 
@@ -230,6 +236,7 @@ impl Database {
         withheld: usize,
         proposed: bool,
     ) {
+        self.record_cache_activity();
         if self.recording() {
             self.recorder.counter_add("query.total", 1);
             self.recorder
@@ -249,6 +256,29 @@ impl Database {
             withheld,
             proposed,
         });
+    }
+
+    /// Drain the circuit cache's activity counters into the recorder as
+    /// `lineage.*` metric deltas. Called from the same helpers that write
+    /// the audit log (and after what-if previews), so cache activity is
+    /// attributed to the decision that caused it. Draining happens even
+    /// with recording off — the deltas are simply discarded — so toggling
+    /// metrics never changes what a later snapshot attributes to a query.
+    /// Zero deltas are not emitted, so an engine that never touched the
+    /// pool (cache off, or no scoring) records no `lineage.*` counters.
+    fn record_cache_activity(&mut self) {
+        let stats = self.cache.take_stats();
+        if !self.recording() {
+            return;
+        }
+        let emit = |name: &str, delta: u64| {
+            if delta > 0 {
+                self.recorder.counter_add(name, delta);
+            }
+        };
+        emit("lineage.circuit_compiled", stats.compiled);
+        emit("lineage.cache_hit", stats.hits());
+        emit("lineage.cache_invalidated", stats.invalidated);
     }
 
     /// Push an improvement audit entry and mirror it into the recorder.
@@ -413,9 +443,32 @@ impl Database {
         // already ≤ β are withheld without exact Shannon/Monte-Carlo
         // evaluation. `skipped` remembers which rows carry a bound so the
         // strategy-finding path below can restore exact values first.
+        let use_cache = self.config.circuit_cache;
         let (mut scored, skipped) = {
             let _score_span = span.child("score");
-            if self.config.beta_short_circuit {
+            if use_cache {
+                // Cached scoring: one sequential memoized pass over the
+                // shared circuit pool, bit-identical to the parallel
+                // uncached pass at any thread count (DESIGN.md §10).
+                sync_cache_probs(&mut self.cache, result_set.rows(), &probs);
+                if self.config.beta_short_circuit {
+                    let gated = result_set.score_gated_cached(
+                        &mut self.cache,
+                        &self.config.evaluator,
+                        policy.threshold,
+                    )?;
+                    if recording {
+                        self.recorder
+                            .counter_add("lineage.exact_skipped", gated.exact_skipped as u64);
+                    }
+                    (gated.scored, Some(gated.skipped))
+                } else {
+                    (
+                        result_set.score_cached(&mut self.cache, &self.config.evaluator)?,
+                        None,
+                    )
+                }
+            } else if self.config.beta_short_circuit {
                 let gated = result_set.score_gated(
                     &probs,
                     &self.config.evaluator,
@@ -477,13 +530,25 @@ impl Database {
         // are never skipped — a skipped row's bound is ≤ β, which can
         // never admit — so only withheld rows are touched here.)
         if let Some(skipped) = &skipped {
-            let rescored = pcqe_algebra::ResultSet::rescore_exact(
-                &mut scored,
-                skipped,
-                &probs,
-                &self.config.evaluator,
-                &par,
-            )?;
+            let rescored = if use_cache {
+                // Probabilities were synced before gating and nothing has
+                // changed them since, so the memoized exact values are
+                // still current.
+                pcqe_algebra::ResultSet::rescore_exact_cached(
+                    &mut scored,
+                    skipped,
+                    &mut self.cache,
+                    &self.config.evaluator,
+                )?
+            } else {
+                pcqe_algebra::ResultSet::rescore_exact(
+                    &mut scored,
+                    skipped,
+                    &probs,
+                    &self.config.evaluator,
+                    &par,
+                )?
+            };
             if recording {
                 self.recorder
                     .counter_add("lineage.exact_rescored", rescored as u64);
@@ -503,7 +568,8 @@ impl Database {
         };
         let (outcome, stats) = {
             let _propose_span = span.child("propose");
-            improve::propose(&ctx, &withheld, &self.recorder)?
+            let cache = use_cache.then_some(&mut self.cache);
+            improve::propose(&ctx, &withheld, &self.recorder, cache)?
         };
         drop(span);
         if let Some(s) = stats {
@@ -551,7 +617,10 @@ impl Database {
             let plan = self.plan_sql(&request.sql)?;
             let result_set = self.run_plan(&plan, &par, recording)?;
             let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-            let scored = if recording {
+            let scored = if self.config.circuit_cache {
+                sync_cache_probs(&mut self.cache, result_set.rows(), &probs);
+                result_set.score_cached(&mut self.cache, &self.config.evaluator)?
+            } else if recording {
                 result_set.score_par_observed(
                     &probs,
                     &self.config.evaluator,
@@ -569,6 +638,7 @@ impl Database {
             let shortfall = requested.saturating_sub(released.len());
             if shortfall > 0 {
                 let withheld = withheld_tuples(&scored, &decision.withheld);
+                let cache = self.config.circuit_cache.then_some(&mut self.cache);
                 match improve::build_instance(
                     &self.catalog,
                     &self.costs,
@@ -576,6 +646,7 @@ impl Database {
                     &withheld,
                     policy.threshold,
                     shortfall,
+                    cache,
                 )? {
                     Some(instance) => instances.push(instance),
                     None => non_monotone = true,
@@ -672,11 +743,19 @@ impl Database {
 
     /// Preview a proposal without applying it: re-evaluate the query with
     /// the proposal's confidences substituted in, returning what the user
-    /// *would* see after accepting. Nothing in the database changes —
-    /// this is the "report the cost and the data to the manager" step of
-    /// Section 3.1, with the outcome made inspectable.
+    /// *would* see after accepting. Nothing observable in the database
+    /// changes — this is the "report the cost and the data to the manager"
+    /// step of Section 3.1, with the outcome made inspectable. (With the
+    /// circuit cache enabled the preview warms/invalidates pool memos,
+    /// which is why the receiver is `&mut`; the next scoring pass re-syncs
+    /// probabilities from the catalog, so answers are unaffected.)
+    ///
+    /// This is the incremental-re-scoring fast path: overriding one base
+    /// tuple's confidence invalidates only the pool nodes whose var-set
+    /// intersects it, so repeated what-if probes re-evaluate a sliver of
+    /// each circuit instead of re-expanding every formula.
     pub fn what_if(
-        &self,
+        &mut self,
         user: &User,
         request: &QueryRequest,
         proposal: &crate::response::ImprovementProposal,
@@ -696,7 +775,14 @@ impl Database {
                 .copied()
                 .or_else(|| self.catalog.confidence(id))
         };
-        let scored = result_set.score_par(&probs, &self.config.evaluator, &par)?;
+        let scored = if self.config.circuit_cache {
+            sync_cache_probs(&mut self.cache, result_set.rows(), &probs);
+            let scored = result_set.score_cached(&mut self.cache, &self.config.evaluator)?;
+            self.record_cache_activity();
+            scored
+        } else {
+            result_set.score_par(&probs, &self.config.evaluator, &par)?
+        };
         let policy = self.policies.select(&user.role, &request.purpose)?;
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
         let decision = evaluate_results(policy, &confidences);
@@ -768,6 +854,27 @@ fn withheld_tuples<'a>(
     indices: &[usize],
 ) -> Vec<&'a pcqe_algebra::ScoredTuple> {
     indices.iter().filter_map(|&i| scored.get(i)).collect()
+}
+
+/// Push the current probability of every variable the result set reads
+/// into the circuit cache before a cached scoring pass. `set_prob` is a
+/// bitwise-compared no-op for unchanged values, so this only invalidates
+/// memos for tuples whose confidence actually moved (an `apply`, or a
+/// what-if override) — the incremental-re-scoring entry point. Variables
+/// the source does not know are left unset so cached scoring fails with
+/// the same `UnknownVar` the uncached evaluator reports.
+fn sync_cache_probs<F: Fn(pcqe_lineage::VarId) -> Option<f64>>(
+    cache: &mut pcqe_lineage::CircuitCache,
+    rows: &[pcqe_algebra::DerivedTuple],
+    prob_of: &F,
+) {
+    for row in rows {
+        for v in row.lineage.vars() {
+            if let Some(p) = prob_of(v) {
+                cache.set_prob(v, p);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@ pub(crate) fn propose(
     ctx: &ProposeContext<'_>,
     withheld: &[&ScoredTuple],
     sink: &dyn SolverSink,
+    cache: Option<&mut pcqe_lineage::CircuitCache>,
 ) -> Result<(ProposeOutcome, Option<ProposeStats>)> {
     let ProposeContext {
         catalog,
@@ -77,7 +78,8 @@ pub(crate) fn propose(
     // Results with negated lineage are not monotone in base confidences;
     // raising a base tuple could *lower* them. They are excluded from the
     // improvable pool.
-    let Some(problem) = build_instance(catalog, costs, config, withheld, beta, needed)? else {
+    let Some(problem) = build_instance(catalog, costs, config, withheld, beta, needed, cache)?
+    else {
         return Ok((ProposeOutcome::No(NoProposal::NonMonotone), None));
     };
     let size = problem.bases.len();
@@ -128,6 +130,15 @@ pub(crate) fn propose(
 
 /// Build one query's confidence-increment instance from its withheld
 /// results; `None` when too few of them are improvable (negated lineage).
+///
+/// With a [`pcqe_lineage::CircuitCache`] supplied, result circuits are
+/// compiled through the shared pool: formulas (and subformulas) already
+/// expanded while scoring this query are reused via their `Arc` instead of
+/// re-running Shannon expansion. The greedy/anneal/exhaustive/heuristic/
+/// dnc/multi solvers all evaluate [`pcqe_core::problem::ConfFn::Compiled`]
+/// circuits, so every one of them routes through the pooled circuits — and
+/// the compiled arithmetic is identical either way, so solver outcomes are
+/// bit-identical.
 pub(crate) fn build_instance(
     catalog: &Catalog,
     costs: &BTreeMap<TupleId, CostFn>,
@@ -135,6 +146,7 @@ pub(crate) fn build_instance(
     withheld: &[&ScoredTuple],
     beta: f64,
     needed: usize,
+    cache: Option<&mut pcqe_lineage::CircuitCache>,
 ) -> Result<Option<ProblemInstance>> {
     let improvable: Vec<&&ScoredTuple> = withheld
         .iter()
@@ -160,8 +172,17 @@ pub(crate) fn build_instance(
             }
         }
     }
-    for s in &improvable {
-        builder.result_from_lineage(&s.lineage)?;
+    match cache {
+        Some(cache) => {
+            for s in &improvable {
+                builder.result_from_lineage_cached(&s.lineage, cache)?;
+            }
+        }
+        None => {
+            for s in &improvable {
+                builder.result_from_lineage(&s.lineage)?;
+            }
+        }
     }
     Ok(Some(builder.require(needed).build()?))
 }

@@ -1,0 +1,740 @@
+//! Query-scoped confidence cache: a hash-consed circuit pool with
+//! memoized, incrementally-invalidated subcircuit probabilities.
+//!
+//! The strategy-finding workloads of the paper (Fig. 11) evaluate the same
+//! result confidences over and over with *one* base-tuple probability
+//! nudged per probe. The plain pipeline re-runs Shannon expansion per
+//! evaluation; [`CircuitCache`] instead:
+//!
+//! 1. **Hash-conses** compiled arithmetic nodes into a canonical pool:
+//!    structurally equal subcircuits — across results of one query, and
+//!    across the hi/lo cofactors of one expansion — become a single node,
+//!    found via a structural [`BTreeMap`] key and addressed by a
+//!    deterministic, insertion-ordered id.
+//! 2. **Memoizes compilation** per (sub)formula, so the second result that
+//!    contains an already-compiled subformula pays a map lookup instead of
+//!    a fresh expansion.
+//! 3. **Memoizes evaluation** per node under the cache's current
+//!    probability assignment. [`CircuitCache::set_prob`] compares bit
+//!    patterns and, only on a real change, walks reverse edges from the
+//!    variable's reader nodes, dropping exactly the memos whose value
+//!    depends on it — circuits whose var-set does not intersect the change
+//!    keep their memoized probabilities untouched.
+//!
+//! # Determinism
+//!
+//! Cached scoring is bit-identical to the uncached
+//! [`Evaluator::probability`] path:
+//!
+//! - compilation runs on the same simplified/factored formula with the same
+//!   pivot rule, so pooled circuits have the exact structure the
+//!   interpreter's recursion traces;
+//! - [`CircuitCache::score`] replays the interpreter's float operations in
+//!   the same order (`Π`, `1 − Π(1 − ·)`, `p·hi + (1 − p)·lo`), and a memo
+//!   hit returns the very f64 the first evaluation produced;
+//! - budget accounting is *parity-exact*: a fresh compile of a subformula
+//!   with remaining budget `r` succeeds iff `r ≥ cost`, consuming exactly
+//!   `cost` — so a compile-memo hit charges the recorded cost up front and
+//!   fails with the identical [`LineageError::BudgetExceeded`] iff the
+//!   stepwise recursion would have;
+//! - on budget exhaustion the cache falls back to the same seeded
+//!   Monte-Carlo estimate over the same factored formula.
+//!
+//! Every container in this module is a `BTreeMap` or a `Vec` indexed by
+//! insertion order (PCQE-D001): iteration order, node ids and therefore
+//! every emitted statistic are independent of hash seeds and thread count.
+
+use crate::compile::{Arith, CompiledLineage};
+use crate::error::LineageError;
+use crate::expr::{Lineage, VarId};
+use crate::mc::MonteCarlo;
+use crate::prob::Evaluator;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Handle to one root circuit in a [`CircuitCache`]. Ids are dense and
+/// assigned in first-compile order, so they are deterministic for a
+/// deterministic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CircuitId(pub(crate) usize);
+
+/// Cache activity counters, drained with [`CircuitCache::take_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Root circuits compiled fresh (one per distinct input formula).
+    pub compiled: u64,
+    /// Compile-memo hits: a whole circuit or subformula served from the
+    /// pool instead of being re-expanded.
+    pub compile_hits: u64,
+    /// Evaluation-memo hits: a subcircuit probability reused under the
+    /// current probability assignment.
+    pub eval_hits: u64,
+    /// Node memos dropped by [`CircuitCache::set_prob`] invalidation.
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Total cache hits (compile + eval), the number reported as
+    /// `lineage.cache_hit`.
+    pub fn hits(&self) -> u64 {
+        self.compile_hits.saturating_add(self.eval_hits)
+    }
+
+    /// Merge another stats delta into this one (saturating).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.compiled = self.compiled.saturating_add(other.compiled);
+        self.compile_hits = self.compile_hits.saturating_add(other.compile_hits);
+        self.eval_hits = self.eval_hits.saturating_add(other.eval_hits);
+        self.invalidated = self.invalidated.saturating_add(other.invalidated);
+    }
+}
+
+type NodeId = usize;
+
+/// Structural identity of a pool node. Children are referenced by
+/// [`NodeId`], so two keys are equal exactly when the subcircuits are
+/// structurally identical — the hash-consing invariant. `Const` stores the
+/// f64 bit pattern to stay `Ord` without float comparison (PCQE-D004).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum NodeKey {
+    Const(u64),
+    Var(VarId),
+    Complement(NodeId),
+    Product(Vec<NodeId>),
+    DisjProduct(Vec<NodeId>),
+    Mix { var: VarId, hi: NodeId, lo: NodeId },
+}
+
+#[derive(Debug)]
+struct Node {
+    key: NodeKey,
+    /// The shared compiled form of this subcircuit; roots wrap it into a
+    /// [`CompiledLineage`] for the solvers, so the whole pool is one DAG of
+    /// `Arc`s.
+    arith: Arc<Arith>,
+    /// Memoized probability under the cache's current assignment; `None`
+    /// when unevaluated or invalidated. Invariant: if a node's memo is
+    /// `Some`, every descendant's memo is `Some` (parents are filled after
+    /// children), so invalidation can stop at already-`None` nodes.
+    memo: Option<f64>,
+    /// Reverse edges: nodes that use this node as a direct child.
+    parents: Vec<NodeId>,
+}
+
+#[derive(Debug)]
+struct RootEntry {
+    root: NodeId,
+    /// Shannon expansions a fresh compile of this formula consumes; a
+    /// compile-memo hit re-charges this against the caller's budget.
+    cost: usize,
+    compiled: Arc<CompiledLineage>,
+}
+
+/// The cache itself. See the module docs for the design; typical use:
+///
+/// ```
+/// use pcqe_lineage::{CircuitCache, Evaluator, Lineage, VarId};
+///
+/// let mut cache = CircuitCache::new();
+/// cache.set_prob(VarId(2), 0.3);
+/// cache.set_prob(VarId(3), 0.4);
+/// cache.set_prob(VarId(13), 0.1);
+/// let l = Lineage::and(vec![
+///     Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+///     Lineage::var(13),
+/// ]);
+/// let p = cache.score_lineage(&l, &Evaluator::default()).unwrap();
+/// assert!((p - 0.058).abs() < 1e-12);
+/// // A what-if probe: only circuits reading v3 are re-evaluated.
+/// cache.set_prob(VarId(3), 0.5);
+/// let p2 = cache.score_lineage(&l, &Evaluator::default()).unwrap();
+/// assert!((p2 - 0.065).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitCache {
+    nodes: Vec<Node>,
+    /// Hash-consing index: structural key → pooled node.
+    dedup: BTreeMap<NodeKey, NodeId>,
+    /// Compile memo over simplified/factored (sub)formulas, with the budget
+    /// cost a fresh compile would charge.
+    subformulas: BTreeMap<Lineage, (NodeId, usize)>,
+    /// Root memo over *original* (pre-simplify) formulas.
+    circuits: BTreeMap<Lineage, CircuitId>,
+    roots: Vec<RootEntry>,
+    /// Current probability assignment (the "versions" of the base tuples:
+    /// a bitwise change is a new version and triggers invalidation).
+    probs: BTreeMap<VarId, f64>,
+    /// Nodes whose value reads a variable directly (`Var` leaves and `Mix`
+    /// pivots) — the invalidation frontier for that variable.
+    readers: BTreeMap<VarId, Vec<NodeId>>,
+    stats: CacheStats,
+}
+
+impl CircuitCache {
+    /// An empty cache with no probabilities assigned.
+    pub fn new() -> CircuitCache {
+        CircuitCache::default()
+    }
+
+    /// Number of pooled arithmetic nodes.
+    pub fn pool_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct root circuits compiled so far.
+    pub fn circuit_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Counters accumulated since the last [`CircuitCache::take_stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drain and reset the activity counters (the engine turns these into
+    /// `lineage.*` metric deltas per recorded decision).
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The current probability assignment.
+    pub fn probs(&self) -> &BTreeMap<VarId, f64> {
+        &self.probs
+    }
+
+    /// Set `var`'s probability. A bitwise-identical write is a no-op;
+    /// otherwise the memos of exactly the nodes whose value depends on
+    /// `var` are dropped (transitively, child → parent, stopping early at
+    /// nodes that were already unevaluated).
+    pub fn set_prob(&mut self, var: VarId, p: f64) {
+        if self
+            .probs
+            .get(&var)
+            .is_some_and(|old| old.to_bits() == p.to_bits())
+        {
+            return;
+        }
+        self.probs.insert(var, p);
+        let mut frontier: Vec<NodeId> = match self.readers.get(&var) {
+            Some(ids) => ids.clone(),
+            None => return,
+        };
+        while let Some(id) = frontier.pop() {
+            if let Some(node) = self.nodes.get_mut(id) {
+                if node.memo.take().is_some() {
+                    self.stats.invalidated = self.stats.invalidated.saturating_add(1);
+                    frontier.extend(node.parents.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Drop `var`'s probability entirely (subsequent scores of circuits
+    /// reading it fail with [`LineageError::UnknownVar`], like the
+    /// uncached evaluator).
+    pub fn remove_prob(&mut self, var: VarId) {
+        if self.probs.remove(&var).is_none() {
+            return;
+        }
+        let mut frontier: Vec<NodeId> = self.readers.get(&var).cloned().unwrap_or_default();
+        while let Some(id) = frontier.pop() {
+            if let Some(node) = self.nodes.get_mut(id) {
+                if node.memo.take().is_some() {
+                    self.stats.invalidated = self.stats.invalidated.saturating_add(1);
+                    frontier.extend(node.parents.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Compile `lineage` into the pool, spending at most `budget` Shannon
+    /// expansions. Repeat compiles of the same formula are memo hits that
+    /// charge the recorded cost against `budget` — succeeding and failing
+    /// exactly when a fresh [`CompiledLineage::compile`] would.
+    pub fn compile(&mut self, lineage: &Lineage, budget: usize) -> Result<CircuitId> {
+        if let Some(&id) = self.circuits.get(lineage) {
+            let cost = self.roots.get(id.0).map(|r| r.cost).unwrap_or(0);
+            if budget < cost {
+                // Match the uncached error payload: the stepwise recursion
+                // always reports exhaustion at a zero remainder.
+                return Err(LineageError::BudgetExceeded { budget: 0 });
+            }
+            self.stats.compile_hits = self.stats.compile_hits.saturating_add(1);
+            return Ok(id);
+        }
+        let mut simplified = lineage.simplify();
+        if !simplified.is_read_once() {
+            simplified = crate::factor::factor(&simplified);
+        }
+        let vars = simplified.vars();
+        let mut remaining = budget;
+        let root = self.compile_sub(&simplified, &mut remaining)?;
+        let cost = budget - remaining;
+        let arith = match self.nodes.get(root) {
+            Some(node) => node.arith.clone(),
+            None => Arc::new(Arith::Const(0.0)), // unreachable: root was just interned
+        };
+        let id = CircuitId(self.roots.len());
+        self.roots.push(RootEntry {
+            root,
+            cost,
+            compiled: Arc::new(CompiledLineage::from_parts(vars, arith)),
+        });
+        self.circuits.insert(lineage.clone(), id);
+        self.stats.compiled = self.stats.compiled.saturating_add(1);
+        Ok(id)
+    }
+
+    /// The pooled [`CompiledLineage`] for a circuit, shareable across
+    /// solvers via its `Arc`.
+    pub fn compiled(&self, id: CircuitId) -> Option<&Arc<CompiledLineage>> {
+        self.roots.get(id.0).map(|r| &r.compiled)
+    }
+
+    /// Memoized probability of a compiled circuit under the current
+    /// assignment.
+    pub fn score(&mut self, id: CircuitId) -> Result<f64> {
+        let root = self
+            .roots
+            .get(id.0)
+            .map(|r| r.root)
+            .ok_or(LineageError::UnknownCircuit(id.0))?;
+        self.eval_node(root)
+    }
+
+    /// Compile-and-score in one call, with the evaluator's Monte-Carlo
+    /// fallback on budget exhaustion — the cached twin of
+    /// [`Evaluator::probability`], bit-identical on every path.
+    pub fn score_lineage(&mut self, lineage: &Lineage, evaluator: &Evaluator) -> Result<f64> {
+        match self.compile(lineage, evaluator.budget) {
+            Ok(id) => self.score(id),
+            Err(LineageError::BudgetExceeded { .. }) if evaluator.mc_samples > 0 => {
+                // Same fallback as the uncached path: seeded Monte-Carlo
+                // over the same simplified/factored formula.
+                let mut simplified = lineage.simplify();
+                if !simplified.is_read_once() {
+                    simplified = crate::factor::factor(&simplified);
+                }
+                MonteCarlo::new(evaluator.mc_samples, evaluator.mc_seed)
+                    .estimate(&simplified, &self.probs)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Compile memo + hash-consing recursion. Mirrors
+    /// [`crate::compile::compile_rec`]'s structure and budget accounting
+    /// exactly; on a memo hit the recorded cost is charged up front (see
+    /// the module docs for the parity argument).
+    fn compile_sub(&mut self, l: &Lineage, budget: &mut usize) -> Result<NodeId> {
+        if let Some(&(id, cost)) = self.subformulas.get(l) {
+            if *budget < cost {
+                return Err(LineageError::BudgetExceeded { budget: 0 });
+            }
+            *budget -= cost;
+            self.stats.compile_hits = self.stats.compile_hits.saturating_add(1);
+            return Ok(id);
+        }
+        let before = *budget;
+        let id = match l {
+            Lineage::Const(b) => {
+                let c: f64 = if *b { 1.0 } else { 0.0 };
+                self.intern(NodeKey::Const(c.to_bits()))
+            }
+            Lineage::Var(v) => self.intern(NodeKey::Var(*v)),
+            Lineage::Not(e) => {
+                let child = self.compile_sub(e, budget)?;
+                self.intern(NodeKey::Complement(child))
+            }
+            Lineage::And(es) => {
+                if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
+                    self.compile_mix(l, pivot, budget)?
+                } else {
+                    let mut children = Vec::with_capacity(es.len());
+                    for e in es {
+                        children.push(self.compile_sub(e, budget)?);
+                    }
+                    self.intern(NodeKey::Product(children))
+                }
+            }
+            Lineage::Or(es) => {
+                if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
+                    self.compile_mix(l, pivot, budget)?
+                } else {
+                    let mut children = Vec::with_capacity(es.len());
+                    for e in es {
+                        children.push(self.compile_sub(e, budget)?);
+                    }
+                    self.intern(NodeKey::DisjProduct(children))
+                }
+            }
+        };
+        let cost = before.saturating_sub(*budget);
+        self.subformulas.insert(l.clone(), (id, cost));
+        Ok(id)
+    }
+
+    /// Shannon expansion on `pivot`, with the same check-then-decrement
+    /// budget step as the uncached compiler.
+    fn compile_mix(&mut self, l: &Lineage, pivot: VarId, budget: &mut usize) -> Result<NodeId> {
+        if *budget == 0 {
+            return Err(LineageError::BudgetExceeded { budget: 0 });
+        }
+        *budget -= 1;
+        let hi = self.compile_sub(&l.condition(pivot, true), budget)?;
+        let lo = self.compile_sub(&l.condition(pivot, false), budget)?;
+        Ok(self.intern(NodeKey::Mix { var: pivot, hi, lo }))
+    }
+
+    /// Find-or-create the pool node for a structural key, wiring reverse
+    /// edges and variable-reader lists on creation.
+    fn intern(&mut self, key: NodeKey) -> NodeId {
+        if let Some(&id) = self.dedup.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len();
+        let arith = self.materialize(&key);
+        match &key {
+            NodeKey::Const(_) => {}
+            NodeKey::Var(v) => self.readers.entry(*v).or_default().push(id),
+            NodeKey::Complement(c) => self.add_parent(*c, id),
+            NodeKey::Product(cs) | NodeKey::DisjProduct(cs) => {
+                for &c in cs {
+                    self.add_parent(c, id);
+                }
+            }
+            NodeKey::Mix { var, hi, lo } => {
+                self.readers.entry(*var).or_default().push(id);
+                self.add_parent(*hi, id);
+                self.add_parent(*lo, id);
+            }
+        }
+        self.dedup.insert(key.clone(), id);
+        self.nodes.push(Node {
+            key,
+            arith,
+            memo: None,
+            parents: Vec::new(),
+        });
+        id
+    }
+
+    fn add_parent(&mut self, child: NodeId, parent: NodeId) {
+        if let Some(node) = self.nodes.get_mut(child) {
+            if !node.parents.contains(&parent) {
+                node.parents.push(parent);
+            }
+        }
+    }
+
+    /// Build the shared [`Arith`] for a key from its children's shared
+    /// `Arc`s — this is where structural sharing becomes pointer sharing.
+    fn materialize(&self, key: &NodeKey) -> Arc<Arith> {
+        let child = |id: &NodeId| -> Arc<Arith> {
+            match self.nodes.get(*id) {
+                Some(n) => n.arith.clone(),
+                None => Arc::new(Arith::Const(0.0)), // unreachable: children precede parents
+            }
+        };
+        match key {
+            NodeKey::Const(bits) => Arc::new(Arith::Const(f64::from_bits(*bits))),
+            NodeKey::Var(v) => Arc::new(Arith::Var(*v)),
+            NodeKey::Complement(c) => Arc::new(Arith::Complement(child(c))),
+            NodeKey::Product(cs) => Arc::new(Arith::Product(cs.iter().map(child).collect())),
+            NodeKey::DisjProduct(cs) => {
+                Arc::new(Arith::DisjProduct(cs.iter().map(child).collect()))
+            }
+            NodeKey::Mix { var, hi, lo } => Arc::new(Arith::Mix {
+                var: *var,
+                hi: child(hi),
+                lo: child(lo),
+            }),
+        }
+    }
+
+    fn prob_of(&self, var: VarId) -> Result<f64> {
+        self.probs
+            .get(&var)
+            .copied()
+            .ok_or(LineageError::UnknownVar(var))
+    }
+
+    /// Memoized bottom-up evaluation. The float operations and their order
+    /// are exactly those of [`CompiledLineage::eval`] / the interpreter's
+    /// `exact` recursion — a memo hit just short-circuits to the f64 that
+    /// recursion already produced.
+    fn eval_node(&mut self, id: NodeId) -> Result<f64> {
+        let key = match self.nodes.get(id) {
+            Some(node) => {
+                if let Some(p) = node.memo {
+                    self.stats.eval_hits = self.stats.eval_hits.saturating_add(1);
+                    return Ok(p);
+                }
+                node.key.clone()
+            }
+            None => return Err(LineageError::UnknownCircuit(id)),
+        };
+        let p = match key {
+            NodeKey::Const(bits) => f64::from_bits(bits),
+            NodeKey::Var(v) => self.prob_of(v)?,
+            NodeKey::Complement(c) => 1.0 - self.eval_node(c)?,
+            NodeKey::Product(cs) => {
+                let mut p = 1.0;
+                for c in cs {
+                    p *= self.eval_node(c)?;
+                }
+                p
+            }
+            NodeKey::DisjProduct(cs) => {
+                let mut q = 1.0;
+                for c in cs {
+                    q *= 1.0 - self.eval_node(c)?;
+                }
+                1.0 - q
+            }
+            NodeKey::Mix { var, hi, lo } => {
+                let pv = self.prob_of(var)?;
+                let h = self.eval_node(hi)?;
+                let l = self.eval_node(lo)?;
+                pv * h + (1.0 - pv) * l
+            }
+        };
+        if let Some(node) = self.nodes.get_mut(id) {
+            node.memo = Some(p);
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert bit-exact results: that IS the determinism contract
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn example() -> Lineage {
+        Lineage::and(vec![
+            Lineage::or(vec![Lineage::var(2), Lineage::var(3)]),
+            Lineage::var(13),
+        ])
+    }
+
+    fn seed_probs(cache: &mut CircuitCache, pairs: &[(u64, f64)]) -> BTreeMap<VarId, f64> {
+        let mut map = BTreeMap::new();
+        for &(v, p) in pairs {
+            cache.set_prob(VarId(v), p);
+            map.insert(VarId(v), p);
+        }
+        map
+    }
+
+    #[test]
+    fn cached_score_matches_interpreter_bitwise() {
+        let mut cache = CircuitCache::new();
+        let pr = seed_probs(&mut cache, &[(2, 0.3), (3, 0.4), (13, 0.1)]);
+        let ev = Evaluator::default();
+        let l = example();
+        let cached = cache.score_lineage(&l, &ev).unwrap();
+        let plain = ev.probability(&l, &pr).unwrap();
+        assert_eq!(cached.to_bits(), plain.to_bits());
+    }
+
+    #[test]
+    fn repeat_scores_hit_the_memo() {
+        let mut cache = CircuitCache::new();
+        seed_probs(&mut cache, &[(2, 0.3), (3, 0.4), (13, 0.1)]);
+        let ev = Evaluator::default();
+        let first = cache.score_lineage(&example(), &ev).unwrap();
+        let stats_after_first = cache.stats();
+        assert_eq!(stats_after_first.compiled, 1);
+        let second = cache.score_lineage(&example(), &ev).unwrap();
+        assert_eq!(first.to_bits(), second.to_bits());
+        let stats = cache.stats();
+        assert_eq!(stats.compiled, 1, "no recompile on the second call");
+        assert!(stats.compile_hits > stats_after_first.compile_hits);
+        assert!(stats.eval_hits > stats_after_first.eval_hits);
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_the_touched_variable() {
+        let mut cache = CircuitCache::new();
+        seed_probs(&mut cache, &[(0, 0.2), (1, 0.5), (2, 0.8), (3, 0.4)]);
+        let ev = Evaluator::default();
+        let touches_0 = Lineage::and(vec![Lineage::var(0), Lineage::var(1)]);
+        let disjoint = Lineage::or(vec![Lineage::var(2), Lineage::var(3)]);
+        cache.score_lineage(&touches_0, &ev).unwrap();
+        cache.score_lineage(&disjoint, &ev).unwrap();
+        cache.take_stats();
+        cache.set_prob(VarId(0), 0.9);
+        assert!(cache.stats().invalidated > 0, "v0 readers invalidated");
+        let invalidated_before = cache.stats().invalidated;
+        // The disjoint circuit's memo must have survived: scoring it again
+        // is pure eval hits, no fresh arithmetic.
+        let eval_hits_before = cache.stats().eval_hits;
+        cache.score_lineage(&disjoint, &ev).unwrap();
+        assert!(cache.stats().eval_hits > eval_hits_before);
+        assert_eq!(cache.stats().invalidated, invalidated_before);
+    }
+
+    #[test]
+    fn bitwise_identical_rewrite_does_not_invalidate() {
+        let mut cache = CircuitCache::new();
+        seed_probs(&mut cache, &[(2, 0.3), (3, 0.4), (13, 0.1)]);
+        cache
+            .score_lineage(&example(), &Evaluator::default())
+            .unwrap();
+        cache.take_stats();
+        cache.set_prob(VarId(3), 0.4);
+        assert_eq!(cache.stats().invalidated, 0);
+    }
+
+    #[test]
+    fn what_if_probe_sequence_matches_uncached_bitwise() {
+        let mut cache = CircuitCache::new();
+        let mut pr = seed_probs(&mut cache, &[(2, 0.3), (3, 0.4), (13, 0.1)]);
+        let ev = Evaluator::default();
+        let l = example();
+        for step in 1..=5u64 {
+            let p3 = 0.4 + 0.1 * step as f64 / 5.0;
+            cache.set_prob(VarId(3), p3);
+            pr.insert(VarId(3), p3);
+            let cached = cache.score_lineage(&l, &ev).unwrap();
+            let plain = ev.probability(&l, &pr).unwrap();
+            assert_eq!(cached.to_bits(), plain.to_bits(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn shared_subformulas_are_pooled_across_circuits() {
+        let mut cache = CircuitCache::new();
+        seed_probs(&mut cache, &[(0, 0.2), (1, 0.5), (2, 0.8)]);
+        let shared = Lineage::or(vec![Lineage::var(0), Lineage::var(1)]);
+        let a = Lineage::and(vec![shared.clone(), Lineage::var(2)]);
+        let b = shared.clone();
+        let ev = Evaluator::default();
+        cache.score_lineage(&a, &ev).unwrap();
+        let pool_after_a = cache.pool_size();
+        cache.score_lineage(&b, &ev).unwrap();
+        // b's whole body was already in the pool: only stats move.
+        assert_eq!(cache.pool_size(), pool_after_a);
+        assert!(cache.stats().compile_hits > 0);
+    }
+
+    #[test]
+    fn budget_parity_with_fresh_compiles() {
+        // For every budget, cache compile (fresh and memo-hit) must agree
+        // with CompiledLineage::compile on success/failure and error value.
+        let mut children = Vec::new();
+        for i in 0..8u64 {
+            children.push(Lineage::And(vec![Lineage::var(i), Lineage::var(i + 1)]));
+        }
+        let l = Lineage::Or(children);
+        for budget in 0..64usize {
+            let fresh = CompiledLineage::compile(&l, budget).map(|_| ());
+            let mut warmed = CircuitCache::new();
+            let _ = warmed.compile(&l, 1 << 16); // warm the memo
+            let hit = warmed.compile(&l, budget).map(|_| ());
+            let mut cold = CircuitCache::new();
+            let miss = cold.compile(&l, budget).map(|_| ());
+            assert_eq!(fresh.is_ok(), hit.is_ok(), "budget {budget} (memo hit)");
+            assert_eq!(fresh, miss, "budget {budget} (cold)");
+        }
+    }
+
+    #[test]
+    fn mc_fallback_matches_uncached_bitwise() {
+        let mut children = Vec::new();
+        for i in 0..12u64 {
+            children.push(Lineage::And(vec![Lineage::var(i), Lineage::var(i + 1)]));
+        }
+        let l = Lineage::Or(children);
+        let ev = Evaluator {
+            budget: 1,
+            mc_samples: 20_000,
+            mc_seed: 7,
+        };
+        let mut cache = CircuitCache::new();
+        let mut pr = BTreeMap::new();
+        for i in 0..13u64 {
+            cache.set_prob(VarId(i), 0.5);
+            pr.insert(VarId(i), 0.5);
+        }
+        let cached = cache.score_lineage(&l, &ev).unwrap();
+        let plain = ev.probability(&l, &pr).unwrap();
+        assert_eq!(cached.to_bits(), plain.to_bits());
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let mut cache = CircuitCache::new();
+        let err = cache
+            .score_lineage(&Lineage::var(42), &Evaluator::default())
+            .unwrap_err();
+        assert_eq!(err, LineageError::UnknownVar(VarId(42)));
+        // ... and becomes scoreable once the probability arrives.
+        cache.set_prob(VarId(42), 0.25);
+        let p = cache
+            .score_lineage(&Lineage::var(42), &Evaluator::default())
+            .unwrap();
+        assert_eq!(p.to_bits(), 0.25f64.to_bits());
+    }
+
+    #[test]
+    fn pooled_compiled_lineage_matches_standalone() {
+        let mut cache = CircuitCache::new();
+        let l = Lineage::Or(vec![
+            Lineage::And(vec![Lineage::var(0), Lineage::var(1)]),
+            Lineage::And(vec![Lineage::var(0), Lineage::var(2)]),
+        ]);
+        let id = cache.compile(&l, 1 << 12).unwrap();
+        let pooled = cache.compiled(id).unwrap().clone();
+        let standalone = CompiledLineage::compile(&l, 1 << 12).unwrap();
+        assert_eq!(pooled.vars(), standalone.vars());
+        let lookup = |v: VarId| 0.1 + 0.2 * v.0 as f64;
+        assert_eq!(
+            pooled.eval_with(lookup).to_bits(),
+            standalone.eval_with(lookup).to_bits()
+        );
+    }
+
+    #[test]
+    fn randomized_equivalence_with_interpreter() {
+        let mut rng = Rng64::seed_from_u64(0x00C4_C4E1);
+        for case in 0..200u32 {
+            let l = random_formula(&mut rng, 6, 3);
+            let mut cache = CircuitCache::new();
+            let mut pr = BTreeMap::new();
+            for v in 0..6u64 {
+                let p = rng.range_f64(0.05, 0.95);
+                cache.set_prob(VarId(v), p);
+                pr.insert(VarId(v), p);
+            }
+            let ev = Evaluator::exact_only(1 << 12);
+            match (cache.score_lineage(&l, &ev), ev.probability(&l, &pr)) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "case {case}: {l:?}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "case {case}: {l:?}"),
+                (a, b) => panic!("case {case}: cache {a:?} vs plain {b:?} for {l:?}"),
+            }
+        }
+    }
+
+    fn random_formula(rng: &mut Rng64, n_vars: u64, depth: u32) -> Lineage {
+        if depth == 0 || rng.chance(0.3) {
+            return Lineage::var(rng.below_u64(n_vars));
+        }
+        match rng.below_u64(3) {
+            0 => Lineage::Not(Box::new(random_formula(rng, n_vars, depth - 1))),
+            1 => Lineage::And(
+                (0..2 + rng.below_usize(2))
+                    .map(|_| random_formula(rng, n_vars, depth - 1))
+                    .collect(),
+            ),
+            _ => Lineage::Or(
+                (0..2 + rng.below_usize(2))
+                    .map(|_| random_formula(rng, n_vars, depth - 1))
+                    .collect(),
+            ),
+        }
+    }
+}

@@ -6,37 +6,50 @@
 //! the expansion once at compile time, producing an arithmetic expression
 //! whose structure depends only on the formula — evaluation is then a plain
 //! tree walk over floats.
+//!
+//! Subtrees are held behind [`Arc`] so the query-scoped
+//! [`crate::cache::CircuitCache`] can hash-cons structurally equal
+//! subcircuits into one shared node pool: circuits for the results of one
+//! query then point into the same compiled subtrees instead of owning
+//! copies. A standalone [`CompiledLineage::compile`] still works without any
+//! pool — the `Arc`s are simply unshared then.
 
 use crate::error::LineageError;
 use crate::expr::{Lineage, VarId};
 use crate::Result;
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The compiled arithmetic form of a lineage formula.
 #[derive(Debug, Clone)]
 pub struct CompiledLineage {
     vars: Vec<VarId>,
-    arith: Arith,
+    arith: Arc<Arith>,
 }
 
-/// Arithmetic expression over probability slots.
-#[derive(Debug, Clone)]
-enum Arith {
+/// Arithmetic expression over per-variable probabilities.
+///
+/// Leaves carry [`VarId`]s (not slot indices) so that a structurally equal
+/// subtree means the same function regardless of which formula it was
+/// compiled for — the property the hash-consing pool relies on. Evaluation
+/// against a slice resolves ids through the circuit's sorted `vars` by
+/// binary search, which lands on the same index the old slot scheme used.
+#[derive(Debug)]
+pub(crate) enum Arith {
     /// A constant probability.
     Const(f64),
-    /// The probability of the variable in slot `i`.
-    Slot(usize),
+    /// The probability of a variable.
+    Var(VarId),
     /// `1 - child` (negation).
-    Complement(Box<Arith>),
+    Complement(Arc<Arith>),
     /// `Π children` (independent conjunction).
-    Product(Vec<Arith>),
+    Product(Vec<Arc<Arith>>),
     /// `1 - Π (1 - child)` (independent disjunction).
-    DisjProduct(Vec<Arith>),
-    /// Shannon mix: `p_slot · hi + (1 - p_slot) · lo`.
+    DisjProduct(Vec<Arc<Arith>>),
+    /// Shannon mix: `p_var · hi + (1 - p_var) · lo`.
     Mix {
-        slot: usize,
-        hi: Box<Arith>,
-        lo: Box<Arith>,
+        var: VarId,
+        hi: Arc<Arith>,
+        lo: Arc<Arith>,
     },
 }
 
@@ -50,10 +63,17 @@ impl CompiledLineage {
             simplified = crate::factor::factor(&simplified);
         }
         let vars = simplified.vars();
-        let slots: BTreeMap<VarId, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut remaining = budget;
-        let arith = compile_rec(&simplified, &slots, &mut remaining)?;
+        let arith = compile_rec(&simplified, &mut remaining)?;
         Ok(CompiledLineage { vars, arith })
+    }
+
+    /// Assemble a circuit from an already-compiled arithmetic tree (the
+    /// cache pool path). `vars` must be the sorted variable set of the
+    /// source formula — exactly what [`CompiledLineage::compile`] would
+    /// have recorded — so the slice-eval slot contract is preserved.
+    pub(crate) fn from_parts(vars: Vec<VarId>, arith: Arc<Arith>) -> CompiledLineage {
+        CompiledLineage { vars, arith }
     }
 
     /// The formula's variables in slot order; `probs[i]` in [`Self::eval`]
@@ -73,85 +93,82 @@ impl CompiledLineage {
             self.vars.len(),
             "expected one probability per variable"
         );
-        eval_rec(&self.arith, probs)
+        eval_rec(&self.arith, &self.vars, probs)
     }
 
     /// Evaluate with a probability lookup keyed by variable id.
     pub fn eval_with<F: Fn(VarId) -> f64>(&self, lookup: F) -> f64 {
         let probs: Vec<f64> = self.vars.iter().map(|&v| lookup(v)).collect();
-        eval_rec(&self.arith, &probs)
+        eval_rec(&self.arith, &self.vars, &probs)
     }
 }
 
-fn compile_rec(l: &Lineage, slots: &BTreeMap<VarId, usize>, budget: &mut usize) -> Result<Arith> {
+pub(crate) fn compile_rec(l: &Lineage, budget: &mut usize) -> Result<Arc<Arith>> {
     match l {
-        Lineage::Const(b) => Ok(Arith::Const(if *b { 1.0 } else { 0.0 })),
-        Lineage::Var(v) => Ok(Arith::Slot(
-            slots.get(v).copied().ok_or(LineageError::UnknownVar(*v))?,
-        )),
-        Lineage::Not(e) => Ok(Arith::Complement(Box::new(compile_rec(e, slots, budget)?))),
+        Lineage::Const(b) => Ok(Arc::new(Arith::Const(if *b { 1.0 } else { 0.0 }))),
+        Lineage::Var(v) => Ok(Arc::new(Arith::Var(*v))),
+        Lineage::Not(e) => Ok(Arc::new(Arith::Complement(compile_rec(e, budget)?))),
         Lineage::And(es) => {
             if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
-                compile_shannon(l, pivot, slots, budget)
+                compile_shannon(l, pivot, budget)
             } else {
                 let children = es
                     .iter()
-                    .map(|e| compile_rec(e, slots, budget))
+                    .map(|e| compile_rec(e, budget))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Arith::Product(children))
+                Ok(Arc::new(Arith::Product(children)))
             }
         }
         Lineage::Or(es) => {
             if let Some(pivot) = crate::prob::most_shared_var_pub(es) {
-                compile_shannon(l, pivot, slots, budget)
+                compile_shannon(l, pivot, budget)
             } else {
                 let children = es
                     .iter()
-                    .map(|e| compile_rec(e, slots, budget))
+                    .map(|e| compile_rec(e, budget))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Arith::DisjProduct(children))
+                Ok(Arc::new(Arith::DisjProduct(children)))
             }
         }
     }
 }
 
-fn compile_shannon(
-    l: &Lineage,
-    pivot: VarId,
-    slots: &BTreeMap<VarId, usize>,
-    budget: &mut usize,
-) -> Result<Arith> {
+fn compile_shannon(l: &Lineage, pivot: VarId, budget: &mut usize) -> Result<Arc<Arith>> {
     if *budget == 0 {
         return Err(LineageError::BudgetExceeded { budget: 0 });
     }
     *budget -= 1;
-    let hi = compile_rec(&l.condition(pivot, true), slots, budget)?;
-    let lo = compile_rec(&l.condition(pivot, false), slots, budget)?;
-    Ok(Arith::Mix {
-        slot: slots
-            .get(&pivot)
-            .copied()
-            .ok_or(LineageError::UnknownVar(pivot))?,
-        hi: Box::new(hi),
-        lo: Box::new(lo),
-    })
+    let hi = compile_rec(&l.condition(pivot, true), budget)?;
+    let lo = compile_rec(&l.condition(pivot, false), budget)?;
+    Ok(Arc::new(Arith::Mix { var: pivot, hi, lo }))
 }
 
-fn eval_rec(a: &Arith, probs: &[f64]) -> f64 {
+/// Resolve a variable to its probability through the circuit's sorted var
+/// list. A miss is impossible for circuits built by this module (every leaf
+/// var is in the formula's var set); the panic-free fallback is the neutral
+/// probability 0 (PCQE-P002), mirroring the old out-of-range-slot fallback.
+fn lookup(vars: &[VarId], probs: &[f64], v: VarId) -> f64 {
+    match vars.binary_search(&v) {
+        Ok(i) => probs.get(i).copied().unwrap_or(0.0),
+        Err(_) => 0.0,
+    }
+}
+
+fn eval_rec(a: &Arith, vars: &[VarId], probs: &[f64]) -> f64 {
     match a {
         Arith::Const(c) => *c,
-        // Slots were allocated over the same `vars` that produced `probs`;
-        // an out-of-range slot is impossible, and the panic-free fallback
-        // is the neutral probability 0 (PCQE-P002).
-        Arith::Slot(i) => probs.get(*i).copied().unwrap_or(0.0),
-        Arith::Complement(c) => 1.0 - eval_rec(c, probs),
-        Arith::Product(cs) => cs.iter().map(|c| eval_rec(c, probs)).product(),
+        Arith::Var(v) => lookup(vars, probs, *v),
+        Arith::Complement(c) => 1.0 - eval_rec(c, vars, probs),
+        Arith::Product(cs) => cs.iter().map(|c| eval_rec(c, vars, probs)).product(),
         Arith::DisjProduct(cs) => {
-            1.0 - cs.iter().map(|c| 1.0 - eval_rec(c, probs)).product::<f64>()
+            1.0 - cs
+                .iter()
+                .map(|c| 1.0 - eval_rec(c, vars, probs))
+                .product::<f64>()
         }
-        Arith::Mix { slot, hi, lo } => {
-            let p = probs.get(*slot).copied().unwrap_or(0.0);
-            p * eval_rec(hi, probs) + (1.0 - p) * eval_rec(lo, probs)
+        Arith::Mix { var, hi, lo } => {
+            let p = lookup(vars, probs, *var);
+            p * eval_rec(hi, vars, probs) + (1.0 - p) * eval_rec(lo, vars, probs)
         }
     }
 }
@@ -221,5 +238,28 @@ mod tests {
         let l = Lineage::var(1);
         let c = CompiledLineage::compile(&l, 1).unwrap();
         c.eval(&[]);
+    }
+
+    #[test]
+    fn compiled_eval_is_bit_identical_to_interpreter() {
+        // The cache's determinism argument leans on compile/eval mirroring
+        // the interpreter's float-op order exactly — assert it bitwise on a
+        // formula that exercises Product, DisjProduct, Mix and Complement.
+        let l = Lineage::Or(vec![
+            Lineage::And(vec![Lineage::var(0), Lineage::var(1)]),
+            Lineage::And(vec![
+                Lineage::var(1),
+                Lineage::Not(Box::new(Lineage::var(2))),
+            ]),
+            Lineage::var(3),
+        ]);
+        let pr: HashMap<VarId, f64> = [(0, 0.17), (1, 0.62), (2, 0.41), (3, 0.09)]
+            .into_iter()
+            .map(|(v, p)| (VarId(v), p))
+            .collect();
+        let interp = Evaluator::exact_only(1 << 12).probability(&l, &pr).unwrap();
+        let c = CompiledLineage::compile(&l, 1 << 12).unwrap();
+        let compiled = c.eval_with(|v| pr[&v]);
+        assert_eq!(interp.to_bits(), compiled.to_bits());
     }
 }

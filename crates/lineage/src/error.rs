@@ -18,6 +18,9 @@ pub enum LineageError {
         /// The budget that was exhausted.
         budget: usize,
     },
+    /// A [`crate::cache::CircuitCache`] handle did not resolve to a pooled
+    /// circuit (it belongs to a different cache, or the cache was rebuilt).
+    UnknownCircuit(usize),
 }
 
 impl fmt::Display for LineageError {
@@ -26,6 +29,9 @@ impl fmt::Display for LineageError {
             LineageError::UnknownVar(v) => write!(f, "no probability for variable {v}"),
             LineageError::BudgetExceeded { budget } => {
                 write!(f, "exact evaluation exceeded budget of {budget} expansions")
+            }
+            LineageError::UnknownCircuit(id) => {
+                write!(f, "no pooled circuit with cache id {id}")
             }
         }
     }

@@ -26,7 +26,12 @@ impl fmt::Display for VarId {
 /// merged duplicates, and difference introduces negation. The formula is
 /// kept in negation-unnormalised form; [`Lineage::simplify`] flattens
 /// nested connectives and folds constants.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The total order (`Ord`) is the derived structural order; it carries no
+/// semantic meaning and exists so formulas can key deterministic
+/// `BTreeMap`s — in particular the compile memos of
+/// [`crate::cache::CircuitCache`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lineage {
     /// Constant truth value (`Const(true)` = certain).
     Const(bool),

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod bound;
+pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod expr;
@@ -37,6 +38,7 @@ pub mod prob;
 pub mod rng;
 
 pub use bound::{bounds, upper_bound, Bounds};
+pub use cache::{CacheStats, CircuitCache, CircuitId};
 pub use compile::CompiledLineage;
 pub use error::LineageError;
 pub use expr::{Lineage, VarId};

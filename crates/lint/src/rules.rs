@@ -208,14 +208,18 @@ const RESULT_AFFECTING: [&str; 8] = [
 /// inside every query and must never abort one. `algebra::physical` is
 /// held to the same standard even though the rest of `pcqe-algebra` is
 /// not: the physical executor and planner sit on the hot path of every
-/// engine query, so they must surface typed errors, not panics.
-const PANIC_GUARDED: [&str; 6] = [
+/// engine query, so they must surface typed errors, not panics. The
+/// lineage circuit cache is guarded file-by-file for the same reason:
+/// cached scoring runs inside `Database::query`/`what_if`, so a panic
+/// there aborts a query that the uncached path would have answered.
+const PANIC_GUARDED: [&str; 7] = [
     "crates/engine/src/",
     "crates/policy/src/",
     "crates/storage/src/",
     "crates/sql/src/",
     "crates/obs/src/",
     "crates/algebra/src/physical/",
+    "crates/lineage/src/cache.rs",
 ];
 
 /// Identifiers that signal ad-hoc entropy or registry RNG idioms (D002).

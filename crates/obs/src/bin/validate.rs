@@ -1,6 +1,6 @@
 //! `pcqe-obs-validate` — validate an exported JSON artifact.
 //!
-//! Usage: `pcqe-obs-validate [--schema metrics|lint] <file.json>`
+//! Usage: `pcqe-obs-validate [--schema metrics|lint] [--gate <baseline.json>] <file.json>`
 //!
 //! Schemas:
 //!
@@ -10,10 +10,17 @@
 //!   shape (`tool`/`format_version`, a `findings` array of
 //!   rule/severity/path/line/message records, and a `summary` object).
 //!
-//! Exit codes: `0` the document parses and matches the schema, `1` the
-//! document is malformed, `2` usage or I/O error. Used by `ci.sh` as the
-//! smoke check on `results/metrics.json` and `results/lint.json` —
-//! hermetically, with the crate's own parser.
+//! `--gate <baseline.json>` (metrics schema only) additionally treats the
+//! baseline as a floor: both documents are schema-checked, and every
+//! counter and gauge *named in the baseline* must be present in the
+//! checked file with a value ≥ the baseline's. This is `ci.sh`'s
+//! bench-regression gate — the baseline pins minimum cache hit counts
+//! and speedups, and a run that falls below any of them fails.
+//!
+//! Exit codes: `0` the document parses, matches the schema and clears
+//! the gate, `1` the document is malformed or regresses below the
+//! baseline, `2` usage or I/O error. Used by `ci.sh` as the smoke check
+//! on `results/*.json` — hermetically, with the crate's own parser.
 
 use pcqe_obs::json::{self, Value};
 use std::process::ExitCode;
@@ -21,9 +28,12 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut schema = Schema::Metrics;
     let mut path: Option<String> = None;
+    let mut gate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     let usage = || {
-        eprintln!("usage: pcqe-obs-validate [--schema metrics|lint] <file.json>");
+        eprintln!(
+            "usage: pcqe-obs-validate [--schema metrics|lint] [--gate <baseline.json>] <file.json>"
+        );
         ExitCode::from(2)
     };
     while let Some(arg) = args.next() {
@@ -33,12 +43,20 @@ fn main() -> ExitCode {
                 Some("lint") => schema = Schema::Lint,
                 _ => return usage(),
             },
+            "--gate" => match args.next() {
+                Some(p) => gate = Some(p),
+                None => return usage(),
+            },
             _ if arg.starts_with("--") => return usage(),
             _ if path.is_none() => path = Some(arg),
             _ => return usage(),
         }
     }
     let Some(path) = path else { return usage() };
+    if gate.is_some() && !matches!(schema, Schema::Metrics) {
+        eprintln!("pcqe-obs-validate: --gate applies to the metrics schema only");
+        return ExitCode::from(2);
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -50,15 +68,38 @@ fn main() -> ExitCode {
         Schema::Metrics => validate_metrics(&text),
         Schema::Lint => validate_lint(&text),
     };
-    match outcome {
-        Ok(summary) => {
-            println!("{path}: ok ({summary})");
-            ExitCode::SUCCESS
-        }
+    let summary = match outcome {
+        Ok(summary) => summary,
         Err(e) => {
             eprintln!("pcqe-obs-validate: {path}: {e}");
-            ExitCode::from(1)
+            return ExitCode::from(1);
         }
+    };
+    if let Some(gate_path) = gate {
+        let baseline = match std::fs::read_to_string(&gate_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pcqe-obs-validate: {gate_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = validate_metrics(&baseline) {
+            eprintln!("pcqe-obs-validate: {gate_path}: {e}");
+            return ExitCode::from(1);
+        }
+        match gate_metrics(&baseline, &text) {
+            Ok(gated) => {
+                println!("{path}: ok ({summary}; gate {gate_path}: {gated} floor(s) cleared)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pcqe-obs-validate: {path}: regression vs {gate_path}: {e}");
+                ExitCode::from(1)
+            }
+        }
+    } else {
+        println!("{path}: ok ({summary})");
+        ExitCode::SUCCESS
     }
 }
 
@@ -86,6 +127,42 @@ fn validate_metrics(text: &str) -> Result<String, String> {
         sizes.push(format!("{key}={}", members.len()));
     }
     Ok(sizes.join(" "))
+}
+
+/// Enforce `baseline` as a floor on `actual` (both already known to be
+/// valid metrics documents): every counter and gauge named in the
+/// baseline must exist in `actual` with a value ≥ the baseline's.
+/// Returns the number of floors checked; the error names the first
+/// regressing metric in name order.
+fn gate_metrics(baseline: &str, actual: &str) -> Result<usize, String> {
+    let base = json::parse(baseline)?;
+    let act = json::parse(actual)?;
+    let section = |doc: &Value, key: &str| -> Vec<(String, f64)> {
+        doc.as_object()
+            .and_then(|o| o.get(key).and_then(Value::as_object).cloned())
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(name, v)| v.as_f64().map(|x| (name.clone(), x)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut floors = 0;
+    for key in ["counters", "gauges"] {
+        let actual_values: std::collections::BTreeMap<String, f64> =
+            section(&act, key).into_iter().collect();
+        for (name, floor) in section(&base, key) {
+            let Some(&value) = actual_values.get(&name) else {
+                return Err(format!("{key} `{name}` (floor {floor}) is missing"));
+            };
+            if value < floor {
+                return Err(format!("{key} `{name}` = {value}, below the floor {floor}"));
+            }
+            floors += 1;
+        }
+    }
+    Ok(floors)
 }
 
 /// Check that `text` is a `pcqe-lint` JSON report; return a summary.
@@ -138,7 +215,68 @@ fn validate_lint(text: &str) -> Result<String, String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{validate_lint, validate_metrics};
+    use super::{gate_metrics, validate_lint, validate_metrics};
+
+    const fn empty_sections() -> &'static str {
+        "\"histograms\": {}, \"spans\": {}"
+    }
+
+    #[test]
+    fn gate_passes_when_every_floor_is_met() {
+        let baseline = format!(
+            "{{\"counters\": {{\"bench.cache.hits\": 100}}, \
+              \"gauges\": {{\"bench.cache.speedup\": 5.0}}, {}}}",
+            empty_sections()
+        );
+        let actual = format!(
+            "{{\"counters\": {{\"bench.cache.hits\": 250, \"extra\": 1}}, \
+              \"gauges\": {{\"bench.cache.speedup\": 11.5}}, {}}}",
+            empty_sections()
+        );
+        assert_eq!(gate_metrics(&baseline, &actual), Ok(2));
+    }
+
+    #[test]
+    fn gate_fails_on_a_value_below_the_floor() {
+        let baseline = format!(
+            "{{\"counters\": {{}}, \"gauges\": {{\"bench.cache.speedup\": 5.0}}, {}}}",
+            empty_sections()
+        );
+        let actual = format!(
+            "{{\"counters\": {{}}, \"gauges\": {{\"bench.cache.speedup\": 3.2}}, {}}}",
+            empty_sections()
+        );
+        let err = gate_metrics(&baseline, &actual).unwrap_err();
+        assert!(err.contains("bench.cache.speedup"), "{err}");
+        assert!(err.contains("below the floor"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_a_missing_metric() {
+        let baseline = format!(
+            "{{\"counters\": {{\"bench.cache.hits\": 100}}, \"gauges\": {{}}, {}}}",
+            empty_sections()
+        );
+        let actual = format!(
+            "{{\"counters\": {{}}, \"gauges\": {{}}, {}}}",
+            empty_sections()
+        );
+        let err = gate_metrics(&baseline, &actual).unwrap_err();
+        assert!(err.contains("is missing"), "{err}");
+    }
+
+    #[test]
+    fn gate_ignores_metrics_absent_from_the_baseline() {
+        let baseline = format!(
+            "{{\"counters\": {{}}, \"gauges\": {{}}, {}}}",
+            empty_sections()
+        );
+        let actual = format!(
+            "{{\"counters\": {{\"anything\": 7}}, \"gauges\": {{\"x\": 0.1}}, {}}}",
+            empty_sections()
+        );
+        assert_eq!(gate_metrics(&baseline, &actual), Ok(0));
+    }
 
     #[test]
     fn accepts_a_minimal_metrics_document() {

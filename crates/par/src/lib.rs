@@ -16,6 +16,16 @@
 //! an item is evaluated, never *what* is evaluated or where its output
 //! lands.
 //!
+//! The contract extends to shared read-only state captured by `f`. The
+//! engine's lineage layer hands workers `Arc`-shared compiled circuits
+//! drawn from one query's circuit pool (`pcqe-lineage`'s `CircuitCache`);
+//! because `f` only *reads* that state and every item's output slot is
+//! fixed by input order, scoring a batch over pooled circuits is
+//! bit-identical at any thread count. (Mutable cache state — probability
+//! memos, invalidation — never crosses into a parallel batch; the engine
+//! drives memoized scoring sequentially and uses `map`/`try_map` only
+//! with immutable circuit views.)
+//!
 //! ## Panic propagation
 //!
 //! A panic inside `f` on any worker is re-raised on the calling thread

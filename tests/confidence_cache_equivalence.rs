@@ -1,0 +1,301 @@
+//! Circuit-cache acceptance suite.
+//!
+//! The contract of `lineage::cache` (DESIGN.md §10) is that the
+//! query-scoped circuit cache is a pure performance decision: for every
+//! query in the grid below, over randomised databases, an engine running
+//! with `EngineConfig::circuit_cache` on must produce **bit-identical**
+//! responses — same released rows in the same order, same lineage, same
+//! confidence bits, same withheld counts, same improvement proposals,
+//! same audit log — as the uncached engine, at any worker-thread count.
+//! Repeated what-if previews (the memo-warming, incrementally-invalidated
+//! fast path) must preview the same futures bit for bit.
+
+mod common;
+
+use common::for_each_case;
+use pcqe::cost::CostFn;
+use pcqe::engine::{Database, EngineConfig, QueryRequest, QueryResponse, User};
+use pcqe::lineage::Rng64;
+use pcqe::policy::ConfidencePolicy;
+use pcqe::storage::{Column, DataType, Schema, Value};
+
+const CASES: u64 = 16;
+
+/// Query shapes whose lineage exercises the pool: conjunctive joins
+/// (shared base tuples across result rows), DISTINCT (disjunctive
+/// lineage), set operations (negation), aggregation.
+const QUERIES: &[&str] = &[
+    "SELECT * FROM orders WHERE amount > 2",
+    "SELECT DISTINCT cust FROM orders WHERE amount > 1",
+    "SELECT o.amount FROM orders o JOIN customers c ON o.cust = c.id",
+    "SELECT o.amount, c.score FROM orders o, customers c WHERE o.cust = c.id AND amount > 1",
+    "SELECT cust FROM orders WHERE amount > 1 UNION SELECT id FROM customers WHERE id > 0",
+    "SELECT cust FROM orders EXCEPT SELECT id FROM customers WHERE id > 1",
+    "SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust HAVING n > 0",
+];
+
+fn build_db(
+    config: EngineConfig,
+    beta: f64,
+    orders: &[(i64, i64, f64)],
+    customers: &[(i64, f64, f64)],
+) -> Database {
+    let mut db = Database::new(config);
+    db.create_table(
+        "orders",
+        Schema::new(vec![
+            Column::new("cust", DataType::Int),
+            Column::new("amount", DataType::Int),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "customers",
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("score", DataType::Real),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    for &(cust, amount, conf) in orders {
+        db.insert("orders", vec![Value::Int(cust), Value::Int(amount)], conf)
+            .unwrap();
+    }
+    for &(id, score, conf) in customers {
+        db.insert("customers", vec![Value::Int(id), Value::Real(score)], conf)
+            .unwrap();
+    }
+    db.add_policy(ConfidencePolicy::new("analyst", "research", beta).unwrap());
+    db
+}
+
+fn random_orders(rng: &mut Rng64) -> Vec<(i64, i64, f64)> {
+    let n = rng.below_usize(7);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below_u64(3) as i64,
+                rng.below_u64(6) as i64,
+                rng.range_f64(0.05, 0.95),
+            )
+        })
+        .collect()
+}
+
+fn random_customers(rng: &mut Rng64) -> Vec<(i64, f64, f64)> {
+    let n = rng.below_usize(4);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below_u64(3) as i64,
+                rng.range_f64(-2.0, 2.0),
+                rng.range_f64(0.05, 0.95),
+            )
+        })
+        .collect()
+}
+
+/// Assert two responses agree bit for bit: rows, order, lineage,
+/// confidence bits, withheld counts, proposals and their absence reasons.
+fn assert_responses_identical(a: &QueryResponse, b: &QueryResponse, context: &str) {
+    assert_eq!(a.schema, b.schema, "schema diverged for {context}");
+    assert_eq!(
+        a.threshold.to_bits(),
+        b.threshold.to_bits(),
+        "threshold diverged for {context}"
+    );
+    assert_eq!(
+        a.withheld, b.withheld,
+        "withheld count diverged for {context}"
+    );
+    assert_eq!(
+        a.released.len(),
+        b.released.len(),
+        "released count diverged for {context}"
+    );
+    for (i, (x, y)) in a.released.iter().zip(&b.released).enumerate() {
+        assert_eq!(x.tuple, y.tuple, "released row {i} diverged for {context}");
+        assert_eq!(
+            x.lineage, y.lineage,
+            "released lineage {i} diverged for {context}"
+        );
+        assert_eq!(
+            x.confidence.to_bits(),
+            y.confidence.to_bits(),
+            "confidence bits {i} diverged for {context}"
+        );
+    }
+    assert_eq!(a.proposal, b.proposal, "proposal diverged for {context}");
+    assert_eq!(
+        a.no_proposal, b.no_proposal,
+        "no-proposal reason diverged for {context}"
+    );
+}
+
+/// Cache on vs cache off over the randomised grid, sequential and
+/// 4-thread: responses and audit logs must be identical.
+#[test]
+fn cached_engine_is_bit_identical_to_uncached() {
+    for_each_case(CASES, 0x00CA_0001, |rng| {
+        let orders = random_orders(rng);
+        let customers = random_customers(rng);
+        let user = User::new("ada", "analyst");
+        for beta in [0.1, 0.45] {
+            for threads in [Some(1), Some(4)] {
+                let config = EngineConfig {
+                    worker_threads: threads,
+                    parallel_threshold: 1,
+                    ..EngineConfig::default()
+                };
+                let cached = EngineConfig {
+                    circuit_cache: true,
+                    ..config.clone()
+                };
+                let uncached = EngineConfig {
+                    circuit_cache: false,
+                    ..config
+                };
+                let mut db_on = build_db(cached, beta, &orders, &customers);
+                let mut db_off = build_db(uncached, beta, &orders, &customers);
+                for sql in QUERIES {
+                    let request = QueryRequest::new(*sql, "research");
+                    let a = db_on.query(&user, &request).expect("cached query");
+                    let b = db_off.query(&user, &request).expect("uncached query");
+                    let context = format!("{sql} (beta={beta}, threads={threads:?})");
+                    assert_responses_identical(&a, &b, &context);
+                }
+                assert_eq!(
+                    db_on.audit_log(),
+                    db_off.audit_log(),
+                    "audit logs diverged (beta={beta}, threads={threads:?})"
+                );
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// What-if previews: the repeated-probe fast path.
+
+const PAPER_QUERY: &str = "SELECT DISTINCT CompanyInfo.company, income \
+    FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company \
+    WHERE funding < 1000000.0";
+
+/// The Section 3.1 database under a given configuration.
+fn paper_db(config: EngineConfig) -> Database {
+    let mut db = Database::new(config);
+    db.create_table(
+        "Proposal",
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("proposal", DataType::Text),
+            Column::new("funding", DataType::Real),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "CompanyInfo",
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("income", DataType::Real),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let t02 = db
+        .insert(
+            "Proposal",
+            vec![
+                Value::text("SkyCam"),
+                Value::text("drone v1"),
+                Value::Real(800_000.0),
+            ],
+            0.3,
+        )
+        .unwrap();
+    let t03 = db
+        .insert(
+            "Proposal",
+            vec![
+                Value::text("SkyCam"),
+                Value::text("drone v2"),
+                Value::Real(900_000.0),
+            ],
+            0.4,
+        )
+        .unwrap();
+    let t13 = db
+        .insert(
+            "CompanyInfo",
+            vec![Value::text("SkyCam"), Value::Real(500_000.0)],
+            0.1,
+        )
+        .unwrap();
+    db.set_cost(t02, CostFn::linear(1000.0).unwrap()).unwrap();
+    db.set_cost(t03, CostFn::linear(100.0).unwrap()).unwrap();
+    db.set_cost(t13, CostFn::linear(10_000.0).unwrap()).unwrap();
+    db.add_policy(ConfidencePolicy::new("Manager", "investment", 0.06).unwrap());
+    db
+}
+
+/// Query → proposal → repeated what-if previews, cached vs uncached:
+/// every preview must agree bit for bit, and the repeated probes must
+/// actually hit the cache's memoised subcircuits.
+#[test]
+fn what_if_previews_are_bit_identical_and_hit_the_cache() {
+    let mut on = EngineConfig::default().sequential();
+    on.circuit_cache = true;
+    let mut off = EngineConfig::default().sequential();
+    off.circuit_cache = false;
+    let mut db_on = paper_db(on);
+    let mut db_off = paper_db(off);
+    let user = User::new("mark", "Manager");
+    let request = QueryRequest::new(PAPER_QUERY, "investment");
+
+    let a = db_on.query(&user, &request).expect("cached query");
+    let b = db_off.query(&user, &request).expect("uncached query");
+    assert_responses_identical(&a, &b, "paper query");
+    let proposal = a.proposal.expect("the paper example yields a strategy");
+
+    // Probe the same future repeatedly: the cached engine warms its memo
+    // on the first preview and answers the rest from it; the invalidation
+    // walk between catalog-backed and override-backed probabilities must
+    // not change a single bit.
+    for probe in 0..3 {
+        let wa = db_on.what_if(&user, &request, &proposal).expect("cached");
+        let wb = db_off
+            .what_if(&user, &request, &proposal)
+            .expect("uncached");
+        assert_responses_identical(&wa, &wb, &format!("what-if probe {probe}"));
+        assert_eq!(wa.released.len(), 1, "the fixed t03 releases the row");
+        assert!((wa.released[0].confidence - 0.065).abs() < 1e-12);
+    }
+    assert_eq!(db_on.audit_log(), db_off.audit_log());
+
+    let snapshot = db_on.metrics_snapshot();
+    let compiled = snapshot.counters.get("lineage.circuit_compiled").copied();
+    let hits = snapshot.counters.get("lineage.cache_hit").copied();
+    let invalidated = snapshot.counters.get("lineage.cache_invalidated").copied();
+    assert!(
+        compiled.unwrap_or(0) > 0,
+        "cached engine never compiled into the pool: {compiled:?}"
+    );
+    assert!(
+        hits.unwrap_or(0) > 0,
+        "repeated what-if probes never hit the cache: {hits:?}"
+    );
+    assert!(
+        invalidated.unwrap_or(0) > 0,
+        "override/restore probes never invalidated a memo: {invalidated:?}"
+    );
+    // The uncached engine must never touch those counters.
+    let off_snapshot = db_off.metrics_snapshot();
+    assert_eq!(
+        off_snapshot.counters.get("lineage.circuit_compiled"),
+        None,
+        "uncached engine recorded pool activity"
+    );
+}
