@@ -24,6 +24,7 @@ STAGES=(
   clippy
   lint
   lint-artifact
+  gate-lint
   build
   test
   smoke-metrics
@@ -47,15 +48,21 @@ stage_clippy() { # lints (cargo clippy -D warnings)
 }
 
 stage_lint() { # static invariants (cargo run -p pcqe-lint)
-  # One analyzer replaces the old awk dependency mirror and extends it.
-  # Token layer: PCQE-D001/D002/D003/D004 (determinism), PCQE-C001
-  # (concurrency containment), PCQE-P001 (panic-safety), PCQE-T001 (wall
-  # clock), PCQE-H001 (hermetic manifests — subsumes the former awk
-  # guard). Graph layer: PCQE-P002 (panic-reachability from guarded
-  # public API) and PCQE-G001 (rows released only below the policy
-  # gate). Hygiene: PCQE-A001 (stale allowlist entries), PCQE-A002
-  # (unreasoned entries). Exceptions live in lint-allow.toml with
-  # reasons; see DESIGN.md § "Static invariants".
+  # One analyzer, three layers, eighteen rules.
+  # Token layer: PCQE-D001/D002/D003/D004 (determinism), PCQE-C002
+  # (capability coverage against lint-capabilities.toml; PCQE-C001 is
+  # the legacy built-in table for trees without a manifest), PCQE-P001
+  # (panic-safety), PCQE-T001 (wall clock), PCQE-H001 (hermetic
+  # manifests — subsumes the former awk guard). Graph layer: PCQE-P002
+  # (panic-reachability from guarded public API) and PCQE-G001 (rows
+  # released only below the policy gate). Concurrency layer: PCQE-C003
+  # (lock-order cycles), PCQE-C004 (lock held across a result-affecting
+  # call), PCQE-C005 (shared-state escape into the result set),
+  # PCQE-C006 (relaxed-atomic reads feeding released rows). Hygiene:
+  # PCQE-A001 (stale allowlist entries), PCQE-A002 (unreasoned or
+  # id-less entries), PCQE-A003 (stale capability grants). Exceptions
+  # live in lint-allow.toml with reasons, capability grants in
+  # lint-capabilities.toml; see DESIGN.md § "Static invariants".
   cargo run -q -p pcqe-lint --offline
 }
 
@@ -66,6 +73,19 @@ stage_lint_artifact() { # static invariants artifact (results/lint.json)
   mkdir -p results
   cargo run -q -p pcqe-lint --offline -- --format json > results/lint.json
   cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- --schema lint results/lint.json
+}
+
+stage_gate_lint() { # lint-regression gate (results/lint.json vs checked-in baseline)
+  # Every count in the baseline is a ceiling the fresh report must stay
+  # under: total errors and suppressions, plus the per-rule counts from
+  # the report's `rules` section. New violations and new suppressions
+  # both fail CI even when the totals happen to stay flat.
+  if [ ! -f results/lint.json ]; then
+    echo "gate-lint: results/lint.json missing; run the lint-artifact stage first" >&2
+    return 1
+  fi
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    --schema lint --gate results/baseline_lint.json results/lint.json
 }
 
 stage_build() { # release build (offline)

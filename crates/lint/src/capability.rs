@@ -1,0 +1,504 @@
+//! `lint-capabilities.toml`: per-crate concurrency capability grants.
+//!
+//! PR 2's rule PCQE-C001 banned concurrency tokens by *crate name* — a
+//! grandfather list (`pcqe-par`, `pcqe-obs`, `core::clock`) that cannot
+//! grow without editing the analyzer. This module replaces the hardcoded
+//! list with a checked-in manifest: each crate *declares* which
+//! capability classes it needs, with a reason, and layer 3 of the
+//! analyzer holds it to exactly that declaration —
+//!
+//! * a concurrency token with no covering grant is **PCQE-C002** (or
+//!   PCQE-D003 for `std::thread`, which keeps its historical id);
+//! * a granted capability that no token exercises is **PCQE-A003**
+//!   (stale grant — the manifest must never outlive the code it covers).
+//!
+//! Format — a sequence of `[[grant]]` tables:
+//!
+//! ```toml
+//! [[grant]]
+//! crate = "pcqe-par"
+//! # scope = "crates/core/src/clock.rs"   # optional: one file/prefix
+//! capabilities = ["threads", "locks", "atomics"]
+//! reason = "the deterministic scheduler owns all workspace threading"
+//! ```
+//!
+//! Unlike the allowlist, a missing or blank `reason` here is a hard
+//! *parse* error: grants are architecture statements, not exception
+//! hygiene, so an unreasoned one never enters the analysis at all.
+//!
+//! When no manifest exists at the scan root the analyzer falls back to
+//! [`Capabilities::legacy`] — a built-in grant table reproducing the old
+//! C001/D003 crate lists, reported under the original C001 id. C001 is
+//! thereby a thin wrapper over the same capability check; fixture trees
+//! without a manifest still exercise it.
+
+use std::collections::BTreeSet;
+
+/// The capability classes a grant can confer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cap {
+    /// `std::thread` paths.
+    Threads,
+    /// `Mutex` / `RwLock` / `Condvar`.
+    Locks,
+    /// `Atomic*` types.
+    Atomics,
+    /// `mpsc` channels.
+    Channels,
+}
+
+impl Cap {
+    /// The manifest spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cap::Threads => "threads",
+            Cap::Locks => "locks",
+            Cap::Atomics => "atomics",
+            Cap::Channels => "channels",
+        }
+    }
+
+    /// Parse a manifest spelling.
+    pub fn parse(s: &str) -> Option<Cap> {
+        match s {
+            "threads" => Some(Cap::Threads),
+            "locks" => Some(Cap::Locks),
+            "atomics" => Some(Cap::Atomics),
+            "channels" => Some(Cap::Channels),
+            _ => None,
+        }
+    }
+
+    /// All capability classes, in manifest/report order.
+    pub fn all() -> [Cap; 4] {
+        [Cap::Threads, Cap::Locks, Cap::Atomics, Cap::Channels]
+    }
+
+    /// Which capability class a concurrency *type/module token* needs, if
+    /// any. `thread` path segments are matched separately (rule D003
+    /// keeps its id for those). The `Atomic*` arm requires an uppercase
+    /// continuation — `AtomicU64`, `AtomicBool` — so prose-ish idents
+    /// like `Atomics` stay out.
+    pub fn of_token(name: &str) -> Option<Cap> {
+        match name {
+            "Mutex" | "RwLock" | "Condvar" => Some(Cap::Locks),
+            "mpsc" => Some(Cap::Channels),
+            _ if name.strip_prefix("Atomic").is_some_and(|rest| {
+                rest.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            }) =>
+            {
+                Some(Cap::Atomics)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One parsed `[[grant]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    /// Crate the grant covers, as the manifest names it (`pcqe-par`).
+    pub crate_name: String,
+    /// Optional path prefix narrowing the grant to one file or module
+    /// subtree (e.g. `crates/core/src/clock.rs`).
+    pub scope: Option<String>,
+    /// The capability classes conferred.
+    pub caps: BTreeSet<Cap>,
+    /// Why the crate needs them. Required and non-empty at parse time.
+    pub reason: String,
+    /// Line of the `[[grant]]` header in the manifest itself.
+    pub declared_at: u32,
+}
+
+impl Grant {
+    /// Does this grant cover capability `cap` for the file at `path`
+    /// (workspace-relative, `/`-separated)?
+    fn covers(&self, path: &str, cap: Cap) -> bool {
+        if !self.caps.contains(&cap) {
+            return false;
+        }
+        let dir = format!("crates/{}/", self.crate_name.trim_start_matches("pcqe-"));
+        if !path.starts_with(&dir) {
+            return false;
+        }
+        match &self.scope {
+            Some(s) => path == s || path.starts_with(&format!("{s}/")),
+            None => true,
+        }
+    }
+}
+
+/// The capability table in force for one analysis run.
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// Grants in manifest order (or the built-in legacy table).
+    pub grants: Vec<Grant>,
+    /// `true` when loaded from a `lint-capabilities.toml`; uncovered
+    /// tokens then report PCQE-C002 and stale grants PCQE-A003. `false`
+    /// is legacy mode: the built-in table, reported under PCQE-C001.
+    pub from_manifest: bool,
+}
+
+/// Name of the capability manifest looked up at the scan root.
+pub const DEFAULT_CAPABILITIES: &str = "lint-capabilities.toml";
+
+impl Capabilities {
+    /// The built-in grant table reproducing the pre-manifest C001/D003
+    /// crate lists exactly: `pcqe-par` may thread/lock/share, `pcqe-obs`
+    /// may lock/share, and `core::clock` advances its `ManualClock`
+    /// atomically. Used when the scanned root has no manifest.
+    pub fn legacy() -> Capabilities {
+        let grant = |crate_name: &str, scope: Option<&str>, caps: &[Cap]| Grant {
+            crate_name: crate_name.to_owned(),
+            scope: scope.map(str::to_owned),
+            caps: caps.iter().copied().collect(),
+            reason: "built-in legacy containment (pre-manifest PCQE-C001)".to_owned(),
+            declared_at: 0,
+        };
+        Capabilities {
+            grants: vec![
+                grant(
+                    "pcqe-par",
+                    None,
+                    &[Cap::Threads, Cap::Locks, Cap::Atomics, Cap::Channels],
+                ),
+                grant("pcqe-obs", None, &[Cap::Locks, Cap::Atomics, Cap::Channels]),
+                grant(
+                    "pcqe-core",
+                    Some("crates/core/src/clock.rs"),
+                    &[Cap::Locks, Cap::Atomics, Cap::Channels],
+                ),
+            ],
+            from_manifest: false,
+        }
+    }
+
+    /// Wrap manifest-parsed grants.
+    pub fn from_grants(grants: Vec<Grant>) -> Capabilities {
+        Capabilities {
+            grants,
+            from_manifest: true,
+        }
+    }
+
+    /// Index of the first grant covering `cap` at `path`, if any.
+    pub fn grant_for(&self, path: &str, cap: Cap) -> Option<usize> {
+        self.grants.iter().position(|g| g.covers(path, cap))
+    }
+}
+
+/// Parse a capability manifest. `source_name` labels error messages.
+pub fn parse(text: &str, source_name: &str) -> Result<Vec<Grant>, String> {
+    let mut grants: Vec<Grant> = Vec::new();
+    let mut current: Option<PartialGrant> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[grant]]" {
+            if let Some(p) = current.take() {
+                grants.push(p.finish(source_name)?);
+            }
+            current = Some(PartialGrant::new(lineno));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "{source_name}:{lineno}: unexpected table `{line}`; only `[[grant]]` is supported"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{source_name}:{lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let Some(grant) = current.as_mut() else {
+            return Err(format!(
+                "{source_name}:{lineno}: `{}` outside a `[[grant]]` table",
+                key.trim()
+            ));
+        };
+        match key.trim() {
+            "crate" => {
+                let name = parse_string(value, source_name, lineno)?;
+                if !name.starts_with("pcqe-") {
+                    return Err(format!(
+                        "{source_name}:{lineno}: `crate` must be a workspace crate \
+                         (`pcqe-…`), got `{name}`"
+                    ));
+                }
+                grant.crate_name = Some(name);
+            }
+            "scope" => {
+                let s = parse_string(value, source_name, lineno)?;
+                grant.scope = Some(s.replace('\\', "/"));
+            }
+            "capabilities" => {
+                let mut caps = BTreeSet::new();
+                for item in parse_string_array(value, source_name, lineno)? {
+                    let cap = Cap::parse(&item).ok_or_else(|| {
+                        format!(
+                            "{source_name}:{lineno}: unknown capability `{item}` \
+                             (expected threads/locks/atomics/channels)"
+                        )
+                    })?;
+                    if !caps.insert(cap) {
+                        return Err(format!(
+                            "{source_name}:{lineno}: capability `{item}` listed twice"
+                        ));
+                    }
+                }
+                if caps.is_empty() {
+                    return Err(format!(
+                        "{source_name}:{lineno}: `capabilities` must name at least one class"
+                    ));
+                }
+                grant.caps = Some(caps);
+            }
+            "reason" => {
+                grant.reason = Some(parse_string(value, source_name, lineno)?);
+            }
+            other => {
+                return Err(format!(
+                    "{source_name}:{lineno}: unknown key `{other}` \
+                     (expected crate/scope/capabilities/reason)"
+                ));
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        grants.push(p.finish(source_name)?);
+    }
+    Ok(grants)
+}
+
+struct PartialGrant {
+    declared_at: u32,
+    crate_name: Option<String>,
+    scope: Option<String>,
+    caps: Option<BTreeSet<Cap>>,
+    reason: Option<String>,
+}
+
+impl PartialGrant {
+    fn new(declared_at: u32) -> PartialGrant {
+        PartialGrant {
+            declared_at,
+            crate_name: None,
+            scope: None,
+            caps: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self, source_name: &str) -> Result<Grant, String> {
+        let at = self.declared_at;
+        let missing = |k: &str| format!("{source_name}:{at}: `[[grant]]` entry is missing `{k}`");
+        // Unlike allowlist reasons (A002's job), an unreasoned grant is a
+        // hard error: a capability is an architecture statement, and it
+        // must carry its justification from the first commit.
+        let reason = self.reason.ok_or_else(|| missing("reason"))?;
+        if reason.trim().is_empty() {
+            return Err(format!(
+                "{source_name}:{at}: `[[grant]]` entry has a blank `reason`; every \
+                 capability grant must say why the crate needs it"
+            ));
+        }
+        Ok(Grant {
+            crate_name: self.crate_name.ok_or_else(|| missing("crate"))?,
+            scope: self.scope,
+            caps: self.caps.ok_or_else(|| missing("capabilities"))?,
+            reason,
+            declared_at: at,
+        })
+    }
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted TOML string value.
+fn parse_string(value: &str, source_name: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| {
+            format!("{source_name}:{lineno}: expected a double-quoted string, got `{v}`")
+        })?;
+    if inner.contains('"') {
+        return Err(format!(
+            "{source_name}:{lineno}: embedded quotes are not supported"
+        ));
+    }
+    Ok(inner.to_owned())
+}
+
+/// Parse a `["a", "b"]` array of double-quoted strings.
+fn parse_string_array(value: &str, source_name: &str, lineno: u32) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("{source_name}:{lineno}: expected a `[\"…\", …]` array, got `{v}`")
+        })?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // tolerate a trailing comma
+        }
+        out.push(parse_string(item, source_name, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_grants_with_scopes_and_arrays() {
+        let text = "# capability manifest\n\
+                    [[grant]]\n\
+                    crate = \"pcqe-par\"\n\
+                    capabilities = [\"threads\", \"locks\", \"atomics\"]\n\
+                    reason = \"scheduler owns threading\"\n\
+                    \n\
+                    [[grant]]\n\
+                    crate = \"pcqe-core\"\n\
+                    scope = \"crates/core/src/clock.rs\"\n\
+                    capabilities = [\"atomics\"]\n\
+                    reason = \"ManualClock advances an AtomicU64\"\n";
+        let grants = parse(text, "lint-capabilities.toml").unwrap();
+        assert_eq!(grants.len(), 2);
+        assert_eq!(grants[0].crate_name, "pcqe-par");
+        assert_eq!(
+            grants[0].caps,
+            [Cap::Threads, Cap::Locks, Cap::Atomics]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(grants[0].declared_at, 2);
+        assert_eq!(grants[1].scope.as_deref(), Some("crates/core/src/clock.rs"));
+    }
+
+    #[test]
+    fn grant_coverage_respects_crate_and_scope() {
+        let caps = Capabilities::from_grants(
+            parse(
+                "[[grant]]\ncrate = \"pcqe-par\"\ncapabilities = [\"locks\"]\nreason = \"r\"\n\
+                 [[grant]]\ncrate = \"pcqe-core\"\nscope = \"crates/core/src/clock.rs\"\n\
+                 capabilities = [\"atomics\"]\nreason = \"r\"\n",
+                "f",
+            )
+            .unwrap(),
+        );
+        assert_eq!(caps.grant_for("crates/par/src/lib.rs", Cap::Locks), Some(0));
+        assert_eq!(caps.grant_for("crates/par/src/lib.rs", Cap::Atomics), None);
+        assert_eq!(caps.grant_for("crates/engine/src/db.rs", Cap::Locks), None);
+        assert_eq!(
+            caps.grant_for("crates/core/src/clock.rs", Cap::Atomics),
+            Some(1)
+        );
+        assert_eq!(
+            caps.grant_for("crates/core/src/greedy.rs", Cap::Atomics),
+            None
+        );
+    }
+
+    #[test]
+    fn legacy_table_reproduces_the_c001_crate_list() {
+        let caps = Capabilities::legacy();
+        assert!(!caps.from_manifest);
+        assert!(caps
+            .grant_for("crates/par/src/lib.rs", Cap::Threads)
+            .is_some());
+        assert!(caps
+            .grant_for("crates/obs/src/recorder.rs", Cap::Locks)
+            .is_some());
+        // `pcqe-obs` was never thread-exempt under D003.
+        assert!(caps
+            .grant_for("crates/obs/src/recorder.rs", Cap::Threads)
+            .is_none());
+        assert!(caps
+            .grant_for("crates/core/src/clock.rs", Cap::Atomics)
+            .is_some());
+        assert!(caps
+            .grant_for("crates/core/src/greedy.rs", Cap::Atomics)
+            .is_none());
+        assert!(caps
+            .grant_for("crates/engine/src/database.rs", Cap::Locks)
+            .is_none());
+    }
+
+    #[test]
+    fn token_to_capability_mapping() {
+        assert_eq!(Cap::of_token("Mutex"), Some(Cap::Locks));
+        assert_eq!(Cap::of_token("RwLock"), Some(Cap::Locks));
+        assert_eq!(Cap::of_token("Condvar"), Some(Cap::Locks));
+        assert_eq!(Cap::of_token("mpsc"), Some(Cap::Channels));
+        assert_eq!(Cap::of_token("AtomicU64"), Some(Cap::Atomics));
+        // `Atomic` alone (e.g. a local type named exactly that) is not a
+        // std primitive; `Ordering` is a mode selector, not shared state;
+        // a lowercase continuation (`Atomics`) is prose, not a type.
+        assert_eq!(Cap::of_token("Atomic"), None);
+        assert_eq!(Cap::of_token("Atomics"), None);
+        assert_eq!(Cap::of_token("Ordering"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        // Missing reason is a *parse* error here (unlike the allowlist).
+        assert!(parse(
+            "[[grant]]\ncrate = \"pcqe-par\"\ncapabilities = [\"locks\"]\n",
+            "f"
+        )
+        .is_err());
+        // Blank reason too.
+        assert!(parse(
+            "[[grant]]\ncrate = \"pcqe-par\"\ncapabilities = [\"locks\"]\nreason = \"\"\n",
+            "f"
+        )
+        .is_err());
+        // Unknown capability, empty array, duplicate, non-workspace crate.
+        assert!(parse(
+            "[[grant]]\ncrate = \"pcqe-par\"\ncapabilities = [\"fibers\"]\nreason = \"r\"\n",
+            "f"
+        )
+        .is_err());
+        assert!(parse(
+            "[[grant]]\ncrate = \"pcqe-par\"\ncapabilities = []\nreason = \"r\"\n",
+            "f"
+        )
+        .is_err());
+        assert!(parse(
+            "[[grant]]\ncrate = \"pcqe-par\"\n\
+             capabilities = [\"locks\", \"locks\"]\nreason = \"r\"\n",
+            "f"
+        )
+        .is_err());
+        assert!(parse(
+            "[[grant]]\ncrate = \"serde\"\ncapabilities = [\"locks\"]\nreason = \"r\"\n",
+            "f"
+        )
+        .is_err());
+        // Unknown key, key outside a table, wrong table name.
+        assert!(parse("[[grant]]\nbogus = \"x\"\n", "f").is_err());
+        assert!(parse("crate = \"pcqe-par\"\n", "f").is_err());
+        assert!(parse("[grant]\n", "f").is_err());
+    }
+}

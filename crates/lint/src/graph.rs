@@ -1,5 +1,8 @@
-//! Layer 2 of the two-layer analyzer: the workspace call graph and the
-//! rules that are *reachability* properties rather than token windows.
+//! Layer 2 of the analyzer: the workspace call graph and the rules that
+//! are *reachability* properties rather than token windows. (Layer 3 —
+//! the concurrency-soundness rules in [`crate::concurrency`] — runs over
+//! the same graph, consuming the per-call positions and lock/load sites
+//! recorded here.)
 //!
 //! [`CallGraph::build`] links the per-file items from [`crate::item`]
 //! into one workspace graph using conservative, name-based resolution:
@@ -12,6 +15,18 @@
 //!   named `f` — the receiver type is unknown at token level, so the
 //!   graph over-approximates. Extra edges can only widen reachability,
 //!   which is the safe direction for the rules below.
+//!
+//! The method-call over-approximation is what makes **trait objects**
+//! sound here: a call through `&dyn SolverSink` (or any trait) cannot be
+//! devirtualized without types, so `sink.emit(…)` gets an edge to *every*
+//! workspace method named `emit` — each `impl SolverSink for _` included.
+//! Whatever the dynamic dispatch would actually reach is a subset of the
+//! edges drawn, so P002/G001 (and the layer-3 lock propagation) never
+//! miss a path through dynamic dispatch; the cost is spurious edges
+//! between same-named methods of unrelated types, which only ever *add*
+//! findings for a human to allowlist, never hide one. This behavior is
+//! load-bearing and pinned by the
+//! `trait_object_calls_over_approximate_to_every_impl` test below.
 //!
 //! Two rules run over the graph:
 //!
@@ -30,7 +45,8 @@
 //!
 //! [`ReleasedTuple`]: https://en.wikipedia.org/wiki/Access_control
 
-use crate::item::{CallKind, FileItems, PanicKind};
+use crate::capability::Cap;
+use crate::item::{CallKind, FileItems, LoadSite, LockSite, PanicKind};
 use crate::rules::{FileClass, Finding, Rule};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -44,8 +60,8 @@ const PANIC_ROOT_CRATES: [&str; 4] = ["pcqe_engine", "pcqe_policy", "pcqe_sql", 
 /// ledgers).
 const POLICY_GATE: &str = "evaluate_results";
 
-/// The row type whose construction means disclosure (rule G001).
-const RELEASED_TYPE: &str = "ReleasedTuple";
+/// The row type whose construction means disclosure (rules G001, C006).
+pub(crate) const RELEASED_TYPE: &str = "ReleasedTuple";
 
 /// Query entry points: `pub` methods on this type whose names match
 /// [`is_entry_name`].
@@ -72,6 +88,13 @@ pub struct FnNode {
     pub calls_names: BTreeSet<String>,
     /// Identifiers mentioned in the body (emitter detection).
     pub mentions: BTreeSet<String>,
+    /// Lock-acquisition sites in the body, in source order (layer 3).
+    pub locks: Vec<LockSite>,
+    /// Weakly-ordered atomic loads in the body (layer 3, rule C006).
+    pub loads: Vec<LoadSite>,
+    /// Interior-mutable capability carried by the return type, if the
+    /// function hands out `Arc`-shared state (layer 3, rule C005).
+    pub ret_carries: Option<Cap>,
 }
 
 impl FnNode {
@@ -84,6 +107,37 @@ impl FnNode {
     }
 }
 
+/// One call site of a function with its resolved targets, kept in body
+/// order so layer 3 can interleave it with the lock-acquisition sites.
+#[derive(Debug, Clone)]
+pub struct ResolvedCall {
+    /// Token position of the call's name within the file — comparable
+    /// with [`LockSite::pos`] of the same function.
+    pub pos: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Bare/path call vs. method call.
+    pub kind: CallKind,
+    /// Sorted, deduplicated node indexes this call may reach.
+    pub targets: Vec<usize>,
+}
+
+/// An interior-mutable `static` item, lifted to the workspace level for
+/// the escape analysis (rule C005).
+#[derive(Debug, Clone)]
+pub struct StaticNode {
+    /// File the static lives in.
+    pub path: String,
+    /// Crate (underscore form).
+    pub crate_name: String,
+    /// Item name.
+    pub name: String,
+    /// 1-based line of the `static` keyword.
+    pub line: u32,
+    /// The capability its type carries (`Locks` or `Atomics`).
+    pub carries: Cap,
+}
+
 /// The resolved workspace call graph.
 #[derive(Debug)]
 pub struct CallGraph {
@@ -92,6 +146,11 @@ pub struct CallGraph {
     pub fns: Vec<FnNode>,
     /// `edges[i]` = sorted, deduplicated callee indexes of `fns[i]`.
     pub edges: Vec<Vec<usize>>,
+    /// `calls[i]` = resolved call sites of `fns[i]` in body order, with
+    /// token positions (layer 3: lock-order and escape analyses).
+    pub calls: Vec<Vec<ResolvedCall>>,
+    /// Interior-mutable statics across the workspace, in walk order.
+    pub statics: Vec<StaticNode>,
 }
 
 impl CallGraph {
@@ -115,6 +174,21 @@ impl CallGraph {
                         .filter_map(|c| c.segs.last().cloned())
                         .collect(),
                     mentions: f.mentions.clone(),
+                    locks: f.locks.clone(),
+                    loads: f.loads.clone(),
+                    ret_carries: f.ret_carries,
+                });
+            }
+        }
+        let mut statics: Vec<StaticNode> = Vec::new();
+        for file in files {
+            for s in &file.statics {
+                statics.push(StaticNode {
+                    path: file.path.clone(),
+                    crate_name: file.crate_name.clone(),
+                    name: s.name.clone(),
+                    line: s.line,
+                    carries: s.carries,
                 });
             }
         }
@@ -143,6 +217,7 @@ impl CallGraph {
 
         // --- Edges -----------------------------------------------------
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut calls: Vec<Vec<ResolvedCall>> = vec![Vec::new(); fns.len()];
         let mut idx = 0usize;
         for file in files {
             let aliases: BTreeMap<&str, &[String]> = file
@@ -153,10 +228,11 @@ impl CallGraph {
             for f in &file.fns {
                 let mut targets: BTreeSet<usize> = BTreeSet::new();
                 for call in &f.calls {
+                    let mut site: BTreeSet<usize> = BTreeSet::new();
                     match call.kind {
                         CallKind::Method => {
                             if let Some(hits) = methods.get(&call.segs[0]) {
-                                targets.extend(hits.iter().copied());
+                                site.extend(hits.iter().copied());
                             }
                         }
                         CallKind::Path => resolve_path(
@@ -166,15 +242,27 @@ impl CallGraph {
                             &aliases,
                             &free,
                             &assoc,
-                            &mut targets,
+                            &mut site,
                         ),
                     }
+                    targets.extend(site.iter().copied());
+                    calls[idx].push(ResolvedCall {
+                        pos: call.pos,
+                        line: call.line,
+                        kind: call.kind,
+                        targets: site.into_iter().collect(),
+                    });
                 }
                 edges[idx] = targets.into_iter().collect();
                 idx += 1;
             }
         }
-        CallGraph { fns, edges }
+        CallGraph {
+            fns,
+            edges,
+            calls,
+            statics,
+        }
     }
 }
 
@@ -258,6 +346,24 @@ fn is_entry_name(name: &str) -> bool {
     name == "what_if" || name.starts_with("query")
 }
 
+/// Node indexes of the query entry points (`pub` `Database::query*` /
+/// `Database::what_if` in the engine crate) — the BFS roots shared by
+/// G001 and the layer-3 C006 scan.
+pub fn query_entry_roots(graph: &CallGraph) -> Vec<usize> {
+    graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| {
+            node.crate_name == "pcqe_engine"
+                && node.owner.as_deref() == Some(ENTRY_OWNER)
+                && node.is_public
+                && is_entry_name(&node.name)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Rule P002: panic constructs reachable from guarded public API, with a
 /// deterministic shortest witness path per panic site.
 pub fn panic_reachability(graph: &CallGraph, out: &mut Vec<Finding>) {
@@ -315,7 +421,7 @@ pub fn panic_reachability(graph: &CallGraph, out: &mut Vec<Finding>) {
 }
 
 /// Render the BFS witness chain `root → … → node`.
-fn witness_path(graph: &CallGraph, pred: &[usize], mut i: usize) -> String {
+pub(crate) fn witness_path(graph: &CallGraph, pred: &[usize], mut i: usize) -> String {
     let mut chain = vec![graph.fns[i].qualified()];
     while pred[i] != usize::MAX {
         i = pred[i];
@@ -337,15 +443,9 @@ pub fn policy_gating(graph: &CallGraph, out: &mut Vec<Finding>) {
     let mut pred: Vec<usize> = vec![usize::MAX; n];
     let mut reached = vec![false; n];
     let mut queue: VecDeque<usize> = VecDeque::new();
-    for (i, node) in graph.fns.iter().enumerate() {
-        if node.crate_name == "pcqe_engine"
-            && node.owner.as_deref() == Some(ENTRY_OWNER)
-            && node.is_public
-            && is_entry_name(&node.name)
-        {
-            reached[i] = true;
-            queue.push_back(i);
-        }
+    for i in query_entry_roots(graph) {
+        reached[i] = true;
+        queue.push_back(i);
     }
     while let Some(u) = queue.pop_front() {
         if gated[u] {
@@ -507,6 +607,50 @@ mod tests {
         let mut out = Vec::new();
         policy_gating(&g, &mut out);
         assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn trait_object_calls_over_approximate_to_every_impl() {
+        // A call through `&dyn SolverSink` cannot be devirtualized at
+        // token level: `sink.emit(…)` must edge to EVERY workspace
+        // method named `emit`, so dynamic dispatch can never hide a
+        // panic or an ungated release from the reachability rules.
+        let files = vec![
+            file(
+                "crates/core/src/sink.rs",
+                "pub trait SolverSink { fn emit(&mut self, v: u64); }\n\
+                 pub fn drive(sink: &mut dyn SolverSink) { sink.emit(1); }\n",
+            ),
+            file(
+                "crates/engine/src/collect.rs",
+                "pub struct VecSink { rows: Vec<u64> }\n\
+                 impl SolverSink for VecSink { fn emit(&mut self, v: u64) { self.rows.push(v); } }\n",
+            ),
+            file(
+                "crates/obs/src/count.rs",
+                "pub struct CountSink { n: u64 }\n\
+                 impl SolverSink for CountSink { fn emit(&mut self, _v: u64) { self.n += 1; } }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        let drive = find(&g, "drive");
+        let callees: Vec<String> = g.edges[drive]
+            .iter()
+            .map(|&i| g.fns[i].qualified())
+            .collect();
+        // Every impl's `emit`, across crates, in deterministic node
+        // order (the bodyless trait declaration itself is not a node).
+        assert_eq!(
+            callees,
+            vec!["pcqe_engine::VecSink::emit", "pcqe_obs::CountSink::emit"],
+            "trait-object dispatch must over-approximate to every impl"
+        );
+        // The per-call resolution carries the same target set with a
+        // position, so layer 3 sees the call as potentially reaching
+        // every impl too.
+        assert_eq!(g.calls[drive].len(), 1);
+        assert_eq!(g.calls[drive][0].kind, CallKind::Method);
+        assert_eq!(g.calls[drive][0].targets, g.edges[drive]);
     }
 
     #[test]

@@ -8,39 +8,58 @@
 //! *written*, instead of hoping a test notices the symptom later.
 //!
 //! The analyzer is std-only — no `syn`, no registry crates — and works
-//! in two layers:
+//! in three layers:
 //!
 //! 1. **Token layer.** Every Rust source is tokenized by a hand-rolled
 //!    lexer ([`lexer`]) and matched against small token-window patterns
-//!    ([`rules`]).
+//!    ([`rules`]). Concurrency tokens are checked against per-crate
+//!    **capability manifests** ([`capability`]): a checked-in
+//!    `lint-capabilities.toml` grants `threads`/`locks`/`atomics`/
+//!    `channels` with a reason; without one, a built-in legacy table
+//!    reproduces the old crate-name containment (PCQE-C001).
 //! 2. **Graph layer.** The same token streams feed a lightweight item
 //!    parser ([`item`]: fns, impls, `use` trees, visibility, per-fn call
 //!    and panic sites), whose output links into a workspace-wide
 //!    resolved call graph ([`graph`]) powering *reachability* rules —
 //!    properties that hold along every path, not just at the call sites
 //!    a token window happens to see.
+//! 3. **Concurrency layer.** The graph, enriched with lock-acquisition
+//!    sites, weakly-ordered atomic loads, and interior-mutable
+//!    statics/returns, feeds the concurrency-soundness analyses
+//!    ([`concurrency`]): lock-order cycles, locks held across
+//!    result-affecting boundaries, shared-state escape, and relaxed
+//!    reads on the release path.
 //!
 //! | rule | layer | protects | statement |
 //! |------|-------|----------|-----------|
 //! | `PCQE-D001` | token | determinism | no `HashMap`/`HashSet` in result-affecting crates |
 //! | `PCQE-D002` | token | determinism | no RNG construction outside `pcqe-lineage::rng` |
-//! | `PCQE-D003` | token | determinism | no `std::thread` outside `crates/par` |
+//! | `PCQE-D003` | token | determinism | no `std::thread` without the `threads` capability |
 //! | `PCQE-D004` | token | determinism | float compare/order through `pcqe_core::ord` only |
-//! | `PCQE-C001` | token | determinism | `Mutex`/`RwLock`/`Atomic*`/`mpsc` contained to `pcqe-par`/`pcqe-obs` |
+//! | `PCQE-C001` | token | determinism | legacy containment: concurrency tokens outside the built-in crate list (no manifest) |
+//! | `PCQE-C002` | token | determinism | concurrency tokens need a covering capability grant (manifest mode) |
+//! | `PCQE-C003` | concurrency | determinism | the workspace lock-order graph stays acyclic |
+//! | `PCQE-C004` | concurrency | determinism | no lock held across a call into a result-affecting crate |
+//! | `PCQE-C005` | concurrency | determinism | interior-mutable shared state must not escape a granted crate into the result-affecting set |
+//! | `PCQE-C006` | concurrency | determinism | no `Relaxed`/`Acquire` load feeding `ReleasedTuple` on a query path |
 //! | `PCQE-G001` | graph | compliance | query entry points release rows only below the policy gate |
 //! | `PCQE-H001` | manifest | hermeticity | only path deps in default-workspace manifests |
 //! | `PCQE-P001` | token | panic-safety | no `unwrap`/`expect`/`panic!` in guarded library code |
 //! | `PCQE-P002` | graph | panic-safety | no panic construct *reachable* from guarded public API |
 //! | `PCQE-T001` | token | determinism | wall clock only in `crates/bench` + `core::clock` |
 //! | `PCQE-A001` | hygiene | hygiene | allowlist entries must suppress something |
-//! | `PCQE-A002` | hygiene | hygiene | allowlist entries must carry a non-empty reason |
+//! | `PCQE-A002` | hygiene | hygiene | allowlist entries must carry a reason naming the rule they suppress |
+//! | `PCQE-A003` | hygiene | hygiene | granted capabilities must be exercised (no stale grants) |
 //!
 //! Justified exceptions live in `lint-allow.toml` ([`allowlist`]) with a
 //! required reason; stale entries are themselves errors. Reports come in
 //! human and JSON form ([`report`]). Run it as `cargo run -p pcqe-lint`,
-//! via `ci.sh`, or through the tier-1 test `tests/lint_guard.rs`.
+//! via `ci.sh`, or through the tier-1 tests `tests/lint_guard.rs` and
+//! `tests/concurrency_lint_guard.rs`.
 
 pub mod allowlist;
+pub mod capability;
+pub mod concurrency;
 pub mod graph;
 pub mod item;
 pub mod lexer;
@@ -50,7 +69,9 @@ pub mod rules;
 pub mod walk;
 
 use allowlist::AllowEntry;
+use capability::{Cap, Capabilities};
 use rules::{Finding, Rule};
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
@@ -73,6 +94,15 @@ impl Analysis {
     pub fn is_clean(&self) -> bool {
         self.error_count() == 0
     }
+
+    /// Narrow the report to one rule — a *display* filter for
+    /// `--rule` / `.lint … RULE-ID`. Exit-code semantics are the
+    /// caller's job: compute them from the full analysis first.
+    pub fn filtered(mut self, rule: Rule) -> Analysis {
+        self.findings.retain(|f| f.rule == rule);
+        self.suppressed.retain(|(f, _)| f.rule == rule);
+        self
+    }
 }
 
 /// Failures of the analyzer itself (not rule findings).
@@ -83,6 +113,8 @@ pub enum LintError {
     /// The allowlist file failed to parse or was explicitly requested but
     /// missing.
     Allowlist(String),
+    /// The capability manifest failed to parse.
+    Capabilities(String),
 }
 
 impl std::fmt::Display for LintError {
@@ -90,6 +122,7 @@ impl std::fmt::Display for LintError {
         match self {
             LintError::Io(m) => write!(f, "io error: {m}"),
             LintError::Allowlist(m) => write!(f, "allowlist error: {m}"),
+            LintError::Capabilities(m) => write!(f, "capability manifest error: {m}"),
         }
     }
 }
@@ -124,10 +157,27 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
         }
     };
 
+    // --- Capability manifest -------------------------------------------
+    // Present: manifest mode — uncovered concurrency tokens are C002,
+    // stale grants A003. Absent: the built-in legacy table reproduces
+    // the historical C001 containment.
+    let caps_path = root.join(capability::DEFAULT_CAPABILITIES);
+    let caps = if caps_path.is_file() {
+        let text =
+            fs::read_to_string(&caps_path).map_err(|e| io(e, capability::DEFAULT_CAPABILITIES))?;
+        let grants = capability::parse(&text, capability::DEFAULT_CAPABILITIES)
+            .map_err(LintError::Capabilities)?;
+        Capabilities::from_grants(grants)
+    } else {
+        Capabilities::legacy()
+    };
+    let mut cap_used: Vec<BTreeSet<Cap>> = vec![BTreeSet::new(); caps.grants.len()];
+
     // --- Scan ----------------------------------------------------------
     // Each file is lexed once; the token stream feeds both the token
     // rules and the item parser, whose output links into the workspace
-    // call graph for the reachability rules (P002, G001).
+    // call graph for the reachability rules (P002, G001) and the
+    // concurrency layer (C003–C006).
     let mut raw: Vec<Finding> = Vec::new();
     let mut items: Vec<item::FileItems> = Vec::new();
     let sources = walk::rust_sources(root).map_err(|e| io(e, "walking sources"))?;
@@ -138,7 +188,7 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
         let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
         let toks = lexer::lex(&text);
         let mask = rules::test_region_mask(&toks);
-        rules::check_tokens(rel, &toks, &mask, &mut raw);
+        rules::check_tokens(rel, &toks, &mask, &caps, &mut cap_used, &mut raw);
         // The analyzer itself and the detached bench workspace stay out
         // of the call graph: no guarded product crate can depend on the
         // dev tooling (H001 enforces path-only deps), so a name-collision
@@ -150,10 +200,40 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
     let call_graph = graph::CallGraph::build(&items);
     graph::panic_reachability(&call_graph, &mut raw);
     graph::policy_gating(&call_graph, &mut raw);
+    concurrency::lock_order(&call_graph, &mut raw);
+    concurrency::escapes(&call_graph, &caps, &mut raw);
+    concurrency::relaxed_reads(&call_graph, &mut raw);
     let manifests = walk::workspace_manifests(root).map_err(|e| io(e, "walking manifests"))?;
     for rel in &manifests {
         let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
         manifest::check_manifest(rel, &text, &mut raw);
+    }
+
+    // --- Capability hygiene (A003 stale grants, manifest mode only) ----
+    if caps.from_manifest {
+        for (idx, grant) in caps.grants.iter().enumerate() {
+            for &cap in &grant.caps {
+                if !cap_used[idx].contains(&cap) {
+                    raw.push(Finding {
+                        rule: Rule::A003,
+                        path: capability::DEFAULT_CAPABILITIES.to_owned(),
+                        line: grant.declared_at,
+                        message: format!(
+                            "stale capability: `{}` grants `{}`{} but no such token is \
+                             used there — drop it from the grant (reason was: {})",
+                            grant.crate_name,
+                            cap.label(),
+                            grant
+                                .scope
+                                .as_deref()
+                                .map(|s| format!(" (scope `{s}`)"))
+                                .unwrap_or_default(),
+                            grant.reason
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     // --- Suppress ------------------------------------------------------
@@ -191,6 +271,43 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
                     entry.line.map(|l| format!(" line {l}")).unwrap_or_default(),
                 ),
             });
+            continue;
+        }
+        // File-wide suppressions are the blunt instrument: their reason
+        // must name the rule they blanket (`P002: …`), so a reader —
+        // and this check — can tell a deliberate waiver from a typo.
+        let short = entry.rule.code().trim_start_matches("PCQE-");
+        if entry.line.is_none() && !entry.reason.contains(short) {
+            findings.push(Finding {
+                rule: Rule::A002,
+                path: allow_name.clone(),
+                line: entry.declared_at,
+                message: format!(
+                    "file-wide allowlist entry at `{}` suppresses {} but its reason \
+                     never states that rule id; prefix the reason with `{short}: `",
+                    entry.path,
+                    entry.rule.code(),
+                ),
+            });
+        }
+        // A rule id cited in a reason must exist: a stale id means the
+        // justification no longer matches what is being waived.
+        for token in entry
+            .reason
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+        {
+            if token.starts_with("PCQE-") && Rule::parse(token).is_none() {
+                findings.push(Finding {
+                    rule: Rule::A002,
+                    path: allow_name.clone(),
+                    line: entry.declared_at,
+                    message: format!(
+                        "allowlist reason at `{}` cites unknown rule id `{token}`: \
+                         fix the id or drop the citation",
+                        entry.path,
+                    ),
+                });
+            }
         }
     }
     for (idx, entry) in entries.iter().enumerate() {

@@ -1,14 +1,16 @@
 //! `pcqe-lint` CLI.
 //!
 //! ```text
-//! pcqe-lint [--root DIR] [--format human|json] [--allowlist FILE] [--list-rules]
+//! pcqe-lint [--root DIR] [--format human|json] [--allowlist FILE] [--rule ID] [--list-rules]
 //! ```
 //!
 //! Exit status: `0` clean, `1` unsuppressed error findings, `2` usage or
 //! I/O failure. With no `--root`, the scan root is found by walking up
 //! from the current directory to the first `Cargo.toml` containing a
 //! `[workspace]` table — so `cargo run -p pcqe-lint` works from anywhere
-//! inside the repository.
+//! inside the repository. `--rule` narrows the *displayed* report to one
+//! rule id; the exit status still reflects the full analysis, so a
+//! filtered view can never hide a failure.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -17,6 +19,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Human;
     let mut allowlist: Option<PathBuf> = None;
+    let mut rule: Option<pcqe_lint::rules::Rule> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,6 +31,17 @@ fn main() -> ExitCode {
             "--allowlist" => match args.next() {
                 Some(v) => allowlist = Some(PathBuf::from(v)),
                 None => return usage("--allowlist needs a file"),
+            },
+            "--rule" => match args
+                .next()
+                .as_deref()
+                .map(|v| (v, pcqe_lint::rules::Rule::parse(v)))
+            {
+                Some((_, Some(r))) => rule = Some(r),
+                Some((v, None)) => {
+                    return usage(&format!("unknown rule id `{v}` (try --list-rules)"))
+                }
+                None => return usage("--rule needs a rule id (e.g. PCQE-C003)"),
             },
             "--format" => match args.next().as_deref() {
                 Some("human") => format = Format::Human,
@@ -53,7 +67,9 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 println!(
                     "pcqe-lint: static invariant analyzer (determinism, hermeticity, panic-safety)\n\n\
-                     usage: pcqe-lint [--root DIR] [--format human|json] [--allowlist FILE] [--list-rules]\n\n\
+                     usage: pcqe-lint [--root DIR] [--format human|json] [--allowlist FILE] [--rule ID] [--list-rules]\n\n\
+                     --rule ID narrows the displayed report to one rule; the exit status\n\
+                     still reflects the full analysis\n\n\
                      exit status: 0 clean, 1 findings, 2 usage/io error"
                 );
                 return ExitCode::SUCCESS;
@@ -77,12 +93,19 @@ fn main() -> ExitCode {
 
     match pcqe_lint::analyze(&root, allowlist.as_deref()) {
         Ok(analysis) => {
+            // Exit semantics come from the FULL analysis; `--rule` only
+            // narrows what is printed.
+            let clean = analysis.is_clean();
+            let display = match rule {
+                Some(r) => analysis.filtered(r),
+                None => analysis,
+            };
             let rendered = match format {
-                Format::Human => pcqe_lint::report::human(&analysis),
-                Format::Json => pcqe_lint::report::json(&analysis),
+                Format::Human => pcqe_lint::report::human(&display),
+                Format::Json => pcqe_lint::report::json(&display),
             };
             print!("{rendered}");
-            if analysis.is_clean() {
+            if clean {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)

@@ -4,7 +4,7 @@
 //! writer): the workspace is registry-free, so no serde. Output is fully
 //! deterministic — findings arrive pre-sorted and maps are avoided.
 
-use crate::rules::Severity;
+use crate::rules::{Rule, Severity};
 use crate::Analysis;
 
 /// Render the human report: one `path:line: CODE [severity] message` per
@@ -35,9 +35,15 @@ pub fn human(analysis: &Analysis) -> String {
 }
 
 /// Render the JSON report.
+///
+/// Format version 2 adds the `rules` section: one entry per rule id in
+/// [`Rule::all`] order with that rule's unsuppressed-error and
+/// suppressed counts. CI gates on it (`pcqe-obs-validate --schema lint
+/// --gate`): per-rule ceilings make a regression in *any* rule visible
+/// even while the totals stay flat.
 pub fn json(analysis: &Analysis) -> String {
     let mut out =
-        String::from("{\n  \"tool\": \"pcqe-lint\",\n  \"format_version\": 1,\n  \"findings\": [");
+        String::from("{\n  \"tool\": \"pcqe-lint\",\n  \"format_version\": 2,\n  \"findings\": [");
     for (i, f) in analysis.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -56,7 +62,23 @@ pub fn json(analysis: &Analysis) -> String {
     if !analysis.findings.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("],\n  \"summary\": {");
+    out.push_str("],\n  \"rules\": {");
+    for (i, rule) in Rule::all().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let errors = analysis.findings.iter().filter(|f| f.rule == rule).count();
+        let suppressed = analysis
+            .suppressed
+            .iter()
+            .filter(|(f, _)| f.rule == rule)
+            .count();
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"errors\": {errors}, \"suppressed\": {suppressed}}}",
+            rule.code()
+        ));
+    }
+    out.push_str("\n  },\n  \"summary\": {");
     out.push_str(&format!("\"files\": {}, ", analysis.files_scanned));
     out.push_str(&format!("\"manifests\": {}, ", analysis.manifests_scanned));
     out.push_str(&format!("\"errors\": {}, ", analysis.error_count()));
@@ -130,9 +152,13 @@ mod tests {
     #[test]
     fn json_is_escaped_and_structured() {
         let text = json(&sample());
+        assert!(text.contains("\"format_version\": 2"));
         assert!(text.contains("\"rule\": \"PCQE-D001\""));
         assert!(text.contains("a \\\"quoted\\\" construct"));
         assert!(text.contains("\"errors\": 1"));
+        // The per-rule section counts the D001 error and zeroes the rest.
+        assert!(text.contains("\"PCQE-D001\": {\"errors\": 1, \"suppressed\": 0}"));
+        assert!(text.contains("\"PCQE-C003\": {\"errors\": 0, \"suppressed\": 0}"));
         // Empty analysis yields an empty findings array, still valid.
         let empty = Analysis {
             findings: Vec::new(),
@@ -141,5 +167,18 @@ mod tests {
             manifests_scanned: 0,
         };
         assert!(json(&empty).contains("\"findings\": [],"));
+    }
+
+    #[test]
+    fn json_rules_section_lists_every_rule_once_in_order() {
+        let text = json(&sample());
+        let codes: Vec<usize> = Rule::all()
+            .into_iter()
+            .map(|r| text.find(&format!("\"{}\": {{", r.code())).unwrap())
+            .collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted, "rules section must follow Rule::all order");
+        assert_eq!(codes.len(), 18);
     }
 }

@@ -6,7 +6,9 @@
 //! under-approximate (miss violations). Justified exceptions go in
 //! `lint-allow.toml` with a reason; see `DESIGN.md` § "Static invariants".
 
+use crate::capability::{Cap, Capabilities};
 use crate::lexer::{lex, Tok, Token};
+use std::collections::BTreeSet;
 
 /// Stable rule identifiers. Codes are part of the tool's contract: CI
 /// logs, allowlist entries and docs all refer to them.
@@ -16,12 +18,30 @@ pub enum Rule {
     D001,
     /// Ad-hoc randomness outside `pcqe-lineage::rng`.
     D002,
-    /// Direct `std::thread` use outside the deterministic scheduler.
+    /// Direct `std::thread` use without the `threads` capability.
     D003,
     /// Float comparison/ordering outside the `pcqe_core::ord` wrapper.
     D004,
-    /// Concurrency primitives outside `pcqe-par`/`pcqe-obs`.
+    /// Concurrency primitives outside the built-in legacy containment
+    /// list (fires only when the scanned root has no
+    /// `lint-capabilities.toml`; the manifest form is [`Rule::C002`]).
     C001,
+    /// Concurrency token in a crate without the matching capability
+    /// grant (the manifest-mode successor of C001).
+    C002,
+    /// Deadlock risk: the workspace lock-order graph has a cycle
+    /// (call-graph rule, see [`crate::concurrency`]).
+    C003,
+    /// A lock held across a call into a result-affecting crate
+    /// (call-graph rule, see [`crate::concurrency`]).
+    C004,
+    /// Interior-mutable shared state escaping a capability-granted crate
+    /// into the result-affecting set (see [`crate::concurrency`]).
+    C005,
+    /// `Ordering::Relaxed`/`Acquire` atomic read feeding a
+    /// `ReleasedTuple`-constructing fn on a query path (see
+    /// [`crate::concurrency`]).
+    C006,
     /// Row release reachable from a query entry point without passing the
     /// policy gate (call-graph rule, see [`crate::graph`]).
     G001,
@@ -36,8 +56,11 @@ pub enum Rule {
     T001,
     /// Stale allowlist entry (suppresses nothing).
     A001,
-    /// Allowlist entry without a non-empty `reason`.
+    /// Allowlist entry without a non-empty reason, or whose reason names
+    /// a wrong/unknown rule id.
     A002,
+    /// Granted-but-unused capability in `lint-capabilities.toml`.
+    A003,
 }
 
 /// How a finding affects the exit status.
@@ -68,6 +91,11 @@ impl Rule {
             Rule::D003 => "PCQE-D003",
             Rule::D004 => "PCQE-D004",
             Rule::C001 => "PCQE-C001",
+            Rule::C002 => "PCQE-C002",
+            Rule::C003 => "PCQE-C003",
+            Rule::C004 => "PCQE-C004",
+            Rule::C005 => "PCQE-C005",
+            Rule::C006 => "PCQE-C006",
             Rule::G001 => "PCQE-G001",
             Rule::H001 => "PCQE-H001",
             Rule::P001 => "PCQE-P001",
@@ -75,6 +103,7 @@ impl Rule {
             Rule::T001 => "PCQE-T001",
             Rule::A001 => "PCQE-A001",
             Rule::A002 => "PCQE-A002",
+            Rule::A003 => "PCQE-A003",
         }
     }
 
@@ -89,14 +118,31 @@ impl Rule {
         match self {
             Rule::D001 => "determinism: no HashMap/HashSet in result-affecting crates",
             Rule::D002 => "determinism: no RNG construction outside pcqe-lineage::rng",
-            Rule::D003 => "determinism: no std::thread outside the pcqe-par scheduler",
+            Rule::D003 => "determinism: no std::thread without the `threads` capability",
             Rule::D004 => {
                 "determinism: float compare/order through pcqe_core::ord only (no ==/!=, \
                  partial_cmp/total_cmp, f32) in result-affecting crates"
             }
             Rule::C001 => {
                 "concurrency: Mutex/RwLock/Atomic*/mpsc contained to pcqe-par, pcqe-obs \
-                 and core::clock"
+                 and core::clock (legacy mode — no lint-capabilities.toml at the root)"
+            }
+            Rule::C002 => {
+                "concurrency: every Mutex/RwLock/Condvar/Atomic*/mpsc token needs a \
+                 matching capability grant in lint-capabilities.toml"
+            }
+            Rule::C003 => {
+                "concurrency: the workspace lock-order graph must be acyclic (deadlock \
+                 risks reported with a deterministic cycle witness)"
+            }
+            Rule::C004 => "concurrency: no lock held across a call into a result-affecting crate",
+            Rule::C005 => {
+                "concurrency: interior-mutable shared state (Arc<Mutex<_>>, statics) \
+                 must not escape a capability-granted crate into the result-affecting set"
+            }
+            Rule::C006 => {
+                "concurrency: no Relaxed/Acquire atomic read feeding a ReleasedTuple \
+                 constructor on a query path (bit-identity of released rows)"
             }
             Rule::G001 => {
                 "policy: every call path from a query entry point to a row-emitting fn \
@@ -110,7 +156,11 @@ impl Rule {
             }
             Rule::T001 => "determinism: wall-clock access only in bench and core::clock",
             Rule::A001 => "hygiene: allowlist entries must suppress at least one finding",
-            Rule::A002 => "hygiene: allowlist entries must carry a non-empty reason",
+            Rule::A002 => {
+                "hygiene: allowlist entries must carry a non-empty reason; file-wide \
+                 entries must state the rule id they suppress"
+            }
+            Rule::A003 => "hygiene: granted capabilities must be exercised (no stale grants)",
         }
     }
 
@@ -124,6 +174,11 @@ impl Rule {
             "D003" => Some(Rule::D003),
             "D004" => Some(Rule::D004),
             "C001" => Some(Rule::C001),
+            "C002" => Some(Rule::C002),
+            "C003" => Some(Rule::C003),
+            "C004" => Some(Rule::C004),
+            "C005" => Some(Rule::C005),
+            "C006" => Some(Rule::C006),
             "G001" => Some(Rule::G001),
             "H001" => Some(Rule::H001),
             "P001" => Some(Rule::P001),
@@ -131,18 +186,24 @@ impl Rule {
             "T001" => Some(Rule::T001),
             "A001" => Some(Rule::A001),
             "A002" => Some(Rule::A002),
+            "A003" => Some(Rule::A003),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 12] {
+    pub fn all() -> [Rule; 18] {
         [
             Rule::D001,
             Rule::D002,
             Rule::D003,
             Rule::D004,
             Rule::C001,
+            Rule::C002,
+            Rule::C003,
+            Rule::C004,
+            Rule::C005,
+            Rule::C006,
             Rule::G001,
             Rule::H001,
             Rule::P001,
@@ -150,6 +211,7 @@ impl Rule {
             Rule::T001,
             Rule::A001,
             Rule::A002,
+            Rule::A003,
         ]
     }
 }
@@ -175,9 +237,7 @@ pub struct FileClass {
     pub is_test_code: bool,
     d001: bool,
     d002: bool,
-    d003: bool,
     d004: bool,
-    c001: bool,
     /// P001 applies here; also consulted by the graph layer, which
     /// reports only *index* panics under P002 where P001 already covers
     /// the direct constructs.
@@ -244,17 +304,9 @@ impl FileClass {
             is_test_code,
             d001: starts(&RESULT_AFFECTING),
             d002: path != "crates/lineage/src/rng.rs",
-            d003: !path.starts_with("crates/par/"),
             // The total-order wrapper itself is the one sanctioned home
             // for raw float ordering.
             d004: starts(&RESULT_AFFECTING) && path != "crates/core/src/ord.rs",
-            // `pcqe-par` owns work distribution, `pcqe-obs` owns shared
-            // recorders, and `ManualClock` advances an `AtomicU64`;
-            // everything else must stay free of sync primitives so the
-            // deterministic scheduler remains the only concurrency story.
-            c001: !path.starts_with("crates/par/")
-                && !path.starts_with("crates/obs/")
-                && path != "crates/core/src/clock.rs",
             p001: starts(&PANIC_GUARDED),
             // Note: `crates/obs` is deliberately NOT exempt — the
             // observability crate times spans exclusively through the
@@ -265,8 +317,17 @@ impl FileClass {
     }
 }
 
-/// Run every token-level rule over one source file. Convenience wrapper
-/// over [`check_tokens`] for callers that have not lexed yet.
+/// Does the file feed query results (the D001/D004 guarded set)? Also
+/// the crate set the concurrency layer protects: locks held across calls
+/// into it (C004) and shared state escaping into it (C005) both threaten
+/// the bit-identical-results contract.
+pub fn is_result_affecting(path: &str) -> bool {
+    RESULT_AFFECTING.iter().any(|p| path.starts_with(p))
+}
+
+/// Run every token-level rule over one source file under the built-in
+/// legacy capability table. Convenience wrapper over [`check_tokens`]
+/// for callers (and unit tests) that have not lexed yet.
 pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
     let class = FileClass::classify(path);
     if class.is_test_code {
@@ -274,13 +335,24 @@ pub fn check_source(path: &str, src: &str, out: &mut Vec<Finding>) {
     }
     let toks = lex(src);
     let skip = test_region_mask(&toks);
-    check_tokens(path, &toks, &skip, out);
+    let caps = Capabilities::legacy();
+    let mut cap_used = vec![BTreeSet::new(); caps.grants.len()];
+    check_tokens(path, &toks, &skip, &caps, &mut cap_used, out);
 }
 
 /// Run every token-level rule over one pre-lexed source file. `skip` is
-/// the [`test_region_mask`] of `toks`. The caller is responsible for
-/// exempting test-code paths ([`FileClass::classify`]).
-pub fn check_tokens(path: &str, toks: &[Token], skip: &[bool], out: &mut Vec<Finding>) {
+/// the [`test_region_mask`] of `toks`; `caps` is the capability table in
+/// force and `cap_used[g]` accumulates which of grant `g`'s capabilities
+/// were exercised (the input to rule A003). The caller is responsible
+/// for exempting test-code paths ([`FileClass::classify`]).
+pub fn check_tokens(
+    path: &str,
+    toks: &[Token],
+    skip: &[bool],
+    caps: &Capabilities,
+    cap_used: &mut [BTreeSet<Cap>],
+    out: &mut Vec<Finding>,
+) {
     let class = FileClass::classify(path);
     if class.is_test_code {
         return;
@@ -356,18 +428,26 @@ pub fn check_tokens(path: &str, toks: &[Token], skip: &[bool], out: &mut Vec<Fin
             );
         }
 
-        // D003: raw threading outside the deterministic scheduler. Match
+        // D003: raw threading without the `threads` capability. Match
         // `thread` only when it is used as a path segment (`std::thread`,
         // `thread::spawn`, …) so a local named `thread` is not flagged.
-        if class.d003 && name == "thread" && (path_sep_before(toks, i) || path_sep_after(toks, i)) {
-            emit(
-                out,
-                Rule::D003,
-                t.line,
-                "`std::thread` outside `pcqe-par`: all parallelism must go \
-                 through the deterministic chunked scheduler"
-                    .to_owned(),
-            );
+        // The rule keeps its historical id in both capability modes; the
+        // exemption is now a declared grant, not a hardcoded crate name.
+        if name == "thread" && (path_sep_before(toks, i) || path_sep_after(toks, i)) {
+            match caps.grant_for(path, Cap::Threads) {
+                Some(g) => {
+                    cap_used[g].insert(Cap::Threads);
+                }
+                None => emit(
+                    out,
+                    Rule::D003,
+                    t.line,
+                    "`std::thread` without the `threads` capability: all parallelism \
+                     must go through the deterministic chunked scheduler (or declare \
+                     the capability in lint-capabilities.toml with a reason)"
+                        .to_owned(),
+                ),
+            }
         }
 
         // D004 (ident forms): float ordering and narrowing must go
@@ -401,21 +481,37 @@ pub fn check_tokens(path: &str, toks: &[Token], skip: &[bool], out: &mut Vec<Fin
             }
         }
 
-        // C001: concurrency primitives outside the sanctioned crates.
-        if class.c001
-            && (matches!(name, "Mutex" | "RwLock" | "Condvar" | "mpsc")
-                || (name.starts_with("Atomic") && name.len() > "Atomic".len()))
-        {
-            emit(
-                out,
-                Rule::C001,
-                t.line,
-                format!(
-                    "`{name}` outside `pcqe-par`/`pcqe-obs`/`core::clock`: shared-state \
-                     primitives undermine the deterministic scheduler's containment; \
-                     route parallelism through `pcqe-par`"
+        // C001 (legacy) / C002 (manifest): concurrency primitives need a
+        // covering capability grant. The same check backs both rules —
+        // C001 is now a thin wrapper that runs it against the built-in
+        // legacy grant table when the root has no manifest.
+        if let Some(cap) = Cap::of_token(name) {
+            match caps.grant_for(path, cap) {
+                Some(g) => {
+                    cap_used[g].insert(cap);
+                }
+                None if caps.from_manifest => emit(
+                    out,
+                    Rule::C002,
+                    t.line,
+                    format!(
+                        "`{name}` needs the `{}` capability: the crate has no covering \
+                         grant in lint-capabilities.toml; declare one with a reason or \
+                         route parallelism through `pcqe-par`",
+                        cap.label()
+                    ),
                 ),
-            );
+                None => emit(
+                    out,
+                    Rule::C001,
+                    t.line,
+                    format!(
+                        "`{name}` outside `pcqe-par`/`pcqe-obs`/`core::clock`: shared-state \
+                         primitives undermine the deterministic scheduler's containment; \
+                         route parallelism through `pcqe-par`"
+                    ),
+                ),
+            }
         }
 
         // P001: panicking constructs in guarded library code.
@@ -822,6 +918,49 @@ mod tests {
             vec![(Rule::C001, 1)]
         );
         assert!(findings("crates/engine/src/database.rs", "use std::cmp::Ordering;").is_empty());
+    }
+
+    #[test]
+    fn c002_fires_in_manifest_mode_and_grants_mark_usage() {
+        use crate::capability::{self, Cap, Capabilities};
+        let caps = Capabilities::from_grants(
+            capability::parse(
+                "[[grant]]\ncrate = \"pcqe-par\"\ncapabilities = [\"locks\"]\nreason = \"r\"\n",
+                "f",
+            )
+            .unwrap(),
+        );
+        let check = |path: &str, src: &str| {
+            let toks = lex(src);
+            let skip = test_region_mask(&toks);
+            let mut used = vec![BTreeSet::new(); caps.grants.len()];
+            let mut out = Vec::new();
+            check_tokens(path, &toks, &skip, &caps, &mut used, &mut out);
+            (out, used)
+        };
+        // A covered token is silent and marks the grant as exercised.
+        let (out, used) = check("crates/par/src/lib.rs", "use std::sync::Mutex;");
+        assert!(out.is_empty(), "{out:?}");
+        assert!(used[0].contains(&Cap::Locks));
+        // An uncovered capability class in the same crate fires C002 —
+        // grants are per-class, not per-crate blanket exemptions.
+        let (out, _) = check("crates/par/src/lib.rs", "use std::sync::atomic::AtomicU64;");
+        assert_eq!(
+            out.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec![Rule::C002]
+        );
+        // An ungranted crate fires C002 (not the legacy C001).
+        let (out, _) = check("crates/engine/src/db.rs", "use std::sync::Mutex;");
+        assert_eq!(
+            out.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec![Rule::C002]
+        );
+        // Thread tokens keep their historical D003 id in manifest mode.
+        let (out, _) = check("crates/engine/src/db.rs", "use std::thread;");
+        assert_eq!(
+            out.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec![Rule::D003]
+        );
     }
 
     #[test]

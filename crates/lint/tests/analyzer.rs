@@ -1,15 +1,20 @@
 //! End-to-end analyzer tests over the fixture trees in `tests/fixtures/`.
 //!
 //! Each fixture is a miniature workspace: `tree/` seeds one violation per
-//! token/manifest rule (plus exempt cases that must stay silent),
-//! `graph/` seeds the graph-layer rules (P002 panic-reachability, G001
-//! policy-gating) and the D004/C001 token forms, `gated/` is the G001
-//! negative (the gate dominates the row constructor), `noreason/` trips
-//! the A002 hygiene rule, `allow/` pairs a violation with a reasoned
-//! suppression, `stale/` carries an allowlist entry that excuses
-//! nothing, and `clean/` has no findings at all. The golden files
-//! `tree.expected.json`/`graph.expected.json` pin the machine-readable
-//! report byte-for-byte — the JSON output is a CI contract.
+//! token/manifest rule in legacy mode (no capability manifest, so the
+//! Mutex in mutexy.rs keeps the historical C001 id), `graph/` seeds the
+//! graph-layer rules (P002 panic-reachability, G001 policy-gating) and —
+//! carrying its own `lint-capabilities.toml` — the manifest-mode C002
+//! form of the old locky.rs C001 sites, `conc/` seeds the concurrency
+//! layer (C003 cycle + clean twin, C004 held-across-boundary, C005
+//! escapes, C006 relaxed release reads, A003 stale grant), `gated/` is
+//! the G001 negative (the gate dominates the row constructor),
+//! `noreason/` trips the A002 hygiene rule, `allow/` pairs a violation
+//! with a reasoned suppression, `stale/` carries an allowlist entry that
+//! excuses nothing, and `clean/` has no findings at all. The golden
+//! files `tree.expected.json`/`graph.expected.json`/`conc.expected.json`
+//! pin the machine-readable report byte-for-byte — the JSON output is a
+//! CI contract.
 
 use pcqe_lint::rules::Rule;
 use pcqe_lint::{analyze, report, Analysis};
@@ -38,6 +43,9 @@ fn tree_fixture_seeds_every_token_and_manifest_rule() {
         (Rule::D001, "crates/algebra/src/bad_map.rs", 3),
         (Rule::D001, "crates/algebra/src/bad_map.rs", 5),
         (Rule::D001, "crates/algebra/src/bad_map.rs", 6),
+        (Rule::C001, "crates/algebra/src/mutexy.rs", 5),
+        (Rule::C001, "crates/algebra/src/mutexy.rs", 7),
+        (Rule::C001, "crates/algebra/src/mutexy.rs", 8),
         (Rule::H001, "crates/badcrate/Cargo.toml", 7),
         (Rule::P001, "crates/engine/src/panicky.rs", 4),
         (Rule::P001, "crates/engine/src/panicky.rs", 5),
@@ -50,7 +58,7 @@ fn tree_fixture_seeds_every_token_and_manifest_rule() {
     ];
     assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
     assert!(!analysis.is_clean());
-    assert_eq!(analysis.error_count(), 12);
+    assert_eq!(analysis.error_count(), 15);
     // The exempt cases stayed silent: `crates/par` may thread, and the
     // `#[cfg(test)]` module in covered.rs may use HashMap and unwrap.
     assert!(!got.iter().any(|(_, p, _)| p.contains("par/")));
@@ -65,10 +73,12 @@ fn graph_fixture_seeds_the_graph_layer_and_new_token_rules() {
         .iter()
         .map(|f| (f.rule, f.path.as_str(), f.line))
         .collect();
+    // The graph fixture carries a lint-capabilities.toml, so the old
+    // C001 sites in locky.rs migrated to the manifest-mode C002 id.
     let want = vec![
-        (Rule::C001, "crates/algebra/src/locky.rs", 3),
-        (Rule::C001, "crates/algebra/src/locky.rs", 5),
-        (Rule::C001, "crates/algebra/src/locky.rs", 6),
+        (Rule::C002, "crates/algebra/src/locky.rs", 3),
+        (Rule::C002, "crates/algebra/src/locky.rs", 5),
+        (Rule::C002, "crates/algebra/src/locky.rs", 6),
         (Rule::D004, "crates/core/src/floaty.rs", 4), // x == 0.0
         (Rule::D004, "crates/core/src/floaty.rs", 4), // x != 1.0
         (Rule::D004, "crates/core/src/floaty.rs", 8), // as f32
@@ -173,11 +183,86 @@ fn unreasoned_allowlist_entry_is_an_error_but_still_suppresses() {
 fn every_rule_id_fires_somewhere_in_the_fixture_suite() {
     let mut seen: Vec<Rule> = run("tree").findings.iter().map(|f| f.rule).collect();
     seen.extend(run("graph").findings.iter().map(|f| f.rule));
+    seen.extend(run("conc").findings.iter().map(|f| f.rule));
     seen.extend(run("stale").findings.iter().map(|f| f.rule));
     seen.extend(run("noreason").findings.iter().map(|f| f.rule));
     for rule in Rule::all() {
         assert!(seen.contains(&rule), "{} never fired", rule.code());
     }
+}
+
+#[test]
+fn conc_fixture_seeds_the_concurrency_layer() {
+    let analysis = run("conc");
+    let got: Vec<(Rule, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    let want = vec![
+        (Rule::C005, "crates/engine/src/database.rs", 24), // pcqe_par::flag()
+        (Rule::C006, "crates/engine/src/database.rs", 25), // Relaxed load
+        (Rule::C005, "crates/engine/src/database.rs", 30), // SHARED static
+        (Rule::C002, "crates/engine/src/nocap.rs", 4),
+        (Rule::C002, "crates/engine/src/nocap.rs", 6),
+        (Rule::C002, "crates/engine/src/nocap.rs", 7),
+        (Rule::C003, "crates/par/src/cycle.rs", 15), // left → right edge
+        (Rule::C003, "crates/par/src/cycle.rs", 20), // right → left edge
+        (Rule::C004, "crates/par/src/held.rs", 9),
+        (Rule::A003, "lint-capabilities.toml", 12), // stale channels grant
+    ];
+    assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
+    // The hierarchical-locking twin stayed silent, and `held::fine`
+    // (call completed before the lock) raised no second C004.
+    assert!(!got.iter().any(|(_, p, _)| p.ends_with("hier.rs")));
+    assert_eq!(got.iter().filter(|(r, _, _)| *r == Rule::C004).count(), 1);
+    // The gated query path raised no G001: C006 fires *despite* the gate.
+    assert!(!got.iter().any(|(r, _, _)| *r == Rule::G001));
+}
+
+#[test]
+fn c003_witness_is_deterministic_and_names_both_lock_sites() {
+    let analysis = run("conc");
+    let c003: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::C003)
+        .collect();
+    assert_eq!(c003.len(), 2, "{:#?}", analysis.findings);
+    // The interprocedural edge: held in `grab_both`, closed inside
+    // `take_right` one call away — the witness names the call path and
+    // both acquisition sites.
+    assert!(
+        c003[0]
+            .message
+            .contains("pcqe_par::grab_both → pcqe_par::take_right"),
+        "witness missing in: {}",
+        c003[0].message
+    );
+    assert!(c003[0]
+        .message
+        .contains("`left` at crates/par/src/cycle.rs:10"));
+    assert!(c003[0]
+        .message
+        .contains("`right` at crates/par/src/cycle.rs:15"));
+    // The reverse edge is intra-procedural, witnessed in `reversed`.
+    assert!(c003[1].message.contains("pcqe_par::reversed"));
+    // Same analysis, same witnesses, byte for byte.
+    let again = run("conc");
+    assert_eq!(analysis.findings, again.findings);
+}
+
+#[test]
+fn conc_json_report_matches_golden_and_round_trips() {
+    let golden = include_str!("fixtures/conc.expected.json");
+    let actual = report::json(&run("conc"));
+    assert_eq!(
+        actual, golden,
+        "JSON report drifted from tests/fixtures/conc.expected.json; \
+         if the change is intentional, regenerate with \
+         `cargo run -p pcqe-lint -- --root crates/lint/tests/fixtures/conc \
+         --format json > crates/lint/tests/fixtures/conc.expected.json`"
+    );
 }
 
 #[test]
@@ -259,6 +344,7 @@ fn cli_exits_one_on_findings_and_names_them() {
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     // Every rule code surfaces with a file:line span.
     for code in [
+        "PCQE-C001",
         "PCQE-D001",
         "PCQE-D002",
         "PCQE-D003",
@@ -270,7 +356,7 @@ fn cli_exits_one_on_findings_and_names_them() {
     }
     assert!(stdout.contains("crates/engine/src/panicky.rs:4:"));
     assert!(stdout.contains("crates/obs/src/raw_clock.rs:5:"));
-    assert!(stdout.contains("12 error(s)"));
+    assert!(stdout.contains("15 error(s)"));
 }
 
 #[test]
@@ -316,6 +402,53 @@ fn cli_json_output_matches_golden_file() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     assert_eq!(stdout, include_str!("fixtures/tree.expected.json"));
+}
+
+#[test]
+fn cli_rule_flag_filters_display_but_not_exit_code() {
+    // Filtered to C003: only the two cycle findings print, but the exit
+    // code still reflects the full (failing) analysis.
+    let out = cli()
+        .args(["--root"])
+        .arg(fixture("conc"))
+        .args(["--rule", "PCQE-C003"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("PCQE-C003"), "{stdout}");
+    for absent in [
+        "PCQE-C002",
+        "PCQE-C004",
+        "PCQE-C005",
+        "PCQE-C006",
+        "PCQE-A003",
+    ] {
+        assert!(
+            !stdout.contains(&format!("{absent} [")),
+            "{absent} leaked into the filtered report:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("2 error(s)"), "{stdout}");
+
+    // The short id form works; a rule with no findings prints an empty
+    // report but still exits 1 — the filter can never hide a failure.
+    let out = cli()
+        .args(["--root"])
+        .arg(fixture("conc"))
+        .args(["--rule", "D001"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+
+    // An unknown id is a usage error.
+    let out = cli()
+        .args(["--rule", "PCQE-Z999"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

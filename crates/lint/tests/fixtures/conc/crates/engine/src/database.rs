@@ -1,0 +1,37 @@
+//! Fixture: C005/C006 — result-affecting consumers of shared state.
+//! The query path is G001-clean (the gate is called first), but `emit`
+//! imports `Arc`-shared atomics from `pcqe-par` (C005) and feeds a
+//! `Relaxed` load into the released row (C006); `snapshot` touches the
+//! escaping `SHARED` static (C005). Gating filters rows — it does not
+//! serialize memory — so these must fire even on the gated path.
+
+use std::sync::atomic::Ordering;
+
+pub struct ReleasedTuple {
+    pub id: u64,
+}
+
+pub struct Database;
+
+impl Database {
+    pub fn query(&self) -> u64 {
+        let keep = pcqe_policy::evaluate_results();
+        emit(keep)
+    }
+}
+
+fn emit(keep: u64) -> u64 {
+    let f = pcqe_par::flag();
+    let seq = f.load(Ordering::Relaxed);
+    let t = ReleasedTuple { id: keep + seq };
+    t.id
+}
+
+fn snapshot() -> u64 {
+    let _handle = &pcqe_par::SHARED;
+    0
+}
+
+/// The result-affecting hop `held::bad` in `pcqe-par` calls while
+/// still holding its lock — the C004 target.
+pub fn step() {}

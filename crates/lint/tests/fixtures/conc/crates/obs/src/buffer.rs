@@ -1,0 +1,14 @@
+//! Fixture: exercises the `locks` grant of `pcqe-obs` (so only the
+//! crate's unused `channels` grant is stale → A003 at the manifest).
+
+use std::sync::Mutex;
+
+pub struct Buffer {
+    inner: Mutex<Vec<u64>>,
+}
+
+pub fn append(buffer: &Buffer, v: u64) {
+    if let Ok(mut rows) = buffer.inner.lock() {
+        rows.push(v);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: C003 — a two-lock cycle, closed through a call edge.
+//! `grab_both` takes `left` then (via `take_right`) `right`; `reversed`
+//! takes them in the opposite order in one body. The lock-order graph
+//! gets `left → right` and `right → left`, a cycle: both edges must be
+//! reported with a deterministic witness.
+
+use std::sync::Mutex;
+
+pub fn grab_both(left: &Mutex<u32>, right: &Mutex<u32>) {
+    let _held = left.lock();
+    take_right(right);
+}
+
+fn take_right(right: &Mutex<u32>) {
+    let _inner = right.lock();
+}
+
+pub fn reversed(left: &Mutex<u32>, right: &Mutex<u32>) {
+    let _first = right.lock();
+    let _second = left.lock();
+}

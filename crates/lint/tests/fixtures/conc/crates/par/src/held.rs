@@ -1,0 +1,15 @@
+//! Fixture: C004 — a lock held across a path call into a
+//! result-affecting crate. `bad` still holds `guarded` when it calls
+//! into `pcqe_engine`; `fine` finishes the call before locking.
+
+use std::sync::Mutex;
+
+pub fn bad(guarded: &Mutex<u32>) {
+    let _g = guarded.lock();
+    pcqe_engine::step();
+}
+
+pub fn fine(guarded: &Mutex<u32>) {
+    pcqe_engine::step();
+    let _g = guarded.lock();
+}

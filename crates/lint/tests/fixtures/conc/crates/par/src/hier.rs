@@ -1,0 +1,16 @@
+//! Fixture: the clean twin of cycle.rs — hierarchical locking. Every
+//! function takes `outer` strictly before `inner`, so the lock-order
+//! graph has the single edge `outer → inner` and stays acyclic: no
+//! C003 may fire for these names.
+
+use std::sync::Mutex;
+
+pub fn first(outer: &Mutex<u32>, inner: &Mutex<u32>) {
+    let _o = outer.lock();
+    let _i = inner.lock();
+}
+
+pub fn second(outer: &Mutex<u32>, inner: &Mutex<u32>) {
+    let _o = outer.lock();
+    let _i = inner.lock();
+}

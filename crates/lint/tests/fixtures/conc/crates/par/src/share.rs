@@ -1,0 +1,18 @@
+//! Fixture: C005 providers — shared interior-mutable state this crate
+//! is granted, offered for escape. `shared()` and `flag()` hand out
+//! `Arc`-wrapped interior mutability; `SHARED` is an interior-mutable
+//! static. None of these is a finding *here* — the violation is the
+//! result-affecting consumer in crates/engine.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+pub static SHARED: Mutex<u64> = Mutex::new(0);
+
+pub fn shared() -> Arc<Mutex<Vec<u64>>> {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+pub fn flag() -> Arc<AtomicU64> {
+    Arc::new(AtomicU64::new(0))
+}

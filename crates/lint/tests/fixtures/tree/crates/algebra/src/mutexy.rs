@@ -1,0 +1,9 @@
+//! Fixture: C001 — concurrency tokens outside the built-in legacy
+//! crate list. This tree has no `lint-capabilities.toml`, so the
+//! analyzer runs in legacy mode and keeps the historical rule id.
+
+use std::sync::Mutex;
+
+pub fn make() -> Mutex<u32> {
+    Mutex::new(0)
+}

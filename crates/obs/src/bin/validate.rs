@@ -10,12 +10,20 @@
 //!   shape (`tool`/`format_version`, a `findings` array of
 //!   rule/severity/path/line/message records, and a `summary` object).
 //!
-//! `--gate <baseline.json>` (metrics schema only) additionally treats the
-//! baseline as a floor: both documents are schema-checked, and every
-//! counter and gauge *named in the baseline* must be present in the
-//! checked file with a value ≥ the baseline's. This is `ci.sh`'s
-//! bench-regression gate — the baseline pins minimum cache hit counts
-//! and speedups, and a run that falls below any of them fails.
+//! `--gate <baseline.json>` compares the checked file against a
+//! checked-in baseline; the direction depends on the schema:
+//!
+//! * `metrics` — the baseline is a *floor*: every counter and gauge
+//!   named in the baseline must be present in the checked file with a
+//!   value ≥ the baseline's. This is `ci.sh`'s bench-regression gate —
+//!   the baseline pins minimum cache hit counts and speedups, and a run
+//!   that falls below any of them fails.
+//! * `lint` — the baseline is a *ceiling*: the summary's `errors` and
+//!   `suppressed` totals, and each per-rule `errors`/`suppressed` count
+//!   in the baseline's `rules` section, must not be exceeded (a rule
+//!   absent from the checked report counts as zero). This is `ci.sh`'s
+//!   lint-regression gate — new violations and new suppressions both
+//!   fail even when they hide inside an individually-waived rule.
 //!
 //! Exit codes: `0` the document parses, matches the schema and clears
 //! the gate, `1` the document is malformed or regresses below the
@@ -53,10 +61,6 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else { return usage() };
-    if gate.is_some() && !matches!(schema, Schema::Metrics) {
-        eprintln!("pcqe-obs-validate: --gate applies to the metrics schema only");
-        return ExitCode::from(2);
-    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -83,13 +87,21 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        if let Err(e) = validate_metrics(&baseline) {
+        let baseline_check = match schema {
+            Schema::Metrics => validate_metrics(&baseline),
+            Schema::Lint => validate_lint(&baseline),
+        };
+        if let Err(e) = baseline_check {
             eprintln!("pcqe-obs-validate: {gate_path}: {e}");
             return ExitCode::from(1);
         }
-        match gate_metrics(&baseline, &text) {
-            Ok(gated) => {
-                println!("{path}: ok ({summary}; gate {gate_path}: {gated} floor(s) cleared)");
+        let gated = match schema {
+            Schema::Metrics => gate_metrics(&baseline, &text).map(|n| (n, "floor(s) cleared")),
+            Schema::Lint => gate_lint(&baseline, &text).map(|n| (n, "ceiling(s) respected")),
+        };
+        match gated {
+            Ok((n, what)) => {
+                println!("{path}: ok ({summary}; gate {gate_path}: {n} {what})");
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -165,6 +177,63 @@ fn gate_metrics(baseline: &str, actual: &str) -> Result<usize, String> {
     Ok(floors)
 }
 
+/// Enforce `baseline` as a ceiling on `actual` (both already known to
+/// be valid lint reports): the summary's `errors` and `suppressed`
+/// totals must not exceed the baseline's, and neither may any per-rule
+/// count named in the baseline's `rules` section (a rule missing from
+/// `actual` counts as zero — rules only ever tighten). Returns the
+/// number of ceilings checked; the error names the first exceeded count
+/// in baseline order.
+fn gate_lint(baseline: &str, actual: &str) -> Result<usize, String> {
+    let base = json::parse(baseline)?;
+    let act = json::parse(actual)?;
+    let count = |doc: &Value, section: &str, key: &str| -> Option<u64> {
+        doc.as_object()
+            .and_then(|o| o.get(section).and_then(Value::as_object))
+            .and_then(|s| s.get(key).and_then(Value::as_u64))
+    };
+    let mut ceilings = 0;
+    for key in ["errors", "suppressed"] {
+        let Some(ceiling) = count(&base, "summary", key) else {
+            return Err(format!("baseline summary missing numeric `{key}`"));
+        };
+        let value = count(&act, "summary", key).unwrap_or(0);
+        if value > ceiling {
+            return Err(format!(
+                "summary `{key}` = {value}, above the ceiling {ceiling}"
+            ));
+        }
+        ceilings += 1;
+    }
+    let rules = base
+        .as_object()
+        .and_then(|o| o.get("rules").and_then(Value::as_object).cloned())
+        .unwrap_or_default();
+    for (rule, limits) in &rules {
+        let Some(limits) = limits.as_object() else {
+            return Err(format!("baseline rules `{rule}` must be an object"));
+        };
+        for key in ["errors", "suppressed"] {
+            let Some(ceiling) = limits.get(key).and_then(Value::as_u64) else {
+                return Err(format!("baseline rules `{rule}` missing numeric `{key}`"));
+            };
+            let value = act
+                .as_object()
+                .and_then(|o| o.get("rules").and_then(Value::as_object))
+                .and_then(|r| r.get(rule).and_then(Value::as_object))
+                .and_then(|l| l.get(key).and_then(Value::as_u64))
+                .unwrap_or(0);
+            if value > ceiling {
+                return Err(format!(
+                    "rule `{rule}` {key} = {value}, above the ceiling {ceiling}"
+                ));
+            }
+            ceilings += 1;
+        }
+    }
+    Ok(ceilings)
+}
+
 /// Check that `text` is a `pcqe-lint` JSON report; return a summary.
 fn validate_lint(text: &str) -> Result<String, String> {
     let doc = json::parse(text)?;
@@ -215,7 +284,7 @@ fn validate_lint(text: &str) -> Result<String, String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{gate_metrics, validate_lint, validate_metrics};
+    use super::{gate_lint, gate_metrics, validate_lint, validate_metrics};
 
     const fn empty_sections() -> &'static str {
         "\"histograms\": {}, \"spans\": {}"
@@ -296,6 +365,56 @@ mod tests {
         )
         .is_err());
         assert!(validate_metrics("not json").is_err());
+    }
+
+    /// Build a minimal lint report with the given totals and per-rule
+    /// counts (format version 2's `rules` section).
+    fn lint_report(errors: u64, suppressed: u64, rules: &[(&str, u64, u64)]) -> String {
+        let rules = rules
+            .iter()
+            .map(|(code, e, s)| format!("\"{code}\": {{\"errors\": {e}, \"suppressed\": {s}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"tool\": \"pcqe-lint\", \"format_version\": 2, \"findings\": [], \
+             \"rules\": {{{rules}}}, \
+             \"summary\": {{\"files\": 1, \"manifests\": 1, \"errors\": {errors}, \
+             \"warnings\": 0, \"suppressed\": {suppressed}}}}}"
+        )
+    }
+
+    #[test]
+    fn lint_gate_passes_at_or_below_every_ceiling() {
+        let baseline = lint_report(0, 126, &[("PCQE-P002", 0, 100), ("PCQE-C003", 0, 0)]);
+        let actual = lint_report(0, 120, &[("PCQE-P002", 0, 94), ("PCQE-C003", 0, 0)]);
+        // 2 summary ceilings + 2 per rule.
+        assert_eq!(gate_lint(&baseline, &actual), Ok(6));
+    }
+
+    #[test]
+    fn lint_gate_fails_when_a_summary_total_grows() {
+        let baseline = lint_report(0, 126, &[]);
+        let actual = lint_report(1, 126, &[]);
+        let err = gate_lint(&baseline, &actual).unwrap_err();
+        assert!(err.contains("summary `errors` = 1"), "{err}");
+        assert!(err.contains("above the ceiling 0"), "{err}");
+    }
+
+    #[test]
+    fn lint_gate_fails_when_a_single_rule_regresses() {
+        // Totals stay flat (a suppression moved between rules), but the
+        // per-rule ceiling still catches the C003 regression.
+        let baseline = lint_report(0, 2, &[("PCQE-P002", 0, 2), ("PCQE-C003", 0, 0)]);
+        let actual = lint_report(0, 2, &[("PCQE-P002", 0, 1), ("PCQE-C003", 0, 1)]);
+        let err = gate_lint(&baseline, &actual).unwrap_err();
+        assert!(err.contains("rule `PCQE-C003` suppressed = 1"), "{err}");
+    }
+
+    #[test]
+    fn lint_gate_treats_rules_missing_from_the_actual_report_as_zero() {
+        let baseline = lint_report(0, 5, &[("PCQE-P002", 0, 5)]);
+        let actual = lint_report(0, 0, &[]);
+        assert_eq!(gate_lint(&baseline, &actual), Ok(4));
     }
 
     #[test]

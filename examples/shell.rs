@@ -21,7 +21,7 @@
 //! `.policy <role> <purpose> <beta>`, `.cost <tuple-id> <rate>`,
 //! `.expecting <fraction>`, `.accept`, `.tables`, `.plan <query>`
 //! (logical and chosen physical plan side by side), `.analyze <query>`,
-//! `.metrics [json|prom]`, `.lint [json]` (run the static invariant
+//! `.metrics [json|prom]`, `.lint [json] [RULE-ID]` (run the static invariant
 //! analyzer over the workspace), `.help`, `.quit`.
 
 use pcqe::cost::CostFn;
@@ -96,7 +96,7 @@ impl Shell {
                      .expecting <fraction> | .accept | .tables | \
                      .explain <query> | .plan <query> | .analyze <query> | \
                      .metrics [json|prom] | \
-                     .lint [json] | .save <dir> | .load <dir> | .quit\n\
+                     .lint [json] [RULE-ID] | .save <dir> | .load <dir> | .quit\n\
                      .plan shows the logical plan and the cost-chosen \
                      physical plan side by side (join strategy, access \
                      path, pushed predicates)"
@@ -158,16 +158,40 @@ impl Shell {
                 // observed per-operator row and lineage counts.
                 print!("{}", self.db.explain_analyze(&rest.join(" "))?);
             }
-            ["lint"] | ["lint", "json"] => {
+            ["lint", rest @ ..] if rest.len() <= 2 => {
                 // Run the in-repo static analyzer over the workspace the
                 // shell was built from — the same analysis as
-                // `cargo run -p pcqe-lint`, inside the session.
-                let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-                let analysis = pcqe_lint::analyze(root, None)?;
-                if parts.len() == 2 {
-                    print!("{}", pcqe_lint::report::json(&analysis));
+                // `cargo run -p pcqe-lint`, inside the session. Optional
+                // args: `json` picks the machine format, a rule id
+                // (e.g. PCQE-C003 or C003) narrows the display to that
+                // rule — mirroring the CLI's `--rule`, the narrowed view
+                // never changes what the full analysis found.
+                let mut as_json = false;
+                let mut rule = None;
+                let mut bad = None;
+                for arg in rest {
+                    if *arg == "json" {
+                        as_json = true;
+                    } else if let Some(r) = pcqe_lint::rules::Rule::parse(arg) {
+                        rule = Some(r);
+                    } else {
+                        bad = Some(*arg);
+                    }
+                }
+                if let Some(arg) = bad {
+                    println!("unknown rule id `{arg}` (usage: .lint [json] [RULE-ID])");
                 } else {
-                    print!("{}", pcqe_lint::report::human(&analysis));
+                    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+                    let analysis = pcqe_lint::analyze(root, None)?;
+                    let display = match rule {
+                        Some(r) => analysis.filtered(r),
+                        None => analysis,
+                    };
+                    if as_json {
+                        print!("{}", pcqe_lint::report::json(&display));
+                    } else {
+                        print!("{}", pcqe_lint::report::human(&display));
+                    }
                 }
             }
             ["metrics"] | ["metrics", "prom"] => {

@@ -48,17 +48,20 @@ fn workspace_passes_its_own_static_analysis() {
 }
 
 /// The graph-layer rules (P002 panic-reachability, G001 policy-gating),
-/// the new token rules (D004 float-determinism, C001 concurrency
-/// containment), and the hygiene rule A002 must all be live — i.e. they
-/// fire on the fixture trees that plant exactly one violation each. A
-/// rule that silently stopped firing would turn the clean workspace gate
-/// above into a vacuous check.
+/// the new token rules (D004 float-determinism, C002 capability
+/// coverage — the graph fixture ships a capability manifest, so its
+/// concurrency findings report under the manifest-mode id), and the
+/// hygiene rule A002 must all be live — i.e. they fire on the fixture
+/// trees that plant exactly one violation each. A rule that silently
+/// stopped firing would turn the clean workspace gate above into a
+/// vacuous check. (Legacy C001 and the layer-3 rules C003–C006 are
+/// covered by `tests/concurrency_lint_guard.rs`.)
 #[test]
 fn reachability_and_hygiene_rules_are_live() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let graph = pcqe_lint::analyze(&root.join("crates/lint/tests/fixtures/graph"), None)
         .expect("graph fixture analysis runs");
-    for rule in [Rule::P002, Rule::D004, Rule::C001, Rule::G001] {
+    for rule in [Rule::P002, Rule::D004, Rule::C002, Rule::G001] {
         assert!(
             graph.findings.iter().any(|f| f.rule == rule),
             "{} must fire on the graph fixture:\n{}",
@@ -106,7 +109,7 @@ fn json_report_is_byte_stable_and_round_trips_through_the_obs_parser() {
     let value = pcqe_obs::json::parse(&ja).expect("report parses with pcqe_obs::json");
     let obj = value.as_object().expect("top level is an object");
     assert_eq!(obj["tool"].as_str(), Some("pcqe-lint"));
-    assert_eq!(obj["format_version"].as_u64(), Some(1));
+    assert_eq!(obj["format_version"].as_u64(), Some(2));
     let findings = obj["findings"].as_array().expect("findings array");
     assert_eq!(findings.len(), a.findings.len());
     let summary = obj["summary"].as_object().expect("summary object");
@@ -116,4 +119,21 @@ fn json_report_is_byte_stable_and_round_trips_through_the_obs_parser() {
         summary["suppressed"].as_u64(),
         Some(a.suppressed.len() as u64)
     );
+
+    // Format version 2: the per-rule section must cover every rule id and
+    // its counts must re-add to the summary totals — this is the shape the
+    // CI gate (`pcqe-obs-validate --schema lint --gate`) puts ceilings on.
+    let rules = obj["rules"].as_object().expect("rules object");
+    assert_eq!(rules.len(), Rule::all().len());
+    let mut errors = 0;
+    let mut suppressed = 0;
+    for rule in Rule::all() {
+        let entry = rules[rule.code()]
+            .as_object()
+            .unwrap_or_else(|| panic!("rules section missing {}", rule.code()));
+        errors += entry["errors"].as_u64().expect("errors count");
+        suppressed += entry["suppressed"].as_u64().expect("suppressed count");
+    }
+    assert_eq!(errors, a.error_count() as u64);
+    assert_eq!(suppressed, a.suppressed.len() as u64);
 }
