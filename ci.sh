@@ -29,6 +29,8 @@ STAGES=(
   test
   smoke-metrics
   smoke-explain
+  trace-smoke
+  gate-trace
   bench-build
   bench-physical
   bench-cache
@@ -140,6 +142,58 @@ EOF
     return 1
   }
   echo "EXPLAIN smoke OK (nested-loop join, pushed residual filter)"
+}
+
+stage_trace_smoke() { # causal-trace smoke (.trace on the § 3.1 example -> results/trace_chrome.json)
+  # Pipe the paper's running example through the shell, trace the query
+  # and validate the exported Chrome trace-event document with the
+  # in-repo parser. The interactive prompt interleaves with piped
+  # output, so the prompt prefixes are stripped and the JSON document is
+  # cut out of the session transcript before validation.
+  local out stderr_file status=0
+  mkdir -p results
+  stderr_file="$(mktemp)"
+  out="$(cargo run -q --offline --example shell 2>"$stderr_file" <<'EOF'
+CREATE TABLE Proposal (company TEXT, proposal TEXT, funding REAL);
+CREATE TABLE CompanyInfo (company TEXT, income REAL);
+INSERT INTO Proposal VALUES ('SkyCam', 'drone v1', 800000.0) WITH CONFIDENCE 0.3;
+INSERT INTO Proposal VALUES ('SkyCam', 'drone v2', 900000.0) WITH CONFIDENCE 0.4;
+INSERT INTO CompanyInfo VALUES ('SkyCam', 500000.0) WITH CONFIDENCE 0.1;
+.policy Manager investment 0.06
+.user mark Manager
+.purpose investment
+.trace SELECT DISTINCT CompanyInfo.company, income FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company WHERE funding < 1000000.0 json
+.quit
+EOF
+)" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "trace smoke: shell exited with status $status; stderr follows" >&2
+    cat "$stderr_file" >&2
+    rm -f "$stderr_file"
+    return 1
+  fi
+  rm -f "$stderr_file"
+  echo "$out" | sed -e 's/^\(pcqe> \)*//' \
+    | awk '/^\{$/{f=1} f{print} /^\}$/{f=0}' > results/trace_chrome.json
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    --schema trace results/trace_chrome.json
+  echo "$out" | grep -q '"name": "decision"' || {
+    echo "trace smoke: expected a per-tuple decision event in the trace" >&2
+    return 1
+  }
+  echo "trace smoke OK (Chrome trace validated, decision event present)"
+}
+
+stage_gate_trace() { # trace-regression gate (trace_chrome.json vs checked-in baseline)
+  # Every distinct event name in the baseline is a floor on the fresh
+  # trace's per-name event count: a refactor that silently drops a
+  # lifecycle span, a cache event or a per-tuple decision fails CI.
+  if [ ! -f results/trace_chrome.json ]; then
+    echo "gate-trace: results/trace_chrome.json missing; run the trace-smoke stage first" >&2
+    return 1
+  fi
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    --schema trace --gate results/baseline_trace.json results/trace_chrome.json
 }
 
 stage_bench_build() { # bench workspace builds (offline, detached)

@@ -5,7 +5,7 @@ use crate::plan::{Plan, ProjItem};
 use crate::result::{DerivedTuple, ResultSet};
 use crate::Result;
 use pcqe_lineage::Lineage;
-use pcqe_par::{ParObserver, Parallelism};
+use pcqe_par::{ParObserver, Parallelism, TraceSink};
 use pcqe_storage::{Catalog, Tuple, Value};
 use std::collections::BTreeMap;
 
@@ -124,6 +124,10 @@ pub(crate) struct Ctx<'a> {
     pub(crate) catalog: &'a Catalog,
     pub(crate) par: &'a Parallelism,
     pub(crate) observer: Option<&'a dyn ParObserver>,
+    /// Optional causal trace sink: when set, each operator wraps its
+    /// execution in an `op:<label>` span. Write-only — results are
+    /// byte-identical with or without a sink.
+    pub(crate) trace: Option<&'a dyn TraceSink>,
 }
 
 /// Execute a plan against a catalog, producing derived tuples with lineage.
@@ -152,6 +156,7 @@ pub fn execute_with(plan: &Plan, catalog: &Catalog, par: &Parallelism) -> Result
         catalog,
         par,
         observer: None,
+        trace: None,
     };
     let rows = run(plan, &ctx, 0, &mut Profiler::off())?;
     Ok(ResultSet::new(schema, rows))
@@ -169,11 +174,26 @@ pub fn execute_profiled(
     par: &Parallelism,
     observer: Option<&dyn ParObserver>,
 ) -> Result<(ResultSet, ExecProfile)> {
+    execute_traced(plan, catalog, par, observer, None)
+}
+
+/// [`execute_profiled`] with an optional causal [`TraceSink`]: every
+/// operator wraps its execution in an `op:<label>` span, nested to mirror
+/// the plan tree. The sink is write-only — the result set and profile are
+/// byte-identical to [`execute_profiled`]'s.
+pub fn execute_traced(
+    plan: &Plan,
+    catalog: &Catalog,
+    par: &Parallelism,
+    observer: Option<&dyn ParObserver>,
+    trace: Option<&dyn TraceSink>,
+) -> Result<(ResultSet, ExecProfile)> {
     let schema = plan.schema(catalog)?;
     let ctx = Ctx {
         catalog,
         par,
         observer,
+        trace,
     };
     let mut prof = Profiler::on();
     let rows = run(plan, &ctx, 0, &mut prof)?;
@@ -182,7 +202,13 @@ pub fn execute_profiled(
 
 fn run(plan: &Plan, ctx: &Ctx<'_>, depth: usize, prof: &mut Profiler) -> Result<Vec<DerivedTuple>> {
     let slot = prof.enter(depth, || plan.node_label());
+    let span = ctx
+        .trace
+        .map(|t| t.span_begin(&format!("op:{}", plan.node_label())));
     let (rows_in, out) = run_node(plan, ctx, depth, prof)?;
+    if let (Some(t), Some(id)) = (ctx.trace, span) {
+        t.span_end(id);
+    }
     prof.exit(slot, rows_in, &out);
     Ok(out)
 }

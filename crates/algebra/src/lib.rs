@@ -44,12 +44,14 @@ pub mod plan;
 pub mod result;
 
 pub use error::AlgebraError;
-pub use exec::{execute, execute_profiled, execute_with, ExecProfile, OperatorProfile};
+pub use exec::{
+    execute, execute_profiled, execute_traced, execute_with, ExecProfile, OperatorProfile,
+};
 pub use expr::{BinaryOp, ScalarExpr, UnaryOp};
 pub use optimize::optimize;
 pub use physical::{
-    execute_physical, execute_physical_profiled, execute_physical_with, lower, render_side_by_side,
-    PhysicalPlan,
+    execute_physical, execute_physical_profiled, execute_physical_traced, execute_physical_with,
+    lower, render_side_by_side, PhysicalPlan,
 };
 pub use plan::{Plan, ProjItem};
 pub use result::{DerivedTuple, GatedScore, ResultSet, ScoredTuple};

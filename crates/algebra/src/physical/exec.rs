@@ -20,7 +20,7 @@ use crate::physical::plan::PhysicalPlan;
 use crate::result::{DerivedTuple, ResultSet};
 use crate::Result;
 use pcqe_lineage::Lineage;
-use pcqe_par::{ParObserver, Parallelism};
+use pcqe_par::{ParObserver, Parallelism, TraceSink};
 use pcqe_storage::{Catalog, Tuple, Value};
 use std::collections::BTreeMap;
 
@@ -47,6 +47,7 @@ pub fn execute_physical_with(
         catalog,
         par,
         observer: None,
+        trace: None,
     };
     let rows = run(plan, &ctx, 0, &mut Profiler::off())?;
     Ok(ResultSet::new(schema, rows))
@@ -61,11 +62,26 @@ pub fn execute_physical_profiled(
     par: &Parallelism,
     observer: Option<&dyn ParObserver>,
 ) -> Result<(ResultSet, ExecProfile)> {
+    execute_physical_traced(plan, catalog, par, observer, None)
+}
+
+/// [`execute_physical_profiled`] with an optional causal [`TraceSink`]:
+/// every operator wraps its execution in an `op:<label>` span, nested to
+/// mirror the plan tree. The sink is write-only — the result set and
+/// profile are byte-identical to [`execute_physical_profiled`]'s.
+pub fn execute_physical_traced(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    par: &Parallelism,
+    observer: Option<&dyn ParObserver>,
+    trace: Option<&dyn TraceSink>,
+) -> Result<(ResultSet, ExecProfile)> {
     let schema = plan.schema(catalog)?;
     let ctx = Ctx {
         catalog,
         par,
         observer,
+        trace,
     };
     let mut prof = Profiler::on();
     let rows = run(plan, &ctx, 0, &mut prof)?;
@@ -79,7 +95,13 @@ fn run(
     prof: &mut Profiler,
 ) -> Result<Vec<DerivedTuple>> {
     let slot = prof.enter(depth, || plan.node_label());
+    let span = ctx
+        .trace
+        .map(|t| t.span_begin(&format!("op:{}", plan.node_label())));
     let (rows_in, out) = run_node(plan, ctx, depth, prof)?;
+    if let (Some(t), Some(id)) = (ctx.trace, span) {
+        t.span_end(id);
+    }
     prof.exit(slot, rows_in, &out);
     Ok(out)
 }

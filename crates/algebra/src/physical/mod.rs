@@ -29,7 +29,9 @@ pub mod exec;
 pub mod plan;
 pub mod planner;
 
-pub use exec::{execute_physical, execute_physical_profiled, execute_physical_with};
+pub use exec::{
+    execute_physical, execute_physical_profiled, execute_physical_traced, execute_physical_with,
+};
 pub use plan::{render_side_by_side, PhysicalPlan};
 pub use planner::{estimate, lower};
 

@@ -3,6 +3,7 @@
 use crate::error::AlgebraError;
 use crate::Result;
 use pcqe_lineage::{CircuitCache, Evaluator, Lineage, ProbSource};
+use pcqe_par::{ConfidencePath, TraceSink};
 use pcqe_storage::{Schema, Tuple};
 use std::fmt;
 
@@ -191,6 +192,27 @@ impl ResultSet {
         })
     }
 
+    /// [`Self::score_gated`] with a causal-trace sink: one `beta.skip`
+    /// or `score.exact` instant per row, emitted **after** the batch in
+    /// row order (never from inside the parallel closure), so the trace
+    /// is deterministic at any thread count. Scores are byte-identical
+    /// to the untraced call for any sink.
+    pub fn score_gated_traced<P: ProbSource + Sync>(
+        &self,
+        probs: &P,
+        evaluator: &Evaluator,
+        beta: f64,
+        par: &pcqe_par::Parallelism,
+        observer: Option<&dyn pcqe_par::ParObserver>,
+        trace: Option<&dyn TraceSink>,
+    ) -> Result<GatedScore> {
+        let gated = self.score_gated(probs, evaluator, beta, par, observer)?;
+        if let Some(sink) = trace {
+            emit_gate_instants(sink, &gated, beta);
+        }
+        Ok(gated)
+    }
+
     /// Replace bound-valued confidences with exact ones for the rows
     /// flagged in `skipped` (in place over a [`GatedScore::scored`]
     /// vector). Used by callers that decided to skip exact evaluation for
@@ -241,19 +263,33 @@ impl ResultSet {
         cache: &mut CircuitCache,
         evaluator: &Evaluator,
     ) -> Result<Vec<ScoredTuple>> {
-        self.rows
-            .iter()
-            .map(|row| {
-                let confidence = cache
-                    .score_lineage(&row.lineage, evaluator)
-                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
-                Ok(ScoredTuple {
-                    tuple: row.tuple.clone(),
-                    lineage: row.lineage.clone(),
-                    confidence,
-                })
-            })
-            .collect()
+        self.score_cached_traced(cache, evaluator)
+            .map(|(scored, _)| scored)
+    }
+
+    /// [`Self::score_cached`] with a per-row [`ConfidencePath`] report
+    /// (`CacheHit` when the root memo answered, `Exact` otherwise).
+    /// Identical scores and cache transitions to the plain call.
+    pub fn score_cached_traced(
+        &self,
+        cache: &mut CircuitCache,
+        evaluator: &Evaluator,
+    ) -> Result<(Vec<ScoredTuple>, Vec<ConfidencePath>)> {
+        let mut scored = Vec::with_capacity(self.rows.len());
+        let mut paths = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let before = cache.stats();
+            let confidence = cache
+                .score_lineage(&row.lineage, evaluator)
+                .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+            paths.push(classify_cached(before, cache.stats()));
+            scored.push(ScoredTuple {
+                tuple: row.tuple.clone(),
+                lineage: row.lineage.clone(),
+                confidence,
+            });
+        }
+        Ok((scored, paths))
     }
 
     /// [`Self::score_gated`] through a shared [`CircuitCache`]: the same
@@ -267,19 +303,39 @@ impl ResultSet {
         evaluator: &Evaluator,
         beta: f64,
     ) -> Result<GatedScore> {
+        self.score_gated_cached_traced(cache, evaluator, beta, None)
+            .map(|(gated, _)| gated)
+    }
+
+    /// [`Self::score_gated_cached`] with a causal-trace sink and a
+    /// per-row [`ConfidencePath`] report: `BetaSkipped` for gated rows,
+    /// `CacheHit` when the whole circuit came from the root memo,
+    /// `Exact` when compilation (or the Monte-Carlo fallback) ran.
+    /// Scores, skip flags and cache state transitions are byte-identical
+    /// to the untraced call — the path classification only *reads* the
+    /// stats counters the cache was already keeping.
+    pub fn score_gated_cached_traced(
+        &self,
+        cache: &mut CircuitCache,
+        evaluator: &Evaluator,
+        beta: f64,
+        trace: Option<&dyn TraceSink>,
+    ) -> Result<(GatedScore, Vec<ConfidencePath>)> {
         let mut scored = Vec::with_capacity(self.rows.len());
         let mut skipped = Vec::with_capacity(self.rows.len());
+        let mut paths = Vec::with_capacity(self.rows.len());
         let mut exact_skipped = 0usize;
         for row in &self.rows {
             let upper = pcqe_lineage::upper_bound(&row.lineage, cache.probs())
                 .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
-            let (confidence, was_skipped) = if upper <= beta {
-                (upper, true)
+            let (confidence, was_skipped, path) = if upper <= beta {
+                (upper, true, ConfidencePath::BetaSkipped)
             } else {
+                let before = cache.stats();
                 let exact = cache
                     .score_lineage(&row.lineage, evaluator)
                     .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
-                (exact, false)
+                (exact, false, classify_cached(before, cache.stats()))
             };
             scored.push(ScoredTuple {
                 tuple: row.tuple.clone(),
@@ -287,15 +343,20 @@ impl ResultSet {
                 confidence,
             });
             skipped.push(was_skipped);
+            paths.push(path);
             if was_skipped {
                 exact_skipped += 1;
             }
         }
-        Ok(GatedScore {
+        let gated = GatedScore {
             scored,
             skipped,
             exact_skipped,
-        })
+        };
+        if let Some(sink) = trace {
+            emit_gate_instants(sink, &gated, beta);
+        }
+        Ok((gated, paths))
     }
 
     /// [`Self::rescore_exact`] through a shared [`CircuitCache`]; same
@@ -335,6 +396,41 @@ pub struct GatedScore {
     /// Number of rows whose exact evaluation was skipped
     /// (`skipped.iter().filter(|s| **s).count()`).
     pub exact_skipped: usize,
+}
+
+/// Classify one cached scoring step from the stats delta it left: no
+/// fresh root compile plus at least one compile-memo hit means the pool
+/// answered ([`ConfidencePath::CacheHit`]); anything else ran fresh
+/// arithmetic ([`ConfidencePath::Exact`], including the Monte-Carlo
+/// fallback).
+fn classify_cached(
+    before: pcqe_lineage::CacheStats,
+    after: pcqe_lineage::CacheStats,
+) -> ConfidencePath {
+    if after.compiled == before.compiled && after.compile_hits > before.compile_hits {
+        ConfidencePath::CacheHit
+    } else {
+        ConfidencePath::Exact
+    }
+}
+
+/// One `beta.skip` / `score.exact` instant per row, in row order. The
+/// confidence rendered for a skipped row is its Fréchet upper bound —
+/// exactly the value the gate compared against β.
+fn emit_gate_instants(sink: &dyn TraceSink, gated: &GatedScore, beta: f64) {
+    for (i, (scored, &was_skipped)) in gated.scored.iter().zip(&gated.skipped).enumerate() {
+        if was_skipped {
+            sink.instant(
+                "beta.skip",
+                &format!("row={i} upper={:?} beta={beta:?}", scored.confidence),
+            );
+        } else {
+            sink.instant(
+                "score.exact",
+                &format!("row={i} confidence={:?}", scored.confidence),
+            );
+        }
+    }
 }
 
 impl fmt::Display for ResultSet {

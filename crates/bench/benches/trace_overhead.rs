@@ -1,0 +1,186 @@
+//! Tracing-overhead benchmark: the causal tracer must be free when off
+//! and cheap when on.
+//!
+//! The engine keeps a single code path — `Database::query` always runs
+//! through the instrumented executors and scorers, with the tracer's
+//! enabled flag (one relaxed atomic load per instrumentation point)
+//! deciding whether anything is recorded. Two measurements back that
+//! design up:
+//!
+//! 1. **Disabled sink micro-cost** — a tight loop over a disabled
+//!    `Tracer`'s span/instant entry points, reported as ns/op. This is
+//!    the entire price every untraced query pays per instrumentation
+//!    point.
+//! 2. **End-to-end ratio** — the paper-style workload queried with
+//!    `Database::query` (tracer off) vs `Database::trace_query` (tracer
+//!    on, ring buffer drained per query). The ratio bounds the cost of
+//!    turning tracing on.
+//!
+//! Results and confidences are compared bit for bit between the traced
+//! and untraced runs before anything is timed. The run emits a
+//! `pcqe-obs` metrics JSON document to the path given as the first
+//! argument (default `results/trace_overhead.json`).
+
+use pcqe_bench::timing::{bench, group};
+use pcqe_engine::{Database, EngineConfig, QueryRequest, User};
+use pcqe_lineage::Rng64;
+use pcqe_obs::Tracer;
+use pcqe_par::TraceSink;
+use pcqe_policy::ConfidencePolicy;
+use pcqe_storage::{Column, DataType, Schema, Value};
+
+/// A paper-style database big enough that a query does real work: 12
+/// companies, 3 proposals each, low confidences so the gate suppresses
+/// and the strategy solver runs.
+fn paper_db() -> Database {
+    let config = EngineConfig {
+        worker_threads: Some(1),
+        ..EngineConfig::default()
+    };
+    let mut db = Database::new(config);
+    db.create_table(
+        "Proposal",
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("proposal", DataType::Text),
+            Column::new("funding", DataType::Real),
+        ])
+        .expect("schema"),
+    )
+    .expect("table");
+    db.create_table(
+        "CompanyInfo",
+        Schema::new(vec![
+            Column::new("company", DataType::Text),
+            Column::new("income", DataType::Real),
+        ])
+        .expect("schema"),
+    )
+    .expect("table");
+    let mut rng = Rng64::seed_from_u64(0x00CA_7AC3);
+    for c in 0..12i64 {
+        let company = format!("Co{c}");
+        for p in 0..3i64 {
+            db.insert(
+                "Proposal",
+                vec![
+                    Value::text(&company),
+                    Value::text(format!("p{p}")),
+                    Value::Real(500_000.0),
+                ],
+                rng.range_f64(0.02, 0.06),
+            )
+            .expect("row");
+        }
+        db.insert(
+            "CompanyInfo",
+            vec![Value::text(&company), Value::Real(1000.0 * c as f64)],
+            rng.range_f64(0.02, 0.06),
+        )
+        .expect("row");
+    }
+    db.add_policy(ConfidencePolicy::new("Manager", "investment", 0.06).expect("policy"));
+    db
+}
+
+const SQL: &str = "SELECT DISTINCT CompanyInfo.company, income \
+    FROM Proposal JOIN CompanyInfo ON Proposal.company = CompanyInfo.company \
+    WHERE funding < 1000000.0";
+
+/// Price of one disabled instrumentation point, in nanoseconds.
+fn disabled_sink_sweep(recorder: &pcqe_obs::Recorder) {
+    group("trace_overhead/disabled_sink");
+    const OPS: u64 = 1_000_000;
+    let tracer = Tracer::disabled();
+    let t = bench("disabled_span_instant", 10, || {
+        for i in 0..OPS {
+            let id = tracer.span_begin("bench");
+            if i % 64 == 0 {
+                tracer.instant("tick", "detail");
+            }
+            tracer.span_end(id);
+        }
+    });
+    // Each iteration is one begin + one end (+ 1/64 instants).
+    let ns_per_op = t.best * 1e9 / (2.0 * OPS as f64);
+    recorder.gauge_set("bench.trace.disabled.ns_per_op", ns_per_op);
+    println!("disabled instrumentation point: {ns_per_op:.2} ns/op");
+    assert!(
+        ns_per_op < 50.0,
+        "a disabled trace point must cost nanoseconds, measured {ns_per_op:.1} ns"
+    );
+    assert_eq!(
+        tracer.drain().events.len(),
+        0,
+        "a disabled tracer must record nothing"
+    );
+}
+
+/// End-to-end cost of tracing a full query lifecycle.
+fn end_to_end_sweep(recorder: &pcqe_obs::Recorder) {
+    group("trace_overhead/end_to_end");
+    let user = User::new("mark", "Manager");
+    let request = QueryRequest::new(SQL, "investment");
+
+    // Correctness first: traced and untraced runs agree bit for bit.
+    {
+        let mut plain = paper_db();
+        let mut traced = paper_db();
+        let a = plain.query(&user, &request).expect("query");
+        let (b, trace) = traced.trace_query(&user, &request).expect("trace");
+        assert_eq!(a.released.len(), b.released.len());
+        assert_eq!(a.withheld, b.withheld);
+        for (x, y) in a.released.iter().zip(&b.released) {
+            assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+        }
+        assert_eq!(a.proposal, b.proposal);
+        assert_eq!(
+            trace.decisions().len(),
+            b.released.len() + b.withheld,
+            "one decision event per gated tuple"
+        );
+        recorder.counter_add("bench.trace.events", trace.events.len() as u64);
+    }
+
+    let t_off = bench("query/tracing_off", 10, || {
+        let mut db = paper_db();
+        for _ in 0..8 {
+            db.query(&user, &request).expect("query");
+        }
+    });
+    let t_on = bench("query/tracing_on", 10, || {
+        let mut db = paper_db();
+        for _ in 0..8 {
+            db.trace_query(&user, &request).expect("trace");
+        }
+    });
+    recorder.histogram_record("bench.trace.off.seconds", t_off.best);
+    recorder.histogram_record("bench.trace.on.seconds", t_on.best);
+    let ratio = t_on.best / t_off.best.max(1e-12);
+    recorder.gauge_set("bench.trace.on_off_ratio", ratio);
+    println!("end-to-end tracing-on/tracing-off ratio: {ratio:.3}x");
+    assert!(
+        ratio < 2.0,
+        "tracing a query must stay under 2x the untraced time, measured {ratio:.2}x"
+    );
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/trace_overhead.json".to_owned());
+    let recorder = pcqe_obs::Recorder::new();
+
+    disabled_sink_sweep(&recorder);
+    end_to_end_sweep(&recorder);
+
+    let json = pcqe_obs::export::to_json(&recorder.snapshot());
+    let path = std::path::Path::new(&out);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(path, &json).expect("write bench JSON");
+    println!("\nwrote {out}");
+}

@@ -6,15 +6,19 @@ use crate::improve::{self, ProposeOutcome};
 use crate::response::{NoProposal, QueryResponse, ReleasedTuple};
 use crate::Result;
 use pcqe_algebra::{
-    execute_physical_profiled, execute_physical_with, execute_profiled, execute_with, ExecProfile,
+    execute_physical_profiled, execute_physical_traced, execute_physical_with, execute_profiled,
+    execute_traced, execute_with, ExecProfile,
 };
+use pcqe_core::clock::{Clock, SystemClock};
 use pcqe_core::estimator::RuntimeEstimator;
 use pcqe_cost::CostFn;
+use pcqe_par::{ConfidencePath, Decision, ParObserver, TraceSink};
 use pcqe_policy::{evaluate_results, ConfidencePolicy, PolicyStore, Purpose, Role};
 use pcqe_provenance::{Assigner, ProvenanceRecord};
 use pcqe_sql::parse_and_plan;
 use pcqe_storage::{Catalog, Schema, TupleId, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A user: a name and the role under which policies are selected.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +89,11 @@ pub struct Database {
     assigner: Assigner,
     audit: Vec<crate::audit::AuditEntry>,
     recorder: pcqe_obs::Recorder,
+    /// Causal tracer for [`Database::trace_query`]. Disabled at rest —
+    /// every instrumentation point then costs one relaxed atomic load —
+    /// and shares the recorder's clock so span timestamps and metric
+    /// timings never drift apart.
+    tracer: Arc<pcqe_obs::Tracer>,
     version: u64,
     /// Query-scoped circuit pool (see [`EngineConfig::circuit_cache`]).
     /// Probabilities are re-synced from the catalog (or what-if overrides)
@@ -96,8 +105,23 @@ pub struct Database {
 impl Database {
     /// Create an empty database.
     pub fn new(config: EngineConfig) -> Database {
-        let recorder = pcqe_obs::Recorder::new();
+        Database::with_clock(config, Arc::new(SystemClock))
+    }
+
+    /// Create an empty database whose recorder *and* tracer read the given
+    /// clock. Tests pass a [`pcqe_core::clock::ManualClock`] here so both
+    /// metric timings and trace timestamps are fully scripted — the
+    /// byte-stable trace goldens in `tests/golden/` depend on it.
+    pub fn with_clock(config: EngineConfig, clock: Arc<dyn Clock + Send + Sync>) -> Database {
+        let recorder = pcqe_obs::Recorder::with_clock(clock.clone());
         recorder.set_enabled(config.record_metrics);
+        let tracer = Arc::new(pcqe_obs::Tracer::with_clock(
+            clock,
+            pcqe_obs::trace::DEFAULT_TRACE_CAPACITY,
+        ));
+        tracer.set_enabled(false);
+        let mut cache = pcqe_lineage::CircuitCache::new();
+        cache.set_trace(Some(tracer.clone()));
         Database {
             catalog: Catalog::new(),
             policies: PolicyStore::new(),
@@ -107,8 +131,9 @@ impl Database {
             assigner: Assigner::default(),
             audit: Vec::new(),
             recorder,
+            tracer,
             version: 0,
-            cache: pcqe_lineage::CircuitCache::new(),
+            cache,
         }
     }
 
@@ -209,6 +234,16 @@ impl Database {
     /// answers, proposals, or the audit trail.
     pub fn recorder(&self) -> &pcqe_obs::Recorder {
         &self.recorder
+    }
+
+    /// The causal tracer behind [`Database::trace_query`]. Disabled at
+    /// rest; enabling it by hand records events from ordinary
+    /// [`Database::query`] calls too (drain with
+    /// [`pcqe_obs::Tracer::drain`]). Like the recorder, it is write-only:
+    /// toggling it never changes query answers, proposals, or the audit
+    /// trail.
+    pub fn tracer(&self) -> &pcqe_obs::Tracer {
+        &self.tracer
     }
 
     /// A point-in-time snapshot of every metric recorded so far. The
@@ -395,20 +430,41 @@ impl Database {
         par: &pcqe_par::Parallelism,
         recording: bool,
     ) -> Result<pcqe_algebra::ResultSet> {
+        let tracing = self.tracer.is_enabled();
+        let trace: Option<&dyn TraceSink> = if tracing {
+            Some(self.tracer.as_ref())
+        } else {
+            None
+        };
+        // While tracing, scheduler telemetry fans out to both sinks: the
+        // recorder keeps its metrics (it no-ops when disabled) and the
+        // tracer records per-batch worker-lane events.
+        let pair;
+        let observer: Option<&dyn ParObserver> = if tracing {
+            pair = pcqe_obs::trace::ObserverPair::new(&self.recorder, self.tracer.as_ref());
+            Some(&pair)
+        } else if recording {
+            Some(&self.recorder)
+        } else {
+            None
+        };
         if self.config.physical_planning {
             let phys = pcqe_algebra::lower(plan, &self.catalog)?;
-            if recording {
+            if recording || tracing {
                 let (result_set, profile) =
-                    execute_physical_profiled(&phys, &self.catalog, par, Some(&self.recorder))?;
-                self.record_exec_profile(&profile);
+                    execute_physical_traced(&phys, &self.catalog, par, observer, trace)?;
+                if recording {
+                    self.record_exec_profile(&profile);
+                }
                 Ok(result_set)
             } else {
                 Ok(execute_physical_with(&phys, &self.catalog, par)?)
             }
-        } else if recording {
-            let (result_set, profile) =
-                execute_profiled(plan, &self.catalog, par, Some(&self.recorder))?;
-            self.record_exec_profile(&profile);
+        } else if recording || tracing {
+            let (result_set, profile) = execute_traced(plan, &self.catalog, par, observer, trace)?;
+            if recording {
+                self.record_exec_profile(&profile);
+            }
             Ok(result_set)
         } else {
             Ok(execute_with(plan, &self.catalog, par)?)
@@ -421,21 +477,39 @@ impl Database {
     pub fn query(&mut self, user: &User, request: &QueryRequest) -> Result<QueryResponse> {
         let par = self.config.parallelism();
         let recording = self.recording();
+        let tracing = self.tracer.is_enabled();
         // Select the policy before scoring: β-gated scoring needs the
         // threshold up front, and selection is independent of the rows.
         let policy = self.policies.select(&user.role, &request.purpose)?.clone();
         let span = self.recorder.span("query");
+        let t_query = self.tracer.span_begin("query");
         let plan = {
             let _plan_span = span.child("plan");
-            self.plan_sql(&request.sql)?
+            let t_plan = self.tracer.span_begin("plan");
+            self.tracer.instant("parse", &request.sql);
+            let plan = self.plan_sql(&request.sql)?;
+            self.tracer.span_end(t_plan);
+            plan
         };
         let result_set = {
             let _exec_span = span.child("execute");
-            self.run_plan(&plan, &par, recording)?
+            let t_exec = self.tracer.span_begin("execute");
+            let result_set = self.run_plan(&plan, &par, recording)?;
+            self.tracer.span_end(t_exec);
+            result_set
         };
         let probs = |v: pcqe_lineage::VarId| self.catalog.confidence(TupleId(v.0));
-        let observer: Option<&dyn pcqe_par::ParObserver> = if recording {
+        let pair;
+        let observer: Option<&dyn ParObserver> = if tracing {
+            pair = pcqe_obs::trace::ObserverPair::new(&self.recorder, self.tracer.as_ref());
+            Some(&pair)
+        } else if recording {
             Some(&self.recorder)
+        } else {
+            None
+        };
+        let trace_sink: Option<&dyn TraceSink> = if tracing {
+            Some(self.tracer.as_ref())
         } else {
             None
         };
@@ -443,59 +517,92 @@ impl Database {
         // already ≤ β are withheld without exact Shannon/Monte-Carlo
         // evaluation. `skipped` remembers which rows carry a bound so the
         // strategy-finding path below can restore exact values first.
+        // `paths` tags every row with how its gate-facing confidence was
+        // obtained — the causal record behind each trace `Decision`.
         let use_cache = self.config.circuit_cache;
-        let (mut scored, skipped) = {
+        let (mut scored, skipped, paths) = {
             let _score_span = span.child("score");
-            if use_cache {
+            let t_score = self.tracer.span_begin("score");
+            let out = if use_cache {
                 // Cached scoring: one sequential memoized pass over the
                 // shared circuit pool, bit-identical to the parallel
                 // uncached pass at any thread count (DESIGN.md §10).
                 sync_cache_probs(&mut self.cache, result_set.rows(), &probs);
                 if self.config.beta_short_circuit {
-                    let gated = result_set.score_gated_cached(
+                    let (gated, paths) = result_set.score_gated_cached_traced(
                         &mut self.cache,
                         &self.config.evaluator,
                         policy.threshold,
+                        trace_sink,
                     )?;
                     if recording {
                         self.recorder
                             .counter_add("lineage.exact_skipped", gated.exact_skipped as u64);
                     }
-                    (gated.scored, Some(gated.skipped))
+                    (gated.scored, Some(gated.skipped), paths)
                 } else {
-                    (
-                        result_set.score_cached(&mut self.cache, &self.config.evaluator)?,
-                        None,
-                    )
+                    let (scored, paths) =
+                        result_set.score_cached_traced(&mut self.cache, &self.config.evaluator)?;
+                    (scored, None, paths)
                 }
             } else if self.config.beta_short_circuit {
-                let gated = result_set.score_gated(
+                let gated = result_set.score_gated_traced(
                     &probs,
                     &self.config.evaluator,
                     policy.threshold,
                     &par,
                     observer,
+                    trace_sink,
                 )?;
                 if recording {
                     self.recorder
                         .counter_add("lineage.exact_skipped", gated.exact_skipped as u64);
                 }
-                (gated.scored, Some(gated.skipped))
+                let paths: Vec<ConfidencePath> = gated
+                    .skipped
+                    .iter()
+                    .map(|&s| {
+                        if s {
+                            ConfidencePath::BetaSkipped
+                        } else {
+                            ConfidencePath::Exact
+                        }
+                    })
+                    .collect();
+                (gated.scored, Some(gated.skipped), paths)
             } else {
-                (
-                    result_set.score_par_observed(
-                        &probs,
-                        &self.config.evaluator,
-                        &par,
-                        observer,
-                    )?,
-                    None,
-                )
-            }
+                let scored = result_set.score_par_observed(
+                    &probs,
+                    &self.config.evaluator,
+                    &par,
+                    observer,
+                )?;
+                let paths = vec![ConfidencePath::Exact; scored.len()];
+                (scored, None, paths)
+            };
+            self.tracer.span_end(t_score);
+            out
         };
 
         let confidences: Vec<f64> = scored.iter().map(|s| s.confidence).collect();
+        let t_gate = self.tracer.span_begin("gate");
         let decision = evaluate_results(&policy, &confidences);
+        if tracing {
+            // One Decision per scored row, in row order (deterministic):
+            // the released flags partition exactly as the audit entry's
+            // released/withheld counts.
+            for (i, s) in scored.iter().enumerate() {
+                self.tracer.decision(&Decision {
+                    tuple: i as u64,
+                    released: decision.released.contains(&i),
+                    path: paths.get(i).copied().unwrap_or(ConfidencePath::Exact),
+                    beta: policy.threshold,
+                    confidence: s.confidence,
+                    lineage_size: s.lineage.size(),
+                });
+            }
+        }
+        self.tracer.span_end(t_gate);
 
         let released = released_tuples(&scored, &decision.released);
         let n = scored.len();
@@ -513,6 +620,7 @@ impl Database {
         if response.released.len() >= requested {
             response.no_proposal = Some(NoProposal::NotNeeded);
             drop(span);
+            self.tracer.span_end(t_query);
             self.record_query_decision(
                 user,
                 request,
@@ -568,10 +676,14 @@ impl Database {
         };
         let (outcome, stats) = {
             let _propose_span = span.child("propose");
+            let t_propose = self.tracer.span_begin("propose");
             let cache = use_cache.then_some(&mut self.cache);
-            improve::propose(&ctx, &withheld, &self.recorder, cache)?
+            let out = improve::propose(&ctx, &withheld, &self.recorder, cache)?;
+            self.tracer.span_end(t_propose);
+            out
         };
         drop(span);
+        self.tracer.span_end(t_query);
         if let Some(s) = stats {
             self.estimator.record(s.problem_size, s.elapsed);
         }
@@ -588,6 +700,29 @@ impl Database {
             response.proposal.is_some(),
         );
         Ok(response)
+    }
+
+    /// [`Database::query`] with the causal tracer enabled for exactly this
+    /// call: returns the response alongside the drained [`QueryTrace`] —
+    /// lifecycle spans (`query` > `plan`/`execute`/`score`/`gate`, plus
+    /// `propose` when strategy finding runs), per-operator `op:*` spans,
+    /// circuit-cache `cache.*` events, β-gate `beta.skip`/`score.exact`
+    /// instants, and one [`pcqe_par::Decision`] per result row.
+    ///
+    /// Tracing is write-only: the response (and any audit entry) is
+    /// bit-identical to an untraced [`Database::query`] of the same
+    /// request. On error the buffered events are discarded so the next
+    /// trace starts clean.
+    pub fn trace_query(
+        &mut self,
+        user: &User,
+        request: &QueryRequest,
+    ) -> Result<(QueryResponse, pcqe_obs::QueryTrace)> {
+        self.tracer.set_enabled(true);
+        let result = self.query(user, request);
+        self.tracer.set_enabled(false);
+        let trace = self.tracer.drain();
+        Ok((result?, trace))
     }
 
     /// Run several queries as one batch (the multiple-query extension at
@@ -1438,6 +1573,50 @@ mod tests {
             .unwrap();
         assert_eq!(before.released, after.released);
         assert_eq!(before.withheld, after.withheld);
+    }
+
+    #[test]
+    fn trace_query_is_result_neutral_and_decisions_match_audit() {
+        use pcqe_obs::trace::TraceEventKind;
+        let mut traced = paper_db();
+        let mut plain = paper_db();
+        let user = User::new("mark", "Manager");
+        let request = QueryRequest::new(QUERY, "investment");
+        let (resp, trace) = traced.trace_query(&user, &request).unwrap();
+        let expected = plain.query(&user, &request).unwrap();
+        // Tracing is write-only: same release decision, same proposal,
+        // same audit trail as an untraced run.
+        assert_eq!(resp.released, expected.released);
+        assert_eq!(resp.withheld, expected.withheld);
+        assert_eq!(resp.proposal, expected.proposal);
+        assert_eq!(traced.audit_log(), plain.audit_log());
+        // Exactly one Decision per scored row, matching the audit entry's
+        // released/withheld accounting.
+        let decisions = trace.decisions();
+        assert_eq!(decisions.len(), resp.released.len() + resp.withheld);
+        assert!(decisions.iter().all(|d| !d.released));
+        assert!((decisions[0].beta - 0.06).abs() < 1e-12);
+        assert!((decisions[0].confidence - 0.058).abs() < 1e-12);
+        assert!(decisions[0].lineage_size > 0);
+        // Lifecycle and operator spans are present.
+        let begins: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::SpanBegin { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        for name in ["query", "plan", "execute", "score", "gate", "propose"] {
+            assert!(begins.contains(&name), "missing span {name}: {begins:?}");
+        }
+        assert!(
+            begins.iter().any(|n| n.starts_with("op:")),
+            "operator spans missing: {begins:?}"
+        );
+        // The tracer is disabled again afterwards and its buffer drained.
+        assert!(!traced.tracer().is_enabled());
+        assert!(traced.tracer().drain().events.is_empty());
     }
 
     #[test]

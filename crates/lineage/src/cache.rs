@@ -50,7 +50,9 @@ use crate::expr::{Lineage, VarId};
 use crate::mc::MonteCarlo;
 use crate::prob::Evaluator;
 use crate::Result;
+use pcqe_par::TraceSink;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Handle to one root circuit in a [`CircuitCache`]. Ids are dense and
@@ -122,6 +124,20 @@ struct Node {
     parents: Vec<NodeId>,
 }
 
+/// An optional, shared causal-trace sink. The newtype exists so
+/// [`CircuitCache`] can keep deriving `Debug`/`Default` — trait objects
+/// have neither.
+#[derive(Default, Clone)]
+struct TraceSlot(Option<Arc<dyn TraceSink + Send + Sync>>);
+
+impl fmt::Debug for TraceSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TraceSlot")
+            .field(&self.0.as_ref().map(|_| "attached"))
+            .finish()
+    }
+}
+
 #[derive(Debug)]
 struct RootEntry {
     root: NodeId,
@@ -169,6 +185,9 @@ pub struct CircuitCache {
     /// pivots) — the invalidation frontier for that variable.
     readers: BTreeMap<VarId, Vec<NodeId>>,
     stats: CacheStats,
+    /// Passive causal-trace sink: compile/hit/invalidate events flow to
+    /// the engine's tracer when attached. Never consulted for results.
+    trace: TraceSlot,
 }
 
 impl CircuitCache {
@@ -203,6 +222,19 @@ impl CircuitCache {
         &self.probs
     }
 
+    /// Attach (or detach, with `None`) a causal-trace sink. The sink is
+    /// observation-only — compile/hit/invalidate events mirror what the
+    /// [`CacheStats`] counters already count, with per-event detail.
+    pub fn set_trace(&mut self, sink: Option<Arc<dyn TraceSink + Send + Sync>>) {
+        self.trace = TraceSlot(sink);
+    }
+
+    fn emit(&self, name: &str, detail: &str) {
+        if let Some(sink) = &self.trace.0 {
+            sink.instant(name, detail);
+        }
+    }
+
     /// Set `var`'s probability. A bitwise-identical write is a no-op;
     /// otherwise the memos of exactly the nodes whose value depends on
     /// `var` are dropped (transitively, child → parent, stopping early at
@@ -216,18 +248,30 @@ impl CircuitCache {
             return;
         }
         self.probs.insert(var, p);
-        let mut frontier: Vec<NodeId> = match self.readers.get(&var) {
-            Some(ids) => ids.clone(),
-            None => return,
-        };
+        let dropped = self.invalidate_readers(var);
+        if dropped > 0 {
+            self.emit(
+                "cache.invalidate",
+                &format!("var={} dropped={dropped}", var.0),
+            );
+        }
+    }
+
+    /// Drop the memos of every node transitively reading `var`; returns
+    /// how many memos were dropped (also added to `stats.invalidated`).
+    fn invalidate_readers(&mut self, var: VarId) -> u64 {
+        let mut dropped: u64 = 0;
+        let mut frontier: Vec<NodeId> = self.readers.get(&var).cloned().unwrap_or_default();
         while let Some(id) = frontier.pop() {
             if let Some(node) = self.nodes.get_mut(id) {
                 if node.memo.take().is_some() {
                     self.stats.invalidated = self.stats.invalidated.saturating_add(1);
+                    dropped = dropped.saturating_add(1);
                     frontier.extend(node.parents.iter().copied());
                 }
             }
         }
+        dropped
     }
 
     /// Drop `var`'s probability entirely (subsequent scores of circuits
@@ -237,14 +281,12 @@ impl CircuitCache {
         if self.probs.remove(&var).is_none() {
             return;
         }
-        let mut frontier: Vec<NodeId> = self.readers.get(&var).cloned().unwrap_or_default();
-        while let Some(id) = frontier.pop() {
-            if let Some(node) = self.nodes.get_mut(id) {
-                if node.memo.take().is_some() {
-                    self.stats.invalidated = self.stats.invalidated.saturating_add(1);
-                    frontier.extend(node.parents.iter().copied());
-                }
-            }
+        let dropped = self.invalidate_readers(var);
+        if dropped > 0 {
+            self.emit(
+                "cache.invalidate",
+                &format!("var={} dropped={dropped}", var.0),
+            );
         }
     }
 
@@ -261,6 +303,7 @@ impl CircuitCache {
                 return Err(LineageError::BudgetExceeded { budget: 0 });
             }
             self.stats.compile_hits = self.stats.compile_hits.saturating_add(1);
+            self.emit("cache.hit", &format!("circuit={} cost={cost}", id.0));
             return Ok(id);
         }
         let mut simplified = lineage.simplify();
@@ -283,6 +326,10 @@ impl CircuitCache {
         });
         self.circuits.insert(lineage.clone(), id);
         self.stats.compiled = self.stats.compiled.saturating_add(1);
+        self.emit(
+            "cache.compile",
+            &format!("circuit={} cost={cost} pool={}", id.0, self.nodes.len()),
+        );
         Ok(id)
     }
 
@@ -717,6 +764,55 @@ mod tests {
                 (a, b) => panic!("case {case}: cache {a:?} vs plain {b:?} for {l:?}"),
             }
         }
+    }
+
+    #[test]
+    fn attached_trace_sink_sees_compile_hit_and_invalidate() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Probe(Mutex<Vec<(String, String)>>);
+        impl TraceSink for Probe {
+            fn span_begin(&self, _name: &str) -> u64 {
+                0
+            }
+            fn span_end(&self, _id: u64) {}
+            fn instant(&self, name: &str, detail: &str) {
+                self.0.lock().unwrap().push((name.into(), detail.into()));
+            }
+            fn decision(&self, _d: &pcqe_par::Decision) {}
+        }
+        let probe = Arc::new(Probe::default());
+        let mut cache = CircuitCache::new();
+        cache.set_trace(Some(probe.clone()));
+        seed_probs(&mut cache, &[(2, 0.3), (3, 0.4), (13, 0.1)]);
+        let ev = Evaluator::default();
+        cache.score_lineage(&example(), &ev).unwrap();
+        cache.score_lineage(&example(), &ev).unwrap();
+        cache.set_prob(VarId(3), 0.5);
+        cache.set_prob(VarId(3), 0.5); // bitwise no-op: no event
+        let events = probe.0.lock().unwrap();
+        let names: Vec<&str> = events.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names.iter().filter(|n| **n == "cache.compile").count(),
+            1,
+            "one fresh compile"
+        );
+        assert_eq!(
+            names.iter().filter(|n| **n == "cache.hit").count(),
+            1,
+            "one root memo hit"
+        );
+        assert_eq!(
+            names.iter().filter(|n| **n == "cache.invalidate").count(),
+            1,
+            "one real probability change"
+        );
+        let invalidate = events
+            .iter()
+            .find(|(n, _)| n == "cache.invalidate")
+            .map(|(_, d)| d.clone())
+            .unwrap();
+        assert!(invalidate.starts_with("var=3 dropped="), "{invalidate}");
     }
 
     fn random_formula(rng: &mut Rng64, n_vars: u64, depth: u32) -> Lineage {

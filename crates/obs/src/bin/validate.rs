@@ -1,6 +1,6 @@
 //! `pcqe-obs-validate` — validate an exported JSON artifact.
 //!
-//! Usage: `pcqe-obs-validate [--schema metrics|lint] [--gate <baseline.json>] <file.json>`
+//! Usage: `pcqe-obs-validate [--schema metrics|lint|trace] [--gate <baseline.json>] <file.json>`
 //!
 //! Schemas:
 //!
@@ -8,7 +8,15 @@
 //!   (`counters`/`gauges`/`histograms`/`spans` object members);
 //! * `lint` — the document has the `pcqe-lint --format json` report
 //!   shape (`tool`/`format_version`, a `findings` array of
-//!   rule/severity/path/line/message records, and a `summary` object).
+//!   rule/severity/path/line/message records, and a `summary` object);
+//! * `trace` — the document has the Chrome trace-event shape emitted by
+//!   `pcqe_obs::trace_export::to_chrome_json` (`traceEvents` array of
+//!   name/ph/ts/pid/tid records plus `dropped`/`capacity` accounting).
+//!
+//! Every check reports **all** violations it finds, in document order
+//! (array index order, then fixed key order), before exiting — a CI run
+//! never plays whack-a-mole with one error at a time. Only an unparsable
+//! document short-circuits, since nothing structural can be checked.
 //!
 //! `--gate <baseline.json>` compares the checked file against a
 //! checked-in baseline; the direction depends on the schema:
@@ -24,13 +32,19 @@
 //!   absent from the checked report counts as zero). This is `ci.sh`'s
 //!   lint-regression gate — new violations and new suppressions both
 //!   fail even when they hide inside an individually-waived rule.
+//! * `trace` — the baseline is a *floor on event counts*: for every
+//!   distinct event name in the baseline's `traceEvents`, the checked
+//!   trace must contain at least as many events of that name. This is
+//!   `ci.sh`'s trace-regression gate — a refactor that silently drops a
+//!   lifecycle span, a cache event, or a per-tuple decision fails.
 //!
 //! Exit codes: `0` the document parses, matches the schema and clears
-//! the gate, `1` the document is malformed or regresses below the
+//! the gate, `1` the document is malformed or regresses against the
 //! baseline, `2` usage or I/O error. Used by `ci.sh` as the smoke check
 //! on `results/*.json` — hermetically, with the crate's own parser.
 
 use pcqe_obs::json::{self, Value};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -40,7 +54,8 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let usage = || {
         eprintln!(
-            "usage: pcqe-obs-validate [--schema metrics|lint] [--gate <baseline.json>] <file.json>"
+            "usage: pcqe-obs-validate [--schema metrics|lint|trace] \
+             [--gate <baseline.json>] <file.json>"
         );
         ExitCode::from(2)
     };
@@ -49,6 +64,7 @@ fn main() -> ExitCode {
             "--schema" => match args.next().as_deref() {
                 Some("metrics") => schema = Schema::Metrics,
                 Some("lint") => schema = Schema::Lint,
+                Some("trace") => schema = Schema::Trace,
                 _ => return usage(),
             },
             "--gate" => match args.next() {
@@ -68,14 +84,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = match schema {
-        Schema::Metrics => validate_metrics(&text),
-        Schema::Lint => validate_lint(&text),
+    let report = |file: &str, errors: &[String]| {
+        for e in errors {
+            eprintln!("pcqe-obs-validate: {file}: {e}");
+        }
     };
-    let summary = match outcome {
+    let summary = match schema.validate(&text) {
         Ok(summary) => summary,
-        Err(e) => {
-            eprintln!("pcqe-obs-validate: {path}: {e}");
+        Err(errors) => {
+            report(&path, &errors);
             return ExitCode::from(1);
         }
     };
@@ -87,25 +104,22 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let baseline_check = match schema {
-            Schema::Metrics => validate_metrics(&baseline),
-            Schema::Lint => validate_lint(&baseline),
-        };
-        if let Err(e) = baseline_check {
-            eprintln!("pcqe-obs-validate: {gate_path}: {e}");
+        if let Err(errors) = schema.validate(&baseline) {
+            report(&gate_path, &errors);
             return ExitCode::from(1);
         }
-        let gated = match schema {
-            Schema::Metrics => gate_metrics(&baseline, &text).map(|n| (n, "floor(s) cleared")),
-            Schema::Lint => gate_lint(&baseline, &text).map(|n| (n, "ceiling(s) respected")),
-        };
-        match gated {
-            Ok((n, what)) => {
-                println!("{path}: ok ({summary}; gate {gate_path}: {n} {what})");
+        match schema.gate(&baseline, &text) {
+            Ok(n) => {
+                println!(
+                    "{path}: ok ({summary}; gate {gate_path}: {n} {})",
+                    schema.gate_noun()
+                );
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("pcqe-obs-validate: {path}: regression vs {gate_path}: {e}");
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("pcqe-obs-validate: {path}: regression vs {gate_path}: {e}");
+                }
                 ExitCode::from(1)
             }
         }
@@ -120,35 +134,73 @@ fn main() -> ExitCode {
 enum Schema {
     Metrics,
     Lint,
+    Trace,
 }
 
-/// Check that `text` is a metrics document; return a one-line summary.
-fn validate_metrics(text: &str) -> Result<String, String> {
-    let doc = json::parse(text)?;
-    let obj = doc
-        .as_object()
-        .ok_or_else(|| "top level must be an object".to_owned())?;
-    let mut sizes = Vec::new();
-    for key in ["counters", "gauges", "histograms", "spans"] {
-        let section = obj
-            .get(key)
-            .ok_or_else(|| format!("missing `{key}` member"))?;
-        let members = section
-            .as_object()
-            .ok_or_else(|| format!("`{key}` must be an object"))?;
-        sizes.push(format!("{key}={}", members.len()));
+impl Schema {
+    fn validate(self, text: &str) -> Result<String, Vec<String>> {
+        match self {
+            Schema::Metrics => validate_metrics(text),
+            Schema::Lint => validate_lint(text),
+            Schema::Trace => validate_trace(text),
+        }
     }
-    Ok(sizes.join(" "))
+
+    fn gate(self, baseline: &str, actual: &str) -> Result<usize, Vec<String>> {
+        match self {
+            Schema::Metrics => gate_metrics(baseline, actual),
+            Schema::Lint => gate_lint(baseline, actual),
+            Schema::Trace => gate_trace(baseline, actual),
+        }
+    }
+
+    fn gate_noun(self) -> &'static str {
+        match self {
+            Schema::Metrics => "floor(s) cleared",
+            Schema::Lint => "ceiling(s) respected",
+            Schema::Trace => "event floor(s) cleared",
+        }
+    }
+}
+
+/// Parse, or fail with the single fatal error nothing else can follow.
+fn parse_doc(text: &str) -> Result<Value, Vec<String>> {
+    json::parse(text).map_err(|e| vec![e])
+}
+
+/// Check that `text` is a metrics document; return a one-line summary or
+/// every violation in key order.
+fn validate_metrics(text: &str) -> Result<String, Vec<String>> {
+    let doc = parse_doc(text)?;
+    let Some(obj) = doc.as_object() else {
+        return Err(vec!["top level must be an object".to_owned()]);
+    };
+    let mut sizes = Vec::new();
+    let mut errors = Vec::new();
+    for key in ["counters", "gauges", "histograms", "spans"] {
+        match obj.get(key) {
+            None => errors.push(format!("missing `{key}` member")),
+            Some(section) => match section.as_object() {
+                None => errors.push(format!("`{key}` must be an object")),
+                Some(members) => sizes.push(format!("{key}={}", members.len())),
+            },
+        }
+    }
+    if errors.is_empty() {
+        Ok(sizes.join(" "))
+    } else {
+        Err(errors)
+    }
 }
 
 /// Enforce `baseline` as a floor on `actual` (both already known to be
 /// valid metrics documents): every counter and gauge named in the
 /// baseline must exist in `actual` with a value ≥ the baseline's.
-/// Returns the number of floors checked; the error names the first
-/// regressing metric in name order.
-fn gate_metrics(baseline: &str, actual: &str) -> Result<usize, String> {
-    let base = json::parse(baseline)?;
-    let act = json::parse(actual)?;
+/// Returns the number of floors checked, or every regressing metric in
+/// name order.
+fn gate_metrics(baseline: &str, actual: &str) -> Result<usize, Vec<String>> {
+    let base = parse_doc(baseline)?;
+    let act = parse_doc(actual)?;
     let section = |doc: &Value, key: &str| -> Vec<(String, f64)> {
         doc.as_object()
             .and_then(|o| o.get(key).and_then(Value::as_object).cloned())
@@ -161,20 +213,24 @@ fn gate_metrics(baseline: &str, actual: &str) -> Result<usize, String> {
             .unwrap_or_default()
     };
     let mut floors = 0;
+    let mut errors = Vec::new();
     for key in ["counters", "gauges"] {
-        let actual_values: std::collections::BTreeMap<String, f64> =
-            section(&act, key).into_iter().collect();
+        let actual_values: BTreeMap<String, f64> = section(&act, key).into_iter().collect();
         for (name, floor) in section(&base, key) {
-            let Some(&value) = actual_values.get(&name) else {
-                return Err(format!("{key} `{name}` (floor {floor}) is missing"));
-            };
-            if value < floor {
-                return Err(format!("{key} `{name}` = {value}, below the floor {floor}"));
+            match actual_values.get(&name) {
+                None => errors.push(format!("{key} `{name}` (floor {floor}) is missing")),
+                Some(&value) if value < floor => {
+                    errors.push(format!("{key} `{name}` = {value}, below the floor {floor}"));
+                }
+                Some(_) => floors += 1,
             }
-            floors += 1;
         }
     }
-    Ok(floors)
+    if errors.is_empty() {
+        Ok(floors)
+    } else {
+        Err(errors)
+    }
 }
 
 /// Enforce `baseline` as a ceiling on `actual` (both already known to
@@ -182,28 +238,31 @@ fn gate_metrics(baseline: &str, actual: &str) -> Result<usize, String> {
 /// totals must not exceed the baseline's, and neither may any per-rule
 /// count named in the baseline's `rules` section (a rule missing from
 /// `actual` counts as zero — rules only ever tighten). Returns the
-/// number of ceilings checked; the error names the first exceeded count
-/// in baseline order.
-fn gate_lint(baseline: &str, actual: &str) -> Result<usize, String> {
-    let base = json::parse(baseline)?;
-    let act = json::parse(actual)?;
+/// number of ceilings checked, or every exceeded count in baseline
+/// order.
+fn gate_lint(baseline: &str, actual: &str) -> Result<usize, Vec<String>> {
+    let base = parse_doc(baseline)?;
+    let act = parse_doc(actual)?;
     let count = |doc: &Value, section: &str, key: &str| -> Option<u64> {
         doc.as_object()
             .and_then(|o| o.get(section).and_then(Value::as_object))
             .and_then(|s| s.get(key).and_then(Value::as_u64))
     };
     let mut ceilings = 0;
+    let mut errors = Vec::new();
     for key in ["errors", "suppressed"] {
         let Some(ceiling) = count(&base, "summary", key) else {
-            return Err(format!("baseline summary missing numeric `{key}`"));
+            errors.push(format!("baseline summary missing numeric `{key}`"));
+            continue;
         };
         let value = count(&act, "summary", key).unwrap_or(0);
         if value > ceiling {
-            return Err(format!(
+            errors.push(format!(
                 "summary `{key}` = {value}, above the ceiling {ceiling}"
             ));
+        } else {
+            ceilings += 1;
         }
-        ceilings += 1;
     }
     let rules = base
         .as_object()
@@ -211,11 +270,13 @@ fn gate_lint(baseline: &str, actual: &str) -> Result<usize, String> {
         .unwrap_or_default();
     for (rule, limits) in &rules {
         let Some(limits) = limits.as_object() else {
-            return Err(format!("baseline rules `{rule}` must be an object"));
+            errors.push(format!("baseline rules `{rule}` must be an object"));
+            continue;
         };
         for key in ["errors", "suppressed"] {
             let Some(ceiling) = limits.get(key).and_then(Value::as_u64) else {
-                return Err(format!("baseline rules `{rule}` missing numeric `{key}`"));
+                errors.push(format!("baseline rules `{rule}` missing numeric `{key}`"));
+                continue;
             };
             let value = act
                 .as_object()
@@ -224,67 +285,184 @@ fn gate_lint(baseline: &str, actual: &str) -> Result<usize, String> {
                 .and_then(|l| l.get(key).and_then(Value::as_u64))
                 .unwrap_or(0);
             if value > ceiling {
-                return Err(format!(
+                errors.push(format!(
                     "rule `{rule}` {key} = {value}, above the ceiling {ceiling}"
                 ));
+            } else {
+                ceilings += 1;
             }
-            ceilings += 1;
         }
     }
-    Ok(ceilings)
+    if errors.is_empty() {
+        Ok(ceilings)
+    } else {
+        Err(errors)
+    }
 }
 
-/// Check that `text` is a `pcqe-lint` JSON report; return a summary.
-fn validate_lint(text: &str) -> Result<String, String> {
-    let doc = json::parse(text)?;
-    let obj = doc
-        .as_object()
-        .ok_or_else(|| "top level must be an object".to_owned())?;
-    let tool = obj
-        .get("tool")
-        .and_then(Value::as_str)
-        .ok_or_else(|| "missing string `tool` member".to_owned())?;
-    if tool != "pcqe-lint" {
-        return Err(format!("`tool` is `{tool}`, expected `pcqe-lint`"));
+/// Check that `text` is a `pcqe-lint` JSON report; return a summary or
+/// every violation in document order.
+fn validate_lint(text: &str) -> Result<String, Vec<String>> {
+    let doc = parse_doc(text)?;
+    let Some(obj) = doc.as_object() else {
+        return Err(vec!["top level must be an object".to_owned()]);
+    };
+    let mut errors = Vec::new();
+    match obj.get("tool").and_then(Value::as_str) {
+        Some("pcqe-lint") => {}
+        Some(tool) => errors.push(format!("`tool` is `{tool}`, expected `pcqe-lint`")),
+        None => errors.push("missing string `tool` member".to_owned()),
     }
-    obj.get("format_version")
-        .and_then(Value::as_u64)
-        .ok_or_else(|| "missing numeric `format_version` member".to_owned())?;
-    let findings = obj
-        .get("findings")
-        .and_then(Value::as_array)
-        .ok_or_else(|| "missing `findings` array".to_owned())?;
-    for (i, f) in findings.iter().enumerate() {
-        let f = f
-            .as_object()
-            .ok_or_else(|| format!("findings[{i}] must be an object"))?;
-        for key in ["rule", "severity", "path", "message"] {
-            f.get(key)
-                .and_then(Value::as_str)
-                .ok_or_else(|| format!("findings[{i}] missing string `{key}`"))?;
+    if obj.get("format_version").and_then(Value::as_u64).is_none() {
+        errors.push("missing numeric `format_version` member".to_owned());
+    }
+    let mut finding_count = 0;
+    match obj.get("findings").and_then(Value::as_array) {
+        None => errors.push("missing `findings` array".to_owned()),
+        Some(findings) => {
+            finding_count = findings.len();
+            for (i, f) in findings.iter().enumerate() {
+                let Some(f) = f.as_object() else {
+                    errors.push(format!("findings[{i}] must be an object"));
+                    continue;
+                };
+                for key in ["rule", "severity", "path", "message"] {
+                    if f.get(key).and_then(Value::as_str).is_none() {
+                        errors.push(format!("findings[{i}] missing string `{key}`"));
+                    }
+                }
+                if f.get("line").and_then(Value::as_u64).is_none() {
+                    errors.push(format!("findings[{i}] missing numeric `line`"));
+                }
+            }
         }
-        f.get("line")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| format!("findings[{i}] missing numeric `line`"))?;
     }
-    let summary = obj
-        .get("summary")
-        .and_then(Value::as_object)
-        .ok_or_else(|| "missing `summary` object".to_owned())?;
     let mut counts = Vec::new();
-    for key in ["files", "manifests", "errors", "warnings", "suppressed"] {
-        let n = summary
-            .get(key)
-            .and_then(Value::as_u64)
-            .ok_or_else(|| format!("summary missing numeric `{key}`"))?;
-        counts.push(format!("{key}={n}"));
+    match obj.get("summary").and_then(Value::as_object) {
+        None => errors.push("missing `summary` object".to_owned()),
+        Some(summary) => {
+            for key in ["files", "manifests", "errors", "warnings", "suppressed"] {
+                match summary.get(key).and_then(Value::as_u64) {
+                    Some(n) => counts.push(format!("{key}={n}")),
+                    None => errors.push(format!("summary missing numeric `{key}`")),
+                }
+            }
+        }
     }
-    Ok(format!("findings={} {}", findings.len(), counts.join(" ")))
+    if errors.is_empty() {
+        Ok(format!("findings={finding_count} {}", counts.join(" ")))
+    } else {
+        Err(errors)
+    }
+}
+
+/// Check that `text` is a Chrome trace-event document as emitted by
+/// `pcqe_obs::trace_export::to_chrome_json`; return a summary or every
+/// violation in document order.
+fn validate_trace(text: &str) -> Result<String, Vec<String>> {
+    let doc = parse_doc(text)?;
+    let Some(obj) = doc.as_object() else {
+        return Err(vec!["top level must be an object".to_owned()]);
+    };
+    let mut errors = Vec::new();
+    let mut dropped = 0;
+    match obj.get("dropped").and_then(Value::as_u64) {
+        Some(n) => dropped = n,
+        None => errors.push("missing numeric `dropped` member".to_owned()),
+    }
+    if obj.get("capacity").and_then(Value::as_u64).is_none() {
+        errors.push("missing numeric `capacity` member".to_owned());
+    }
+    let mut event_count = 0;
+    match obj.get("traceEvents").and_then(Value::as_array) {
+        None => errors.push("missing `traceEvents` array".to_owned()),
+        Some(events) => {
+            event_count = events.len();
+            for (i, e) in events.iter().enumerate() {
+                let Some(e) = e.as_object() else {
+                    errors.push(format!("traceEvents[{i}] must be an object"));
+                    continue;
+                };
+                if e.get("name").and_then(Value::as_str).is_none() {
+                    errors.push(format!("traceEvents[{i}] missing string `name`"));
+                }
+                match e.get("ph").and_then(Value::as_str) {
+                    Some("B" | "E" | "i") => {}
+                    Some(ph) => errors.push(format!(
+                        "traceEvents[{i}] `ph` is `{ph}`, expected B, E or i"
+                    )),
+                    None => errors.push(format!("traceEvents[{i}] missing string `ph`")),
+                }
+                for key in ["ts", "pid", "tid"] {
+                    if e.get(key).and_then(Value::as_f64).is_none() {
+                        errors.push(format!("traceEvents[{i}] missing numeric `{key}`"));
+                    }
+                }
+                if e.get("args").and_then(Value::as_object).is_none() {
+                    errors.push(format!("traceEvents[{i}] missing `args` object"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(format!("events={event_count} dropped={dropped}"))
+    } else {
+        Err(errors)
+    }
+}
+
+/// Count `traceEvents` entries by name.
+fn event_counts(doc: &Value) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    if let Some(events) = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents").and_then(Value::as_array))
+    {
+        for e in events {
+            if let Some(name) = e
+                .as_object()
+                .and_then(|e| e.get("name").and_then(Value::as_str))
+            {
+                *counts.entry(name.to_owned()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Enforce `baseline` as a floor on `actual`'s per-name event counts
+/// (both already known to be valid trace documents): every event name in
+/// the baseline must appear in `actual` at least as many times. Returns
+/// the number of floors checked, or every under-represented name in
+/// name order.
+fn gate_trace(baseline: &str, actual: &str) -> Result<usize, Vec<String>> {
+    let base = parse_doc(baseline)?;
+    let act = parse_doc(actual)?;
+    let actual_counts = event_counts(&act);
+    let mut floors = 0;
+    let mut errors = Vec::new();
+    for (name, floor) in event_counts(&base) {
+        let count = actual_counts.get(&name).copied().unwrap_or(0);
+        if count < floor {
+            errors.push(format!(
+                "event `{name}` appears {count} time(s), below the floor {floor}"
+            ));
+        } else {
+            floors += 1;
+        }
+    }
+    if errors.is_empty() {
+        Ok(floors)
+    } else {
+        Err(errors)
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{gate_lint, gate_metrics, validate_lint, validate_metrics};
+    use super::{
+        gate_lint, gate_metrics, gate_trace, validate_lint, validate_metrics, validate_trace,
+    };
 
     const fn empty_sections() -> &'static str {
         "\"histograms\": {}, \"spans\": {}"
@@ -315,9 +493,28 @@ mod tests {
             "{{\"counters\": {{}}, \"gauges\": {{\"bench.cache.speedup\": 3.2}}, {}}}",
             empty_sections()
         );
-        let err = gate_metrics(&baseline, &actual).unwrap_err();
-        assert!(err.contains("bench.cache.speedup"), "{err}");
-        assert!(err.contains("below the floor"), "{err}");
+        let errors = gate_metrics(&baseline, &actual).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("bench.cache.speedup"), "{errors:?}");
+        assert!(errors[0].contains("below the floor"), "{errors:?}");
+    }
+
+    #[test]
+    fn gate_reports_every_regression_not_just_the_first() {
+        let baseline = format!(
+            "{{\"counters\": {{\"a\": 5, \"b\": 5}}, \"gauges\": {{\"c\": 1.0}}, {}}}",
+            empty_sections()
+        );
+        let actual = format!(
+            "{{\"counters\": {{\"a\": 1, \"b\": 2}}, \"gauges\": {{}}, {}}}",
+            empty_sections()
+        );
+        let errors = gate_metrics(&baseline, &actual).unwrap_err();
+        // Two counters below floor plus one missing gauge, name order.
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors[0].contains("`a`"), "{errors:?}");
+        assert!(errors[1].contains("`b`"), "{errors:?}");
+        assert!(errors[2].contains("`c`") && errors[2].contains("missing"));
     }
 
     #[test]
@@ -330,8 +527,8 @@ mod tests {
             "{{\"counters\": {{}}, \"gauges\": {{}}, {}}}",
             empty_sections()
         );
-        let err = gate_metrics(&baseline, &actual).unwrap_err();
-        assert!(err.contains("is missing"), "{err}");
+        let errors = gate_metrics(&baseline, &actual).unwrap_err();
+        assert!(errors[0].contains("is missing"), "{errors:?}");
     }
 
     #[test]
@@ -367,6 +564,17 @@ mod tests {
         assert!(validate_metrics("not json").is_err());
     }
 
+    #[test]
+    fn metrics_violations_are_all_reported_in_key_order() {
+        // Three sections missing, one malformed: four errors, fixed order.
+        let errors = validate_metrics("{\"gauges\": 3}").unwrap_err();
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors[0].contains("`counters`"), "{errors:?}");
+        assert!(errors[1].contains("`gauges` must be an object"));
+        assert!(errors[2].contains("`histograms`"), "{errors:?}");
+        assert!(errors[3].contains("`spans`"), "{errors:?}");
+    }
+
     /// Build a minimal lint report with the given totals and per-rule
     /// counts (format version 2's `rules` section).
     fn lint_report(errors: u64, suppressed: u64, rules: &[(&str, u64, u64)]) -> String {
@@ -395,9 +603,9 @@ mod tests {
     fn lint_gate_fails_when_a_summary_total_grows() {
         let baseline = lint_report(0, 126, &[]);
         let actual = lint_report(1, 126, &[]);
-        let err = gate_lint(&baseline, &actual).unwrap_err();
-        assert!(err.contains("summary `errors` = 1"), "{err}");
-        assert!(err.contains("above the ceiling 0"), "{err}");
+        let errors = gate_lint(&baseline, &actual).unwrap_err();
+        assert!(errors[0].contains("summary `errors` = 1"), "{errors:?}");
+        assert!(errors[0].contains("above the ceiling 0"), "{errors:?}");
     }
 
     #[test]
@@ -406,8 +614,11 @@ mod tests {
         // per-rule ceiling still catches the C003 regression.
         let baseline = lint_report(0, 2, &[("PCQE-P002", 0, 2), ("PCQE-C003", 0, 0)]);
         let actual = lint_report(0, 2, &[("PCQE-P002", 0, 1), ("PCQE-C003", 0, 1)]);
-        let err = gate_lint(&baseline, &actual).unwrap_err();
-        assert!(err.contains("rule `PCQE-C003` suppressed = 1"), "{err}");
+        let errors = gate_lint(&baseline, &actual).unwrap_err();
+        assert!(
+            errors[0].contains("rule `PCQE-C003` suppressed = 1"),
+            "{errors:?}"
+        );
     }
 
     #[test]
@@ -459,5 +670,86 @@ mod tests {
             "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, \"spans\": {}}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn lint_violations_accumulate_across_findings() {
+        // Two findings each missing a field, plus a missing summary key:
+        // every problem is reported, in document order.
+        let doc = "{\"tool\": \"pcqe-lint\", \"format_version\": 1, \
+                   \"findings\": [{\"severity\": \"error\", \"path\": \"x\", \
+                   \"line\": 1, \"message\": \"m\"}, {\"rule\": \"PCQE-D001\", \
+                   \"severity\": \"error\", \"path\": \"x\", \"message\": \"m\"}], \
+                   \"summary\": {\"files\": 0, \"manifests\": 0, \"errors\": 0, \
+                   \"warnings\": 0}}";
+        let errors = validate_lint(doc).unwrap_err();
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors[0].contains("findings[0] missing string `rule`"));
+        assert!(errors[1].contains("findings[1] missing numeric `line`"));
+        assert!(errors[2].contains("summary missing numeric `suppressed`"));
+    }
+
+    /// A tiny two-event trace document.
+    fn trace_doc(events: &[(&str, &str)]) -> String {
+        let events = events
+            .iter()
+            .map(|(name, ph)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"ph\": \"{ph}\", \"ts\": 0.000, \
+                     \"pid\": 1, \"tid\": 1, \"args\": {{}}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"displayTimeUnit\": \"ms\", \"dropped\": 0, \"capacity\": 4096, \
+             \"traceEvents\": [{events}]}}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_minimal_trace_document() {
+        let doc = trace_doc(&[("query", "B"), ("query", "E")]);
+        assert_eq!(validate_trace(&doc), Ok("events=2 dropped=0".to_owned()));
+        // The exporter's own empty document validates too.
+        let empty = "{\n  \"displayTimeUnit\": \"ms\",\n  \"dropped\": 0,\n  \
+                     \"capacity\": 0,\n  \"traceEvents\": []\n}\n";
+        assert_eq!(validate_trace(empty), Ok("events=0 dropped=0".to_owned()));
+    }
+
+    #[test]
+    fn trace_violations_are_all_reported() {
+        // Bad phase on event 0, missing name and args on event 1, and no
+        // capacity member: four errors, document order.
+        let doc = "{\"dropped\": 0, \"traceEvents\": [\
+                   {\"name\": \"q\", \"ph\": \"X\", \"ts\": 0, \"pid\": 1, \
+                   \"tid\": 1, \"args\": {}}, \
+                   {\"ph\": \"B\", \"ts\": 0, \"pid\": 1, \"tid\": 1}]}";
+        let errors = validate_trace(doc).unwrap_err();
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors[0].contains("missing numeric `capacity`"));
+        assert!(errors[1].contains("traceEvents[0] `ph` is `X`"));
+        assert!(errors[2].contains("traceEvents[1] missing string `name`"));
+        assert!(errors[3].contains("traceEvents[1] missing `args` object"));
+    }
+
+    #[test]
+    fn trace_gate_floors_per_name_event_counts() {
+        let baseline = trace_doc(&[("query", "B"), ("query", "E"), ("decision", "i")]);
+        let ok = trace_doc(&[
+            ("query", "B"),
+            ("query", "E"),
+            ("decision", "i"),
+            ("extra", "i"),
+        ]);
+        // Two distinct names floored: query (×2) and decision (×1).
+        assert_eq!(gate_trace(&baseline, &ok), Ok(2));
+        let missing = trace_doc(&[("query", "B"), ("query", "E")]);
+        let errors = gate_trace(&baseline, &missing).unwrap_err();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(
+            errors[0].contains("event `decision` appears 0 time(s), below the floor 1"),
+            "{errors:?}"
+        );
     }
 }

@@ -252,4 +252,80 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
+
+    #[test]
+    fn prometheus_sanitizes_hostile_metric_names() {
+        // Everything outside [a-zA-Z0-9] becomes `_`, including the
+        // characters Prometheus would otherwise parse as syntax.
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("solver/greedy-elapsed.v2".into(), 1);
+        s.counters.insert("weird{label=\"x\"} name".into(), 2);
+        s.spans.insert(
+            "query/execute phase#1".into(),
+            SpanStat {
+                count: 1,
+                total_nanos: 7,
+            },
+        );
+        let text = to_prometheus(&s);
+        assert_eq!(
+            text,
+            "# TYPE pcqe_solver_greedy_elapsed_v2 counter\n\
+             pcqe_solver_greedy_elapsed_v2 1\n\
+             # TYPE pcqe_weird_label__x___name counter\n\
+             pcqe_weird_label__x___name 2\n\
+             # TYPE pcqe_span_query_execute_phase_1_count counter\n\
+             pcqe_span_query_execute_phase_1_count 1\n\
+             # TYPE pcqe_span_query_execute_phase_1_nanos_total counter\n\
+             pcqe_span_query_execute_phase_1_nanos_total 7\n"
+        );
+        // The sanitized names also survive the JSON path: raw keys are
+        // escaped, so the document still parses.
+        s.counters.clear();
+        s.counters.insert("quote\"and\\slash".into(), 1);
+        let doc = to_json(&s);
+        assert!(crate::json::parse(&doc).is_ok(), "{doc}");
+        assert!(doc.contains("\"quote\\\"and\\\\slash\": 1"), "{doc}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_at_their_boundaries() {
+        // A value exactly on a bound lands in that bucket (`value <= b`),
+        // and the first value past the last bound lands in +Inf.
+        let mut h = Histogram::default();
+        h.record(1e-6); // exactly the first bound
+        h.record(1e-3); // exactly a middle bound
+        h.record(600.0); // exactly the last bound
+        h.record(600.0000001); // just past it: overflow slot
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "1e-6 belongs to the le=1e-6 bucket");
+        assert_eq!(counts[3], 1, "1e-3 belongs to the le=1e-3 bucket");
+        assert_eq!(
+            counts[BUCKET_BOUNDS.len() - 1],
+            1,
+            "600.0 belongs to the last finite bucket"
+        );
+        assert_eq!(counts[BUCKET_BOUNDS.len()], 1, "past-the-end goes to +Inf");
+
+        let mut s = MetricsSnapshot::default();
+        s.histograms.insert("edge".into(), h);
+        let text = to_prometheus(&s);
+        // Cumulative counts at the exact boundaries.
+        assert!(text.contains("pcqe_edge_bucket{le=\"1e-6\"} 1"), "{text}");
+        assert!(text.contains("pcqe_edge_bucket{le=\"0.001\"} 2"), "{text}");
+        assert!(text.contains("pcqe_edge_bucket{le=\"600.0\"} 3"), "{text}");
+        assert!(text.contains("pcqe_edge_bucket{le=\"+Inf\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_are_byte_stable() {
+        // Inline goldens: the empty documents are part of the format
+        // contract — consumers (ci.sh, the validator) see exactly this.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(
+            to_json(&empty),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}\n"
+        );
+        assert_eq!(to_prometheus(&empty), "");
+    }
 }

@@ -15,7 +15,13 @@
 //! * [`sink`] — adapters implementing [`pcqe_core::sink::SolverSink`] and
 //!   [`pcqe_par::ParObserver`] for the recorder, so solver statistics and
 //!   scheduler telemetry flow in without `pcqe-core`/`pcqe-par` depending
-//!   on this crate.
+//!   on this crate;
+//! * [`trace`] — the causal side of the story: a bounded [`Tracer`] ring
+//!   of typed [`trace::TraceEvent`]s (spans with parent ids, instants,
+//!   per-tuple policy [`pcqe_par::Decision`]s) implementing the
+//!   dependency-free [`pcqe_par::TraceSink`] trait;
+//! * [`trace_export`] — byte-stable Chrome trace-event JSON and
+//!   collapsed-stack flamegraph renderings of a [`QueryTrace`].
 //!
 //! ## Determinism contract
 //!
@@ -38,6 +44,9 @@ pub mod json;
 pub mod recorder;
 pub mod sink;
 pub mod snapshot;
+pub mod trace;
+pub mod trace_export;
 
 pub use recorder::{Recorder, SpanGuard};
 pub use snapshot::{Histogram, MetricsSnapshot, SpanStat};
+pub use trace::{QueryTrace, Tracer};

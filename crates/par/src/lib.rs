@@ -72,6 +72,67 @@ pub trait ParObserver: Sync {
     fn batch(&self, report: &BatchReport);
 }
 
+/// How a tuple's confidence was established on the policy-gate path.
+///
+/// Lives here, next to [`ParObserver`], for the same reason that trait
+/// does: `pcqe-par` is the one dependency-free crate every layer can
+/// name, so the scorer (`pcqe-algebra`), the circuit cache
+/// (`pcqe-lineage`) and the engine can all tag decisions without a
+/// dependency on the observability crate that records them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidencePath {
+    /// Exact Shannon expansion (or a fresh circuit compile) ran.
+    Exact,
+    /// The Fréchet-style upper bound already failed β, so exact
+    /// expansion was skipped; the recorded confidence is that bound.
+    BetaSkipped,
+    /// A memoized circuit answered without recompiling lineage.
+    CacheHit,
+}
+
+/// One per-tuple policy decision: the causal record of why a tuple was
+/// released or suppressed by the β gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Which tuple the gate judged: the ordinal of the scored result row
+    /// within its query (derived rows have no single base `TupleId`, and
+    /// result order is deterministic, so the ordinal is a stable key —
+    /// it matches the row's position in the released/withheld audit
+    /// accounting).
+    pub tuple: u64,
+    /// `true` iff the tuple cleared the policy gate.
+    pub released: bool,
+    /// How the deciding confidence value was computed.
+    pub path: ConfidencePath,
+    /// The policy threshold the confidence was compared against.
+    pub beta: f64,
+    /// The confidence value the gate saw (an upper bound when
+    /// `path == BetaSkipped`).
+    pub confidence: f64,
+    /// Lineage nodes behind the tuple (0 = base tuple, no derivation).
+    pub lineage_size: usize,
+}
+
+/// A passive causal-trace sink: spans, instant events, and per-tuple
+/// [`Decision`] records.
+///
+/// Like [`ParObserver`], the trait lives on the dependency-free side and
+/// the implementation (`pcqe-obs`'s ring-buffer `Tracer`) supplies its
+/// own clock. Every method is observation-only: a sink may drop events
+/// (bounded buffers) but must never influence the caller — query answers
+/// are bit-identical whether a sink is attached, detached, or full.
+pub trait TraceSink: Sync {
+    /// Open a span; returns an id to close it with. Implementations
+    /// return 0 when tracing is disabled, and `span_end(0)` is a no-op.
+    fn span_begin(&self, name: &str) -> u64;
+    /// Close the span previously opened as `id`.
+    fn span_end(&self, id: u64);
+    /// A point-in-time event with a free-form detail string.
+    fn instant(&self, name: &str, detail: &str);
+    /// One per-tuple policy decision.
+    fn decision(&self, decision: &Decision);
+}
+
 /// Parallelism policy: how many workers, and when to bother.
 ///
 /// `worker_threads = None` asks the host for

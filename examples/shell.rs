@@ -21,8 +21,11 @@
 //! `.policy <role> <purpose> <beta>`, `.cost <tuple-id> <rate>`,
 //! `.expecting <fraction>`, `.accept`, `.tables`, `.plan <query>`
 //! (logical and chosen physical plan side by side), `.analyze <query>`,
+//! `.trace <query> [json|chrome|folded]` (causal trace export),
 //! `.metrics [json|prom]`, `.lint [json] [RULE-ID]` (run the static invariant
-//! analyzer over the workspace), `.help`, `.quit`.
+//! analyzer over the workspace), `.help`, `.quit`. The full list, with
+//! one-line descriptions, comes from the [`COMMANDS`] table `.help`
+//! renders — the same table `dispatch` consults, so they cannot drift.
 
 use pcqe::cost::CostFn;
 use pcqe::engine::{
@@ -38,6 +41,80 @@ struct Shell {
     purpose: String,
     expecting: f64,
     pending: Option<ImprovementProposal>,
+}
+
+/// Every dot-command as `(name, arguments, one-line description)` — the
+/// single source of truth: `.help` renders this table, and `dispatch`
+/// rejects any `.name` not in it, so the help text and the dispatchable
+/// set agree by construction (a unit test below pins it).
+const COMMANDS: &[(&str, &str, &str)] = &[
+    ("user", "<name> <role>", "set the querying user and role"),
+    ("purpose", "<purpose>", "set the stated query purpose"),
+    (
+        "policy",
+        "<role> <purpose> <beta>",
+        "add a confidence policy",
+    ),
+    (
+        "cost",
+        "<tuple-id> <rate>",
+        "attach a linear cost to a tuple",
+    ),
+    (
+        "expecting",
+        "<fraction>",
+        "set the expected released fraction",
+    ),
+    ("accept", "", "apply the pending improvement proposal"),
+    ("tables", "", "list tables and row counts"),
+    ("explain", "<query>", "show the optimised logical plan"),
+    (
+        "plan",
+        "<query>",
+        "show logical and physical plans side by side",
+    ),
+    (
+        "analyze",
+        "<query>",
+        "run the plan, annotate observed row counts",
+    ),
+    (
+        "trace",
+        "<query> [json|chrome|folded]",
+        "trace a query's causal timeline",
+    ),
+    ("metrics", "[json|prom]", "export recorded metrics"),
+    (
+        "lint",
+        "[json] [RULE-ID]",
+        "run the static invariant analyzer",
+    ),
+    ("save", "<dir>", "persist the database to a directory"),
+    ("load", "<dir>", "load a database from a directory"),
+    ("help", "", "show this help"),
+    ("quit", "", "exit the shell (also .exit)"),
+];
+
+/// True iff `.name` is a dispatchable dot-command.
+fn is_known_command(name: &str) -> bool {
+    COMMANDS.iter().any(|(n, _, _)| *n == name)
+}
+
+/// The `.help` screen, rendered from [`COMMANDS`].
+fn help_text() -> String {
+    let mut out = String::from(
+        "SQL: CREATE TABLE t (col TYPE, ...); INSERT INTO t VALUES (...) \
+         [WITH CONFIDENCE c]; SELECT ...\ndot-commands:\n",
+    );
+    for (name, args, desc) in COMMANDS {
+        let usage = if args.is_empty() {
+            format!(".{name}")
+        } else {
+            format!(".{name} {args}")
+        };
+        out.push_str(&format!("  {usage:<36} {desc}\n"));
+    }
+    out
 }
 
 fn main() -> io::Result<()> {
@@ -86,21 +163,22 @@ impl Shell {
 
     fn dot_command(&mut self, rest: &str) -> Result<(), Box<dyn std::error::Error>> {
         let parts: Vec<&str> = rest.split_whitespace().collect();
+        // Gate on the COMMANDS table first: a match arm below without a
+        // table entry is unreachable, so `.help` can never under-report.
+        match parts.first() {
+            None => {
+                println!("empty command (try .help)");
+                return Ok(());
+            }
+            Some(name) if !is_known_command(name) => {
+                println!("unknown command `.{rest}` (try .help)");
+                return Ok(());
+            }
+            Some(_) => {}
+        }
         match parts.as_slice() {
             ["help"] => {
-                println!(
-                    "SQL: CREATE TABLE t (col TYPE, ...); INSERT INTO t VALUES (...) \
-                     [WITH CONFIDENCE c]; SELECT ...\n\
-                     dot-commands: .user <name> <role> | .purpose <p> | \
-                     .policy <role> <purpose> <beta> | .cost <tuple-id> <rate> | \
-                     .expecting <fraction> | .accept | .tables | \
-                     .explain <query> | .plan <query> | .analyze <query> | \
-                     .metrics [json|prom] | \
-                     .lint [json] [RULE-ID] | .save <dir> | .load <dir> | .quit\n\
-                     .plan shows the logical plan and the cost-chosen \
-                     physical plan side by side (join strategy, access \
-                     path, pushed predicates)"
-                );
+                print!("{}", help_text());
             }
             ["user", name, role] => {
                 self.user = User::new(*name, *role);
@@ -157,6 +235,30 @@ impl Shell {
                 // EXPLAIN ANALYZE: run the plan and annotate it with the
                 // observed per-operator row and lineage counts.
                 print!("{}", self.db.explain_analyze(&rest.join(" "))?);
+            }
+            ["trace", rest @ ..] if !rest.is_empty() => {
+                // Run the query with the causal tracer on and print the
+                // timeline. A trailing `json`/`chrome` (the default)
+                // selects Chrome trace-event JSON for chrome://tracing,
+                // `folded` the collapsed-stack flamegraph text. The query
+                // itself behaves exactly like typing the SQL: same policy
+                // gate, same audit entry, same pending proposal.
+                let (format, sql_parts) = match rest.split_last() {
+                    Some((last, head))
+                        if !head.is_empty() && ["json", "chrome", "folded"].contains(last) =>
+                    {
+                        (*last, head)
+                    }
+                    _ => ("chrome", rest),
+                };
+                let request = QueryRequest::new(sql_parts.join(" "), self.purpose.as_str())
+                    .expecting(self.expecting);
+                let (resp, trace) = self.db.trace_query(&self.user, &request)?;
+                match format {
+                    "folded" => print!("{}", pcqe::obs::trace_export::to_folded(&trace)),
+                    _ => print!("{}", pcqe::obs::trace_export::to_chrome_json(&trace)),
+                }
+                self.pending = resp.proposal;
             }
             ["lint", rest @ ..] if rest.len() <= 2 => {
                 // Run the in-repo static analyzer over the workspace the
@@ -218,7 +320,15 @@ impl Shell {
                 self.pending = None;
                 println!("loaded from {dir}");
             }
-            _ => println!("unknown command `.{rest}` (try .help)"),
+            // The command name is known (checked above) but the arguments
+            // did not match its arm: show the usage line from the table.
+            _ => match parts
+                .first()
+                .and_then(|n| COMMANDS.iter().find(|(name, _, _)| name == n))
+            {
+                Some((name, args, _)) => println!("usage: .{name} {args}"),
+                None => println!("unknown command `.{rest}` (try .help)"),
+            },
         }
         Ok(())
     }
@@ -264,5 +374,76 @@ impl Shell {
             None => self.pending = None,
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> Shell {
+        let mut sh = Shell {
+            db: Database::new(EngineConfig::default()),
+            user: User::new("anon", "public"),
+            purpose: "browsing".into(),
+            expecting: 1.0,
+            pending: None,
+        };
+        sh.db
+            .add_policy(ConfidencePolicy::default_floor(0.0).expect("valid"));
+        sh
+    }
+
+    /// `.help` renders exactly the COMMANDS table, and `dispatch`
+    /// recognises exactly the same names — the two cannot disagree.
+    #[test]
+    fn help_and_dispatch_agree_on_the_command_set() {
+        let help = help_text();
+        for (name, _, desc) in COMMANDS {
+            assert!(
+                help.contains(&format!(".{name}")),
+                "`.{name}` missing from help:\n{help}"
+            );
+            assert!(help.contains(desc), "description of `.{name}` missing");
+            assert!(is_known_command(name), "`.{name}` not dispatchable");
+        }
+        // One line per command plus the two header lines, so every entry
+        // gets a consistent one-line description.
+        assert_eq!(help.lines().count(), COMMANDS.len() + 2);
+        assert!(!is_known_command("bogus"));
+    }
+
+    /// A scripted session through `dispatch` exercises the table-gated
+    /// commands end to end (slow or filesystem-touching ones — `.lint`,
+    /// `.save`, `.load` — are covered by the known-name gate above).
+    #[test]
+    fn scripted_session_dispatches_cleanly() {
+        let mut sh = shell();
+        for line in [
+            "CREATE TABLE t (x INT)",
+            "INSERT INTO t VALUES (1) WITH CONFIDENCE 0.9",
+            ".policy analyst report 0.5",
+            ".user alice analyst",
+            ".purpose report",
+            ".expecting 1.0",
+            ".cost t0 10",
+            ".tables",
+            ".explain SELECT x FROM t",
+            ".plan SELECT x FROM t",
+            ".analyze SELECT x FROM t",
+            ".trace SELECT x FROM t folded",
+            ".trace SELECT x FROM t",
+            ".metrics",
+            ".metrics json",
+            ".accept",
+            ".help",
+            "SELECT x FROM t",
+        ] {
+            sh.dispatch(line)
+                .unwrap_or_else(|e| panic!("`{line}` failed: {e}"));
+        }
+        // Unknown names and bad arity fall through politely.
+        sh.dispatch(".bogus").unwrap();
+        sh.dispatch(".user onlyname").unwrap();
     }
 }
