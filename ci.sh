@@ -24,6 +24,7 @@ STAGES=(
   clippy
   lint
   lint-artifact
+  lint-sarif
   gate-lint
   build
   test
@@ -50,7 +51,7 @@ stage_clippy() { # lints (cargo clippy -D warnings)
 }
 
 stage_lint() { # static invariants (cargo run -p pcqe-lint)
-  # One analyzer, three layers, eighteen rules.
+  # One analyzer, four layers, twenty-three rules.
   # Token layer: PCQE-D001/D002/D003/D004 (determinism), PCQE-C002
   # (capability coverage against lint-capabilities.toml; PCQE-C001 is
   # the legacy built-in table for trees without a manifest), PCQE-P001
@@ -60,11 +61,16 @@ stage_lint() { # static invariants (cargo run -p pcqe-lint)
   # released only below the policy gate). Concurrency layer: PCQE-C003
   # (lock-order cycles), PCQE-C004 (lock held across a result-affecting
   # call), PCQE-C005 (shared-state escape into the result set),
-  # PCQE-C006 (relaxed-atomic reads feeding released rows). Hygiene:
-  # PCQE-A001 (stale allowlist entries), PCQE-A002 (unreasoned or
-  # id-less entries), PCQE-A003 (stale capability grants). Exceptions
-  # live in lint-allow.toml with reasons, capability grants in
-  # lint-capabilities.toml; see DESIGN.md § "Static invariants".
+  # PCQE-C006 (relaxed-atomic reads feeding released rows). Dataflow
+  # layer: PCQE-F001 (suppressed tuples into error sinks), PCQE-F002
+  # (β/θ thresholds outside the audit/Decision channels), PCQE-F003
+  # (pre-gate confidence into trace/metrics), with PCQE-F004/F005
+  # keeping lint-flows.toml itself honest. Hygiene: PCQE-A001 (stale
+  # allowlist entries), PCQE-A002 (unreasoned or id-less entries),
+  # PCQE-A003 (stale capability grants). Exceptions live in
+  # lint-allow.toml with reasons, capability grants in
+  # lint-capabilities.toml, flow sources/sinks/sanctions in
+  # lint-flows.toml; see DESIGN.md § "Static invariants".
   cargo run -q -p pcqe-lint --offline
 }
 
@@ -75,6 +81,19 @@ stage_lint_artifact() { # static invariants artifact (results/lint.json)
   mkdir -p results
   cargo run -q -p pcqe-lint --offline -- --format json > results/lint.json
   cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- --schema lint results/lint.json
+}
+
+stage_lint_sarif() { # static invariants as SARIF (results/lint.sarif)
+  # The same analysis in the 2.1.0 interchange format — code editors and
+  # review tooling ingest it directly, and the witness flow paths from
+  # the dataflow layer ride along as SARIF code flows. Validated
+  # hermetically, then gated per-rule against the checked-in baseline
+  # exactly like the JSON report.
+  mkdir -p results
+  cargo run -q -p pcqe-lint --offline -- --format sarif > results/lint.sarif
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- --schema sarif results/lint.sarif
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    --schema sarif --gate results/baseline_lint.sarif results/lint.sarif
 }
 
 stage_gate_lint() { # lint-regression gate (results/lint.json vs checked-in baseline)

@@ -415,20 +415,16 @@ fn classify_cached(
 }
 
 /// One `beta.skip` / `score.exact` instant per row, in row order. The
-/// confidence rendered for a skipped row is its Fréchet upper bound —
-/// exactly the value the gate compared against β.
-fn emit_gate_instants(sink: &dyn TraceSink, gated: &GatedScore, beta: f64) {
-    for (i, (scored, &was_skipped)) in gated.scored.iter().zip(&gated.skipped).enumerate() {
+/// payload carries the row index only: the skipped row's Fréchet upper
+/// bound and the β it lost to are deliberately not rendered — trace
+/// files travel further than the audit log, and the Decision record is
+/// the designed outlet for those values (PCQE-F002, PCQE-F003).
+fn emit_gate_instants(sink: &dyn TraceSink, gated: &GatedScore, _beta: f64) {
+    for (i, &was_skipped) in gated.skipped.iter().enumerate() {
         if was_skipped {
-            sink.instant(
-                "beta.skip",
-                &format!("row={i} upper={:?} beta={beta:?}", scored.confidence),
-            );
+            sink.instant("beta.skip", &format!("row={i}"));
         } else {
-            sink.instant(
-                "score.exact",
-                &format!("row={i} confidence={:?}", scored.confidence),
-            );
+            sink.instant("score.exact", &format!("row={i}"));
         }
     }
 }

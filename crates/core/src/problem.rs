@@ -254,10 +254,11 @@ impl ProblemBuilder {
     /// Finish, validating the problem.
     pub fn build(self) -> Result<ProblemInstance> {
         if !self.beta.is_finite() || !(0.0..=1.0).contains(&self.beta) {
-            return Err(CoreError::InvalidProblem(format!(
-                "threshold β = {} outside [0, 1]",
-                self.beta
-            )));
+            // The offending β is deliberately not interpolated: typed
+            // errors surface to clients (PCQE-F002).
+            return Err(CoreError::InvalidProblem(
+                "threshold β outside [0, 1] or not finite".to_owned(),
+            ));
         }
         if !(self.delta > 0.0 && self.delta <= 1.0) {
             return Err(CoreError::InvalidProblem(format!(
@@ -274,15 +275,15 @@ impl ProblemBuilder {
         }
         for (i, b) in self.bases.iter().enumerate() {
             if !b.initial.is_finite() || !(0.0..=1.0).contains(&b.initial) {
+                // Indexes identify the bad base; the confidence value
+                // itself stays out of the message (PCQE-F003).
                 return Err(CoreError::InvalidProblem(format!(
-                    "base {i} initial confidence {} outside [0, 1]",
-                    b.initial
+                    "base {i} initial confidence outside [0, 1]"
                 )));
             }
             if !b.max.is_finite() || b.max < b.initial || b.max > 1.0 {
                 return Err(CoreError::InvalidProblem(format!(
-                    "base {i} max confidence {} invalid",
-                    b.max
+                    "base {i} max confidence below initial, above 1, or not finite"
                 )));
             }
         }

@@ -28,8 +28,10 @@ impl fmt::Display for CostError {
             CostError::NonMonotonic => {
                 f.write_str("piecewise cost model must be monotone non-decreasing")
             }
-            CostError::InvalidConfidence(c) => {
-                write!(f, "confidence {c} outside [0, 1]")
+            // The payload stays available to code; the rendered message
+            // does not echo the confidence value (PCQE-F003).
+            CostError::InvalidConfidence(_) => {
+                write!(f, "confidence outside [0, 1]")
             }
         }
     }

@@ -1,0 +1,628 @@
+//! `lint-flows.toml`: declared taint sources, extra sinks, and
+//! sanctioned disclosure channels for the layer-4 dataflow analysis
+//! ([`crate::flow`]).
+//!
+//! The confidentiality rules need to know *what is secret* and *where
+//! disclosure is designed-in* — neither is derivable from tokens alone.
+//! Following the capability-manifest pattern (PR 7), both are checked-in
+//! declarations rather than analyzer hardcode:
+//!
+//! * `[[source]]` — a taint kind (`suppressed` withheld-tuple data,
+//!   `policy` β/θ thresholds, `confidence` pre-gate scores) with the
+//!   identifier `names` that carry it and the `functions` whose return
+//!   values produce it;
+//! * `[[sink]]` — *extra* sink functions joining the built-in structural
+//!   classes (`error` constructors/panic payloads, `trace` = `pcqe-obs`
+//!   entry points, `shell` = print-family output);
+//! * `[[sanction]]` — a designed disclosure: findings of `rule` in
+//!   `path` (optionally narrowed to one `sink` callee/macro name) are
+//!   recorded as suppressed-with-reason instead of failing the gate.
+//!   The audit log and `Decision` records are the canonical examples.
+//!
+//! Malformed manifests are hard [`parse`] errors, like the capability
+//! manifest. Reason *hygiene* follows the allowlist instead: a blank
+//! reason, a reason citing a stale `PCQE-*` id, or a sanction naming an
+//! unknown rule parses fine and is then reported as **PCQE-F005** — and
+//! a sanction nothing exercises is **PCQE-F004** (see [`crate::flow`]).
+//!
+//! Without a `lint-flows.toml` at the scan root the layer is inert: no
+//! declared sources means nothing is tainted, so fixture trees that
+//! predate the dataflow layer keep their findings unchanged.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeSet;
+
+/// Name of the flow manifest looked up at the scan root.
+pub const DEFAULT_FLOWS: &str = "lint-flows.toml";
+
+/// What kind of secret a source introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaintKind {
+    /// Withheld-tuple data: the failing side of `evaluate_results`.
+    Suppressed,
+    /// β/θ policy thresholds from `pcqe-policy`.
+    Policy,
+    /// Raw pre-gate confidence values.
+    Confidence,
+}
+
+impl TaintKind {
+    /// The manifest spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaintKind::Suppressed => "suppressed",
+            TaintKind::Policy => "policy",
+            TaintKind::Confidence => "confidence",
+        }
+    }
+
+    /// Parse a manifest spelling.
+    pub fn parse(s: &str) -> Option<TaintKind> {
+        match s {
+            "suppressed" => Some(TaintKind::Suppressed),
+            "policy" => Some(TaintKind::Policy),
+            "confidence" => Some(TaintKind::Confidence),
+            _ => None,
+        }
+    }
+
+    /// All kinds, in manifest/report order.
+    pub fn all() -> [TaintKind; 3] {
+        [
+            TaintKind::Suppressed,
+            TaintKind::Policy,
+            TaintKind::Confidence,
+        ]
+    }
+}
+
+/// A sink class an extra `[[sink]]` declaration can join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// Typed-error constructors, panic payloads, `Display`/`Debug` impls.
+    Error,
+    /// `pcqe-obs` trace/metrics/export entry points.
+    Trace,
+    /// Shell/CLI output (print-family macros).
+    Shell,
+}
+
+impl SinkKind {
+    /// The manifest spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkKind::Error => "error",
+            SinkKind::Trace => "trace",
+            SinkKind::Shell => "shell",
+        }
+    }
+
+    /// Parse a manifest spelling.
+    pub fn parse(s: &str) -> Option<SinkKind> {
+        match s {
+            "error" => Some(SinkKind::Error),
+            "trace" => Some(SinkKind::Trace),
+            "shell" => Some(SinkKind::Shell),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed `[[source]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// The taint kind the source introduces.
+    pub kind: TaintKind,
+    /// Identifier names that carry this taint wherever they appear
+    /// (parameters, bindings, format captures).
+    pub names: BTreeSet<String>,
+    /// Functions whose *return value* carries this taint.
+    pub functions: BTreeSet<String>,
+    /// Why these names/functions are secret. Blank → PCQE-F005.
+    pub reason: String,
+    /// Line of the `[[source]]` header in the manifest.
+    pub declared_at: u32,
+}
+
+/// One parsed `[[sink]]` entry: extra sink callees beyond the built-in
+/// structural classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkSpec {
+    /// Which sink class the functions join.
+    pub kind: SinkKind,
+    /// Callee names (last path segment) treated as sinks of that class.
+    pub functions: BTreeSet<String>,
+    /// Why these are disclosure points. Blank → PCQE-F005.
+    pub reason: String,
+    /// Line of the `[[sink]]` header in the manifest.
+    pub declared_at: u32,
+}
+
+/// One parsed `[[sanction]]` entry: a designed disclosure channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sanction {
+    /// Rule id the sanction covers (e.g. `PCQE-F002`). Unknown ids are
+    /// kept as written and reported by PCQE-F005.
+    pub rule: String,
+    /// File the sanction covers (workspace-relative, `/`-separated).
+    pub path: String,
+    /// Optional callee/macro name narrowing the sanction to one sink
+    /// (e.g. `decision`, `fmt`).
+    pub sink: Option<String>,
+    /// Why the disclosure is designed-in. Blank → PCQE-F005.
+    pub reason: String,
+    /// Line of the `[[sanction]]` header in the manifest.
+    pub declared_at: u32,
+}
+
+impl Sanction {
+    /// Does this sanction cover a finding of `rule` at `path` flowing
+    /// into sink callee `sink_name`?
+    pub fn covers(&self, rule: Rule, path: &str, sink_name: &str) -> bool {
+        self.rule == rule.code()
+            && self.path == path
+            && self.sink.as_deref().is_none_or(|s| s == sink_name)
+    }
+}
+
+/// The flow declarations in force for one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct FlowSpec {
+    /// Sources in manifest order.
+    pub sources: Vec<SourceSpec>,
+    /// Extra sinks in manifest order.
+    pub sinks: Vec<SinkSpec>,
+    /// Sanctioned channels in manifest order.
+    pub sanctions: Vec<Sanction>,
+    /// `true` when loaded from a `lint-flows.toml`. `false` means no
+    /// manifest: the dataflow layer has no sources and stays inert.
+    pub from_manifest: bool,
+}
+
+impl FlowSpec {
+    /// Declared source names for one taint kind.
+    pub fn names_of(&self, kind: TaintKind) -> BTreeSet<&str> {
+        self.sources
+            .iter()
+            .filter(|s| s.kind == kind)
+            .flat_map(|s| s.names.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Declared source functions for one taint kind.
+    pub fn functions_of(&self, kind: TaintKind) -> BTreeSet<&str> {
+        self.sources
+            .iter()
+            .filter(|s| s.kind == kind)
+            .flat_map(|s| s.functions.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Declared extra sink callees for one sink class.
+    pub fn sink_functions_of(&self, kind: SinkKind) -> BTreeSet<&str> {
+        self.sinks
+            .iter()
+            .filter(|s| s.kind == kind)
+            .flat_map(|s| s.functions.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Reason hygiene — rule **PCQE-F005**, extending the A002
+    /// discipline to the flow manifest: every entry carries a non-blank
+    /// reason, every `PCQE-*` id cited in a reason exists, and every
+    /// sanction names a rule the analyzer knows.
+    pub fn hygiene(&self, manifest_name: &str, out: &mut Vec<Finding>) {
+        fn check(
+            manifest_name: &str,
+            out: &mut Vec<Finding>,
+            declared_at: u32,
+            what: &str,
+            reason: &str,
+        ) {
+            if reason.trim().is_empty() {
+                out.push(Finding {
+                    rule: Rule::F005,
+                    path: manifest_name.to_owned(),
+                    line: declared_at,
+                    message: format!(
+                        "{what} entry has no `reason`; every flow declaration must \
+                         say why it is sound"
+                    ),
+                });
+                return;
+            }
+            for token in reason.split(|c: char| !(c.is_ascii_alphanumeric() || c == '-')) {
+                if token.starts_with("PCQE-") && Rule::parse(token).is_none() {
+                    out.push(Finding {
+                        rule: Rule::F005,
+                        path: manifest_name.to_owned(),
+                        line: declared_at,
+                        message: format!(
+                            "{what} reason cites unknown rule id `{token}`: fix the \
+                             id or drop the citation"
+                        ),
+                    });
+                }
+            }
+        }
+        for s in &self.sources {
+            check(manifest_name, out, s.declared_at, "`[[source]]`", &s.reason);
+        }
+        for s in &self.sinks {
+            check(manifest_name, out, s.declared_at, "`[[sink]]`", &s.reason);
+        }
+        for s in &self.sanctions {
+            check(
+                manifest_name,
+                out,
+                s.declared_at,
+                "`[[sanction]]`",
+                &s.reason,
+            );
+            if Rule::parse(&s.rule).is_none() {
+                out.push(Finding {
+                    rule: Rule::F005,
+                    path: manifest_name.to_owned(),
+                    line: s.declared_at,
+                    message: format!(
+                        "`[[sanction]]` entry sanctions unknown rule id `{}`: the \
+                         channel it covered no longer exists under that name",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Parse a flow manifest. `source_name` labels error messages.
+pub fn parse(text: &str, source_name: &str) -> Result<FlowSpec, String> {
+    #[derive(PartialEq)]
+    enum Table {
+        Source,
+        Sink,
+        Sanction,
+    }
+    let mut spec = FlowSpec {
+        from_manifest: true,
+        ..FlowSpec::default()
+    };
+    let mut current: Option<(Table, Partial)> = None;
+    let mut flush = |current: &mut Option<(Table, Partial)>| -> Result<(), String> {
+        if let Some((table, p)) = current.take() {
+            match table {
+                Table::Source => spec.sources.push(p.finish_source(source_name)?),
+                Table::Sink => spec.sinks.push(p.finish_sink(source_name)?),
+                Table::Sanction => spec.sanctions.push(p.finish_sanction(source_name)?),
+            }
+        }
+        Ok(())
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "[[source]]" => {
+                flush(&mut current)?;
+                current = Some((Table::Source, Partial::new(lineno)));
+                continue;
+            }
+            "[[sink]]" => {
+                flush(&mut current)?;
+                current = Some((Table::Sink, Partial::new(lineno)));
+                continue;
+            }
+            "[[sanction]]" => {
+                flush(&mut current)?;
+                current = Some((Table::Sanction, Partial::new(lineno)));
+                continue;
+            }
+            _ => {}
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "{source_name}:{lineno}: unexpected table `{line}`; expected \
+                 `[[source]]`, `[[sink]]` or `[[sanction]]`"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{source_name}:{lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let Some((table, p)) = current.as_mut() else {
+            return Err(format!(
+                "{source_name}:{lineno}: `{}` outside a table",
+                key.trim()
+            ));
+        };
+        match (key.trim(), &*table) {
+            ("kind", Table::Source | Table::Sink) => {
+                p.kind = Some((parse_string(value, source_name, lineno)?, lineno));
+            }
+            ("names", Table::Source) => {
+                p.names = Some(ident_set(value, source_name, lineno)?);
+            }
+            ("functions", Table::Source | Table::Sink) => {
+                p.functions = Some(ident_set(value, source_name, lineno)?);
+            }
+            ("rule", Table::Sanction) => {
+                p.rule = Some(parse_string(value, source_name, lineno)?);
+            }
+            ("path", Table::Sanction) => {
+                p.path = Some(parse_string(value, source_name, lineno)?.replace('\\', "/"));
+            }
+            ("sink", Table::Sanction) => {
+                p.sink = Some(parse_string(value, source_name, lineno)?);
+            }
+            ("reason", _) => {
+                p.reason = Some(parse_string(value, source_name, lineno)?);
+            }
+            (other, _) => {
+                return Err(format!(
+                    "{source_name}:{lineno}: unknown or misplaced key `{other}`"
+                ));
+            }
+        }
+    }
+    flush(&mut current)?;
+    Ok(spec)
+}
+
+struct Partial {
+    declared_at: u32,
+    kind: Option<(String, u32)>,
+    names: Option<BTreeSet<String>>,
+    functions: Option<BTreeSet<String>>,
+    rule: Option<String>,
+    path: Option<String>,
+    sink: Option<String>,
+    reason: Option<String>,
+}
+
+impl Partial {
+    fn new(declared_at: u32) -> Partial {
+        Partial {
+            declared_at,
+            kind: None,
+            names: None,
+            functions: None,
+            rule: None,
+            path: None,
+            sink: None,
+            reason: None,
+        }
+    }
+
+    /// A blank or absent reason is tolerated here — F005 reports it as a
+    /// finding, matching the allowlist's A002 discipline rather than the
+    /// capability manifest's hard error.
+    fn reason(&mut self) -> String {
+        self.reason.take().unwrap_or_default()
+    }
+
+    fn finish_source(mut self, source_name: &str) -> Result<SourceSpec, String> {
+        let at = self.declared_at;
+        let (kind, kind_line) = self
+            .kind
+            .take()
+            .ok_or_else(|| format!("{source_name}:{at}: `[[source]]` entry is missing `kind`"))?;
+        let kind = TaintKind::parse(&kind).ok_or_else(|| {
+            format!(
+                "{source_name}:{kind_line}: unknown taint kind `{kind}` \
+                 (expected suppressed/policy/confidence)"
+            )
+        })?;
+        let names = self.names.take().unwrap_or_default();
+        let functions = self.functions.take().unwrap_or_default();
+        if names.is_empty() && functions.is_empty() {
+            return Err(format!(
+                "{source_name}:{at}: `[[source]]` entry declares no `names` and no \
+                 `functions`; an empty source taints nothing"
+            ));
+        }
+        Ok(SourceSpec {
+            kind,
+            names,
+            functions,
+            reason: self.reason(),
+            declared_at: at,
+        })
+    }
+
+    fn finish_sink(mut self, source_name: &str) -> Result<SinkSpec, String> {
+        let at = self.declared_at;
+        let (kind, kind_line) = self
+            .kind
+            .take()
+            .ok_or_else(|| format!("{source_name}:{at}: `[[sink]]` entry is missing `kind`"))?;
+        let kind = SinkKind::parse(&kind).ok_or_else(|| {
+            format!(
+                "{source_name}:{kind_line}: unknown sink kind `{kind}` \
+                 (expected error/trace/shell)"
+            )
+        })?;
+        let functions = self.functions.take().unwrap_or_default();
+        if functions.is_empty() {
+            return Err(format!(
+                "{source_name}:{at}: `[[sink]]` entry declares no `functions`"
+            ));
+        }
+        Ok(SinkSpec {
+            kind,
+            functions,
+            reason: self.reason(),
+            declared_at: at,
+        })
+    }
+
+    fn finish_sanction(mut self, source_name: &str) -> Result<Sanction, String> {
+        let at = self.declared_at;
+        let missing =
+            |k: &str| format!("{source_name}:{at}: `[[sanction]]` entry is missing `{k}`");
+        Ok(Sanction {
+            rule: self.rule.take().ok_or_else(|| missing("rule"))?,
+            path: self.path.take().ok_or_else(|| missing("path"))?,
+            sink: self.sink.take(),
+            reason: self.reason(),
+            declared_at: at,
+        })
+    }
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted TOML string value.
+fn parse_string(value: &str, source_name: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| {
+            format!("{source_name}:{lineno}: expected a double-quoted string, got `{v}`")
+        })?;
+    if inner.contains('"') {
+        return Err(format!(
+            "{source_name}:{lineno}: embedded quotes are not supported"
+        ));
+    }
+    Ok(inner.to_owned())
+}
+
+/// Parse a `["a", "b"]` array into a deduplicated identifier set.
+fn ident_set(value: &str, source_name: &str, lineno: u32) -> Result<BTreeSet<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("{source_name}:{lineno}: expected a `[\"…\", …]` array, got `{v}`")
+        })?;
+    let mut out = BTreeSet::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // tolerate a trailing comma
+        }
+        let name = parse_string(item, source_name, lineno)?;
+        if !out.insert(name.clone()) {
+            return Err(format!("{source_name}:{lineno}: `{name}` listed twice"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sources_sinks_and_sanctions() {
+        let text = "# flow manifest\n\
+                    [[source]]\n\
+                    kind = \"policy\"\n\
+                    names = [\"beta\", \"threshold\"]\n\
+                    reason = \"policy internals\"\n\
+                    \n\
+                    [[source]]\n\
+                    kind = \"suppressed\"\n\
+                    functions = [\"withheld_tuples\"]\n\
+                    reason = \"the failing side of the gate\"\n\
+                    \n\
+                    [[sink]]\n\
+                    kind = \"shell\"\n\
+                    functions = [\"emit_diag\"]\n\
+                    reason = \"writes to stderr\"\n\
+                    \n\
+                    [[sanction]]\n\
+                    rule = \"PCQE-F002\"\n\
+                    path = \"crates/engine/src/audit.rs\"\n\
+                    sink = \"fmt\"\n\
+                    reason = \"the audit log is the designed channel\"\n";
+        let spec = parse(text, "lint-flows.toml").unwrap();
+        assert!(spec.from_manifest);
+        assert_eq!(spec.sources.len(), 2);
+        assert_eq!(spec.sources[0].kind, TaintKind::Policy);
+        assert_eq!(spec.sources[0].declared_at, 2);
+        assert!(spec.names_of(TaintKind::Policy).contains("beta"));
+        assert!(spec
+            .functions_of(TaintKind::Suppressed)
+            .contains("withheld_tuples"));
+        assert!(spec
+            .sink_functions_of(SinkKind::Shell)
+            .contains("emit_diag"));
+        assert_eq!(spec.sanctions.len(), 1);
+        assert!(spec.sanctions[0].covers(Rule::F002, "crates/engine/src/audit.rs", "fmt"));
+        assert!(!spec.sanctions[0].covers(Rule::F002, "crates/engine/src/audit.rs", "println"));
+        assert!(!spec.sanctions[0].covers(Rule::F001, "crates/engine/src/audit.rs", "fmt"));
+    }
+
+    #[test]
+    fn sanction_without_sink_covers_every_sink_in_the_file() {
+        let spec = parse(
+            "[[sanction]]\nrule = \"PCQE-F003\"\npath = \"crates/engine/src/database.rs\"\n\
+             reason = \"r\"\n",
+            "f",
+        )
+        .unwrap();
+        assert!(spec.sanctions[0].covers(Rule::F003, "crates/engine/src/database.rs", "decision"));
+        assert!(spec.sanctions[0].covers(Rule::F003, "crates/engine/src/database.rs", "anything"));
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        // Unknown taint kind / sink kind.
+        assert!(parse("[[source]]\nkind = \"secret\"\nnames = [\"x\"]\n", "f").is_err());
+        assert!(parse("[[sink]]\nkind = \"socket\"\nfunctions = [\"f\"]\n", "f").is_err());
+        // Empty source, sink without functions, sanction missing keys.
+        assert!(parse("[[source]]\nkind = \"policy\"\n", "f").is_err());
+        assert!(parse("[[sink]]\nkind = \"shell\"\n", "f").is_err());
+        assert!(parse("[[sanction]]\nrule = \"PCQE-F001\"\n", "f").is_err());
+        // Misplaced keys, unknown table, duplicates.
+        assert!(parse("[[sanction]]\nnames = [\"x\"]\n", "f").is_err());
+        assert!(parse("[flows]\n", "f").is_err());
+        assert!(parse(
+            "[[source]]\nkind = \"policy\"\nnames = [\"b\", \"b\"]\n",
+            "f"
+        )
+        .is_err());
+        assert!(parse("kind = \"policy\"\n", "f").is_err());
+    }
+
+    #[test]
+    fn blank_reasons_parse_and_hygiene_reports_them() {
+        // Unlike the capability manifest, a missing reason is *not* a
+        // parse error: F005 reports it, extending the A002 discipline.
+        let spec = parse(
+            "[[source]]\nkind = \"policy\"\nnames = [\"beta\"]\n\
+             [[sanction]]\nrule = \"PCQE-F999\"\npath = \"x.rs\"\n\
+             reason = \"covers PCQE-F998\"\n",
+            "lint-flows.toml",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        spec.hygiene("lint-flows.toml", &mut out);
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(out.len(), 3, "{msgs:?}");
+        assert!(out.iter().all(|f| f.rule == Rule::F005));
+        assert!(msgs[0].contains("no `reason`"));
+        assert!(msgs[1].contains("unknown rule id `PCQE-F998`"));
+        assert!(msgs[2].contains("unknown rule id `PCQE-F999`"));
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[1].line, 4);
+    }
+}

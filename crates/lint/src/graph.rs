@@ -46,7 +46,7 @@
 //! [`ReleasedTuple`]: https://en.wikipedia.org/wiki/Access_control
 
 use crate::capability::Cap;
-use crate::item::{CallKind, FileItems, LoadSite, LockSite, PanicKind};
+use crate::item::{Bind, CallKind, FileItems, FmtSite, LoadSite, LockSite, PanicKind};
 use crate::rules::{FileClass, Finding, Rule};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -95,6 +95,16 @@ pub struct FnNode {
     /// Interior-mutable capability carried by the return type, if the
     /// function hands out `Arc`-shared state (layer 3, rule C005).
     pub ret_carries: Option<Cap>,
+    /// Parameter names in declaration order (layer 4: interprocedural
+    /// taint hand-off by argument position).
+    pub params: Vec<String>,
+    /// `let` bindings in source order (layer 4: intraprocedural def-use).
+    pub binds: Vec<Bind>,
+    /// Formatting-macro sites in source order (layer 4: sink detection).
+    pub fmts: Vec<FmtSite>,
+    /// Identifiers feeding `return` expressions and the trailing
+    /// expression (layer 4: return-value taint).
+    pub ret_idents: BTreeSet<String>,
 }
 
 impl FnNode {
@@ -118,6 +128,14 @@ pub struct ResolvedCall {
     pub line: u32,
     /// Bare/path call vs. method call.
     pub kind: CallKind,
+    /// Path segments as written (`Type::f` → `["Type", "f"]`), for the
+    /// layer-4 structural sink classes (error constructors).
+    pub segs: Vec<String>,
+    /// Identifiers per top-level argument, format-string captures
+    /// included (layer 4: arg-position taint hand-off).
+    pub args: Vec<BTreeSet<String>>,
+    /// Call-position identifiers per argument ([`CallSite::arg_calls`]).
+    pub arg_calls: Vec<BTreeSet<String>>,
     /// Sorted, deduplicated node indexes this call may reach.
     pub targets: Vec<usize>,
 }
@@ -177,6 +195,10 @@ impl CallGraph {
                     locks: f.locks.clone(),
                     loads: f.loads.clone(),
                     ret_carries: f.ret_carries,
+                    params: f.params.clone(),
+                    binds: f.binds.clone(),
+                    fmts: f.fmts.clone(),
+                    ret_idents: f.ret_idents.clone(),
                 });
             }
         }
@@ -250,6 +272,9 @@ impl CallGraph {
                         pos: call.pos,
                         line: call.line,
                         kind: call.kind,
+                        segs: call.segs.clone(),
+                        args: call.args.clone(),
+                        arg_calls: call.arg_calls.clone(),
                         targets: site.into_iter().collect(),
                     });
                 }

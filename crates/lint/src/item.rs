@@ -92,6 +92,51 @@ pub struct CallSite {
     /// every site in the same body, so "after the lock was taken" is a
     /// plain comparison.
     pub pos: usize,
+    /// Identifiers in each top-level comma-separated argument, in
+    /// argument order (format-string captures included) — the def-use
+    /// hand-off the dataflow layer matches against callee parameters.
+    pub args: Vec<BTreeSet<String>>,
+    /// The subset of each argument's identifiers that sit in *call
+    /// position* (`name(…)`, not `.name(…)`): what hot-function names
+    /// may be matched against without colliding with method idioms.
+    pub arg_calls: Vec<BTreeSet<String>>,
+}
+
+/// One `let` statement (or `if let`/`while let` binding): the names the
+/// pattern introduces and every identifier the initializer expression
+/// mentions. Together with [`CallSite::args`] and [`FmtSite::args`]
+/// these are the per-function def-use chains of the dataflow layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bind {
+    /// Names bound by the pattern (type-annotation idents included — an
+    /// over-approximation in the safe direction for taint tracking).
+    pub names: BTreeSet<String>,
+    /// Identifiers mentioned by the right-hand side, including called
+    /// function names, field names and format-string captures.
+    pub rhs: BTreeSet<String>,
+    /// Right-hand-side identifiers in call position (`name(…)`, not
+    /// `.name(…)`) — see [`CallSite::arg_calls`].
+    pub calls: BTreeSet<String>,
+    /// 1-based line of the `let` keyword.
+    pub line: u32,
+}
+
+/// One `format!`-family macro site (`format!`, `write!`, `println!`,
+/// `panic!`, …): the rendered-output conduits and sinks of the dataflow
+/// layer, with every identifier their arguments mention — explicit
+/// arguments and implicit `"{name}"` captures alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FmtSite {
+    /// The macro name without the `!` (`format`, `write`, `println`, …).
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Identifiers mentioned anywhere in the macro's arguments,
+    /// including `{capture}` names inside the format string.
+    pub args: BTreeSet<String>,
+    /// Argument identifiers in call position (`name(…)`, not
+    /// `.name(…)`) — see [`CallSite::arg_calls`].
+    pub calls: BTreeSet<String>,
 }
 
 /// One lock acquisition inside a function body: `x.lock()` or an
@@ -161,6 +206,16 @@ pub struct FnItem {
     /// Every identifier mentioned in the body (types included) — the
     /// anchor set for content rules like policy gating.
     pub mentions: BTreeSet<String>,
+    /// Parameter names in declaration order (`self` excluded) — the
+    /// receiving end of interprocedural argument-taint hand-off.
+    pub params: Vec<String>,
+    /// `let` bindings in source order (def-use chains).
+    pub binds: Vec<Bind>,
+    /// `format!`-family macro sites in source order.
+    pub fmts: Vec<FmtSite>,
+    /// Identifiers mentioned in `return` expressions and the trailing
+    /// expression — what the function's return value is built from.
+    pub ret_idents: BTreeSet<String>,
 }
 
 /// One resolved `use` leaf: `alias` is the name in scope, `segs` the full
@@ -203,6 +258,53 @@ pub fn crate_of(path: &str) -> String {
 
 /// The macros that abort instead of returning.
 const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// The macros that render values into text. The panic family is
+/// included: a panic payload is an output channel too (rule F001).
+const FMT_MACROS: [&str; 12] = [
+    "format",
+    "format_args",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// Implicit format captures in a literal body: `"β={threshold}"` →
+/// `threshold`. `{{` escapes are skipped; positional (`{0}`) and bare
+/// (`{}`/`{:?}`) specs name nothing; a `:` ends the name part.
+fn fmt_captures(body: &str, out: &mut BTreeSet<String>) {
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2; // escaped `{{`
+            continue;
+        }
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j] != b'}' && bytes[j] != b':' {
+            j += 1;
+        }
+        let name = &body[i + 1..j.min(body.len())];
+        let is_ident = !name.is_empty()
+            && name.as_bytes()[0].is_ascii_alphabetic()
+            && name.bytes().all(|b| b == b'_' || b.is_ascii_alphanumeric());
+        if is_ident {
+            out.insert(name.to_owned());
+        }
+        i = j + 1;
+    }
+}
 
 /// Which capability class an interior-mutable *shared* type identifier
 /// carries, for escape tracking: lock types and atomics. `mpsc`
@@ -597,7 +699,36 @@ impl<'a> ItemParser<'a> {
         if !self.punct_at(i, '(') {
             return i + 1;
         }
+        let params_open = i;
         i = self.skip_group(i, '(', ')');
+        // Parameter names: idents directly followed by `:` at depth 1 of
+        // the parameter group (`self` has no annotation and is skipped;
+        // destructuring patterns are missed — a conservative gap that
+        // only drops taint hand-off on constructs the tree avoids).
+        let mut params: Vec<String> = Vec::new();
+        {
+            let mut depth = 0usize;
+            for k in params_open..i.min(self.toks.len()) {
+                match &self.toks[k].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') | Tok::Punct('<') => {
+                        depth += 1
+                    }
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') | Tok::Punct('>') => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    // `::`-paths in default-type positions don't occur
+                    // in parameter lists; a lone `:` marks the name.
+                    Tok::Ident(w)
+                        if depth == 1
+                            && self.punct_at(k + 1, ':')
+                            && !self.punct_at(k + 2, ':') =>
+                    {
+                        params.push(w.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
         let ret_start = i;
         while i < self.toks.len() && !self.punct_at(i, '{') && !self.punct_at(i, ';') {
             i += 1;
@@ -631,10 +762,119 @@ impl<'a> ItemParser<'a> {
             loads: Vec::new(),
             ret_carries: if saw_arc { ret_carries } else { None },
             mentions: BTreeSet::new(),
+            params,
+            binds: Vec::new(),
+            fmts: Vec::new(),
+            ret_idents: BTreeSet::new(),
         };
         self.body(i + 1, close.saturating_sub(1), &mut item);
+        self.ret_idents(i + 1, close.saturating_sub(1), &mut item.ret_idents);
         self.out.fns.push(item);
         close
+    }
+
+    /// Identifiers the function's return value is built from: everything
+    /// mentioned after each `return` keyword (to the next `;`) plus the
+    /// trailing expression (tokens after the last depth-0 `;` of the
+    /// body). Both regions over-approximate — a `match` used as the
+    /// trailing expression contributes every arm — which is the safe
+    /// direction for return-value taint.
+    fn ret_idents(&self, start: usize, end: usize, out: &mut BTreeSet<String>) {
+        let mut depth = 0usize;
+        let mut tail_start = start;
+        for k in start..end.min(self.toks.len()) {
+            match &self.toks[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1)
+                }
+                Tok::Punct(';') if depth == 0 => tail_start = k + 1,
+                Tok::Ident(w) if w == "return" => {
+                    let mut j = k + 1;
+                    while j < end.min(self.toks.len()) && !self.punct_at(j, ';') {
+                        self.window_ident(j, out);
+                        j += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for k in tail_start..end.min(self.toks.len()) {
+            self.window_ident(k, out);
+        }
+    }
+
+    /// Add the identifier at token `k` — or the format captures of a
+    /// string literal at `k` — to `out`.
+    fn window_ident(&self, k: usize, out: &mut BTreeSet<String>) {
+        match &self.toks[k].tok {
+            Tok::Ident(w) => {
+                out.insert(w.clone());
+            }
+            Tok::LitStr(body) => fmt_captures(body, out),
+            _ => {}
+        }
+    }
+
+    /// The identifier set of the token window `[start, end)`: idents plus
+    /// format captures of string literals.
+    fn window_idents(&self, start: usize, end: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for k in start..end.min(self.toks.len()) {
+            self.window_ident(k, &mut out);
+        }
+        out
+    }
+
+    /// The call-position identifier set of `[start, end)`: idents
+    /// immediately followed by `(` that are not method calls (no
+    /// preceding `.`). Macro names (`name!(…)`) are excluded by the
+    /// intervening `!`.
+    fn window_calls(&self, start: usize, end: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for k in start..end.min(self.toks.len()) {
+            if let Tok::Ident(w) = &self.toks[k].tok {
+                if self.punct_at(k + 1, '(') && (k == 0 || !self.punct_at(k - 1, '.')) {
+                    out.insert(w.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-argument identifier sets of a call group opening at `open`:
+    /// one (full-window, call-position) pair of sets per top-level
+    /// comma-separated argument.
+    fn call_args(&self, open: usize) -> (Vec<BTreeSet<String>>, Vec<BTreeSet<String>>) {
+        if !self.punct_at(open, '(') {
+            return (Vec::new(), Vec::new());
+        }
+        let close = self.skip_group(open, '(', ')');
+        let inner_end = close.saturating_sub(1).min(self.toks.len());
+        if open + 1 >= inner_end {
+            return (Vec::new(), Vec::new());
+        }
+        let mut args = Vec::new();
+        let mut arg_calls = Vec::new();
+        let mut depth = 0usize;
+        let mut seg_start = open + 1;
+        for k in open + 1..inner_end {
+            match &self.toks[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1)
+                }
+                Tok::Punct(',') if depth == 0 => {
+                    args.push(self.window_idents(seg_start, k));
+                    arg_calls.push(self.window_calls(seg_start, k));
+                    seg_start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        args.push(self.window_idents(seg_start, inner_end));
+        arg_calls.push(self.window_calls(seg_start, inner_end));
+        (args, arg_calls)
     }
 
     /// The lock name for a method call at token `i` (whose `.` sits at
@@ -673,6 +913,62 @@ impl<'a> ItemParser<'a> {
         None
     }
 
+    /// Record the binding introduced by a `let` keyword at token `i`
+    /// (plain `let`, `if let`, `while let`, `let … else`): pattern names
+    /// from the region up to the `=`, initializer identifiers from the
+    /// region up to the statement end. A lookahead only — the caller
+    /// keeps scanning the same tokens for calls and sites.
+    fn bind(&self, i: usize, end: usize, item: &mut FnItem) {
+        // Pattern region: `let` to the first standalone `=` at depth 0
+        // (`==`, `>=`, `<=`, `!=`, `=>` never appear before the binding
+        // `=` of a well-formed let).
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let limit = end.min(self.toks.len());
+        while j < limit {
+            match &self.toks[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') | Tok::Punct('<') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') | Tok::Punct('>') => {
+                    depth = depth.saturating_sub(1)
+                }
+                Tok::Punct('=') if depth == 0 && !self.punct_at(j + 1, '=') => break,
+                Tok::Punct(';') if depth == 0 => return, // `let x;` — no initializer
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= limit {
+            return;
+        }
+        let mut names = self.window_idents(i + 1, j);
+        names.remove("mut");
+        names.remove("ref");
+        if names.is_empty() {
+            return;
+        }
+        // Initializer region: `=` to the `;` at depth 0 (an `else` block
+        // of `let … else` is included — over-approximation, safe).
+        let mut k = j + 1;
+        let mut depth = 0usize;
+        while k < limit {
+            match &self.toks[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1)
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        item.binds.push(Bind {
+            names,
+            rhs: self.window_idents(j + 1, k),
+            calls: self.window_calls(j + 1, k),
+            line: self.toks[i].line,
+        });
+    }
+
     /// Scan a fn body `[start, end)` for calls, panic sites and mentions.
     fn body(&self, start: usize, end: usize, item: &mut FnItem) {
         let mut i = start;
@@ -689,6 +985,20 @@ impl<'a> ItemParser<'a> {
                     let called = self.punct_at(i + 1, '(');
                     let banged = self.punct_at(i + 1, '!');
                     let dotted = i > start && self.punct_at(i - 1, '.');
+                    if w == "let" {
+                        self.bind(i, end, item);
+                        i += 1;
+                        continue;
+                    }
+                    if banged && self.punct_at(i + 2, '(') && FMT_MACROS.contains(&w.as_str()) {
+                        let close = self.skip_group(i + 2, '(', ')');
+                        item.fmts.push(FmtSite {
+                            name: w.clone(),
+                            line: t.line,
+                            args: self.window_idents(i + 3, close.saturating_sub(1)),
+                            calls: self.window_calls(i + 3, close.saturating_sub(1)),
+                        });
+                    }
                     if banged && PANIC_MACROS.contains(&w.as_str()) {
                         item.panics.push(PanicSite {
                             kind: PanicKind::Macro(w.clone()),
@@ -701,7 +1011,10 @@ impl<'a> ItemParser<'a> {
                                 line: t.line,
                             }),
                             "expect"
-                                if self.toks.get(i + 2).is_some_and(|n| n.tok == Tok::LitStr) =>
+                                if self
+                                    .toks
+                                    .get(i + 2)
+                                    .is_some_and(|n| matches!(n.tok, Tok::LitStr(_))) =>
                             {
                                 item.panics.push(PanicSite {
                                     kind: PanicKind::Expect,
@@ -735,11 +1048,14 @@ impl<'a> ItemParser<'a> {
                                         });
                                     }
                                 }
+                                let (args, arg_calls) = self.call_args(i + 1);
                                 item.calls.push(CallSite {
                                     segs: vec![w.clone()],
                                     kind: CallKind::Method,
                                     line: t.line,
                                     pos: i,
+                                    args,
+                                    arg_calls,
                                 });
                             }
                         }
@@ -759,11 +1075,14 @@ impl<'a> ItemParser<'a> {
                                 break;
                             }
                         }
+                        let (args, arg_calls) = self.call_args(i + 1);
                         item.calls.push(CallSite {
                             segs,
                             kind: CallKind::Path,
                             line: t.line,
                             pos: i,
+                            args,
+                            arg_calls,
                         });
                     }
                     i += 1;
@@ -1097,5 +1416,74 @@ mod tests {
         let f = items("macro_rules! m { () => { fn fake() { x.unwrap(); } }; }\nfn real() {}\n");
         assert_eq!(f.fns.len(), 1);
         assert_eq!(f.fns[0].name, "real");
+    }
+
+    #[test]
+    fn records_params_excluding_self_and_nested_generics() {
+        let f = items(
+            "fn free(beta: f64, names: Vec<String>, pair: BTreeMap<String, u32>) {}\n\
+             impl S { fn m(&self, threshold: f64) {} }\n",
+        );
+        assert_eq!(f.fns[0].params, vec!["beta", "names", "pair"]);
+        assert_eq!(f.fns[1].params, vec!["threshold"]);
+    }
+
+    #[test]
+    fn records_let_bindings_with_rhs_idents_and_captures() {
+        let f = items(
+            "fn go(policy: &Policy) -> f64 {\n\
+               let beta = policy.threshold;\n\
+               let msg = format!(\"gate at {beta}\");\n\
+               let (a, b): (u32, u32) = split(beta);\n\
+               let none;\n\
+               if a == b { return beta; }\n\
+               beta\n\
+             }\n",
+        );
+        let binds = &f.fns[0].binds;
+        assert_eq!(binds.len(), 3, "{binds:?}");
+        assert!(binds[0].names.contains("beta"));
+        assert!(binds[0].rhs.contains("policy") && binds[0].rhs.contains("threshold"));
+        // The format! capture in the string literal taints the binding.
+        assert!(binds[1].names.contains("msg"));
+        assert!(binds[1].rhs.contains("beta"), "{:?}", binds[1].rhs);
+        // Tuple pattern: both names bound; `a == b` never parses as a let.
+        assert!(binds[2].names.contains("a") && binds[2].names.contains("b"));
+        assert!(binds[2].rhs.contains("beta"));
+    }
+
+    #[test]
+    fn records_fmt_sites_and_return_idents() {
+        let f = items(
+            "fn leak(withheld: &[u64], beta: f64) -> f64 {\n\
+               println!(\"dropped {} at {beta}\", withheld.len());\n\
+               if beta < 0.0 { return beta; }\n\
+               beta * 2.0\n\
+             }\n",
+        );
+        let fun = &f.fns[0];
+        assert_eq!(fun.fmts.len(), 1);
+        assert_eq!(fun.fmts[0].name, "println");
+        assert!(fun.fmts[0].args.contains("withheld") && fun.fmts[0].args.contains("beta"));
+        assert!(fun.ret_idents.contains("beta"));
+    }
+
+    #[test]
+    fn records_per_argument_ident_sets_on_calls() {
+        let f = items(
+            "fn go(beta: f64, tag: &str) {\n\
+               check(one(beta), tag, format!(\"b={beta}\"));\n\
+             }\n",
+        );
+        let call = f.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.segs == ["check"])
+            .expect("check call");
+        assert_eq!(call.args.len(), 3, "{:?}", call.args);
+        assert!(call.args[0].contains("beta") && call.args[0].contains("one"));
+        assert!(call.args[1].contains("tag"));
+        // Nested format! commas stay inside arg 2; its capture is visible.
+        assert!(call.args[2].contains("beta"));
     }
 }

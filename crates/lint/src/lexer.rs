@@ -26,8 +26,11 @@ pub enum Tok {
     Ident(String),
     /// A lifetime such as `'a` (name not retained).
     Lifetime,
-    /// String or byte-string literal (contents not retained).
-    LitStr,
+    /// String or byte-string literal, with its raw body text (between
+    /// the quotes, escapes unprocessed). The dataflow layer reads
+    /// `format!`-style implicit captures (`"β={threshold}"`) out of it;
+    /// every other rule treats the literal as opaque.
+    LitStr(String),
     /// Character or byte literal.
     LitChar,
     /// Integer numeric literal.
@@ -157,29 +160,13 @@ impl<'a> Lexer<'a> {
     fn string(&mut self) {
         let line = self.line;
         self.i += 1;
-        while self.i < self.bytes.len() {
-            match self.bytes[self.i] {
-                b'\\' => self.i += 2,
-                b'"' => {
-                    self.i += 1;
-                    break;
-                }
-                b'\n' => {
-                    self.line += 1;
-                    self.i += 1;
-                }
-                _ => self.i += 1,
-            }
-        }
-        self.out.push(Token {
-            tok: Tok::LitStr,
-            line,
-        });
+        self.string_unterminated_tail(line);
     }
 
     /// A raw string `r"…"` / `r#"…"#` with `hashes` trailing `#`s; the
     /// caller has consumed up to and including the opening quote.
     fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let start = self.i;
         while self.i < self.bytes.len() {
             if self.bytes[self.i] == b'\n' {
                 self.line += 1;
@@ -193,9 +180,10 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 if ok {
+                    let body = self.src[start..self.i].to_owned();
                     self.i += 1 + hashes;
                     self.out.push(Token {
-                        tok: Tok::LitStr,
+                        tok: Tok::LitStr(body),
                         line,
                     });
                     return;
@@ -204,7 +192,7 @@ impl<'a> Lexer<'a> {
             self.i += 1;
         }
         self.out.push(Token {
-            tok: Tok::LitStr,
+            tok: Tok::LitStr(self.src[start..self.i.min(self.src.len())].to_owned()),
             line,
         });
     }
@@ -216,6 +204,11 @@ impl<'a> Lexer<'a> {
             // Escaped char: definitely a literal `'\…'`.
             Some(b'\\') => {
                 self.i += 2; // consume `'\`
+                if self.i < self.bytes.len() {
+                    // The escaped character itself never closes the
+                    // literal — `'\''` escapes a quote.
+                    self.i += utf8_len(self.bytes[self.i]);
+                }
                 while self.i < self.bytes.len() && self.bytes[self.i] != b'\'' {
                     self.i += 1;
                 }
@@ -377,10 +370,20 @@ impl<'a> Lexer<'a> {
 
     /// Body of a `"…"` string whose opening quote is already consumed.
     fn string_unterminated_tail(&mut self, line: u32) {
+        let start = self.i;
+        let mut end = self.bytes.len();
         while self.i < self.bytes.len() {
             match self.bytes[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => {
+                    // An escaped newline (line continuation) still ends a
+                    // physical source line — keep the counter honest.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 b'"' => {
+                    end = self.i;
                     self.i += 1;
                     break;
                 }
@@ -391,8 +394,9 @@ impl<'a> Lexer<'a> {
                 _ => self.i += 1,
             }
         }
+        let body = self.src[start..end.min(self.i).min(self.src.len())].to_owned();
         self.out.push(Token {
-            tok: Tok::LitStr,
+            tok: Tok::LitStr(body),
             line,
         });
     }
@@ -451,22 +455,26 @@ mod tests {
                 Tok::Ident("let".into()),
                 Tok::Ident("s".into()),
                 Tok::Punct('='),
-                Tok::LitStr,
+                Tok::LitStr("HashMap::new()".into()),
                 Tok::Punct(';'),
             ]
         );
         assert_eq!(
             kinds("r#\"raw HashMap \"# x"),
-            vec![Tok::LitStr, Tok::Ident("x".into())]
+            vec![Tok::LitStr("raw HashMap ".into()), Tok::Ident("x".into())]
         );
         assert_eq!(
             kinds("br\"bytes\" b\"b\" q"),
-            vec![Tok::LitStr, Tok::LitStr, Tok::Ident("q".into())]
+            vec![
+                Tok::LitStr("bytes".into()),
+                Tok::LitStr("b".into()),
+                Tok::Ident("q".into())
+            ]
         );
         // Escaped quote does not end the string early.
         assert_eq!(
             kinds(r#""a\"HashMap" t"#),
-            vec![Tok::LitStr, Tok::Ident("t".into())]
+            vec![Tok::LitStr(r#"a\"HashMap"#.into()), Tok::Ident("t".into())]
         );
     }
 
@@ -474,6 +482,12 @@ mod tests {
     fn chars_vs_lifetimes() {
         assert_eq!(kinds("'a'"), vec![Tok::LitChar]);
         assert_eq!(kinds("'\\''"), vec![Tok::LitChar]);
+        // The escaped quote must not be taken for the closing quote:
+        // everything after the literal keeps lexing normally.
+        assert_eq!(
+            kinds("'\\''; x"),
+            vec![Tok::LitChar, Tok::Punct(';'), Tok::Ident("x".into())]
+        );
         assert_eq!(kinds("b'x'"), vec![Tok::LitChar]);
         assert_eq!(
             kinds("&'a str"),

@@ -8,7 +8,7 @@
 //! *written*, instead of hoping a test notices the symptom later.
 //!
 //! The analyzer is std-only — no `syn`, no registry crates — and works
-//! in three layers:
+//! in four layers:
 //!
 //! 1. **Token layer.** Every Rust source is tokenized by a hand-rolled
 //!    lexer ([`lexer`]) and matched against small token-window patterns
@@ -29,6 +29,13 @@
 //!    ([`concurrency`]): lock-order cycles, locks held across
 //!    result-affecting boundaries, shared-state escape, and relaxed
 //!    reads on the release path.
+//! 4. **Dataflow layer.** Per-function def-use chains (`let` bindings,
+//!    format captures, return-value identifiers) plus per-argument call
+//!    windows feed a name-based taint analysis ([`flow`]): sources and
+//!    sanctioned disclosure channels are declared in `lint-flows.toml`
+//!    ([`flowspec`]), and suppressed-tuple data, β/θ thresholds and
+//!    pre-gate confidence values are proven not to reach error-message,
+//!    trace/metrics or shell sinks outside the declared channels.
 //!
 //! | rule | layer | protects | statement |
 //! |------|-------|----------|-----------|
@@ -47,25 +54,34 @@
 //! | `PCQE-P001` | token | panic-safety | no `unwrap`/`expect`/`panic!` in guarded library code |
 //! | `PCQE-P002` | graph | panic-safety | no panic construct *reachable* from guarded public API |
 //! | `PCQE-T001` | token | determinism | wall clock only in `crates/bench` + `core::clock` |
+//! | `PCQE-F001` | dataflow | confidentiality | suppressed-tuple data never reaches an error/panic sink |
+//! | `PCQE-F002` | dataflow | confidentiality | β/θ thresholds flow only to sanctioned audit/Decision channels |
+//! | `PCQE-F003` | dataflow | confidentiality | pre-gate confidence stays out of trace/metrics exports |
+//! | `PCQE-F004` | hygiene | hygiene | sanctioned sinks must be exercised (no stale sanctions) |
+//! | `PCQE-F005` | hygiene | hygiene | flow-manifest entries carry reasons citing live rule ids |
 //! | `PCQE-A001` | hygiene | hygiene | allowlist entries must suppress something |
 //! | `PCQE-A002` | hygiene | hygiene | allowlist entries must carry a reason naming the rule they suppress |
 //! | `PCQE-A003` | hygiene | hygiene | granted capabilities must be exercised (no stale grants) |
 //!
 //! Justified exceptions live in `lint-allow.toml` ([`allowlist`]) with a
 //! required reason; stale entries are themselves errors. Reports come in
-//! human and JSON form ([`report`]). Run it as `cargo run -p pcqe-lint`,
-//! via `ci.sh`, or through the tier-1 tests `tests/lint_guard.rs` and
-//! `tests/concurrency_lint_guard.rs`.
+//! human, JSON and SARIF form ([`report`], [`sarif`]). Run it as
+//! `cargo run -p pcqe-lint`, via `ci.sh`, or through the tier-1 tests
+//! `tests/lint_guard.rs`, `tests/concurrency_lint_guard.rs` and
+//! `tests/flow_lint_guard.rs`.
 
 pub mod allowlist;
 pub mod capability;
 pub mod concurrency;
+pub mod flow;
+pub mod flowspec;
 pub mod graph;
 pub mod item;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod walk;
 
 use allowlist::AllowEntry;
@@ -81,12 +97,17 @@ pub struct Analysis {
     /// Unsuppressed findings, sorted by (path, line, rule code). Includes
     /// `PCQE-A001` findings for stale allowlist entries.
     pub findings: Vec<Finding>,
-    /// Findings silenced by an allowlist entry, with the entry's reason.
+    /// Findings silenced by an allowlist entry or a flow sanction, with
+    /// the entry's reason.
     pub suppressed: Vec<(Finding, String)>,
     /// `.rs` files scanned.
     pub files_scanned: usize,
     /// Manifests checked by H001.
     pub manifests_scanned: usize,
+    /// Taint-flow witness paths for the dataflow findings, keyed by
+    /// (path, line, rule code). A side table: the JSON report ignores
+    /// it, the SARIF export renders it as code flows.
+    pub witnesses: flow::Witnesses,
 }
 
 impl Analysis {
@@ -115,6 +136,8 @@ pub enum LintError {
     Allowlist(String),
     /// The capability manifest failed to parse.
     Capabilities(String),
+    /// The flow manifest failed to parse.
+    Flows(String),
 }
 
 impl std::fmt::Display for LintError {
@@ -123,6 +146,7 @@ impl std::fmt::Display for LintError {
             LintError::Io(m) => write!(f, "io error: {m}"),
             LintError::Allowlist(m) => write!(f, "allowlist error: {m}"),
             LintError::Capabilities(m) => write!(f, "capability manifest error: {m}"),
+            LintError::Flows(m) => write!(f, "flow manifest error: {m}"),
         }
     }
 }
@@ -173,6 +197,18 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
     };
     let mut cap_used: Vec<BTreeSet<Cap>> = vec![BTreeSet::new(); caps.grants.len()];
 
+    // --- Flow manifest -------------------------------------------------
+    // Present: the dataflow layer (F001–F005) runs with the declared
+    // sources/sinks/sanctions. Absent: nothing is declared secret and
+    // the layer is inert (fixture trees predating it are unaffected).
+    let flows_path = root.join(flowspec::DEFAULT_FLOWS);
+    let flows = if flows_path.is_file() {
+        let text = fs::read_to_string(&flows_path).map_err(|e| io(e, flowspec::DEFAULT_FLOWS))?;
+        flowspec::parse(&text, flowspec::DEFAULT_FLOWS).map_err(LintError::Flows)?
+    } else {
+        flowspec::FlowSpec::default()
+    };
+
     // --- Scan ----------------------------------------------------------
     // Each file is lexed once; the token stream feeds both the token
     // rules and the item parser, whose output links into the workspace
@@ -203,6 +239,18 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
     concurrency::lock_order(&call_graph, &mut raw);
     concurrency::escapes(&call_graph, &caps, &mut raw);
     concurrency::relaxed_reads(&call_graph, &mut raw);
+    // Layer 4: sanctioned flows land directly in the suppressed list
+    // with the sanction's reason; unsanctioned ones are findings like
+    // any other (and may still be allowlisted individually below).
+    let mut suppressed: Vec<(Finding, String)> = Vec::new();
+    let mut witnesses = flow::Witnesses::new();
+    flow::dataflow(
+        &call_graph,
+        &flows,
+        &mut raw,
+        &mut suppressed,
+        &mut witnesses,
+    );
     let manifests = walk::workspace_manifests(root).map_err(|e| io(e, "walking manifests"))?;
     for rel in &manifests {
         let text = fs::read_to_string(root.join(rel)).map_err(|e| io(e, rel))?;
@@ -239,7 +287,6 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
     // --- Suppress ------------------------------------------------------
     let mut used = vec![0usize; entries.len()];
     let mut findings: Vec<Finding> = Vec::new();
-    let mut suppressed: Vec<(Finding, String)> = Vec::new();
     for f in raw {
         let hit = entries.iter().position(|e| {
             e.rule == f.rule && e.path == f.path && e.line.is_none_or(|l| l == f.line)
@@ -340,5 +387,6 @@ pub fn analyze(root: &Path, allowlist_path: Option<&Path>) -> Result<Analysis, L
         suppressed,
         files_scanned: sources.len(),
         manifests_scanned: manifests.len(),
+        witnesses,
     })
 }

@@ -36,14 +36,15 @@ pub fn human(analysis: &Analysis) -> String {
 
 /// Render the JSON report.
 ///
-/// Format version 2 adds the `rules` section: one entry per rule id in
+/// Format version 2 added the `rules` section: one entry per rule id in
 /// [`Rule::all`] order with that rule's unsuppressed-error and
 /// suppressed counts. CI gates on it (`pcqe-obs-validate --schema lint
 /// --gate`): per-rule ceilings make a regression in *any* rule visible
-/// even while the totals stay flat.
+/// even while the totals stay flat. Format version 3 widens the section
+/// to the dataflow rules (PCQE-F001–F005); the shape is unchanged.
 pub fn json(analysis: &Analysis) -> String {
     let mut out =
-        String::from("{\n  \"tool\": \"pcqe-lint\",\n  \"format_version\": 2,\n  \"findings\": [");
+        String::from("{\n  \"tool\": \"pcqe-lint\",\n  \"format_version\": 3,\n  \"findings\": [");
     for (i, f) in analysis.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -139,6 +140,7 @@ mod tests {
             suppressed: Vec::new(),
             files_scanned: 2,
             manifests_scanned: 1,
+            witnesses: crate::flow::Witnesses::new(),
         }
     }
 
@@ -152,7 +154,7 @@ mod tests {
     #[test]
     fn json_is_escaped_and_structured() {
         let text = json(&sample());
-        assert!(text.contains("\"format_version\": 2"));
+        assert!(text.contains("\"format_version\": 3"));
         assert!(text.contains("\"rule\": \"PCQE-D001\""));
         assert!(text.contains("a \\\"quoted\\\" construct"));
         assert!(text.contains("\"errors\": 1"));
@@ -165,6 +167,7 @@ mod tests {
             suppressed: Vec::new(),
             files_scanned: 0,
             manifests_scanned: 0,
+            witnesses: crate::flow::Witnesses::new(),
         };
         assert!(json(&empty).contains("\"findings\": [],"));
     }
@@ -179,6 +182,6 @@ mod tests {
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         assert_eq!(codes, sorted, "rules section must follow Rule::all order");
-        assert_eq!(codes.len(), 18);
+        assert_eq!(codes.len(), 23);
     }
 }

@@ -54,6 +54,21 @@ pub enum Rule {
     P002,
     /// Wall-clock access outside the sanctioned timing modules.
     T001,
+    /// Suppressed-tuple data reaching an error-message or panic-payload
+    /// sink (dataflow rule with witness paths, see [`crate::flow`]).
+    F001,
+    /// β/θ policy threshold flowing to a non-audit sink (see
+    /// [`crate::flow`]).
+    F002,
+    /// Pre-gate confidence value escaping to trace/metrics outside the
+    /// `Decision`-record constructors (see [`crate::flow`]).
+    F003,
+    /// Sanctioned-sink declaration in `lint-flows.toml` that nothing
+    /// exercises (hygiene, like [`Rule::A003`]).
+    F004,
+    /// Flow-manifest entry missing a reason or citing a stale rule id
+    /// (hygiene, extending the A002 discipline).
+    F005,
     /// Stale allowlist entry (suppresses nothing).
     A001,
     /// Allowlist entry without a non-empty reason, or whose reason names
@@ -101,6 +116,11 @@ impl Rule {
             Rule::P001 => "PCQE-P001",
             Rule::P002 => "PCQE-P002",
             Rule::T001 => "PCQE-T001",
+            Rule::F001 => "PCQE-F001",
+            Rule::F002 => "PCQE-F002",
+            Rule::F003 => "PCQE-F003",
+            Rule::F004 => "PCQE-F004",
+            Rule::F005 => "PCQE-F005",
             Rule::A001 => "PCQE-A001",
             Rule::A002 => "PCQE-A002",
             Rule::A003 => "PCQE-A003",
@@ -155,6 +175,26 @@ impl Rule {
                  (witness call path reported)"
             }
             Rule::T001 => "determinism: wall-clock access only in bench and core::clock",
+            Rule::F001 => {
+                "confidentiality: suppressed-tuple data must not reach an error-message \
+                 or panic-payload sink (witness flow path reported)"
+            }
+            Rule::F002 => {
+                "confidentiality: β/θ policy thresholds flow only to the sanctioned \
+                 audit/Decision channels declared in lint-flows.toml"
+            }
+            Rule::F003 => {
+                "confidentiality: pre-gate confidence values must not escape to \
+                 trace/metrics outside the Decision-record constructors"
+            }
+            Rule::F004 => {
+                "hygiene: sanctioned-sink declarations in lint-flows.toml must be \
+                 exercised (no stale sanctions)"
+            }
+            Rule::F005 => {
+                "hygiene: flow-manifest entries must carry a reason and cite only \
+                 live rule ids"
+            }
             Rule::A001 => "hygiene: allowlist entries must suppress at least one finding",
             Rule::A002 => {
                 "hygiene: allowlist entries must carry a non-empty reason; file-wide \
@@ -184,6 +224,11 @@ impl Rule {
             "P001" => Some(Rule::P001),
             "P002" => Some(Rule::P002),
             "T001" => Some(Rule::T001),
+            "F001" => Some(Rule::F001),
+            "F002" => Some(Rule::F002),
+            "F003" => Some(Rule::F003),
+            "F004" => Some(Rule::F004),
+            "F005" => Some(Rule::F005),
             "A001" => Some(Rule::A001),
             "A002" => Some(Rule::A002),
             "A003" => Some(Rule::A003),
@@ -192,7 +237,7 @@ impl Rule {
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 18] {
+    pub fn all() -> [Rule; 23] {
         [
             Rule::D001,
             Rule::D002,
@@ -209,6 +254,11 @@ impl Rule {
             Rule::P001,
             Rule::P002,
             Rule::T001,
+            Rule::F001,
+            Rule::F002,
+            Rule::F003,
+            Rule::F004,
+            Rule::F005,
             Rule::A001,
             Rule::A002,
             Rule::A003,
@@ -534,7 +584,9 @@ pub fn check_tokens(
             if dotted
                 && called
                 && name == "expect"
-                && toks.get(i + 2).is_some_and(|n| n.tok == Tok::LitStr)
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| matches!(n.tok, Tok::LitStr(_)))
             {
                 emit(
                     out,

@@ -11,10 +11,13 @@
 //! the G001 negative (the gate dominates the row constructor),
 //! `noreason/` trips the A002 hygiene rule, `allow/` pairs a violation
 //! with a reasoned suppression, `stale/` carries an allowlist entry that
-//! excuses nothing, and `clean/` has no findings at all. The golden
-//! files `tree.expected.json`/`graph.expected.json`/`conc.expected.json`
-//! pin the machine-readable report byte-for-byte — the JSON output is a
-//! CI contract.
+//! excuses nothing, `flows/` seeds the confidentiality-dataflow layer
+//! (F001 two-hop error leak, F002 β-to-shell, sanctioned F003 Decision
+//! flow, F004 unused sanction, F005 stale citation), and `clean/` has no
+//! findings at all. The golden files `tree.expected.json`/
+//! `graph.expected.json`/`conc.expected.json`/`flows.expected.json` pin
+//! the machine-readable report byte-for-byte — the JSON output is a CI
+//! contract.
 
 use pcqe_lint::rules::Rule;
 use pcqe_lint::{analyze, report, Analysis};
@@ -186,6 +189,11 @@ fn every_rule_id_fires_somewhere_in_the_fixture_suite() {
     seen.extend(run("conc").findings.iter().map(|f| f.rule));
     seen.extend(run("stale").findings.iter().map(|f| f.rule));
     seen.extend(run("noreason").findings.iter().map(|f| f.rule));
+    let flows = run("flows");
+    seen.extend(flows.findings.iter().map(|f| f.rule));
+    // F003 appears only in the suppressed list: the fixture's Decision
+    // flow is sanctioned, which is the rule's designed negative.
+    seen.extend(flows.suppressed.iter().map(|(f, _)| f.rule));
     for rule in Rule::all() {
         assert!(seen.contains(&rule), "{} never fired", rule.code());
     }
@@ -266,6 +274,75 @@ fn conc_json_report_matches_golden_and_round_trips() {
 }
 
 #[test]
+fn flows_fixture_seeds_the_dataflow_layer() {
+    let analysis = run("flows");
+    let got: Vec<(Rule, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    let want = vec![
+        (Rule::F002, "crates/engine/src/shellout.rs", 6), // β to println!
+        (Rule::F001, "crates/engine/src/suppress.rs", 23), // two-hop leak
+        (Rule::F005, "lint-flows.toml", 32),              // stale citation
+        (Rule::F004, "lint-flows.toml", 44),              // unused sanction
+    ];
+    assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
+    // The Decision-record flow is the sanctioned negative: F003 lands in
+    // the suppressed list with the manifest's reason, not in findings.
+    assert_eq!(analysis.suppressed.len(), 1);
+    let (finding, reason) = &analysis.suppressed[0];
+    assert_eq!(finding.rule, Rule::F003);
+    assert_eq!(finding.path, "crates/engine/src/traced.rs");
+    assert_eq!(
+        reason,
+        "fixture: Decision records are the designed outlet for confidence"
+    );
+}
+
+#[test]
+fn f001_witness_names_source_sink_and_the_call_edge() {
+    let analysis = run("flows");
+    let f001 = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::F001)
+        .expect("F001 fires in the flows fixture");
+    // The leak is reported at the sink (inside `render`) with the
+    // tainted binding, the error constructor, and the interprocedural
+    // chain from the function that bound the suppressed rows.
+    assert_eq!(f001.path, "crates/engine/src/suppress.rs");
+    assert!(f001.message.contains("`dropped`"), "{}", f001.message);
+    assert!(
+        f001.message.contains("GateError::Withheld"),
+        "{}",
+        f001.message
+    );
+    assert!(
+        f001.message
+            .contains("pcqe_engine::gate → pcqe_engine::render"),
+        "witness missing in: {}",
+        f001.message
+    );
+    // Same analysis, same witness, byte for byte.
+    let again = run("flows");
+    assert_eq!(analysis.findings, again.findings);
+}
+
+#[test]
+fn flows_json_report_matches_golden_file() {
+    let golden = include_str!("fixtures/flows.expected.json");
+    let actual = report::json(&run("flows"));
+    assert_eq!(
+        actual, golden,
+        "JSON report drifted from tests/fixtures/flows.expected.json; \
+         if the change is intentional, regenerate with \
+         `cargo run -p pcqe-lint -- --root crates/lint/tests/fixtures/flows \
+         --format json > crates/lint/tests/fixtures/flows.expected.json`"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let analysis = run("clean");
     assert!(analysis.is_clean(), "{:#?}", analysis.findings);
@@ -306,7 +383,7 @@ fn stale_allowlist_entry_is_an_error() {
 
 #[test]
 fn analysis_is_deterministic_across_runs() {
-    for name in ["tree", "graph"] {
+    for name in ["tree", "graph", "flows"] {
         let a = run(name);
         let b = run(name);
         assert_eq!(a.findings, b.findings);

@@ -1,0 +1,7 @@
+//! Fixture: the policy threshold reaches a shell sink — the leak
+//! PCQE-F002 exists to catch.
+
+/// Prints the gate's β to stdout.
+pub fn banner(beta: usize) {
+    println!("gate runs at beta={beta}");
+}

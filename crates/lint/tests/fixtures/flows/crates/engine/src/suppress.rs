@@ -1,0 +1,24 @@
+//! Fixture: suppressed tuples reach a typed-error constructor two hops
+//! from the gate — PCQE-F001's interprocedural witness.
+
+/// Typed error carrying whatever the caller formats into it.
+pub enum GateError {
+    /// The message composed at the failure site.
+    Withheld(String),
+}
+
+/// Declared source function: the failing side of the gate.
+pub fn withheld_tuples(rows: &[usize]) -> Vec<usize> {
+    rows.iter().copied().filter(|r| *r % 2 == 0).collect()
+}
+
+/// Hop 1: binds the suppressed rows and hands them across a call edge.
+pub fn gate(rows: &[usize]) -> Result<(), GateError> {
+    let dropped = withheld_tuples(rows);
+    render(&dropped)
+}
+
+/// Hop 2: the suppressed values land in the error payload.
+fn render(dropped: &[usize]) -> Result<(), GateError> {
+    Err(GateError::Withheld(format!("withheld rows {dropped:?}")))
+}

@@ -1,0 +1,29 @@
+//! Fixture: every forbidden token in this file hides inside a literal
+//! or a comment — the lexer must keep all of them invisible, so the
+//! whole file lints clean. A `Mutex` in a doc string is advice, not a
+//! lock: HashMap, unwrap(), thread::spawn.
+
+/* outer /* nested Mutex HashMap thread::spawn */ still commented unwrap() */
+
+/// Returns the strings the scanner must treat as opaque.
+pub fn opaque() -> Vec<String> {
+    let plain = "Mutex::new(0) and HashMap::new()";
+    let escaped = "a \" quote then Mutex and RwLock";
+    let raw = r#"let m = Mutex::new(HashMap::new());"#;
+    let rawhash = r##"outer r#"Mutex"# body with RwLock"##;
+    let bytes = b"Mutex in a byte string";
+    let rawbytes = br#"RwLock::new and thread::spawn"#;
+    let ch = 'M';
+    let quote = '\'';
+    let emoji = '\u{1F600}';
+    let tick: &'static str = "a lifetime, not a char literal";
+    vec![
+        plain.to_owned(),
+        escaped.to_owned(),
+        raw.to_owned(),
+        rawhash.to_owned(),
+        String::from_utf8_lossy(bytes).into_owned(),
+        String::from_utf8_lossy(rawbytes).into_owned(),
+        format!("{ch}{quote}{emoji}{tick}"),
+    ]
+}

@@ -1,6 +1,6 @@
 //! `pcqe-obs-validate` — validate an exported JSON artifact.
 //!
-//! Usage: `pcqe-obs-validate [--schema metrics|lint|trace] [--gate <baseline.json>] <file.json>`
+//! Usage: `pcqe-obs-validate [--schema metrics|lint|trace|sarif] [--gate <baseline.json>] <file.json>`
 //!
 //! Schemas:
 //!
@@ -11,7 +11,12 @@
 //!   rule/severity/path/line/message records, and a `summary` object);
 //! * `trace` — the document has the Chrome trace-event shape emitted by
 //!   `pcqe_obs::trace_export::to_chrome_json` (`traceEvents` array of
-//!   name/ph/ts/pid/tid records plus `dropped`/`capacity` accounting).
+//!   name/ph/ts/pid/tid records plus `dropped`/`capacity` accounting);
+//! * `sarif` — the document has the SARIF 2.1.0 shape emitted by
+//!   `pcqe-lint --format sarif` (a `runs` array whose single run names
+//!   the `pcqe-lint` driver, declares its rule ids, and carries
+//!   `results` whose `ruleId`/`level`/`message`/`locations` members are
+//!   well-formed and whose every `ruleId` is a declared rule).
 //!
 //! Every check reports **all** violations it finds, in document order
 //! (array index order, then fixed key order), before exiting — a CI run
@@ -37,6 +42,11 @@
 //!   trace must contain at least as many events of that name. This is
 //!   `ci.sh`'s trace-regression gate — a refactor that silently drops a
 //!   lifecycle span, a cache event, or a per-tuple decision fails.
+//! * `sarif` — the baseline is a *ceiling on result counts*: the total
+//!   number of `results` and the per-`ruleId` counts in the baseline
+//!   must not be exceeded (a rule absent from the checked report counts
+//!   as zero). This is `ci.sh`'s SARIF-regression gate, the machine
+//!   interchange twin of the `lint` gate.
 //!
 //! Exit codes: `0` the document parses, matches the schema and clears
 //! the gate, `1` the document is malformed or regresses against the
@@ -54,7 +64,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let usage = || {
         eprintln!(
-            "usage: pcqe-obs-validate [--schema metrics|lint|trace] \
+            "usage: pcqe-obs-validate [--schema metrics|lint|trace|sarif] \
              [--gate <baseline.json>] <file.json>"
         );
         ExitCode::from(2)
@@ -65,6 +75,7 @@ fn main() -> ExitCode {
                 Some("metrics") => schema = Schema::Metrics,
                 Some("lint") => schema = Schema::Lint,
                 Some("trace") => schema = Schema::Trace,
+                Some("sarif") => schema = Schema::Sarif,
                 _ => return usage(),
             },
             "--gate" => match args.next() {
@@ -135,6 +146,7 @@ enum Schema {
     Metrics,
     Lint,
     Trace,
+    Sarif,
 }
 
 impl Schema {
@@ -143,6 +155,7 @@ impl Schema {
             Schema::Metrics => validate_metrics(text),
             Schema::Lint => validate_lint(text),
             Schema::Trace => validate_trace(text),
+            Schema::Sarif => validate_sarif(text),
         }
     }
 
@@ -151,6 +164,7 @@ impl Schema {
             Schema::Metrics => gate_metrics(baseline, actual),
             Schema::Lint => gate_lint(baseline, actual),
             Schema::Trace => gate_trace(baseline, actual),
+            Schema::Sarif => gate_sarif(baseline, actual),
         }
     }
 
@@ -159,6 +173,7 @@ impl Schema {
             Schema::Metrics => "floor(s) cleared",
             Schema::Lint => "ceiling(s) respected",
             Schema::Trace => "event floor(s) cleared",
+            Schema::Sarif => "result ceiling(s) respected",
         }
     }
 }
@@ -351,6 +366,212 @@ fn validate_lint(text: &str) -> Result<String, Vec<String>> {
     }
     if errors.is_empty() {
         Ok(format!("findings={finding_count} {}", counts.join(" ")))
+    } else {
+        Err(errors)
+    }
+}
+
+/// Check that `text` is a SARIF 2.1.0 document as emitted by
+/// `pcqe-lint --format sarif`; return a summary or every violation in
+/// document order. Beyond shape, this checks the one cross-reference
+/// SARIF consumers rely on: every result's `ruleId` must be declared in
+/// the driver's `rules` array.
+fn validate_sarif(text: &str) -> Result<String, Vec<String>> {
+    let doc = parse_doc(text)?;
+    let Some(obj) = doc.as_object() else {
+        return Err(vec!["top level must be an object".to_owned()]);
+    };
+    let mut errors = Vec::new();
+    match obj.get("version").and_then(Value::as_str) {
+        Some("2.1.0") => {}
+        Some(v) => errors.push(format!("`version` is `{v}`, expected `2.1.0`")),
+        None => errors.push("missing string `version` member".to_owned()),
+    }
+    if obj.get("$schema").and_then(Value::as_str).is_none() {
+        errors.push("missing string `$schema` member".to_owned());
+    }
+    let mut rule_count = 0;
+    let mut result_count = 0;
+    let mut run_count = 0;
+    match obj.get("runs").and_then(Value::as_array) {
+        None => errors.push("missing `runs` array".to_owned()),
+        Some([]) => errors.push("`runs` must not be empty".to_owned()),
+        Some(runs) => {
+            run_count = runs.len();
+            for (r, run) in runs.iter().enumerate() {
+                let Some(run) = run.as_object() else {
+                    errors.push(format!("runs[{r}] must be an object"));
+                    continue;
+                };
+                let driver = run
+                    .get("tool")
+                    .and_then(Value::as_object)
+                    .and_then(|t| t.get("driver").and_then(Value::as_object));
+                let mut declared: Vec<&str> = Vec::new();
+                match driver {
+                    None => errors.push(format!("runs[{r}] missing `tool.driver` object")),
+                    Some(driver) => {
+                        match driver.get("name").and_then(Value::as_str) {
+                            Some("pcqe-lint") => {}
+                            Some(name) => errors.push(format!(
+                                "runs[{r}] driver name is `{name}`, expected `pcqe-lint`"
+                            )),
+                            None => errors.push(format!("runs[{r}] driver missing string `name`")),
+                        }
+                        match driver.get("rules").and_then(Value::as_array) {
+                            None => errors.push(format!("runs[{r}] driver missing `rules` array")),
+                            Some(rules) => {
+                                rule_count += rules.len();
+                                for (i, rule) in rules.iter().enumerate() {
+                                    match rule
+                                        .as_object()
+                                        .and_then(|o| o.get("id").and_then(Value::as_str))
+                                    {
+                                        Some(id) => declared.push(id),
+                                        None => errors.push(format!(
+                                            "runs[{r}] rules[{i}] missing string `id`"
+                                        )),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                match run.get("results").and_then(Value::as_array) {
+                    None => errors.push(format!("runs[{r}] missing `results` array")),
+                    Some(results) => {
+                        result_count += results.len();
+                        for (i, result) in results.iter().enumerate() {
+                            let Some(result) = result.as_object() else {
+                                errors.push(format!("runs[{r}] results[{i}] must be an object"));
+                                continue;
+                            };
+                            match result.get("ruleId").and_then(Value::as_str) {
+                                None => errors.push(format!(
+                                    "runs[{r}] results[{i}] missing string `ruleId`"
+                                )),
+                                Some(id) if !declared.contains(&id) => errors.push(format!(
+                                    "runs[{r}] results[{i}] ruleId `{id}` is not declared \
+                                     in the driver's rules"
+                                )),
+                                Some(_) => {}
+                            }
+                            match result.get("level").and_then(Value::as_str) {
+                                Some("error" | "warning" | "note") => {}
+                                Some(level) => errors.push(format!(
+                                    "runs[{r}] results[{i}] `level` is `{level}`, \
+                                     expected error, warning or note"
+                                )),
+                                None => errors
+                                    .push(format!("runs[{r}] results[{i}] missing string `level`")),
+                            }
+                            if result
+                                .get("message")
+                                .and_then(Value::as_object)
+                                .and_then(|m| m.get("text").and_then(Value::as_str))
+                                .is_none()
+                            {
+                                errors
+                                    .push(format!("runs[{r}] results[{i}] missing `message.text`"));
+                            }
+                            match result.get("locations").and_then(Value::as_array) {
+                                None => errors.push(format!(
+                                    "runs[{r}] results[{i}] missing `locations` array"
+                                )),
+                                Some([]) => errors.push(format!(
+                                    "runs[{r}] results[{i}] `locations` must not be empty"
+                                )),
+                                Some(locs) => {
+                                    for (l, loc) in locs.iter().enumerate() {
+                                        let uri = loc
+                                            .as_object()
+                                            .and_then(|o| {
+                                                o.get("physicalLocation").and_then(Value::as_object)
+                                            })
+                                            .and_then(|p| {
+                                                p.get("artifactLocation").and_then(Value::as_object)
+                                            })
+                                            .and_then(|a| a.get("uri").and_then(Value::as_str));
+                                        if uri.is_none() {
+                                            errors.push(format!(
+                                                "runs[{r}] results[{i}] locations[{l}] missing \
+                                                 `physicalLocation.artifactLocation.uri`"
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(format!(
+            "runs={run_count} rules={rule_count} results={result_count}"
+        ))
+    } else {
+        Err(errors)
+    }
+}
+
+/// Ceiling gate for SARIF reports: total results and per-`ruleId` result
+/// counts must not exceed the baseline's (absent rules count as zero) —
+/// the interchange-format twin of [`gate_lint`].
+fn gate_sarif(baseline: &str, actual: &str) -> Result<usize, Vec<String>> {
+    let counts = |text: &str| -> Result<BTreeMap<String, u64>, Vec<String>> {
+        let doc = parse_doc(text)?;
+        let mut out = BTreeMap::new();
+        let runs = doc
+            .as_object()
+            .and_then(|o| o.get("runs").and_then(Value::as_array));
+        for run in runs.unwrap_or_default() {
+            let results = run
+                .as_object()
+                .and_then(|o| o.get("results").and_then(Value::as_array));
+            for result in results.unwrap_or_default() {
+                if let Some(id) = result
+                    .as_object()
+                    .and_then(|o| o.get("ruleId").and_then(Value::as_str))
+                {
+                    *out.entry(id.to_owned()).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(out)
+    };
+    let base = counts(baseline)?;
+    let act = counts(actual)?;
+    let mut ceilings = 0;
+    let mut errors = Vec::new();
+    let base_total: u64 = base.values().sum();
+    let act_total: u64 = act.values().sum();
+    if act_total > base_total {
+        errors.push(format!(
+            "total results = {act_total}, above the ceiling {base_total}"
+        ));
+    } else {
+        ceilings += 1;
+    }
+    // Every rule named by either side gets a ceiling: the baseline's
+    // count, or zero for a rule the baseline never saw.
+    let mut rules: Vec<&String> = base.keys().chain(act.keys()).collect();
+    rules.sort();
+    rules.dedup();
+    for rule in rules {
+        let ceiling = base.get(rule).copied().unwrap_or(0);
+        let value = act.get(rule).copied().unwrap_or(0);
+        if value > ceiling {
+            errors.push(format!(
+                "rule `{rule}` results = {value}, above the ceiling {ceiling}"
+            ));
+        } else {
+            ceilings += 1;
+        }
+    }
+    if errors.is_empty() {
+        Ok(ceilings)
     } else {
         Err(errors)
     }

@@ -5,8 +5,10 @@ use std::fmt;
 /// Errors raised by policy construction and lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PolicyError {
-    /// A threshold was outside `[0, 1]` or not finite.
-    InvalidThreshold(f64),
+    /// A threshold was outside `[0, 1]` or not finite. The offending
+    /// value is deliberately not carried: β is policy-internal, and a
+    /// typed error's `Display` output travels to clients (PCQE-F002).
+    InvalidThreshold,
     /// No policy (and no default) applies to a (role, purpose) pair.
     NoApplicablePolicy {
         /// The requesting role.
@@ -21,8 +23,8 @@ pub enum PolicyError {
 impl fmt::Display for PolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PolicyError::InvalidThreshold(b) => {
-                write!(f, "confidence threshold {b} outside [0, 1]")
+            PolicyError::InvalidThreshold => {
+                write!(f, "confidence threshold outside [0, 1] or not finite")
             }
             PolicyError::NoApplicablePolicy { role, purpose } => {
                 write!(

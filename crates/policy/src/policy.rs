@@ -91,7 +91,7 @@ impl ConfidencePolicy {
 
 fn check_threshold(beta: f64) -> Result<()> {
     if !beta.is_finite() || !(0.0..=1.0).contains(&beta) {
-        return Err(PolicyError::InvalidThreshold(beta));
+        return Err(PolicyError::InvalidThreshold);
     }
     Ok(())
 }

@@ -82,8 +82,10 @@ impl fmt::Display for StorageError {
             StorageError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             StorageError::TableExists(t) => write!(f, "table `{t}` already exists"),
             StorageError::UnknownTuple(id) => write!(f, "unknown tuple id {id}"),
-            StorageError::InvalidConfidence(c) => {
-                write!(f, "confidence {c} outside [0, 1]")
+            // The payload stays available to code; the rendered message
+            // does not echo the confidence value (PCQE-F003).
+            StorageError::InvalidConfidence(_) => {
+                write!(f, "confidence outside [0, 1]")
             }
             StorageError::CatalogManagedTable(t) => write!(
                 f,

@@ -109,7 +109,7 @@ fn json_report_is_byte_stable_and_round_trips_through_the_obs_parser() {
     let value = pcqe_obs::json::parse(&ja).expect("report parses with pcqe_obs::json");
     let obj = value.as_object().expect("top level is an object");
     assert_eq!(obj["tool"].as_str(), Some("pcqe-lint"));
-    assert_eq!(obj["format_version"].as_u64(), Some(2));
+    assert_eq!(obj["format_version"].as_u64(), Some(3));
     let findings = obj["findings"].as_array().expect("findings array");
     assert_eq!(findings.len(), a.findings.len());
     let summary = obj["summary"].as_object().expect("summary object");
@@ -120,7 +120,7 @@ fn json_report_is_byte_stable_and_round_trips_through_the_obs_parser() {
         Some(a.suppressed.len() as u64)
     );
 
-    // Format version 2: the per-rule section must cover every rule id and
+    // Format version 3: the per-rule section must cover every rule id and
     // its counts must re-add to the summary totals — this is the shape the
     // CI gate (`pcqe-obs-validate --schema lint --gate`) puts ceilings on.
     let rules = obj["rules"].as_object().expect("rules object");
