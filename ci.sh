@@ -36,6 +36,8 @@ STAGES=(
   bench-physical
   bench-cache
   gate-cache
+  bench-vectorized
+  gate-vectorized
 )
 
 stage_fmt() { # formatting (cargo fmt --check)
@@ -254,6 +256,30 @@ stage_gate_cache() { # bench-regression gate (confidence_cache vs checked-in bas
   fi
   cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
     --gate results/baseline_confidence_cache.json results/confidence_cache.json
+}
+
+stage_bench_vectorized() { # vectorized-execution bench export (results/vectorized_exec.json)
+  # The bench asserts vectorized/tuple bit-identity on every workload at
+  # 1, 2 and 4 worker threads and the ≥2x scan-workload speedup
+  # contract, then exports the full thread-count curve.
+  mkdir -p results
+  ( cd crates/bench \
+    && cargo bench -q --offline --bench vectorized_exec -- \
+      ../../results/vectorized_exec.json )
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    results/vectorized_exec.json
+}
+
+stage_gate_vectorized() { # bench-regression gate (vectorized_exec vs checked-in baseline)
+  # The baseline pins the deterministic workload row counts and a 2.0
+  # floor on the scan-workload vectorized-vs-tuple speedup (measured at
+  # the same thread count, so the bar holds on single-core runners).
+  if [ ! -f results/vectorized_exec.json ]; then
+    echo "gate-vectorized: results/vectorized_exec.json missing; run the bench-vectorized stage first" >&2
+    return 1
+  fi
+  cargo run -q --offline -p pcqe-obs --bin pcqe-obs-validate -- \
+    --gate results/baseline_vectorized.json results/vectorized_exec.json
 }
 
 # ---------------------------------------------------------------------------

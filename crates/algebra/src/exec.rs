@@ -28,6 +28,9 @@ pub struct OperatorProfile {
     /// Total lineage-expression nodes across the produced rows — the
     /// quantity that drives downstream confidence-evaluation cost.
     pub lineage_nodes: u64,
+    /// Columnar batches produced (0 = the operator ran row-at-a-time,
+    /// as the tuple executor and the vectorized pipeline breakers do).
+    pub batches: u64,
 }
 
 /// The profile of one executed plan: operators in pre-order.
@@ -44,15 +47,19 @@ impl ExecProfile {
         use std::fmt::Write as _;
         let mut out = String::new();
         for op in &self.operators {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{}{} (rows_in={} rows_out={} lineage_nodes={})",
+                "{}{} (rows_in={} rows_out={} lineage_nodes={}",
                 "  ".repeat(op.depth),
                 op.operator,
                 op.rows_in,
                 op.rows_out,
                 op.lineage_nodes
             );
+            if op.batches > 0 {
+                let _ = write!(out, " batches={}", op.batches);
+            }
+            let _ = writeln!(out, ")");
         }
         out
     }
@@ -92,6 +99,7 @@ impl Profiler {
                     rows_in: 0,
                     rows_out: 0,
                     lineage_nodes: 0,
+                    batches: 0,
                 });
                 v.len() - 1
             }
@@ -107,6 +115,26 @@ impl Profiler {
                 p.lineage_nodes = out
                     .iter()
                     .fold(0u64, |acc, r| acc.saturating_add(r.lineage.size() as u64));
+            }
+        }
+    }
+
+    /// Fill the reserved slot from precomputed counters — the vectorized
+    /// executor's exit, where output may still be columnar.
+    pub(crate) fn exit_counts(
+        &mut self,
+        slot: usize,
+        rows_in: usize,
+        rows_out: usize,
+        lineage_nodes: u64,
+        batches: u64,
+    ) {
+        if let Some(v) = &mut self.slots {
+            if let Some(p) = v.get_mut(slot) {
+                p.rows_in = rows_in as u64;
+                p.rows_out = rows_out as u64;
+                p.lineage_nodes = lineage_nodes;
+                p.batches = batches;
             }
         }
     }

@@ -283,9 +283,18 @@ impl ScalarExpr {
 
     /// Evaluate the expression on a row of values.
     pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        self.eval_view(&row)
+    }
+
+    /// Evaluate the expression against any [`RowView`] — a row-major
+    /// slice or one logical row of a columnar batch. Monomorphization
+    /// makes the slice instantiation exactly the old [`ScalarExpr::eval`]
+    /// body, so both executors run the same evaluation order and surface
+    /// the same first error.
+    pub fn eval_view<V: RowView>(&self, row: &V) -> Result<Value> {
         match self {
             ScalarExpr::Column(i) => row
-                .get(*i)
+                .col(*i)
                 .cloned()
                 .ok_or_else(|| AlgebraError::Type(format!("column index {i} out of range"))),
             ScalarExpr::Literal(v) => Ok(v.clone()),
@@ -293,25 +302,25 @@ impl ScalarExpr {
                 // Logical connectives get SQL-ish short-circuit treatment.
                 match op {
                     BinaryOp::And => {
-                        let l = left.eval(row)?;
+                        let l = left.eval_view(row)?;
                         if l == Value::Bool(false) {
                             return Ok(Value::Bool(false));
                         }
-                        let r = right.eval(row)?;
+                        let r = right.eval_view(row)?;
                         return eval_logic(BinaryOp::And, &l, &r);
                     }
                     BinaryOp::Or => {
-                        let l = left.eval(row)?;
+                        let l = left.eval_view(row)?;
                         if l == Value::Bool(true) {
                             return Ok(Value::Bool(true));
                         }
-                        let r = right.eval(row)?;
+                        let r = right.eval_view(row)?;
                         return eval_logic(BinaryOp::Or, &l, &r);
                     }
                     _ => {}
                 }
-                let l = left.eval(row)?;
-                let r = right.eval(row)?;
+                let l = left.eval_view(row)?;
+                let r = right.eval_view(row)?;
                 match op {
                     BinaryOp::Eq
                     | BinaryOp::Ne
@@ -330,7 +339,7 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::Unary { op, expr } => {
-                let v = expr.eval(row)?;
+                let v = expr.eval_view(row)?;
                 match op {
                     UnaryOp::Not => match v {
                         Value::Bool(b) => Ok(Value::Bool(!b)),
@@ -353,13 +362,47 @@ impl ScalarExpr {
     /// Evaluate the expression as a predicate: `true` only when the result
     /// is boolean true (NULL counts as false, SQL-style).
     pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
-        match self.eval(row)? {
+        self.eval_predicate_view(&row)
+    }
+
+    /// [`ScalarExpr::eval_predicate`] over any [`RowView`].
+    pub fn eval_predicate_view<V: RowView>(&self, row: &V) -> Result<bool> {
+        match self.eval_view(row)? {
             Value::Bool(b) => Ok(b),
             Value::Null => Ok(false),
             other => Err(AlgebraError::Type(format!(
                 "predicate evaluated to non-boolean {other}"
             ))),
         }
+    }
+}
+
+/// Row access for expression evaluation: implemented by row-major value
+/// slices and by one logical row of a columnar batch, so the tuple and
+/// vectorized executors share a single evaluation body.
+pub trait RowView {
+    /// The value in column `i`, if in range.
+    fn col(&self, i: usize) -> Option<&Value>;
+}
+
+impl RowView for &[Value] {
+    fn col(&self, i: usize) -> Option<&Value> {
+        self.get(i)
+    }
+}
+
+/// One logical row of a columnar batch: borrowed column vectors plus a
+/// row index, evaluated without gathering the row into a scratch buffer.
+pub struct ColumnarRow<'a> {
+    /// The batch's column vectors (all the same length).
+    pub cols: &'a [Vec<Value>],
+    /// The row index within each column.
+    pub row: usize,
+}
+
+impl RowView for ColumnarRow<'_> {
+    fn col(&self, i: usize) -> Option<&Value> {
+        self.cols.get(i).and_then(|c| c.get(self.row))
     }
 }
 

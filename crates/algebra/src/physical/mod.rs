@@ -28,12 +28,17 @@
 pub mod exec;
 pub mod plan;
 pub mod planner;
+pub mod vexec;
 
 pub use exec::{
     execute_physical, execute_physical_profiled, execute_physical_traced, execute_physical_with,
 };
 pub use plan::{render_side_by_side, PhysicalPlan};
 pub use planner::{estimate, lower};
+pub use vexec::{
+    execute_vectorized, execute_vectorized_profiled, execute_vectorized_traced,
+    execute_vectorized_with,
+};
 
 #[cfg(test)]
 mod tests {

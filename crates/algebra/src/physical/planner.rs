@@ -38,7 +38,7 @@ use crate::expr::{BinaryOp, ScalarExpr};
 use crate::physical::plan::PhysicalPlan;
 use crate::plan::Plan;
 use crate::Result;
-use pcqe_storage::{Catalog, DataType, Value};
+use pcqe_storage::{Catalog, DataType, TableStats, Value};
 
 /// Per-row cost multiplier for building the hash table, relative to one
 /// nested-loop predicate evaluation. Build inserts clone key values into an
@@ -274,18 +274,20 @@ fn and_all(mut conjuncts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
 /// Estimated output cardinality of a physical operator.
 ///
 /// Deterministic integer arithmetic over live table statistics
-/// ([`pcqe_storage::TableStats`]): scans use real row counts (and NDV for
-/// indexed equality), filters apply the textbook 1/10 (equality) and 1/3
-/// (comparison) selectivities, joins assume 1/10 selectivity over the
-/// cross product. Estimates steer strategy choice only — never results.
+/// ([`pcqe_storage::TableStats`]): scans use real row counts; equality
+/// conjuncts on a column with a known NDV divide by that NDV, falling
+/// back to the textbook 1/10 only when no statistic exists; comparisons
+/// use 1/3; joins assume 1/10 selectivity over the cross product.
+/// Estimates steer strategy choice only — never results.
 pub fn estimate(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
     match plan {
         PhysicalPlan::TableScan {
             table, residual, ..
         } => {
-            let base = catalog.table(table).map(|t| t.len()).unwrap_or(0);
+            let t = catalog.table(table).ok();
+            let base = t.map(|t| t.len()).unwrap_or(0);
             match residual {
-                Some(p) => predicate_rows(base, p),
+                Some(p) => predicate_rows(base, p, t.map(|t| t.stats()).as_ref()),
                 None => base,
             }
         }
@@ -295,17 +297,18 @@ pub fn estimate(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
             residual,
             ..
         } => {
-            let base = catalog
-                .table(table)
-                .map(|t| t.stats().eq_selectivity_rows(*column))
+            let stats = catalog.table(table).ok().map(|t| t.stats());
+            let base = stats
+                .as_ref()
+                .map(|s| s.eq_selectivity_rows(*column))
                 .unwrap_or(0);
             match residual {
-                Some(p) => predicate_rows(base, p),
+                Some(p) => predicate_rows(base, p, stats.as_ref()),
                 None => base,
             }
         }
         PhysicalPlan::Filter { input, predicate } => {
-            predicate_rows(estimate(input, catalog), predicate)
+            predicate_rows(estimate(input, catalog), predicate, None)
         }
         PhysicalPlan::Project { input, .. } | PhysicalPlan::Sort { input, .. } => {
             estimate(input, catalog)
@@ -320,7 +323,7 @@ pub fn estimate(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
         } => {
             let cross = estimate(left, catalog).saturating_mul(estimate(right, catalog));
             match predicate {
-                Some(p) => predicate_rows(cross, p),
+                Some(p) => predicate_rows(cross, p, None),
                 None => cross,
             }
         }
@@ -333,19 +336,147 @@ pub fn estimate(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
     }
 }
 
-/// Scale a cardinality by per-conjunct selectivity guesses.
-fn predicate_rows(base: usize, predicate: &ScalarExpr) -> usize {
+/// Scale a cardinality by per-conjunct selectivity guesses. When `stats`
+/// are available (the predicate reads a base table directly), an
+/// equality conjunct `column = literal` on a column with a known NDV
+/// keeps `rows / ndv` rows — the uniform-distribution estimate the index
+/// path already uses — instead of the blind 1/10. An NDV of 2 then
+/// correctly predicts half the rows surviving where 1/10 would
+/// undercount five-fold and steer the join chooser toward a nested loop
+/// that is quadratically wrong on the real cardinality.
+fn predicate_rows(base: usize, predicate: &ScalarExpr, stats: Option<&TableStats>) -> usize {
     let mut conjuncts = Vec::new();
     collect_conjuncts(predicate, &mut conjuncts);
     let mut rows = base;
     for c in &conjuncts {
         if let ScalarExpr::Binary { op, .. } = c {
             rows = match op {
-                BinaryOp::Eq => rows.div_ceil(10),
+                BinaryOp::Eq => {
+                    let ndv = stats
+                        .zip(index_key(c))
+                        .and_then(|(s, (column, _))| s.distinct_keys(column));
+                    match ndv {
+                        Some(n) if n > 0 => rows.div_ceil(n),
+                        _ => rows.div_ceil(10),
+                    }
+                }
                 BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => rows.div_ceil(3),
                 _ => rows,
             };
         }
     }
     rows.min(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcqe_storage::{Column, Schema};
+
+    /// 36 orders (cust = i%6, region = i%2, flag = i%3) joined to 5
+    /// customers. With both filter columns indexed the planner knows
+    /// NDV(flag) = 3 < NDV(region)'s estimate, so the index scan takes
+    /// `flag = 1` and `region = 0` stays residual.
+    fn crossover_catalog(index_region: bool) -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "orders",
+            Schema::new(vec![
+                Column::new("cust", DataType::Int),
+                Column::new("region", DataType::Int),
+                Column::new("flag", DataType::Int),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        c.create_table(
+            "customers",
+            Schema::new(vec![Column::new("id", DataType::Int)]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..36i64 {
+            c.insert(
+                "orders",
+                vec![Value::Int(i % 6), Value::Int(i % 2), Value::Int(i % 3)],
+                0.9,
+            )
+            .unwrap();
+        }
+        for id in 0..5i64 {
+            c.insert("customers", vec![Value::Int(id)], 0.9).unwrap();
+        }
+        c.create_index("orders", "flag").unwrap();
+        if index_region {
+            c.create_index("orders", "region").unwrap();
+        }
+        c
+    }
+
+    /// The filtered-orders ⋈ customers plan, selections already pushed
+    /// down as the optimiser would leave them.
+    fn crossover_plan() -> Plan {
+        let filtered = Plan::scan("orders").select(
+            ScalarExpr::column(1)
+                .eq(ScalarExpr::literal(Value::Int(0)))
+                .and(ScalarExpr::column(2).eq(ScalarExpr::literal(Value::Int(1)))),
+        );
+        filtered.join(
+            Plan::scan("customers"),
+            ScalarExpr::column(0).eq(ScalarExpr::column(3)),
+        )
+    }
+
+    /// NDV-aware residual selectivity flips the join strategy across the
+    /// hash/nested-loop crossover. With NDV(region) = 2 known, 6 of the
+    /// 12 index-scanned rows survive the residual and the hash join wins
+    /// (30 = 6·5 nested-loop probes vs 26 = 6 + 4·5 build+probe); blind
+    /// to the statistic, the old 1/10 guess predicted 2 rows and picked
+    /// the nested loop (10 < 22). Both strategies return identical rows —
+    /// only speed is at stake — but the estimate must use what it knows.
+    #[test]
+    fn ndv_aware_selectivity_crosses_the_join_strategy_over() {
+        let with_stats = crossover_catalog(true);
+        let phys = lower(&crossover_plan(), &with_stats).unwrap();
+        assert!(
+            phys.to_string().contains("HashJoin"),
+            "NDV-aware estimate must pick the hash join:\n{phys}"
+        );
+
+        let without_stats = crossover_catalog(false);
+        let phys = lower(&crossover_plan(), &without_stats).unwrap();
+        assert!(
+            phys.to_string().contains("NestedLoopJoin"),
+            "without region stats the 1/10 fallback keeps the nested loop:\n{phys}"
+        );
+    }
+
+    /// The estimate itself: 36 rows → 12 past the `flag = 1` index scan
+    /// (NDV 3) → 6 past the `region = 0` residual (NDV 2), against the
+    /// flat-guess 2 when the region index (and hence its NDV) is absent.
+    #[test]
+    fn residual_equality_estimates_divide_by_known_ndv() {
+        let with_stats = crossover_catalog(true);
+        let scan = lower(
+            &Plan::scan("orders").select(
+                ScalarExpr::column(1)
+                    .eq(ScalarExpr::literal(Value::Int(0)))
+                    .and(ScalarExpr::column(2).eq(ScalarExpr::literal(Value::Int(1)))),
+            ),
+            &with_stats,
+        )
+        .unwrap();
+        assert_eq!(estimate(&scan, &with_stats), 6);
+
+        let without_stats = crossover_catalog(false);
+        let scan = lower(
+            &Plan::scan("orders").select(
+                ScalarExpr::column(1)
+                    .eq(ScalarExpr::literal(Value::Int(0)))
+                    .and(ScalarExpr::column(2).eq(ScalarExpr::literal(Value::Int(1)))),
+            ),
+            &without_stats,
+        )
+        .unwrap();
+        assert_eq!(estimate(&scan, &without_stats), 2);
+    }
 }

@@ -359,6 +359,76 @@ impl ResultSet {
         Ok((gated, paths))
     }
 
+    /// [`Self::score_gated_cached_traced`], driven morsel-by-morsel for
+    /// the vectorized pipeline: rows are scored in the same sequential
+    /// order through the same shared cache (memoized evaluation is a
+    /// shared-state walk — chunking changes *reporting*, never
+    /// evaluation), and each morsel surfaces one single-worker
+    /// [`pcqe_par::BatchReport`] to the observer so `.trace` files show
+    /// the scoring pass's batch structure alongside the executor's.
+    /// Scores, skip flags, paths and cache transitions are bit-identical
+    /// to [`Self::score_gated_cached_traced`]; gate instants are emitted
+    /// post-pass in row order, exactly as there.
+    pub fn score_gated_cached_morsels_traced(
+        &self,
+        cache: &mut CircuitCache,
+        evaluator: &Evaluator,
+        beta: f64,
+        observer: Option<&dyn pcqe_par::ParObserver>,
+        trace: Option<&dyn TraceSink>,
+    ) -> Result<(GatedScore, Vec<ConfidencePath>)> {
+        let mut scored = Vec::with_capacity(self.rows.len());
+        let mut skipped = Vec::with_capacity(self.rows.len());
+        let mut paths = Vec::with_capacity(self.rows.len());
+        let mut exact_skipped = 0usize;
+        let morsel = pcqe_storage::morsel_rows(self.rows.len());
+        for chunk in self.rows.chunks(morsel.max(1)) {
+            let started = observer.map(|o| o.now_nanos());
+            for row in chunk {
+                let upper = pcqe_lineage::upper_bound(&row.lineage, cache.probs())
+                    .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                let (confidence, was_skipped, path) = if upper <= beta {
+                    (upper, true, ConfidencePath::BetaSkipped)
+                } else {
+                    let before = cache.stats();
+                    let exact = cache
+                        .score_lineage(&row.lineage, evaluator)
+                        .map_err(|e| AlgebraError::Lineage(e.to_string()))?;
+                    (exact, false, classify_cached(before, cache.stats()))
+                };
+                scored.push(ScoredTuple {
+                    tuple: row.tuple.clone(),
+                    lineage: row.lineage.clone(),
+                    confidence,
+                });
+                skipped.push(was_skipped);
+                paths.push(path);
+                if was_skipped {
+                    exact_skipped += 1;
+                }
+            }
+            if let (Some(obs), Some(t0)) = (observer, started) {
+                obs.batch(&pcqe_par::BatchReport {
+                    items: chunk.len(),
+                    workers: 1,
+                    chunks: 1,
+                    chunks_claimed: vec![1],
+                    busy_nanos: vec![obs.now_nanos().saturating_sub(t0)],
+                    reassembly_stalls: 0,
+                });
+            }
+        }
+        let gated = GatedScore {
+            scored,
+            skipped,
+            exact_skipped,
+        };
+        if let Some(sink) = trace {
+            emit_gate_instants(sink, &gated, beta);
+        }
+        Ok((gated, paths))
+    }
+
     /// [`Self::rescore_exact`] through a shared [`CircuitCache`]; same
     /// in-place contract, with the flagged rows' exact confidences served
     /// from (and memoized into) the pool.

@@ -65,6 +65,16 @@ pub struct EngineConfig {
     /// query answers, proposals and audit entries are bit-identical with
     /// recording on or off, at any thread count — metrics only observe.
     pub record_metrics: bool,
+    /// Execute physical plans on the vectorized, morsel-driven columnar
+    /// path ([`pcqe_algebra::execute_vectorized_with`]): scans fuse their
+    /// residual predicates before materialising, data moves as columnar
+    /// batches, and hash-join builds are hash-partitioned with
+    /// NDV-capped partition counts. Only takes effect together with
+    /// [`EngineConfig::physical_planning`]. The vectorized executor is
+    /// bit-identical to the tuple-at-a-time one — same rows, same order,
+    /// same lineage, same confidences, at any thread count — so this
+    /// flag is a pure performance switch (see DESIGN.md §12).
+    pub vectorized_execution: bool,
     /// Score result confidences through the query-scoped
     /// [`pcqe_lineage::CircuitCache`]: compiled circuits are hash-consed
     /// into a shared pool, subcircuit probabilities are memoized, and a
@@ -86,6 +96,7 @@ impl Default for EngineConfig {
             lineage_budget: 4096,
             optimize_plans: true,
             physical_planning: true,
+            vectorized_execution: true,
             beta_short_circuit: true,
             worker_threads: None,
             parallel_threshold: pcqe_par::DEFAULT_PARALLEL_THRESHOLD,

@@ -7,7 +7,8 @@ use crate::response::{NoProposal, QueryResponse, ReleasedTuple};
 use crate::Result;
 use pcqe_algebra::{
     execute_physical_profiled, execute_physical_traced, execute_physical_with, execute_profiled,
-    execute_traced, execute_with, ExecProfile,
+    execute_traced, execute_vectorized_profiled, execute_vectorized_traced,
+    execute_vectorized_with, execute_with, ExecProfile,
 };
 use pcqe_core::clock::{Clock, SystemClock};
 use pcqe_core::estimator::RuntimeEstimator;
@@ -401,7 +402,11 @@ impl Database {
         let plan = self.plan_sql(sql)?;
         if self.config.physical_planning {
             let phys = pcqe_algebra::lower(&plan, &self.catalog)?;
-            let (_result, profile) = execute_physical_profiled(&phys, &self.catalog, &par, None)?;
+            let (_result, profile) = if self.config.vectorized_execution {
+                execute_vectorized_profiled(&phys, &self.catalog, &par, None)?
+            } else {
+                execute_physical_profiled(&phys, &self.catalog, &par, None)?
+            };
             Ok(profile.render())
         } else {
             let (_result, profile) = execute_profiled(&plan, &self.catalog, &par, None)?;
@@ -450,13 +455,19 @@ impl Database {
         };
         if self.config.physical_planning {
             let phys = pcqe_algebra::lower(plan, &self.catalog)?;
+            let vectorized = self.config.vectorized_execution;
             if recording || tracing {
-                let (result_set, profile) =
-                    execute_physical_traced(&phys, &self.catalog, par, observer, trace)?;
+                let (result_set, profile) = if vectorized {
+                    execute_vectorized_traced(&phys, &self.catalog, par, observer, trace)?
+                } else {
+                    execute_physical_traced(&phys, &self.catalog, par, observer, trace)?
+                };
                 if recording {
                     self.record_exec_profile(&profile);
                 }
                 Ok(result_set)
+            } else if vectorized {
+                Ok(execute_vectorized_with(&phys, &self.catalog, par)?)
             } else {
                 Ok(execute_physical_with(&phys, &self.catalog, par)?)
             }
@@ -529,12 +540,26 @@ impl Database {
                 // uncached pass at any thread count (DESIGN.md §10).
                 sync_cache_probs(&mut self.cache, result_set.rows(), &probs);
                 if self.config.beta_short_circuit {
-                    let (gated, paths) = result_set.score_gated_cached_traced(
-                        &mut self.cache,
-                        &self.config.evaluator,
-                        policy.threshold,
-                        trace_sink,
-                    )?;
+                    // With vectorized execution the scoring pass is chunked
+                    // by morsel so scheduler telemetry (`par.batch`) covers
+                    // scoring too; the scored values are bit-identical.
+                    let (gated, paths) =
+                        if self.config.vectorized_execution && self.config.physical_planning {
+                            result_set.score_gated_cached_morsels_traced(
+                                &mut self.cache,
+                                &self.config.evaluator,
+                                policy.threshold,
+                                observer,
+                                trace_sink,
+                            )?
+                        } else {
+                            result_set.score_gated_cached_traced(
+                                &mut self.cache,
+                                &self.config.evaluator,
+                                policy.threshold,
+                                trace_sink,
+                            )?
+                        };
                     if recording {
                         self.recorder
                             .counter_add("lineage.exact_skipped", gated.exact_skipped as u64);
@@ -1409,6 +1434,23 @@ mod tests {
         // EXPLAIN ANALYZE is read-only: no audit entry, no policy metrics.
         assert!(db.audit_log().is_empty());
         assert_eq!(db.metrics_snapshot().counter("query.total"), 0);
+    }
+
+    #[test]
+    fn explain_analyze_surfaces_batch_counts_only_when_vectorized() {
+        // The default (vectorized) profile annotates batch-producing
+        // operators; scans materialise one morsel batch here.
+        let db = paper_db();
+        let text = db.explain_analyze(QUERY).unwrap();
+        assert!(text.contains("batches=1"), "got:\n{text}");
+        // Tuple-at-a-time execution never mentions batches — the
+        // rendering is unchanged from before the vectorized executor.
+        let db = paper_db_with(EngineConfig {
+            vectorized_execution: false,
+            ..EngineConfig::default()
+        });
+        let text = db.explain_analyze(QUERY).unwrap();
+        assert!(!text.contains("batches="), "got:\n{text}");
     }
 
     #[test]

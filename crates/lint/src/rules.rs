@@ -301,8 +301,12 @@ pub struct FileClass {
 /// iteration order must be stable too. The storage index and statistics
 /// modules are listed individually: equality-index postings order and
 /// cardinality estimates both feed physical plan choice and row order,
-/// so hash iteration there would silently change plans or results.
-const RESULT_AFFECTING: [&str; 8] = [
+/// so hash iteration there would silently change plans or results. The
+/// columnar batch and partitioning modules join them: batch layout
+/// carries result rows directly, and the partition hash decides which
+/// build table every join key lands in — hashing or float drift there
+/// changes join output.
+const RESULT_AFFECTING: [&str; 10] = [
     "crates/algebra/src/",
     "crates/lineage/src/",
     "crates/core/src/",
@@ -311,6 +315,8 @@ const RESULT_AFFECTING: [&str; 8] = [
     "crates/obs/src/",
     "crates/storage/src/index.rs",
     "crates/storage/src/stats.rs",
+    "crates/storage/src/batch.rs",
+    "crates/storage/src/partition.rs",
 ];
 
 /// Crates whose library code must surface typed errors instead of

@@ -32,6 +32,8 @@
 //! when the scope joins, so parallel evaluation fails as loudly as the
 //! sequential loop it replaces.
 
+pub mod morsel;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

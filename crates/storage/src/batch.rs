@@ -1,0 +1,325 @@
+//! Columnar batches: the unit of vectorized execution.
+//!
+//! A [`Batch`] is a hand-rolled, `std`-only columnar representation of a
+//! run of rows (Arrow-style in spirit): one [`Value`] vector per schema
+//! column, plus the two sideband columns the paper's model attaches to
+//! every base tuple — its **confidence** and its **lineage id** (the
+//! [`crate::TupleId`] that doubles as the tuple's lineage variable). An
+//! optional **selection vector** narrows the batch to a subset of its
+//! physical rows without copying; [`Batch::compact`] materialises the
+//! selection when a dense batch is needed downstream.
+//!
+//! Batches are produced by [`crate::Table::batches`] (one batch per
+//! morsel of rows) and consumed by the vectorized physical executor in
+//! `pcqe-algebra`, which carries full symbolic lineage alongside — the
+//! lineage-id column here seeds those `λ0` variables at the scan.
+//!
+//! Everything is deterministic and index-safe: row access is bounds
+//! checked, iteration order is storage order, and nothing here consults
+//! a clock, a hash map, or float equality.
+
+use crate::error::StorageError;
+use crate::table::StoredTuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A columnar run of rows with confidence and lineage-id sidebands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// One vector per schema column; all the same length.
+    columns: Vec<Vec<Value>>,
+    /// Physical rows in the batch (the length of every column).
+    rows: usize,
+    /// Optional selection: logical row `i` is physical row
+    /// `selection[i]`. `None` = all physical rows, in order.
+    selection: Option<Vec<u32>>,
+    /// Per-physical-row confidence of the originating base tuple.
+    confidence: Vec<f64>,
+    /// Per-physical-row lineage variable (the base tuple's id).
+    lineage_id: Vec<u64>,
+}
+
+impl Batch {
+    /// An empty batch over `arity` columns.
+    pub fn empty(arity: usize) -> Batch {
+        Batch {
+            columns: (0..arity).map(|_| Vec::new()).collect(),
+            rows: 0,
+            selection: None,
+            confidence: Vec::new(),
+            lineage_id: Vec::new(),
+        }
+    }
+
+    /// Build a batch from stored tuples, cloning each value into its
+    /// column. The confidence and lineage-id sidebands come from the
+    /// tuples themselves. Fails if the rows disagree on arity.
+    pub fn from_rows(arity: usize, rows: &[StoredTuple]) -> Result<Batch> {
+        let mut batch = Batch::empty(arity);
+        batch.reserve(rows.len());
+        for r in rows {
+            batch.push_stored(r)?;
+        }
+        Ok(batch)
+    }
+
+    /// Reserve capacity for `extra` more rows in every column.
+    pub fn reserve(&mut self, extra: usize) {
+        for col in &mut self.columns {
+            col.reserve(extra);
+        }
+        self.confidence.reserve(extra);
+        self.lineage_id.reserve(extra);
+    }
+
+    /// Append one stored tuple (values cloned column-wise).
+    pub fn push_stored(&mut self, row: &StoredTuple) -> Result<()> {
+        let values = row.tuple.values();
+        if values.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(values) {
+            col.push(v.clone());
+        }
+        self.confidence.push(row.confidence);
+        self.lineage_id.push(row.id.0);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of schema columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of *logical* rows: the selection's length when one is set,
+    /// the physical row count otherwise.
+    pub fn len(&self) -> usize {
+        match &self.selection {
+            Some(sel) => sel.len(),
+            None => self.rows,
+        }
+    }
+
+    /// True when the batch has no logical rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column vectors (physical rows; apply the selection yourself
+    /// or [`Batch::compact`] first).
+    pub fn columns(&self) -> &[Vec<Value>] {
+        &self.columns
+    }
+
+    /// The confidence sideband, aligned with physical rows.
+    pub fn confidences(&self) -> &[f64] {
+        &self.confidence
+    }
+
+    /// The lineage-id sideband, aligned with physical rows.
+    pub fn lineage_ids(&self) -> &[u64] {
+        &self.lineage_id
+    }
+
+    /// The selection vector, if one is set.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.selection.as_deref()
+    }
+
+    /// Physical row index of logical row `i`, if in range.
+    fn physical(&self, i: usize) -> Option<usize> {
+        match &self.selection {
+            Some(sel) => sel.get(i).map(|&p| p as usize),
+            None => (i < self.rows).then_some(i),
+        }
+    }
+
+    /// Value at logical row `i`, column `col`, if in range.
+    pub fn value(&self, i: usize, col: usize) -> Option<&Value> {
+        let p = self.physical(i)?;
+        self.columns.get(col)?.get(p)
+    }
+
+    /// Confidence of logical row `i`, if in range.
+    pub fn row_confidence(&self, i: usize) -> Option<f64> {
+        let p = self.physical(i)?;
+        self.confidence.get(p).copied()
+    }
+
+    /// Lineage variable of logical row `i`, if in range.
+    pub fn row_lineage_id(&self, i: usize) -> Option<u64> {
+        let p = self.physical(i)?;
+        self.lineage_id.get(p).copied()
+    }
+
+    /// Clone logical row `i`'s values into `out` (cleared first).
+    /// Returns `false` when `i` is out of range.
+    pub fn read_row(&self, i: usize, out: &mut Vec<Value>) -> bool {
+        let Some(p) = self.physical(i) else {
+            return false;
+        };
+        out.clear();
+        for col in &self.columns {
+            match col.get(p) {
+                Some(v) => out.push(v.clone()),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Restrict the batch to the physical rows in `keep` (ascending or
+    /// not — order is preserved as given). Replaces any prior selection:
+    /// indices in `keep` refer to *logical* rows of the current view.
+    pub fn select(&mut self, keep: &[u32]) {
+        let resolved: Vec<u32> = match &self.selection {
+            Some(sel) => keep
+                .iter()
+                .filter_map(|&i| sel.get(i as usize).copied())
+                .collect(),
+            None => keep
+                .iter()
+                .copied()
+                .filter(|&i| (i as usize) < self.rows)
+                .collect(),
+        };
+        self.selection = Some(resolved);
+    }
+
+    /// Materialise the selection: afterwards the batch is dense (no
+    /// selection vector) and holds exactly its logical rows. A no-op
+    /// when no selection is set.
+    pub fn compact(&mut self) -> &mut Batch {
+        let Some(sel) = self.selection.take() else {
+            return self;
+        };
+        let pick = |src: &mut Vec<Value>| -> Vec<Value> {
+            let taken = std::mem::take(src);
+            sel.iter()
+                .filter_map(|&p| taken.get(p as usize).cloned())
+                .collect()
+        };
+        for col in &mut self.columns {
+            *col = pick(col);
+        }
+        self.confidence = sel
+            .iter()
+            .filter_map(|&p| self.confidence.get(p as usize).copied())
+            .collect();
+        self.lineage_id = sel
+            .iter()
+            .filter_map(|&p| self.lineage_id.get(p as usize).copied())
+            .collect();
+        self.rows = sel.len();
+        self
+    }
+
+    /// Consume the batch, yielding `(columns, confidences, lineage_ids)`
+    /// with any selection materialised first.
+    pub fn into_parts(mut self) -> (Vec<Vec<Value>>, Vec<f64>, Vec<u64>) {
+        self.compact();
+        (self.columns, self.confidence, self.lineage_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::table::Table;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("name", DataType::Text),
+        ])
+        .expect("schema");
+        let mut t = Table::standalone("t", schema);
+        for i in 0..5i64 {
+            t.insert(
+                vec![Value::Int(i), Value::text(format!("row{i}"))],
+                0.1 + 0.1 * i as f64,
+            )
+            .expect("insert");
+        }
+        t
+    }
+
+    #[test]
+    fn from_rows_carries_values_confidence_and_lineage() {
+        let t = sample();
+        let b = Batch::from_rows(2, t.rows()).expect("batch");
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert_eq!(b.value(3, 0), Some(&Value::Int(3)));
+        assert_eq!(b.value(3, 1), Some(&Value::text("row3")));
+        assert_eq!(b.row_lineage_id(3), Some(t.rows()[3].id.0));
+        assert_eq!(
+            b.row_confidence(3).map(f64::to_bits),
+            Some(t.rows()[3].confidence.to_bits())
+        );
+        assert_eq!(b.value(5, 0), None, "out of range");
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let t = sample();
+        let err = Batch::from_rows(3, t.rows()).expect_err("wrong arity");
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn selection_narrows_then_compact_materialises() {
+        let t = sample();
+        let mut b = Batch::from_rows(2, t.rows()).expect("batch");
+        b.select(&[4, 1]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.value(0, 0), Some(&Value::Int(4)), "selection order");
+        assert_eq!(b.value(1, 0), Some(&Value::Int(1)));
+        // Re-selecting composes over the *current* view.
+        b.select(&[1]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.value(0, 0), Some(&Value::Int(1)));
+        b.compact();
+        assert!(b.selection().is_none());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.value(0, 0), Some(&Value::Int(1)));
+        assert_eq!(b.row_lineage_id(0), Some(t.rows()[1].id.0));
+    }
+
+    #[test]
+    fn read_row_clones_in_column_order() {
+        let t = sample();
+        let b = Batch::from_rows(2, t.rows()).expect("batch");
+        let mut row = Vec::new();
+        assert!(b.read_row(2, &mut row));
+        assert_eq!(row, vec![Value::Int(2), Value::text("row2")]);
+        assert!(!b.read_row(9, &mut row));
+    }
+
+    #[test]
+    fn into_parts_applies_selection() {
+        let t = sample();
+        let mut b = Batch::from_rows(2, t.rows()).expect("batch");
+        b.select(&[0, 2]);
+        let (cols, conf, ids) = b.into_parts();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], vec![Value::Int(0), Value::Int(2)]);
+        assert_eq!(conf.len(), 2);
+        assert_eq!(ids, vec![t.rows()[0].id.0, t.rows()[2].id.0]);
+    }
+
+    #[test]
+    fn empty_batch_behaves() {
+        let b = Batch::empty(3);
+        assert_eq!(b.arity(), 3);
+        assert!(b.is_empty());
+        assert_eq!(b.value(0, 0), None);
+    }
+}

@@ -27,19 +27,23 @@
 //! assert_eq!(catalog.confidence(id), Some(0.7));
 //! ```
 
+pub mod batch;
 pub mod catalog;
 pub mod csv;
 pub mod error;
 pub mod index;
+pub mod partition;
 pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod tuple;
 pub mod value;
 
+pub use batch::Batch;
 pub use catalog::Catalog;
 pub use error::StorageError;
 pub use index::EqualityIndex;
+pub use partition::{morsel_count, morsel_rows, partition_count, partition_of, stable_hash};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{StoredTuple, Table};

@@ -152,3 +152,38 @@ fn sequential_config_helper_pins_one_worker() {
     let c = EngineConfig::default().sequential();
     assert_eq!(c.worker_threads, Some(1));
 }
+
+/// Vectorized execution is a pure performance switch: the released set,
+/// confidence bits, proposals and the rendered audit log are identical
+/// with it on or off, at one worker and at eight.
+#[test]
+fn vectorized_execution_identical_to_tuple_at_a_time() {
+    let sql = "SELECT DISTINCT r.sensor FROM readings r JOIN sensors s \
+               ON r.sensor = s.id WHERE r.value < 500";
+    let user = User::new("ana", "analyst");
+    let request = QueryRequest::new(sql, "report");
+
+    let run = |vectorized: bool, workers: usize| {
+        let cfg = EngineConfig {
+            vectorized_execution: vectorized,
+            ..config(workers)
+        };
+        let mut db = populated(cfg, 600);
+        let resp = db.query(&user, &request).unwrap();
+        let audit: Vec<String> = db.audit_log().iter().map(|e| e.to_string()).collect();
+        (transcript(&resp), audit)
+    };
+
+    let (ref_transcript, ref_audit) = run(false, 1);
+    for workers in [1usize, 8] {
+        let (t, audit) = run(true, workers);
+        assert_eq!(
+            ref_transcript, t,
+            "vectorized run diverged from tuple-at-a-time at {workers} workers"
+        );
+        assert_eq!(
+            ref_audit, audit,
+            "audit log diverged with vectorized execution at {workers} workers"
+        );
+    }
+}
